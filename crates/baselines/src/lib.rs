@@ -1,0 +1,27 @@
+//! # stca-baselines
+//!
+//! The competing approaches the paper evaluates against, in two families:
+//!
+//! **Modeling baselines (Figure 6)** — [`linreg::Ridge`] (linear
+//! regression), [`tabular::TabularModel`] (a single decision tree and a
+//! plain random forest — the "simple ML models" of §3.2), all operating on
+//! the same flattened Eq.-2 profile features as the deep forest.
+//!
+//! **Allocation-policy baselines (Figure 8)** — [`policies`]:
+//! * *no cache sharing* — private ways only (the normalization baseline);
+//! * *static allocation* — fully shared or fully private, whichever
+//!   measures better;
+//! * *dCat* — workload-aware: the shared region goes statically to the
+//!   workload that speeds up most (Xu et al.);
+//! * *dynaSprint* — timeout-driven like the paper's approach, but timeouts
+//!   are calibrated at low arrival rate and reused at high rate, ignoring
+//!   queueing delay (Huang et al.) — the flaw the paper's Figure 8
+//!   discussion calls out.
+
+pub mod linreg;
+pub mod policies;
+pub mod tabular;
+
+pub use linreg::Ridge;
+pub use policies::{PolicyEval, PolicyStrategy};
+pub use tabular::{TabularKind, TabularModel};

@@ -1,0 +1,183 @@
+//! Ridge-regularized linear regression (the Figure-6 "linear regression"
+//! competitor), solved by normal equations with Gaussian elimination.
+//!
+//! The profile features outnumber profiling runs (29 x 20 trace features vs
+//! a few hundred rows), so a small ridge penalty keeps the normal equations
+//! well-posed — plain OLS would be singular. The paper's point stands
+//! regardless: the relationship between counters and effective allocation is
+//! non-linear, and this model's ~50% median error shows it.
+
+use stca_util::Matrix;
+
+/// A fitted ridge regression.
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    /// Learned weights (last entry is the intercept).
+    weights: Vec<f64>,
+}
+
+/// Solve `a x = b` in place by Gaussian elimination with partial pivoting.
+/// `a` is `n x n` row-major. Returns `None` for singular systems.
+fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        // pivot
+        let mut pivot = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for c in 0..n {
+                a.swap(col * n + c, pivot * n + c);
+            }
+            b.swap(col, pivot);
+        }
+        let inv = 1.0 / a[col * n + col];
+        for r in col + 1..n {
+            let f = a[r * n + col] * inv;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col * n + c] * x[c];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    Some(x)
+}
+
+impl Ridge {
+    /// Fit with penalty `lambda` (an intercept column is appended and not
+    /// penalized).
+    pub fn fit(x: &Matrix, y: &[f64], lambda: f64) -> Ridge {
+        assert_eq!(x.rows(), y.len());
+        assert!(x.rows() > 0);
+        assert!(lambda >= 0.0);
+        let n = x.rows();
+        let d = x.cols() + 1; // + intercept
+        // normal matrix A = X'X + lambda I, rhs = X'y
+        let mut a = vec![0.0; d * d];
+        let mut rhs = vec![0.0; d];
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..n {
+            let row = x.row(r);
+            for i in 0..d {
+                let xi = if i < x.cols() { row[i] } else { 1.0 };
+                rhs[i] += xi * y[r];
+                for j in i..d {
+                    let xj = if j < x.cols() { row[j] } else { 1.0 };
+                    a[i * d + j] += xi * xj;
+                }
+            }
+        }
+        // mirror + regularize (intercept unpenalized)
+        for i in 0..d {
+            for j in 0..i {
+                a[i * d + j] = a[j * d + i];
+            }
+            if i < x.cols() {
+                a[i * d + i] += lambda;
+            }
+        }
+        let weights = solve(a, rhs, d).unwrap_or_else(|| {
+            // fall back to predicting the mean
+            let mut w = vec![0.0; d];
+            w[d - 1] = y.iter().sum::<f64>() / n as f64;
+            w
+        });
+        Ridge { weights }
+    }
+
+    /// Predict one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len() + 1, self.weights.len(), "feature width mismatch");
+        let mut acc = *self.weights.last().expect("intercept present");
+        for (w, x) in self.weights.iter().zip(features) {
+            acc += w * x;
+        }
+        acc
+    }
+
+    /// Predict all rows.
+    pub fn predict_matrix(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stca_util::Rng64;
+
+    #[test]
+    fn recovers_linear_coefficients() {
+        let mut rng = Rng64::new(1);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..200 {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            x.push_row(&[a, b]);
+            y.push(3.0 * a - 2.0 * b + 0.5);
+        }
+        let model = Ridge::fit(&x, &y, 1e-6);
+        assert!((model.predict(&[1.0, 0.0]) - 3.5).abs() < 1e-3);
+        assert!((model.predict(&[0.0, 1.0]) - (-1.5)).abs() < 1e-3);
+        assert!((model.predict(&[0.0, 0.0]) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        let mut rng = Rng64::new(2);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..50 {
+            let a = rng.next_f64();
+            x.push_row(&[a, 2.0 * a, 3.0 * a]); // rank 1
+            y.push(a);
+        }
+        let model = Ridge::fit(&x, &y, 1e-3);
+        // prediction still sane despite singular X'X
+        let p = model.predict(&[0.5, 1.0, 1.5]);
+        assert!((p - 0.5).abs() < 0.05, "prediction {p}");
+    }
+
+    #[test]
+    fn underdetermined_more_features_than_rows() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, 0.0, 2.0], vec![0.0, 1.0, 0.0, 1.0]]);
+        let y = vec![1.0, 2.0];
+        let model = Ridge::fit(&x, &y, 0.1);
+        assert!(model.predict(&[1.0, 0.0, 0.0, 2.0]).is_finite());
+    }
+
+    #[test]
+    fn cannot_fit_nonlinear_step() {
+        // the point of the Figure-6 comparison: linear models miss cliffs
+        let mut rng = Rng64::new(3);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..200 {
+            let a = rng.next_f64();
+            x.push_row(&[a]);
+            y.push(if a > 0.5 { 1.0 } else { 0.0 });
+        }
+        let model = Ridge::fit(&x, &y, 1e-6);
+        // best linear fit is a slope through the middle: large error at 0.5
+        let err = (model.predict(&[0.45]) - 0.0).abs();
+        assert!(err > 0.2, "linear model should struggle, err {err}");
+    }
+}

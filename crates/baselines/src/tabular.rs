@@ -1,0 +1,106 @@
+//! Simple tabular models over flattened profile features: a single decision
+//! tree and a plain random forest (the "simple ML" competitors of §3.2 and
+//! Figures 6/8e). Both reuse the tree machinery from `stca-deepforest` but
+//! skip multi-grain scanning and cascading — exactly the ablation the paper
+//! draws: same features, no deep or representational learning.
+
+use stca_deepforest::forest::{Forest, ForestConfig};
+use stca_deepforest::tree::{RegressionTree, SplitStrategy, TreeConfig};
+use stca_util::{Matrix, Rng64};
+
+/// Which simple model to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TabularKind {
+    /// One CART tree, all features considered at each split.
+    DecisionTree,
+    /// A plain random forest (no MGS, no cascade).
+    RandomForest {
+        /// Number of trees.
+        trees: usize,
+    },
+}
+
+/// A fitted simple model.
+#[derive(Debug, Clone)]
+pub enum TabularModel {
+    /// Single decision tree.
+    Tree(RegressionTree),
+    /// Plain random forest.
+    Forest(Forest),
+}
+
+impl TabularModel {
+    /// Fit on a design matrix.
+    pub fn fit(kind: TabularKind, x: &Matrix, y: &[f64], seed: u64) -> TabularModel {
+        let mut rng = Rng64::new(seed);
+        match kind {
+            TabularKind::DecisionTree => TabularModel::Tree(RegressionTree::fit(
+                x,
+                y,
+                TreeConfig {
+                    strategy: SplitStrategy::BestOfAll,
+                    min_samples_leaf: 3,
+                    max_depth: 24,
+                },
+                &mut rng,
+            )),
+            TabularKind::RandomForest { trees } => {
+                TabularModel::Forest(Forest::fit(x, y, ForestConfig::random(trees), &mut rng))
+            }
+        }
+    }
+
+    /// Predict one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        match self {
+            TabularModel::Tree(t) => t.predict(features),
+            TabularModel::Forest(f) => f.predict(features),
+        }
+    }
+
+    /// Predict every row.
+    pub fn predict_matrix(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64();
+            x.push_row(&[a, rng.next_f64()]);
+            y.push(if a > 0.6 { 2.0 } else { 1.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn tree_fits_step() {
+        let (x, y) = step_data(300, 1);
+        let m = TabularModel::fit(TabularKind::DecisionTree, &x, &y, 2);
+        assert!((m.predict(&[0.9, 0.5]) - 2.0).abs() < 0.1);
+        assert!((m.predict(&[0.1, 0.5]) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn forest_fits_step() {
+        let (x, y) = step_data(300, 3);
+        let m = TabularModel::fit(TabularKind::RandomForest { trees: 30 }, &x, &y, 4);
+        assert!((m.predict(&[0.9, 0.5]) - 2.0).abs() < 0.2);
+        assert!((m.predict(&[0.1, 0.5]) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn predict_matrix_matches_row_predictions() {
+        let (x, y) = step_data(50, 5);
+        let m = TabularModel::fit(TabularKind::DecisionTree, &x, &y, 6);
+        let all = m.predict_matrix(&x);
+        assert_eq!(all[7], m.predict(x.row(7)));
+    }
+}

@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks for the performance-critical substrates:
+//! cache-hierarchy access throughput (the hot loop of every experiment),
+//! queueing simulation, tree/forest training, and multi-grain scanning.
+//!
+//! Run with `cargo bench -p stca-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use stca_cachesim::{AccessKind, Hierarchy, HierarchyConfig};
+use stca_cat::AllocationSetting;
+use stca_deepforest::forest::{Forest, ForestConfig};
+use stca_deepforest::mgs::{MgsConfig, MultiGrainScanner};
+use stca_queuesim::{QueueSim, StationConfig};
+use stca_util::{Distribution, Matrix, Rng64};
+use stca_workloads::{AccessGenerator, AccessPattern};
+
+fn bench_hierarchy_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    let n: u64 = 10_000;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("hierarchy_access_10k", |b| {
+        let config = HierarchyConfig::experiment_default();
+        let mut hier = Hierarchy::new(config, 1);
+        hier.set_llc_mask(0, AllocationSetting::new(0, 4).to_cbm(20).expect("valid"));
+        let mut gen = AccessGenerator::new(
+            AccessPattern::ZipfReuse { footprint_lines: 4096, theta: 0.8 },
+            0,
+            0.2,
+            2,
+        );
+        b.iter(|| {
+            for _ in 0..n {
+                let (a, k) = gen.next_access();
+                black_box(hier.access(0, a, k));
+            }
+        });
+    });
+    group.bench_function("llc_mask_switch", |b| {
+        let config = HierarchyConfig::experiment_default();
+        let mut hier = Hierarchy::new(config, 3);
+        let narrow = AllocationSetting::new(0, 2).to_cbm(20).expect("valid");
+        let wide = AllocationSetting::new(0, 4).to_cbm(20).expect("valid");
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            hier.set_llc_mask(0, if flip { narrow } else { wide });
+            black_box(hier.access(0, 0x1000, AccessKind::Load));
+        });
+    });
+    group.finish();
+}
+
+fn bench_queuesim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queuesim");
+    group.bench_function("ggk_stap_2000_queries", |b| {
+        b.iter_batched(
+            || {
+                QueueSim::new(
+                    StationConfig {
+                        inter_arrival: Distribution::Exponential { mean: 0.6 },
+                        service: Distribution::LogNormal { mean: 1.0, sigma: 0.4 },
+                        expected_service: 1.0,
+                        timeout_ratio: 1.0,
+                        boost_rate: 1.8,
+                        servers: 2,
+                        shared_boost: true,
+                        measured_queries: 2000,
+                        warmup_queries: 200,
+                    },
+                    7,
+                )
+            },
+            |mut sim| black_box(sim.run()),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn training_data(n: usize, f: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = Rng64::new(seed);
+    let mut x = Matrix::zeros(0, 0);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..f).map(|_| rng.next_f64()).collect();
+        y.push(row[0] * 2.0 - row[1] + rng.next_gaussian() * 0.1);
+        x.push_row(&row);
+    }
+    (x, y)
+}
+
+fn bench_deepforest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deepforest");
+    group.sample_size(10);
+    group.bench_function("forest_fit_200x50", |b| {
+        let (x, y) = training_data(200, 50, 1);
+        b.iter(|| {
+            let mut rng = Rng64::new(2);
+            black_box(Forest::fit(&x, &y, ForestConfig::random(20), &mut rng))
+        });
+    });
+    group.bench_function("mgs_fit_transform_29x20", |b| {
+        let mut rng = Rng64::new(3);
+        let traces: Vec<Matrix> = (0..40)
+            .map(|_| {
+                let mut m = Matrix::zeros(29, 20);
+                for v in m.as_mut_slice() {
+                    *v = rng.next_f64();
+                }
+                m
+            })
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| (i % 4) as f64 / 4.0).collect();
+        b.iter(|| {
+            let mut rng = Rng64::new(4);
+            let mgs = MultiGrainScanner::fit(
+                &traces,
+                &y,
+                &MgsConfig {
+                    window_sizes: vec![5, 10],
+                    stride: 3,
+                    trees_per_window: 8,
+                    max_positions_per_sample: 16,
+                },
+                &mut rng,
+            );
+            black_box(mgs.transform(&traces[0]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy_access, bench_queuesim, bench_deepforest);
+criterion_main!(benches);

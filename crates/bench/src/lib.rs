@@ -1,0 +1,32 @@
+//! # stca-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (see DESIGN.md for the experiment index) plus shared
+//! machinery — parallel profile-dataset construction, model-comparison
+//! scoring, policy evaluation backed by the real test environment, and
+//! plain-text table output.
+//!
+//! Every binary accepts `--scale quick|standard|full` (default `standard`)
+//! so the whole suite can be smoke-tested in seconds or run at paper scale.
+
+pub mod dataset;
+pub mod evalfig;
+pub mod policyeval;
+pub mod table;
+
+pub use dataset::{build_pair_dataset, Dataset, LabeledRow, Scale};
+
+/// Parse the common `--scale` argument from a binary's argv.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--scale" && i + 1 < args.len() {
+            return match args[i + 1].as_str() {
+                "quick" => Scale::Quick,
+                "full" => Scale::Full,
+                _ => Scale::Standard,
+            };
+        }
+    }
+    Scale::Standard
+}

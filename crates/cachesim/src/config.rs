@@ -1,0 +1,203 @@
+//! Cache geometries and hierarchy configuration.
+//!
+//! The default configuration models the paper's primary platform, an Intel
+//! Xeon E5-2683 v4: 40 MB, 20-way LLC (2 MB per way — the unit the paper
+//! reserves per workload), 256 KB 8-way private L2, 32 KB 8-way private L1.
+//! Figure 7b's alternate platforms (20/30/59/72 MB LLCs) are constructed by
+//! [`HierarchyConfig::xeon_with_llc_mb`].
+//!
+//! A `scale_divisor` shrinks every level's set count (way counts are
+//! preserved) so experiments run in reasonable time; workload footprints are
+//! scaled by the same factor in the workloads crate, preserving the
+//! footprint-to-capacity ratios that determine miss-rate curves.
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (number of ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_size: usize,
+}
+
+impl CacheGeometry {
+    /// Construct and sanity-check a geometry. Set count must come out a
+    /// power of two.
+    pub fn new(size_bytes: usize, ways: usize, line_size: usize) -> Self {
+        let g = CacheGeometry { size_bytes, ways, line_size };
+        let sets = g.sets();
+        assert!(sets >= 1, "geometry has no sets");
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        g
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_size)
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.line_size
+    }
+
+    /// Capacity of one way in bytes.
+    pub fn way_bytes(&self) -> usize {
+        self.size_bytes / self.ways
+    }
+
+    /// Same way count and line size, `1/divisor` the sets. The divisor is
+    /// clamped so the cache keeps at least one set (tiny L1s bottom out
+    /// while a large LLC keeps scaling).
+    pub fn scaled_down(&self, divisor: usize) -> CacheGeometry {
+        assert!(divisor >= 1 && divisor.is_power_of_two(), "divisor must be a power of two");
+        let divisor = divisor.min(self.sets());
+        CacheGeometry::new(self.size_bytes / divisor, self.ways, self.line_size)
+    }
+}
+
+/// Access latencies in cycles, per level reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Hit in L1 (data or instruction).
+    pub l1: u64,
+    /// Hit in L2.
+    pub l2: u64,
+    /// Hit in LLC.
+    pub llc: u64,
+    /// Full miss served from memory.
+    pub memory: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        // Typical Broadwell-class figures.
+        Latencies { l1: 4, l2: 12, llc: 42, memory: 200 }
+    }
+}
+
+/// Configuration of the full hierarchy for a multi-workload experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Private L1 data cache geometry (one instance per workload).
+    pub l1d: CacheGeometry,
+    /// Private L1 instruction cache geometry (one per workload).
+    pub l1i: CacheGeometry,
+    /// Private unified L2 geometry (one per workload).
+    pub l2: CacheGeometry,
+    /// Shared last-level cache geometry.
+    pub llc: CacheGeometry,
+    /// Latency model.
+    pub latencies: Latencies,
+}
+
+impl HierarchyConfig {
+    /// The paper's primary platform: Xeon E5-2683 v4 (40 MB, 20-way LLC,
+    /// 2 MB per way — the unit the paper reserves per workload).
+    pub fn xeon_e5_2683() -> Self {
+        HierarchyConfig {
+            l1d: CacheGeometry::new(32 * 1024, 8, 64),
+            l1i: CacheGeometry::new(32 * 1024, 8, 64),
+            l2: CacheGeometry::new(256 * 1024, 8, 64),
+            llc: CacheGeometry::new(40 * 1024 * 1024, 20, 64),
+            latencies: Latencies::default(),
+        }
+    }
+
+    /// Platform with an LLC of roughly `mb` megabytes (Figure 7b's
+    /// 20/30/40/59/72 MB machines). Every platform keeps the E5-2683's
+    /// 2 MB-per-way capacity (32768 sets of 64-byte lines) and varies the
+    /// way count, so `mb` is rounded to an even number of 2 MB ways
+    /// (59 MB → 30 ways = 60 MB), as noted in EXPERIMENTS.md.
+    pub fn xeon_with_llc_mb(mb: usize) -> Self {
+        let ways = (mb / 2).max(2);
+        let line = 64;
+        let sets = 32 * 1024;
+        HierarchyConfig {
+            llc: CacheGeometry::new(sets * ways * line, ways, line),
+            ..HierarchyConfig::xeon_e5_2683()
+        }
+    }
+
+    /// Scale every level down by `divisor` (power of two). Way counts are
+    /// preserved so CAT masks keep their meaning.
+    pub fn scaled_down(&self, divisor: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: self.l1d.scaled_down(divisor),
+            l1i: self.l1i.scaled_down(divisor),
+            l2: self.l2.scaled_down(divisor),
+            llc: self.llc.scaled_down(divisor),
+            latencies: self.latencies,
+        }
+    }
+
+    /// The default experiment configuration: the E5-2683 platform with the
+    /// LLC scaled down 64x (640 KB, still 20-way) and the private caches
+    /// scaled more gently (L1 4 KB, L2 16 KB) so the hierarchy keeps its
+    /// filtering structure. Experiments complete in seconds while
+    /// preserving the ways-vs-footprint dynamics.
+    pub fn experiment_default() -> Self {
+        let base = HierarchyConfig::xeon_e5_2683();
+        HierarchyConfig {
+            l1d: base.l1d.scaled_down(8),
+            l1i: base.l1i.scaled_down(8),
+            l2: base.l2.scaled_down(16),
+            llc: base.llc.scaled_down(64),
+            latencies: base.latencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_arithmetic() {
+        let g = CacheGeometry::new(32 * 1024, 8, 64);
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.lines(), 512);
+        assert_eq!(g.way_bytes(), 4096);
+    }
+
+    #[test]
+    fn e5_2683_llc_shape() {
+        let c = HierarchyConfig::xeon_e5_2683();
+        assert_eq!(c.llc.ways, 20);
+        assert!(c.llc.sets().is_power_of_two());
+        // 2 MB per way, matching the paper's per-workload reservation unit
+        assert_eq!(c.llc.way_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scaling_preserves_ways() {
+        let c = HierarchyConfig::xeon_e5_2683().scaled_down(64);
+        assert_eq!(c.llc.ways, 20);
+        assert_eq!(c.l1d.ways, 8);
+        assert_eq!(c.llc.size_bytes, 40 * 1024 * 1024 / 64);
+    }
+
+    #[test]
+    fn llc_mb_variants_are_valid() {
+        for (mb, want_ways) in [(20, 10), (30, 15), (40, 20), (59, 29), (72, 36)] {
+            let c = HierarchyConfig::xeon_with_llc_mb(mb);
+            assert!(c.llc.sets().is_power_of_two());
+            assert_eq!(c.llc.ways, want_ways);
+            assert_eq!(c.llc.way_bytes(), 2 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_geometry_rejected() {
+        CacheGeometry::new(48 * 1024, 8, 64); // 96 sets
+    }
+
+    #[test]
+    fn default_latencies_ordered() {
+        let l = Latencies::default();
+        assert!(l.l1 < l.l2 && l.l2 < l.llc && l.llc < l.memory);
+    }
+}

@@ -1,0 +1,127 @@
+//! Allocation settings — the paper's `(offset, length)` representation.
+//!
+//! §2 of the paper represents each contiguous allocation as an ordered pair
+//! `(o_a, l_a)`. This type is the bridge between the paper's notation and the
+//! bitmask the hardware actually consumes.
+
+use crate::cbm::CapacityBitmask;
+use crate::CatError;
+
+/// A contiguous cache-way allocation: ways `[offset, offset + length)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationSetting {
+    /// First way covered.
+    pub offset: usize,
+    /// Number of ways covered (>= 1 for a valid setting).
+    pub length: usize,
+}
+
+impl AllocationSetting {
+    /// Construct without validation; validate against a cache via
+    /// [`AllocationSetting::to_cbm`].
+    pub const fn new(offset: usize, length: usize) -> Self {
+        AllocationSetting { offset, length }
+    }
+
+    /// Convert to a validated bitmask for a cache with `ways` ways.
+    pub fn to_cbm(&self, ways: usize) -> Result<CapacityBitmask, CatError> {
+        CapacityBitmask::from_span(self.offset, self.length, ways)
+    }
+
+    /// Recover the setting from a contiguous bitmask.
+    pub fn from_cbm(cbm: &CapacityBitmask) -> Self {
+        AllocationSetting { offset: cbm.offset(), length: cbm.length() }
+    }
+
+    /// Exclusive end way.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.offset + self.length
+    }
+
+    /// Whether way `w` falls inside the setting.
+    #[inline]
+    pub fn covers(&self, w: usize) -> bool {
+        w >= self.offset && w < self.end()
+    }
+
+    /// Ways shared with another setting.
+    pub fn overlap(&self, other: &AllocationSetting) -> usize {
+        let lo = self.offset.max(other.offset);
+        let hi = self.end().min(other.end());
+        hi.saturating_sub(lo)
+    }
+
+    /// Whether the other setting is fully contained in this one.
+    pub fn contains(&self, other: &AllocationSetting) -> bool {
+        other.offset >= self.offset && other.end() <= self.end()
+    }
+
+    /// The gross increase in allocation when switching `self -> boosted`,
+    /// i.e. `l_a' / l_a` — the denominator of effective cache allocation
+    /// (Eq. 3 of the paper).
+    pub fn allocation_ratio(&self, boosted: &AllocationSetting) -> f64 {
+        assert!(self.length > 0, "default setting must be non-empty");
+        boosted.length as f64 / self.length as f64
+    }
+}
+
+impl std::fmt::Display for AllocationSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(o={}, l={})", self.offset, self.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbm_roundtrip() {
+        let a = AllocationSetting::new(2, 4);
+        let cbm = a.to_cbm(8).expect("valid");
+        assert_eq!(AllocationSetting::from_cbm(&cbm), a);
+    }
+
+    #[test]
+    fn invalid_settings_fail_conversion() {
+        assert!(AllocationSetting::new(6, 4).to_cbm(8).is_err());
+        assert!(AllocationSetting::new(0, 0).to_cbm(8).is_err());
+    }
+
+    #[test]
+    fn overlap_computation() {
+        let a = AllocationSetting::new(0, 4);
+        let b = AllocationSetting::new(2, 4);
+        let c = AllocationSetting::new(4, 2);
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(a.overlap(&c), 0);
+        assert_eq!(b.overlap(&c), 2);
+        assert_eq!(a.overlap(&a), 4);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = AllocationSetting::new(1, 5);
+        let inner = AllocationSetting::new(2, 2);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+    }
+
+    #[test]
+    fn allocation_ratio_matches_eq3_denominator() {
+        let dflt = AllocationSetting::new(0, 2);
+        let boost = AllocationSetting::new(0, 4);
+        assert!((dflt.allocation_ratio(&boost) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covers_bounds() {
+        let a = AllocationSetting::new(3, 2);
+        assert!(!a.covers(2));
+        assert!(a.covers(3));
+        assert!(a.covers(4));
+        assert!(!a.covers(5));
+    }
+}

@@ -1,0 +1,192 @@
+//! Class-of-service tables.
+//!
+//! CAT hardware exposes a small number of classes of service (4–16 on the
+//! Xeons the paper used). Systems software installs one CBM per COS and then
+//! tags each logical workload (process/container) with a COS. The paper's
+//! proxy services switch a workload's COS between its *default* and
+//! *short-term* class when a query times out (§4).
+
+use crate::cbm::CapacityBitmask;
+use crate::CatError;
+
+/// Identifier of a hardware class of service.
+pub type CosId = u16;
+
+/// Identifier of a bound workload (one per collocated service).
+pub type WorkloadId = u32;
+
+/// The COS table: per-class masks plus workload → COS bindings.
+///
+/// Mirrors the MSR-level interface: a fixed number of classes, each holding a
+/// validated contiguous mask; mutating a class takes effect for every
+/// workload bound to it (the paper exploits this to boost all outstanding
+/// queries of a service at once with one register write).
+#[derive(Debug, Clone)]
+pub struct CosTable {
+    ways: usize,
+    masks: Vec<CapacityBitmask>,
+    bindings: Vec<(WorkloadId, CosId)>,
+    /// Count of COS mask rewrites — real systems care because MSR writes
+    /// are serializing; the profiler reports this as switch overhead.
+    writes: u64,
+}
+
+impl CosTable {
+    /// Create a table with `classes` classes for a `ways`-way cache. All
+    /// classes start with the full mask, as hardware does at reset.
+    pub fn new(classes: u16, ways: usize) -> Self {
+        assert!(classes >= 1, "at least one class of service required");
+        CosTable {
+            ways,
+            masks: vec![CapacityBitmask::full(ways); classes as usize],
+            bindings: Vec::new(),
+            writes: 0,
+        }
+    }
+
+    /// Number of classes supported.
+    pub fn classes(&self) -> u16 {
+        self.masks.len() as u16
+    }
+
+    /// Cache way count the table was built for.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Install a mask for a class. Fails if the COS id is out of range.
+    pub fn set_mask(&mut self, cos: CosId, mask: CapacityBitmask) -> Result<(), CatError> {
+        let idx = cos as usize;
+        if idx >= self.masks.len() {
+            return Err(CatError::CosOutOfRange { max: self.classes() - 1, requested: cos });
+        }
+        assert_eq!(mask.cache_ways(), self.ways, "mask validated for a different cache");
+        self.masks[idx] = mask;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Read the mask installed for a class.
+    pub fn mask(&self, cos: CosId) -> Result<CapacityBitmask, CatError> {
+        self.masks
+            .get(cos as usize)
+            .copied()
+            .ok_or(CatError::UnknownCos(cos))
+    }
+
+    /// Bind a workload to a class (rebinding moves it).
+    pub fn bind(&mut self, workload: WorkloadId, cos: CosId) -> Result<(), CatError> {
+        if cos as usize >= self.masks.len() {
+            return Err(CatError::CosOutOfRange { max: self.classes() - 1, requested: cos });
+        }
+        if let Some(entry) = self.bindings.iter_mut().find(|(w, _)| *w == workload) {
+            entry.1 = cos;
+        } else {
+            self.bindings.push((workload, cos));
+        }
+        Ok(())
+    }
+
+    /// COS a workload is currently bound to (COS 0 — the default class — if
+    /// never bound, which is what hardware does for untagged processes).
+    pub fn cos_of(&self, workload: WorkloadId) -> CosId {
+        self.bindings
+            .iter()
+            .find(|(w, _)| *w == workload)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Effective fill mask for a workload.
+    pub fn effective_mask(&self, workload: WorkloadId) -> CapacityBitmask {
+        self.masks[self.cos_of(workload) as usize]
+    }
+
+    /// Workloads currently bound to a class.
+    pub fn workloads_in(&self, cos: CosId) -> Vec<WorkloadId> {
+        self.bindings
+            .iter()
+            .filter(|(_, c)| *c == cos)
+            .map(|(w, _)| *w)
+            .collect()
+    }
+
+    /// Total mask-rewrite count (MSR write analogue).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::AllocationSetting;
+
+    fn mask(o: usize, l: usize) -> CapacityBitmask {
+        AllocationSetting::new(o, l).to_cbm(16).expect("valid")
+    }
+
+    #[test]
+    fn reset_state_is_full_masks() {
+        let t = CosTable::new(4, 16);
+        for cos in 0..4 {
+            assert_eq!(t.mask(cos).expect("exists").length(), 16);
+        }
+    }
+
+    #[test]
+    fn set_and_read_mask() {
+        let mut t = CosTable::new(4, 16);
+        t.set_mask(1, mask(0, 4)).expect("in range");
+        assert_eq!(t.mask(1).expect("exists").offset(), 0);
+        assert_eq!(t.mask(1).expect("exists").length(), 4);
+        assert_eq!(t.write_count(), 1);
+    }
+
+    #[test]
+    fn cos_out_of_range() {
+        let mut t = CosTable::new(2, 16);
+        assert!(matches!(
+            t.set_mask(5, mask(0, 1)),
+            Err(CatError::CosOutOfRange { max: 1, requested: 5 })
+        ));
+        assert!(t.bind(7, 3).is_err());
+    }
+
+    #[test]
+    fn binding_and_rebinding() {
+        let mut t = CosTable::new(4, 16);
+        t.bind(100, 1).expect("ok");
+        assert_eq!(t.cos_of(100), 1);
+        t.bind(100, 2).expect("ok");
+        assert_eq!(t.cos_of(100), 2);
+        assert_eq!(t.workloads_in(1), Vec::<WorkloadId>::new());
+        assert_eq!(t.workloads_in(2), vec![100]);
+    }
+
+    #[test]
+    fn unbound_workload_defaults_to_cos0() {
+        let t = CosTable::new(4, 16);
+        assert_eq!(t.cos_of(999), 0);
+        assert_eq!(t.effective_mask(999).length(), 16);
+    }
+
+    #[test]
+    fn effective_mask_tracks_class_rewrites() {
+        let mut t = CosTable::new(4, 16);
+        t.bind(1, 3).expect("ok");
+        t.set_mask(3, mask(4, 4)).expect("ok");
+        assert_eq!(t.effective_mask(1).offset(), 4);
+        // rewriting the class changes every bound workload at once
+        t.set_mask(3, mask(4, 8)).expect("ok");
+        assert_eq!(t.effective_mask(1).length(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "different cache")]
+    fn mask_for_wrong_cache_panics() {
+        let mut t = CosTable::new(2, 16);
+        let wrong = AllocationSetting::new(0, 2).to_cbm(8).expect("valid for 8");
+        let _ = t.set_mask(0, wrong);
+    }
+}

@@ -1,0 +1,273 @@
+//! A simulated Linux `resctrl` binding.
+//!
+//! On real hardware the paper's tooling (Intel's `pqos`) programs CAT either
+//! through MSRs or through the kernel's `resctrl` filesystem, where each
+//! resource group has a `schemata` file like `L3:0=3;1=ff0`. This module
+//! reproduces that interface in memory: schemata parsing/formatting, resource
+//! groups with task (workload) membership, and commit-to-COS-table semantics.
+//! Code written against this module would need only an I/O shim to drive the
+//! real filesystem.
+
+use crate::cbm::CapacityBitmask;
+use crate::cos::{CosId, CosTable, WorkloadId};
+use crate::CatError;
+use std::collections::BTreeMap;
+
+/// One L3 schemata line: per-cache-domain masks, e.g. `L3:0=3;1=ff0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schemata {
+    /// Masks keyed by cache domain (socket) id.
+    pub domains: BTreeMap<u32, CapacityBitmask>,
+}
+
+impl Schemata {
+    /// Single-domain schemata (domain 0).
+    pub fn single(mask: CapacityBitmask) -> Self {
+        let mut domains = BTreeMap::new();
+        domains.insert(0, mask);
+        Schemata { domains }
+    }
+
+    /// Parse an `L3:` schemata line. `ways` validates each mask.
+    pub fn parse(line: &str, ways: usize) -> Result<Self, CatError> {
+        let line = line.trim();
+        let body = line
+            .strip_prefix("L3:")
+            .ok_or_else(|| CatError::Parse(format!("missing L3: prefix in {line:?}")))?;
+        let mut domains = BTreeMap::new();
+        for part in body.split(';') {
+            let (dom, mask) = part
+                .split_once('=')
+                .ok_or_else(|| CatError::Parse(format!("missing '=' in {part:?}")))?;
+            let dom: u32 = dom
+                .trim()
+                .parse()
+                .map_err(|e| CatError::Parse(format!("bad domain {dom:?}: {e}")))?;
+            let mask = CapacityBitmask::from_hex(mask, ways)?;
+            if domains.insert(dom, mask).is_some() {
+                return Err(CatError::Parse(format!("duplicate domain {dom}")));
+            }
+        }
+        if domains.is_empty() {
+            return Err(CatError::Parse("no domains".into()));
+        }
+        Ok(Schemata { domains })
+    }
+
+    /// Format back to the kernel's line format.
+    pub fn format(&self) -> String {
+        let parts: Vec<String> = self
+            .domains
+            .iter()
+            .map(|(dom, mask)| format!("{}={}", dom, mask.to_hex()))
+            .collect();
+        format!("L3:{}", parts.join(";"))
+    }
+
+    /// Mask for domain 0 (the common single-socket case).
+    pub fn domain0(&self) -> Option<CapacityBitmask> {
+        self.domains.get(&0).copied()
+    }
+}
+
+/// A resctrl resource group: a named directory with a schemata and a task
+/// list. Group index maps 1:1 onto a hardware COS.
+#[derive(Debug, Clone)]
+pub struct ResourceGroup {
+    /// Directory name (e.g. `redis-default`).
+    pub name: String,
+    /// Current schemata.
+    pub schemata: Schemata,
+    /// Workloads (task groups) assigned to this group.
+    pub tasks: Vec<WorkloadId>,
+}
+
+/// The simulated resctrl root: a set of resource groups bound to a COS table.
+#[derive(Debug)]
+pub struct ResctrlFs {
+    ways: usize,
+    groups: Vec<ResourceGroup>,
+    max_groups: usize,
+}
+
+impl ResctrlFs {
+    /// Mount a simulated resctrl with the given hardware limits. The default
+    /// group (COS 0) is created automatically with a full mask, as the kernel
+    /// does.
+    pub fn mount(ways: usize, max_groups: usize) -> Self {
+        assert!(max_groups >= 1);
+        let root = ResourceGroup {
+            name: ".".into(),
+            schemata: Schemata::single(CapacityBitmask::full(ways)),
+            tasks: Vec::new(),
+        };
+        ResctrlFs { ways, groups: vec![root], max_groups }
+    }
+
+    /// Create a new resource group. Fails when hardware COS are exhausted —
+    /// the same `ENOSPC` the kernel returns.
+    pub fn mkdir(&mut self, name: &str) -> Result<CosId, CatError> {
+        if self.groups.len() >= self.max_groups {
+            return Err(CatError::CosOutOfRange {
+                max: self.max_groups as u16 - 1,
+                requested: self.groups.len() as u16,
+            });
+        }
+        if self.groups.iter().any(|g| g.name == name) {
+            return Err(CatError::Parse(format!("group {name:?} exists")));
+        }
+        self.groups.push(ResourceGroup {
+            name: name.into(),
+            schemata: Schemata::single(CapacityBitmask::full(self.ways)),
+            tasks: Vec::new(),
+        });
+        Ok((self.groups.len() - 1) as CosId)
+    }
+
+    /// Write a schemata line into a group.
+    pub fn write_schemata(&mut self, group: CosId, line: &str) -> Result<(), CatError> {
+        let schemata = Schemata::parse(line, self.ways)?;
+        let g = self
+            .groups
+            .get_mut(group as usize)
+            .ok_or(CatError::UnknownCos(group))?;
+        g.schemata = schemata;
+        Ok(())
+    }
+
+    /// Read a group's schemata line.
+    pub fn read_schemata(&self, group: CosId) -> Result<String, CatError> {
+        self.groups
+            .get(group as usize)
+            .map(|g| g.schemata.format())
+            .ok_or(CatError::UnknownCos(group))
+    }
+
+    /// Move a workload into a group (the `tasks` file). Removes it from any
+    /// other group first, as writing a PID to `tasks` does.
+    pub fn assign_task(&mut self, group: CosId, task: WorkloadId) -> Result<(), CatError> {
+        if group as usize >= self.groups.len() {
+            return Err(CatError::UnknownCos(group));
+        }
+        for g in &mut self.groups {
+            g.tasks.retain(|&t| t != task);
+        }
+        self.groups[group as usize].tasks.push(task);
+        Ok(())
+    }
+
+    /// Group a task currently belongs to (default group if never assigned).
+    pub fn group_of(&self, task: WorkloadId) -> CosId {
+        self.groups
+            .iter()
+            .position(|g| g.tasks.contains(&task))
+            .unwrap_or(0) as CosId
+    }
+
+    /// Commit the filesystem state into a hardware COS table: one COS per
+    /// group (domain 0 masks), with task bindings.
+    pub fn commit(&self) -> Result<CosTable, CatError> {
+        let mut table = CosTable::new(self.max_groups as u16, self.ways);
+        for (idx, g) in self.groups.iter().enumerate() {
+            let mask = g
+                .schemata
+                .domain0()
+                .ok_or_else(|| CatError::Parse(format!("group {} lacks domain 0", g.name)))?;
+            table.set_mask(idx as CosId, mask)?;
+            for &t in &g.tasks {
+                table.bind(t, idx as CosId)?;
+            }
+        }
+        Ok(table)
+    }
+
+    /// Group count (including the default group).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemata_parse_format_roundtrip() {
+        let s = Schemata::parse("L3:0=3;1=ff0", 16).expect("parses");
+        assert_eq!(s.domains.len(), 2);
+        assert_eq!(s.format(), "L3:0=3;1=ff0");
+        assert_eq!(s.domain0().expect("dom0").length(), 2);
+    }
+
+    #[test]
+    fn schemata_rejects_garbage() {
+        assert!(Schemata::parse("MB:0=10", 16).is_err());
+        assert!(Schemata::parse("L3:0", 16).is_err());
+        assert!(Schemata::parse("L3:x=3", 16).is_err());
+        assert!(Schemata::parse("L3:0=3;0=7", 16).is_err(), "duplicate domain");
+        assert!(Schemata::parse("L3:0=5", 16).is_err(), "non-contiguous mask");
+    }
+
+    #[test]
+    fn mkdir_respects_cos_limit() {
+        let mut fs = ResctrlFs::mount(16, 3);
+        fs.mkdir("a").expect("ok");
+        fs.mkdir("b").expect("ok");
+        assert!(fs.mkdir("c").is_err(), "COS exhausted");
+    }
+
+    #[test]
+    fn duplicate_group_name_rejected() {
+        let mut fs = ResctrlFs::mount(16, 4);
+        fs.mkdir("a").expect("ok");
+        assert!(fs.mkdir("a").is_err());
+    }
+
+    #[test]
+    fn task_assignment_moves_between_groups() {
+        let mut fs = ResctrlFs::mount(16, 4);
+        let a = fs.mkdir("a").expect("ok");
+        let b = fs.mkdir("b").expect("ok");
+        fs.assign_task(a, 42).expect("ok");
+        assert_eq!(fs.group_of(42), a);
+        fs.assign_task(b, 42).expect("ok");
+        assert_eq!(fs.group_of(42), b);
+        // no longer in group a
+        assert!(fs.commit().expect("ok").workloads_in(a).is_empty());
+    }
+
+    #[test]
+    fn commit_builds_matching_cos_table() {
+        let mut fs = ResctrlFs::mount(16, 4);
+        let g = fs.mkdir("redis").expect("ok");
+        fs.write_schemata(g, "L3:0=f0").expect("ok");
+        fs.assign_task(g, 7).expect("ok");
+        let table = fs.commit().expect("ok");
+        assert_eq!(table.effective_mask(7).offset(), 4);
+        assert_eq!(table.effective_mask(7).length(), 4);
+        // unassigned task falls into the default group with a full mask
+        assert_eq!(table.effective_mask(99).length(), 16);
+    }
+
+    #[test]
+    fn commit_requires_domain_zero() {
+        let mut fs = ResctrlFs::mount(16, 4);
+        let g = fs.mkdir("multi").expect("ok");
+        fs.write_schemata(g, "L3:1=f").expect("parses fine");
+        assert!(matches!(fs.commit(), Err(CatError::Parse(_))));
+    }
+
+    #[test]
+    fn multi_domain_schemata_survive_roundtrip() {
+        let mut fs = ResctrlFs::mount(16, 4);
+        let g = fs.mkdir("two-socket").expect("ok");
+        fs.write_schemata(g, "L3:0=3;1=ff").expect("ok");
+        assert_eq!(fs.read_schemata(g).expect("ok"), "L3:0=3;1=ff");
+    }
+
+    #[test]
+    fn write_schemata_unknown_group() {
+        let mut fs = ResctrlFs::mount(16, 4);
+        assert!(matches!(fs.write_schemata(9, "L3:0=1"), Err(CatError::UnknownCos(9))));
+    }
+}

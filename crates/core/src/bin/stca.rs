@@ -1,0 +1,285 @@
+//! `stca` — command-line front end for the short-term cache allocation
+//! toolkit.
+//!
+//! ```text
+//! stca characterize                                  Table-1 style benchmark characterization
+//! stca profile --pair redis,social -n 10 -o p.stca   profile a collocation, save Eq.-2 rows
+//! stca predict --profiles p.stca --pair redis,social --util 0.9 --timeouts 1.5,1.5
+//! stca explore --profiles p.stca --pair redis,social --util 0.9
+//! ```
+//!
+//! Every subcommand is deterministic given `--seed`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use stca_cachesim::{Counter, Hierarchy, HierarchyConfig};
+use stca_cat::AllocationSetting;
+use stca_core::{ModelConfig, PolicyExplorer, Predictor};
+use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_profiler::profile::{ProfileRow, ProfileSet};
+use stca_profiler::sampler::CounterOrdering;
+use stca_profiler::storage;
+use stca_util::Rng64;
+use stca_workloads::{AccessGenerator, BenchmarkId, RuntimeCondition, WorkloadSpec};
+
+const USAGE: &str = "\
+stca — short-term cache allocation toolkit
+
+USAGE:
+  stca characterize [--accesses N]
+  stca profile --pair A,B [-n CONDITIONS] [-o FILE] [--seed N]
+  stca predict --profiles FILE --pair A,B --util U --timeouts TA,TB [--seed N]
+  stca explore --profiles FILE --pair A,B [--util U] [--seed N]
+
+Benchmarks: jac knn kmeans spkmeans spstream bfs social redis
+";
+
+fn parse_benchmark(s: &str) -> Result<BenchmarkId, String> {
+    BenchmarkId::ALL
+        .iter()
+        .copied()
+        .find(|b| b.short_name() == s)
+        .ok_or_else(|| format!("unknown benchmark {s:?}"))
+}
+
+fn parse_pair(s: &str) -> Result<(BenchmarkId, BenchmarkId), String> {
+    let (a, b) = s
+        .split_once(',')
+        .ok_or_else(|| format!("expected A,B pair, got {s:?}"))?;
+    Ok((parse_benchmark(a.trim())?, parse_benchmark(b.trim())?))
+}
+
+/// Minimal flag parser: `--name value` and `-n value` pairs after the
+/// subcommand.
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .or_else(|| argv[i].strip_prefix('-'))
+                .ok_or_else(|| format!("expected flag, got {:?}", argv[i]))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+        }
+    }
+}
+
+fn cmd_characterize(args: &Args) -> Result<(), String> {
+    let n: u64 = args.get_parsed("accesses", 100_000u64)?;
+    let config = HierarchyConfig::experiment_default();
+    let ways = config.llc.ways;
+    println!("{:>10} {:>16} {:>14} {:>20}", "benchmark", "footprint(ways)", "LLC MPKA(2w)", "full-cache speedup");
+    for id in BenchmarkId::ALL {
+        let spec = WorkloadSpec::for_benchmark(id);
+        let run = |alloc: AllocationSetting| -> (f64, f64) {
+            let mut hier = Hierarchy::new(config, 42);
+            hier.set_llc_mask(0, alloc.to_cbm(ways).expect("valid"));
+            let mut gen =
+                AccessGenerator::new(spec.pattern_for(&config), 0, spec.store_fraction, 42);
+            for _ in 0..n / 2 {
+                let (a, k) = gen.next_access();
+                hier.access(0, a, k);
+            }
+            let before = hier.counters_of(0);
+            for _ in 0..n {
+                let (a, k) = gen.next_access();
+                hier.access(0, a, k);
+            }
+            let c = hier.counters_of(0).delta(&before);
+            (
+                c.get(Counter::LlcMisses) as f64 * 1000.0 / n as f64,
+                c.get(Counter::Cycles) as f64 / n as f64,
+            )
+        };
+        let (mpka, cpa_private) = run(AllocationSetting::new(0, 2));
+        let (_, cpa_full) = run(AllocationSetting::new(0, ways));
+        println!(
+            "{:>10} {:>16.2} {:>14.1} {:>19.2}x",
+            id.short_name(),
+            spec.footprint_ways(&config),
+            mpka,
+            cpa_private / cpa_full
+        );
+    }
+    Ok(())
+}
+
+fn profile_conditions(
+    pair: (BenchmarkId, BenchmarkId),
+    n: usize,
+    seed: u64,
+) -> ProfileSet {
+    let mut rng = Rng64::new(seed);
+    let mut set = ProfileSet::new();
+    for i in 0..n {
+        let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
+        eprintln!(
+            "  [{}/{}] util=({:.2},{:.2}) T=({:.2},{:.2})",
+            i + 1,
+            n,
+            condition.workloads[0].utilization,
+            condition.workloads[1].utilization,
+            condition.workloads[0].timeout_ratio,
+            condition.workloads[1].timeout_ratio
+        );
+        let spec = ExperimentSpec {
+            measured_queries: 200,
+            warmup_queries: 30,
+            accesses_per_query: Some(1500),
+            ..ExperimentSpec::standard(condition.clone(), seed ^ ((i as u64) << 16))
+        };
+        let out = TestEnvironment::new(spec).run();
+        for (j, w) in out.workloads.iter().enumerate() {
+            set.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+        }
+    }
+    set
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let pair = parse_pair(args.require("pair")?)?;
+    let n: usize = args.get_parsed("n", 10usize)?;
+    let seed: u64 = args.get_parsed("seed", 2022u64)?;
+    let out: PathBuf = PathBuf::from(args.get("o").or(args.get("out")).unwrap_or("profiles.stca"));
+    eprintln!("profiling {}({}) over {n} conditions...", pair.0, pair.1);
+    let set = profile_conditions(pair, n, seed);
+    storage::save(&set, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} profile rows to {}", set.len(), out.display());
+    Ok(())
+}
+
+fn load_profiles(args: &Args) -> Result<ProfileSet, String> {
+    let path = PathBuf::from(args.require("profiles")?);
+    let set = storage::load(&path).map_err(|e| e.to_string())?;
+    if set.is_empty() {
+        return Err("profile file holds no rows".into());
+    }
+    eprintln!("loaded {} profile rows from {}", set.len(), path.display());
+    Ok(set)
+}
+
+fn train(set: &ProfileSet, seed: u64) -> Predictor {
+    let config = if set.len() >= 30 {
+        ModelConfig::standard(seed)
+    } else {
+        ModelConfig::quick(seed)
+    };
+    Predictor::train(set, &config)
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let pair = parse_pair(args.require("pair")?)?;
+    let util: f64 = args.require("util")?.parse().map_err(|e| format!("bad --util: {e}"))?;
+    let timeouts = args.require("timeouts")?;
+    let (ta, tb) = timeouts
+        .split_once(',')
+        .ok_or_else(|| format!("expected TA,TB, got {timeouts:?}"))?;
+    let (ta, tb): (f64, f64) = (
+        ta.parse().map_err(|e| format!("bad timeout: {e}"))?,
+        tb.parse().map_err(|e| format!("bad timeout: {e}"))?,
+    );
+    let seed: u64 = args.get_parsed("seed", 7u64)?;
+    let profiles = load_profiles(args)?;
+    let predictor = train(&profiles, seed);
+    // ground the candidate on the nearest profiled condition via the explorer
+    let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, util);
+    let (pa, pb) = explorer.predict_point(ta, tb);
+    let es_a = WorkloadSpec::for_benchmark(pair.0).mean_service_time;
+    let es_b = WorkloadSpec::for_benchmark(pair.1).mean_service_time;
+    println!("predicted p95 response at util {util:.2}, T=({ta:.2},{tb:.2}):");
+    println!("  {:>8}: {:.4}s ({:.2}x expected service)", pair.0.short_name(), pa * es_a, pa);
+    println!("  {:>8}: {:.4}s ({:.2}x expected service)", pair.1.short_name(), pb * es_b, pb);
+    Ok(())
+}
+
+fn cmd_explore(args: &Args) -> Result<(), String> {
+    let pair = parse_pair(args.require("pair")?)?;
+    let util: f64 = args.get_parsed("util", 0.9f64)?;
+    let seed: u64 = args.get_parsed("seed", 7u64)?;
+    let profiles = load_profiles(args)?;
+    let predictor = train(&profiles, seed);
+    let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, util);
+    let result = explorer.explore();
+    println!("predicted normalized p95 grid (rows: T_{}, cols: T_{}):", pair.0, pair.1);
+    print!("{:>8}", "");
+    for t in stca_core::explorer::TIMEOUT_GRID {
+        print!("{t:>12.2}");
+    }
+    println!();
+    for (i, row) in result.grid.iter().enumerate() {
+        print!("{:>8.2}", stca_core::explorer::TIMEOUT_GRID[i]);
+        for (a, b) in row {
+            print!("{:>12}", format!("{a:.1}/{b:.1}"));
+        }
+        println!();
+    }
+    println!(
+        "\nchosen: T_{} = {:.2}, T_{} = {:.2} (SLO intersection: {})",
+        pair.0, result.timeout_a, pair.1, result.timeout_b, result.intersected
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "characterize" => cmd_characterize(&args),
+        "profile" => cmd_profile(&args),
+        "predict" => cmd_predict(&args),
+        "explore" => cmd_explore(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

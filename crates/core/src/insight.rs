@@ -1,0 +1,190 @@
+//! Concept-space clustering — the §5.2 insight analysis.
+//!
+//! The paper's final experiment clusters workload conditions by the
+//! *concepts* the deep forest learned and finds a complex interaction
+//! between arrival rate, service time and timeout that clustering the raw
+//! hardware counters alone does not reveal. This module reproduces both
+//! clusterings and quantifies how well each separates conditions by their
+//! effective allocation.
+
+use crate::predictor::Predictor;
+use stca_profiler::profile::ProfileSet;
+use stca_util::kmeans::kmeans;
+use stca_util::{OnlineStats, Rng64};
+
+/// One cluster's summary statistics over the conditions assigned to it.
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Conditions in the cluster.
+    pub size: usize,
+    /// Mean utilization of members.
+    pub mean_utilization: f64,
+    /// Mean timeout ratio of members.
+    pub mean_timeout: f64,
+    /// Mean effective allocation of members.
+    pub mean_ea: f64,
+    /// EA standard deviation within the cluster (lower = the clustering
+    /// separates EA regimes better).
+    pub ea_std: f64,
+}
+
+/// Result of clustering a profile set.
+#[derive(Debug, Clone)]
+pub struct ClusterAnalysis {
+    /// Cluster assignment per profile row.
+    pub assignment: Vec<usize>,
+    /// Per-cluster summaries.
+    pub clusters: Vec<ClusterSummary>,
+}
+
+impl ClusterAnalysis {
+    /// Mean within-cluster EA standard deviation, weighted by cluster size.
+    /// The paper's qualitative claim — concept clusters align with EA
+    /// regimes, counter clusters do not — shows up as a lower value here
+    /// for concept-space clustering.
+    pub fn weighted_ea_dispersion(&self) -> f64 {
+        let total: usize = self.clusters.iter().map(|c| c.size).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.clusters
+            .iter()
+            .map(|c| c.ea_std * c.size as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+fn summarize(profiles: &ProfileSet, assignment: &[usize], k: usize) -> ClusterAnalysis {
+    let mut clusters = Vec::with_capacity(k);
+    for c in 0..k {
+        let members: Vec<usize> =
+            (0..assignment.len()).filter(|&i| assignment[i] == c).collect();
+        let mut util = OnlineStats::new();
+        let mut timeout = OnlineStats::new();
+        let mut ea = OnlineStats::new();
+        for &i in &members {
+            let r = &profiles.rows[i];
+            util.push(r.static_features[0]);
+            timeout.push(r.static_features[1]);
+            ea.push(r.ea);
+        }
+        clusters.push(ClusterSummary {
+            size: members.len(),
+            mean_utilization: util.mean(),
+            mean_timeout: timeout.mean(),
+            mean_ea: ea.mean(),
+            ea_std: ea.std_dev(),
+        });
+    }
+    ClusterAnalysis { assignment: assignment.to_vec(), clusters }
+}
+
+fn normalize_columns(points: &mut [Vec<f64>]) {
+    if points.is_empty() {
+        return;
+    }
+    let dims = points[0].len();
+    for d in 0..dims {
+        let mut stats = OnlineStats::new();
+        for p in points.iter() {
+            stats.push(p[d]);
+        }
+        let (mean, std) = (stats.mean(), stats.std_dev().max(1e-12));
+        for p in points.iter_mut() {
+            p[d] = (p[d] - mean) / std;
+        }
+    }
+}
+
+/// Cluster profile rows by the deep forest's learned concepts.
+pub fn cluster_by_concepts(
+    predictor: &Predictor,
+    profiles: &ProfileSet,
+    k: usize,
+    rng: &mut Rng64,
+) -> ClusterAnalysis {
+    let mut points: Vec<Vec<f64>> =
+        profiles.rows.iter().map(|r| predictor.concepts(r)).collect();
+    normalize_columns(&mut points);
+    let res = kmeans(&points, k, 100, rng);
+    summarize(profiles, &res.assignment, res.centroids.len())
+}
+
+/// Cluster profile rows by the raw hardware-counter trace alone (the
+/// comparison the paper draws: counters without learned concepts miss the
+/// arrival/service/timeout interaction).
+pub fn cluster_by_counters(
+    profiles: &ProfileSet,
+    k: usize,
+    rng: &mut Rng64,
+) -> ClusterAnalysis {
+    let mut points: Vec<Vec<f64>> = profiles
+        .rows
+        .iter()
+        .map(|r| {
+            // per-counter means over the trace window (29 features)
+            (0..r.trace.rows())
+                .map(|row| {
+                    let vals = r.trace.row(row);
+                    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+                })
+                .collect()
+        })
+        .collect();
+    normalize_columns(&mut points);
+    let res = kmeans(&points, k, 100, rng);
+    summarize(profiles, &res.assignment, res.centroids.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::ModelConfig;
+    use crate::Predictor;
+    use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
+    use stca_profiler::profile::ProfileRow;
+    use stca_profiler::sampler::CounterOrdering;
+    use stca_workloads::{BenchmarkId, RuntimeCondition};
+
+    fn fixture() -> (ProfileSet, Predictor) {
+        let mut rng = Rng64::new(5);
+        let mut set = ProfileSet::new();
+        for i in 0..6 {
+            let cond =
+                RuntimeCondition::random_pair(BenchmarkId::Kmeans, BenchmarkId::Redis, &mut rng);
+            let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), 900 + i)).run();
+            for (j, w) in out.workloads.iter().enumerate() {
+                set.push(ProfileRow::from_outcome(&cond, j, w, CounterOrdering::Grouped));
+            }
+        }
+        let p = Predictor::train(&set, &ModelConfig::quick(6));
+        (set, p)
+    }
+
+    #[test]
+    fn both_clusterings_partition_all_rows() {
+        let (profiles, predictor) = fixture();
+        let mut rng = Rng64::new(7);
+        let by_c = cluster_by_concepts(&predictor, &profiles, 3, &mut rng);
+        let by_h = cluster_by_counters(&profiles, 3, &mut rng);
+        assert_eq!(by_c.assignment.len(), profiles.len());
+        assert_eq!(by_h.assignment.len(), profiles.len());
+        assert_eq!(by_c.clusters.iter().map(|c| c.size).sum::<usize>(), profiles.len());
+        assert_eq!(by_h.clusters.iter().map(|c| c.size).sum::<usize>(), profiles.len());
+    }
+
+    #[test]
+    fn summaries_carry_finite_stats() {
+        let (profiles, predictor) = fixture();
+        let mut rng = Rng64::new(8);
+        let a = cluster_by_concepts(&predictor, &profiles, 2, &mut rng);
+        for c in &a.clusters {
+            if c.size > 0 {
+                assert!(c.mean_ea.is_finite());
+                assert!(c.mean_utilization >= 0.25 && c.mean_utilization <= 0.95);
+            }
+        }
+        assert!(a.weighted_ea_dispersion().is_finite());
+    }
+}

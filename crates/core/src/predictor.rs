@@ -1,0 +1,303 @@
+//! The Stage 1→2→3 response-time predictor.
+//!
+//! Training consumes Eq.-2 profile rows. Two deep forests are fitted: one
+//! for **effective cache allocation** (the paper's key intermediate metric —
+//! learnable from few profiles and stable across conditions) and one for
+//! **base service time** under the condition's contention (normalized by
+//! the workload's expected service time). Prediction assembles the Stage-3
+//! queueing simulation from those two quantities:
+//!
+//! ```text
+//! boost_rate  = EA x (l_a'/l_a)
+//! service     = demand shape scaled to (predicted base service)
+//! arrivals    = Poisson at the condition's utilization
+//! response    = G/G/2 + STAP discrete-event simulation
+//! ```
+//!
+//! As in the paper's evaluation, the *inputs* at prediction time are the
+//! observable profile features of the target condition (runtime conditions
+//! and sampled counters); its measured response times are never seen.
+
+use stca_deepforest::{DeepForest, DeepForestConfig, Sample};
+use stca_profiler::profile::{ProfileRow, ProfileSet, Target};
+use stca_queuesim::{QueueSim, StationConfig};
+use stca_util::Seconds;
+use stca_workloads::{BenchmarkId, WorkloadSpec};
+
+/// Predictor hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Deep-forest configuration for the EA model.
+    pub ea_forest: DeepForestConfig,
+    /// Deep-forest configuration for the base-service model (usually a
+    /// lighter cascade; the target is smoother).
+    pub service_forest: DeepForestConfig,
+    /// Queries simulated per Stage-3 prediction.
+    pub sim_queries: usize,
+    /// Stage-3 simulation seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        // base service is predictable from scalars + raw trace: no MGS
+        let service = DeepForestConfig { mgs: None, ..DeepForestConfig::default() };
+        ModelConfig {
+            ea_forest: DeepForestConfig::default(),
+            service_forest: service,
+            sim_queries: 3000,
+            seed: 0x57A6E3,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A mid-sized configuration for the figure harnesses: close to the
+    /// paper's shape (multi-window MGS, multi-level cascade) at a tree
+    /// count that trains in seconds on a few hundred profiles.
+    pub fn standard(seed: u64) -> Self {
+        use stca_deepforest::{CascadeConfig, MgsConfig};
+        let cascade =
+            CascadeConfig { levels: 3, forests_per_level: 4, trees_per_forest: 40, folds: 3 };
+        let mgs = MgsConfig {
+            window_sizes: vec![5, 10, 15],
+            stride: 2,
+            trees_per_window: 25,
+            max_positions_per_sample: 40,
+        };
+        ModelConfig {
+            ea_forest: DeepForestConfig {
+                mgs: Some(mgs),
+                cascade,
+                include_raw_trace: true,
+                seed,
+            },
+            service_forest: DeepForestConfig {
+                mgs: None,
+                cascade,
+                include_raw_trace: true,
+                seed: seed ^ 0x5E41,
+            },
+            sim_queries: 2500,
+            seed,
+        }
+    }
+
+    /// The "simple ML" configuration of Figure 8e: no multi-grain scanning
+    /// and a single cascade level — effectively a plain random forest over
+    /// the flattened profile features, still feeding the Stage-3 queueing
+    /// conversion.
+    pub fn simple_ml(seed: u64) -> Self {
+        use stca_deepforest::CascadeConfig;
+        let cascade =
+            CascadeConfig { levels: 1, forests_per_level: 2, trees_per_forest: 40, folds: 3 };
+        ModelConfig {
+            ea_forest: DeepForestConfig {
+                mgs: None,
+                cascade,
+                include_raw_trace: true,
+                seed,
+            },
+            service_forest: DeepForestConfig {
+                mgs: None,
+                cascade,
+                include_raw_trace: true,
+                seed: seed ^ 0x5E41,
+            },
+            sim_queries: 2500,
+            seed,
+        }
+    }
+
+    /// A fast configuration for tests and quick experiments.
+    pub fn quick(seed: u64) -> Self {
+        use stca_deepforest::{CascadeConfig, MgsConfig};
+        let cascade = CascadeConfig { levels: 2, forests_per_level: 2, trees_per_forest: 12, folds: 3 };
+        let mgs = MgsConfig {
+            window_sizes: vec![5, 10],
+            stride: 3,
+            trees_per_window: 10,
+            max_positions_per_sample: 24,
+        };
+        ModelConfig {
+            ea_forest: DeepForestConfig {
+                mgs: Some(mgs),
+                cascade,
+                include_raw_trace: true,
+                seed,
+            },
+            service_forest: DeepForestConfig {
+                mgs: None,
+                cascade,
+                include_raw_trace: true,
+                seed: seed ^ 0x5E41,
+            },
+            sim_queries: 1200,
+            seed,
+        }
+    }
+}
+
+/// Response-time prediction for one condition.
+#[derive(Debug, Clone)]
+pub struct ResponsePrediction {
+    /// Predicted effective cache allocation.
+    pub ea: f64,
+    /// Predicted base (unboosted) mean service time, seconds.
+    pub base_service: Seconds,
+    /// Predicted mean response time, seconds.
+    pub mean_response: Seconds,
+    /// Predicted median response time.
+    pub median_response: Seconds,
+    /// Predicted p95 response time.
+    pub p95_response: Seconds,
+    /// Boost rate handed to the Stage-3 simulator.
+    pub boost_rate: f64,
+}
+
+/// The trained predictor.
+pub struct Predictor {
+    ea_model: DeepForest,
+    service_model: DeepForest,
+    config: ModelConfig,
+}
+
+fn to_sample(row: &ProfileRow) -> Sample {
+    Sample { scalars: row.scalar_features(), trace: row.trace.clone() }
+}
+
+impl Predictor {
+    /// Train on a profile set (Stage 2).
+    pub fn train(profiles: &ProfileSet, config: &ModelConfig) -> Predictor {
+        assert!(!profiles.is_empty(), "cannot train on an empty profile set");
+        let samples: Vec<Sample> = profiles.rows.iter().map(to_sample).collect();
+        let ea: Vec<f64> = profiles.rows.iter().map(|r| Target::Ea.of(r)).collect();
+        let service: Vec<f64> =
+            profiles.rows.iter().map(|r| Target::BaseService.of(r)).collect();
+        Predictor {
+            ea_model: DeepForest::fit(&samples, &ea, &config.ea_forest),
+            service_model: DeepForest::fit(&samples, &service, &config.service_forest),
+            config: config.clone(),
+        }
+    }
+
+    /// Predict effective cache allocation for a profile row.
+    pub fn predict_ea(&self, row: &ProfileRow) -> f64 {
+        self.ea_model.predict(&to_sample(row)).clamp(0.01, 2.0)
+    }
+
+    /// Predict normalized base service time for a profile row.
+    pub fn predict_base_service_norm(&self, row: &ProfileRow) -> f64 {
+        self.service_model.predict(&to_sample(row)).clamp(0.05, 20.0)
+    }
+
+    /// Full Stage-3 prediction of the response-time distribution for the
+    /// workload described by `row` (which benchmark it is tells the model
+    /// the service-time scale and demand shape).
+    pub fn predict_response(&self, row: &ProfileRow, benchmark: BenchmarkId) -> ResponsePrediction {
+        let spec = WorkloadSpec::for_benchmark(benchmark);
+        let ea = self.predict_ea(row);
+        let base_norm = self.predict_base_service_norm(row);
+        let base_service = base_norm * spec.mean_service_time;
+        let utilization = row.static_features[0];
+        let timeout_ratio = row.static_features[1];
+        let boost_rate = stca_profiler::ea::boost_rate_from_ea(ea, row.allocation_ratio);
+        let servers = 2;
+        let station = StationConfig {
+            inter_arrival: stca_util::Distribution::Exponential {
+                // open-loop rate is set by the *expected* service time, as
+                // in the test environment
+                mean: spec.mean_service_time / (utilization * servers as f64),
+            },
+            service: spec.demand.scaled(base_service),
+            expected_service: spec.mean_service_time,
+            timeout_ratio,
+            boost_rate,
+            servers,
+            shared_boost: true,
+            measured_queries: self.config.sim_queries,
+            warmup_queries: self.config.sim_queries / 10,
+        };
+        let result = QueueSim::new(station, self.config.seed).run();
+        ResponsePrediction {
+            ea,
+            base_service,
+            mean_response: result.mean_response(),
+            median_response: result.median_response(),
+            p95_response: result.p95_response(),
+            boost_rate,
+        }
+    }
+
+    /// Access the trained EA deep forest (concept extraction, §5.2).
+    pub fn ea_model(&self) -> &DeepForest {
+        &self.ea_model
+    }
+
+    /// Concept vector of a profile row under the EA model.
+    pub fn concepts(&self, row: &ProfileRow) -> Vec<f64> {
+        self.ea_model.concepts(&to_sample(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
+    use stca_profiler::profile::ProfileRow;
+    use stca_profiler::sampler::CounterOrdering;
+    use stca_util::Rng64;
+    use stca_workloads::RuntimeCondition;
+
+    /// Build a small profile set from real quick experiments.
+    fn small_profiles(n: usize, seed: u64) -> (ProfileSet, Vec<BenchmarkId>) {
+        let mut rng = Rng64::new(seed);
+        let mut set = ProfileSet::new();
+        let mut benchmarks = Vec::new();
+        for i in 0..n {
+            let cond = RuntimeCondition::random_pair(BenchmarkId::Kmeans, BenchmarkId::Bfs, &mut rng);
+            let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), seed ^ i as u64))
+                .run();
+            for (j, w) in out.workloads.iter().enumerate() {
+                set.push(ProfileRow::from_outcome(&cond, j, w, CounterOrdering::Grouped));
+                benchmarks.push(w.benchmark);
+            }
+        }
+        (set, benchmarks)
+    }
+
+    #[test]
+    fn train_and_predict_end_to_end() {
+        let (profiles, benchmarks) = small_profiles(6, 42);
+        let predictor = Predictor::train(&profiles, &ModelConfig::quick(1));
+        let row = &profiles.rows[0];
+        let pred = predictor.predict_response(row, benchmarks[0]);
+        assert!(pred.ea > 0.0 && pred.ea <= 2.0);
+        assert!(pred.mean_response > 0.0);
+        assert!(pred.p95_response >= pred.median_response);
+        assert!(pred.base_service > 0.0);
+    }
+
+    #[test]
+    fn predictions_track_targets_on_training_data() {
+        let (profiles, _) = small_profiles(8, 7);
+        let predictor = Predictor::train(&profiles, &ModelConfig::quick(2));
+        // in-sample EA predictions should correlate with labels (loose:
+        // deep forest is regularized via out-of-fold concepts)
+        let mut err = 0.0;
+        for row in &profiles.rows {
+            err += (predictor.predict_ea(row) - row.ea).abs();
+        }
+        let mean_err = err / profiles.rows.len() as f64;
+        assert!(mean_err < 0.3, "mean in-sample EA error {mean_err}");
+    }
+
+    #[test]
+    fn concepts_are_extractable() {
+        let (profiles, _) = small_profiles(4, 9);
+        let predictor = Predictor::train(&profiles, &ModelConfig::quick(3));
+        let c = predictor.concepts(&profiles.rows[0]);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|v| v.is_finite()));
+    }
+}

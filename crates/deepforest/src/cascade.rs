@@ -1,0 +1,211 @@
+//! Cascaded forest levels — the deep-learning half of deep forests.
+//!
+//! Each level is an ensemble of forests (half random, half completely
+//! random, for diversity). A level's per-forest predictions are the
+//! *concepts* §3.2 describes: they are appended to the feature vector and
+//! passed to the next level, so later levels reason over both raw features
+//! and earlier abstractions. Concept columns used during training are
+//! generated **out-of-fold** (3-fold cross-fitting), the standard gcForest
+//! device that keeps a level from simply memorizing its own training
+//! predictions.
+
+use crate::forest::{Forest, ForestConfig};
+use stca_util::{Matrix, Rng64};
+
+/// Cascade hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeConfig {
+    /// Number of cascade levels (the paper uses 4).
+    pub levels: usize,
+    /// Forests per level (the paper uses 4: 2 random + 2 completely
+    /// random). Rounded up to an even number.
+    pub forests_per_level: usize,
+    /// Trees per forest (the paper's "estimators", 100).
+    pub trees_per_forest: usize,
+    /// Folds for out-of-fold concept generation.
+    pub folds: usize,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig { levels: 3, forests_per_level: 4, trees_per_forest: 40, folds: 3 }
+    }
+}
+
+impl CascadeConfig {
+    /// The paper's setting: 4 levels x 4 forests x 100 estimators.
+    pub fn paper() -> Self {
+        CascadeConfig { levels: 4, forests_per_level: 4, trees_per_forest: 100, folds: 3 }
+    }
+}
+
+/// A fitted cascade.
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    levels: Vec<Vec<Forest>>,
+}
+
+fn forest_config(slot: usize, config: &CascadeConfig) -> ForestConfig {
+    if slot.is_multiple_of(2) {
+        ForestConfig::random(config.trees_per_forest)
+    } else {
+        ForestConfig::completely_random(config.trees_per_forest)
+    }
+}
+
+impl Cascade {
+    /// Fit the cascade on a design matrix.
+    pub fn fit(x: &Matrix, y: &[f64], config: CascadeConfig, rng: &mut Rng64) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert!(x.rows() >= 2, "cascade needs at least two samples");
+        let n = x.rows();
+        let forests_per_level = (config.forests_per_level.max(2) + 1) & !1; // even, >= 2
+        let folds = config.folds.clamp(2, n);
+
+        // fold assignment, fixed across levels
+        let mut fold_of: Vec<usize> = (0..n).map(|i| i % folds).collect();
+        rng.shuffle(&mut fold_of);
+
+        let mut augmented = x.clone();
+        let mut levels: Vec<Vec<Forest>> = Vec::with_capacity(config.levels);
+        for level in 0..config.levels {
+            let mut level_forests = Vec::with_capacity(forests_per_level);
+            let mut concepts = Matrix::zeros(n, forests_per_level);
+            for slot in 0..forests_per_level {
+                let fc = forest_config(slot, &config);
+                // out-of-fold concept column
+                for fold in 0..folds {
+                    let train_idx: Vec<usize> =
+                        (0..n).filter(|&i| fold_of[i] != fold).collect();
+                    let test_idx: Vec<usize> = (0..n).filter(|&i| fold_of[i] == fold).collect();
+                    if train_idx.is_empty() || test_idx.is_empty() {
+                        continue;
+                    }
+                    let xs = augmented.select_rows(&train_idx);
+                    let ys: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
+                    let mut frng =
+                        rng.derive_stream((level as u64) << 24 | (slot as u64) << 8 | fold as u64);
+                    let f = Forest::fit(&xs, &ys, fc, &mut frng);
+                    for &i in &test_idx {
+                        concepts[(i, slot)] = f.predict(augmented.row(i));
+                    }
+                }
+                // full-data forest kept for inference
+                let mut frng =
+                    rng.derive_stream(0xFFFF_0000 | (level as u64) << 8 | slot as u64);
+                level_forests.push(Forest::fit(&augmented, y, fc, &mut frng));
+            }
+            augmented = augmented.hcat(&concepts);
+            levels.push(level_forests);
+        }
+        Cascade { levels }
+    }
+
+    /// Predict one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let concepts = self.concept_trajectory(features);
+        let last = concepts.last().expect("cascade has at least one level");
+        last.iter().sum::<f64>() / last.len() as f64
+    }
+
+    /// Per-level concept vectors for one input — the learned abstractions
+    /// the paper clusters to gain system insight (§5.2).
+    pub fn concept_trajectory(&self, features: &[f64]) -> Vec<Vec<f64>> {
+        let mut augmented: Vec<f64> = features.to_vec();
+        let mut out = Vec::with_capacity(self.levels.len());
+        for level in &self.levels {
+            let concepts: Vec<f64> = level.iter().map(|f| f.predict(&augmented)).collect();
+            augmented.extend_from_slice(&concepts);
+            out.push(concepts);
+        }
+        out
+    }
+
+    /// All concepts flattened (one vector per input).
+    pub fn concept_vector(&self, features: &[f64]) -> Vec<f64> {
+        self.concept_trajectory(features).concat()
+    }
+
+    /// Level count.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish target that defeats single shallow trees but not a cascade.
+    fn xor_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            let noise: Vec<f64> = (0..4).map(|_| rng.next_f64()).collect();
+            let mut row = vec![a, b];
+            row.extend(noise);
+            x.push_row(&row);
+            y.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
+        }
+        (x, y)
+    }
+
+    fn small() -> CascadeConfig {
+        CascadeConfig { levels: 2, forests_per_level: 4, trees_per_forest: 15, folds: 3 }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data(300, 1);
+        let mut rng = Rng64::new(2);
+        let c = Cascade::fit(&x, &y, small(), &mut rng);
+        assert!(c.predict(&[0.9, 0.1, 0.5, 0.5, 0.5, 0.5]) > 0.6);
+        assert!(c.predict(&[0.9, 0.9, 0.5, 0.5, 0.5, 0.5]) < 0.4);
+        assert!(c.predict(&[0.1, 0.9, 0.5, 0.5, 0.5, 0.5]) > 0.6);
+        assert!(c.predict(&[0.1, 0.1, 0.5, 0.5, 0.5, 0.5]) < 0.4);
+    }
+
+    #[test]
+    fn concept_vector_shape() {
+        let (x, y) = xor_data(60, 3);
+        let mut rng = Rng64::new(4);
+        let c = Cascade::fit(&x, &y, small(), &mut rng);
+        let concepts = c.concept_vector(x.row(0));
+        assert_eq!(concepts.len(), 2 * 4, "levels x forests concepts");
+        let traj = c.concept_trajectory(x.row(0));
+        assert_eq!(traj.len(), 2);
+        assert_eq!(traj[0].len(), 4);
+    }
+
+    #[test]
+    fn forests_per_level_rounds_to_even() {
+        let (x, y) = xor_data(40, 5);
+        let mut rng = Rng64::new(6);
+        let cfg = CascadeConfig { forests_per_level: 3, ..small() };
+        let c = Cascade::fit(&x, &y, cfg, &mut rng);
+        assert_eq!(c.concept_trajectory(x.row(0))[0].len(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data(80, 7);
+        let mut r1 = Rng64::new(8);
+        let mut r2 = Rng64::new(8);
+        let c1 = Cascade::fit(&x, &y, small(), &mut r1);
+        let c2 = Cascade::fit(&x, &y, small(), &mut r2);
+        assert_eq!(c1.predict(x.row(3)), c2.predict(x.row(3)));
+    }
+
+    #[test]
+    fn tiny_dataset_does_not_panic() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = vec![0.0, 0.5, 1.0];
+        let mut rng = Rng64::new(9);
+        let c = Cascade::fit(&x, &y, small(), &mut rng);
+        let p = c.predict(&[1.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

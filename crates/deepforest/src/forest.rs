@@ -1,0 +1,213 @@
+//! Bagged forests of regression trees.
+//!
+//! Two kinds, per §4.1: *random forests* (√f best-split trees on bootstrap
+//! samples) and *completely-random forests* (random-split trees grown to
+//! purity). Cascade levels mix both kinds to keep the ensemble diverse.
+
+use crate::tree::{RegressionTree, SplitStrategy, TreeConfig};
+use stca_util::{Matrix, Rng64};
+
+/// Which forest flavour to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForestKind {
+    /// √f best-gain splits (classic random forest).
+    Random,
+    /// Random feature + random threshold, grown to purity.
+    CompletelyRandom,
+}
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Forest flavour.
+    pub kind: ForestKind,
+    /// Number of trees ("estimators" in the paper's Figure 7c ablation).
+    pub trees: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Maximum tree depth.
+    pub max_depth: u32,
+    /// Bootstrap-sample each tree's training set.
+    pub bootstrap: bool,
+}
+
+impl ForestConfig {
+    /// Default random forest with the given tree count.
+    pub fn random(trees: usize) -> Self {
+        ForestConfig {
+            kind: ForestKind::Random,
+            trees,
+            min_samples_leaf: 2,
+            max_depth: 32,
+            bootstrap: true,
+        }
+    }
+
+    /// Default completely-random forest with the given tree count.
+    pub fn completely_random(trees: usize) -> Self {
+        ForestConfig {
+            kind: ForestKind::CompletelyRandom,
+            trees,
+            min_samples_leaf: 2,
+            max_depth: 48,
+            bootstrap: true,
+        }
+    }
+
+    fn tree_config(&self) -> TreeConfig {
+        TreeConfig {
+            strategy: match self.kind {
+                ForestKind::Random => SplitStrategy::BestOfSqrt,
+                ForestKind::CompletelyRandom => SplitStrategy::CompletelyRandom,
+            },
+            min_samples_leaf: self.min_samples_leaf,
+            max_depth: self.max_depth,
+        }
+    }
+}
+
+/// A fitted forest.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    trees: Vec<RegressionTree>,
+}
+
+impl Forest {
+    /// Fit a forest on `(x, y)`.
+    pub fn fit(x: &Matrix, y: &[f64], config: ForestConfig, rng: &mut Rng64) -> Self {
+        assert!(config.trees >= 1);
+        assert_eq!(x.rows(), y.len());
+        assert!(x.rows() > 0, "empty training set");
+        let n = x.rows();
+        let tree_config = config.tree_config();
+        let trees = (0..config.trees)
+            .map(|t| {
+                let mut tree_rng = rng.derive_stream(0xF0 + t as u64);
+                let idx: Vec<usize> = if config.bootstrap {
+                    (0..n).map(|_| tree_rng.next_index(n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                RegressionTree::fit_indices(x, y, &idx, tree_config, &mut tree_rng)
+            })
+            .collect();
+        Forest { trees }
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(features)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predict every row of a matrix.
+    pub fn predict_matrix(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Split-frequency feature importance: the fraction of all splits in
+    /// the forest that test each feature (sums to 1 for a non-stump
+    /// forest). Cheap, standard, and good enough to see which counters the
+    /// EA model leans on.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f64> {
+        let mut counts = vec![0u64; n_features];
+        for t in &self.trees {
+            t.count_feature_splits(&mut counts);
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; n_features];
+        }
+        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_plane(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        // y = 2 x0 - x1 + noise
+        let mut rng = Rng64::new(seed);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            x.push_row(&[a, b, rng.next_f64()]);
+            y.push(2.0 * a - b + rng.next_gaussian() * 0.05);
+        }
+        (x, y)
+    }
+
+    fn mse(forest: &Forest, x: &Matrix, y: &[f64]) -> f64 {
+        let pred = forest.predict_matrix(x);
+        pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64
+    }
+
+    #[test]
+    fn random_forest_fits_plane() {
+        let (x, y) = noisy_plane(400, 1);
+        let (xt, yt) = noisy_plane(100, 2);
+        let mut rng = Rng64::new(3);
+        let f = Forest::fit(&x, &y, ForestConfig::random(40), &mut rng);
+        let err = mse(&f, &xt, &yt);
+        assert!(err < 0.05, "test MSE {err}");
+    }
+
+    #[test]
+    fn completely_random_forest_fits_too() {
+        let (x, y) = noisy_plane(400, 4);
+        let (xt, yt) = noisy_plane(100, 5);
+        let mut rng = Rng64::new(6);
+        let f = Forest::fit(&x, &y, ForestConfig::completely_random(60), &mut rng);
+        let err = mse(&f, &xt, &yt);
+        assert!(err < 0.1, "test MSE {err}");
+    }
+
+    #[test]
+    fn more_trees_reduce_variance() {
+        let (x, y) = noisy_plane(200, 7);
+        let (xt, yt) = noisy_plane(200, 8);
+        let mut r1 = Rng64::new(9);
+        let mut r2 = Rng64::new(9);
+        let small = Forest::fit(&x, &y, ForestConfig::random(2), &mut r1);
+        let big = Forest::fit(&x, &y, ForestConfig::random(60), &mut r2);
+        assert!(mse(&big, &xt, &yt) < mse(&small, &xt, &yt) * 1.2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_plane(100, 10);
+        let mut r1 = Rng64::new(11);
+        let mut r2 = Rng64::new(11);
+        let f1 = Forest::fit(&x, &y, ForestConfig::random(10), &mut r1);
+        let f2 = Forest::fit(&x, &y, ForestConfig::random(10), &mut r2);
+        assert_eq!(f1.predict(&[0.3, 0.7, 0.1]), f2.predict(&[0.3, 0.7, 0.1]));
+    }
+
+    #[test]
+    fn feature_importance_finds_signal() {
+        let (x, y) = noisy_plane(300, 20);
+        let mut rng = Rng64::new(21);
+        let f = Forest::fit(&x, &y, ForestConfig::random(30), &mut rng);
+        let imp = f.feature_importance(3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // features 0 and 1 carry the plane; feature 2 is noise
+        assert!(imp[0] > imp[2], "{imp:?}");
+        assert!(imp[1] > imp[2], "{imp:?}");
+    }
+
+    #[test]
+    fn single_sample_forest() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let y = vec![7.0];
+        let mut rng = Rng64::new(12);
+        let f = Forest::fit(&x, &y, ForestConfig::random(5), &mut rng);
+        assert_eq!(f.predict(&[0.0, 0.0]), 7.0);
+    }
+}

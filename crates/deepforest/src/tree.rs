@@ -1,0 +1,419 @@
+//! CART regression trees, in the two flavours deep forests mix.
+//!
+//! *Random-forest* trees examine a random √f subset of features at each node
+//! and take the best variance-reducing split. *Completely-random* trees pick
+//! one random feature and a random threshold between that feature's min and
+//! max at the node, splitting until leaves are pure (or a sample floor is
+//! hit) — the diversity source §4.1 describes.
+
+use stca_util::{Matrix, Rng64};
+
+/// How a tree chooses its splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Try `ceil(sqrt(f))` random features, take the best SSE-reducing
+    /// threshold among them.
+    BestOfSqrt,
+    /// Try every feature (classic CART; used by small baselines).
+    BestOfAll,
+    /// One random feature, one uniform-random threshold (completely-random
+    /// trees).
+    CompletelyRandom,
+}
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Split strategy.
+    pub strategy: SplitStrategy,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Maximum depth (u32::MAX = grow to purity).
+    pub max_depth: u32,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { strategy: SplitStrategy::BestOfSqrt, min_samples_leaf: 2, max_depth: 32 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+    Leaf { value: f64 },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    rng: Rng64,
+}
+
+impl<'a> Builder<'a> {
+    fn leaf_value(&self, idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| self.y[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    fn is_pure(&self, idx: &[usize]) -> bool {
+        let first = self.y[idx[0]];
+        idx.iter().all(|&i| (self.y[i] - first).abs() < 1e-12)
+    }
+
+    /// Best (threshold, sse) for one feature over the node's samples, or
+    /// None when the feature is constant.
+    fn best_threshold(&self, feature: usize, idx: &[usize]) -> Option<(f64, f64)> {
+        let mut pairs: Vec<(f64, f64)> =
+            idx.iter().map(|&i| (self.x[(i, feature)], self.y[i])).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        if pairs[0].0 == pairs[pairs.len() - 1].0 {
+            return None;
+        }
+        let n = pairs.len();
+        let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
+        let total_sq: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+        let min_leaf = self.config.min_samples_leaf;
+        let mut best: Option<(f64, f64)> = None;
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for i in 0..n - 1 {
+            left_sum += pairs[i].1;
+            left_sq += pairs[i].1 * pairs[i].1;
+            // can't split between equal feature values
+            if pairs[i].0 == pairs[i + 1].0 {
+                continue;
+            }
+            let nl = i + 1;
+            let nr = n - nl;
+            if nl < min_leaf || nr < min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl as f64)
+                + (right_sq - right_sum * right_sum / nr as f64);
+            let threshold = 0.5 * (pairs[i].0 + pairs[i + 1].0);
+            match best {
+                Some((_, b)) if b <= sse => {}
+                _ => best = Some((threshold, sse)),
+            }
+        }
+        best
+    }
+
+    fn completely_random_split(&mut self, idx: &[usize]) -> Option<(usize, f64)> {
+        let f = self.x.cols();
+        // try a handful of random features before giving up on constants
+        for _ in 0..8 {
+            let feature = self.rng.next_index(f);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in idx {
+                let v = self.x[(i, feature)];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                let t = self.rng.next_range(lo, hi);
+                // guarantee a non-degenerate partition
+                let (mut nl, mut nr) = (0, 0);
+                for &i in idx {
+                    if self.x[(i, feature)] <= t {
+                        nl += 1;
+                    } else {
+                        nr += 1;
+                    }
+                }
+                if nl > 0 && nr > 0 {
+                    return Some((feature, t));
+                }
+            }
+        }
+        None
+    }
+
+    fn build(&mut self, idx: &mut Vec<usize>, depth: u32) -> u32 {
+        let node_id = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+        if idx.len() < 2 * self.config.min_samples_leaf
+            || depth >= self.config.max_depth
+            || self.is_pure(idx)
+        {
+            let v = self.leaf_value(idx);
+            self.nodes[node_id as usize] = Node::Leaf { value: v };
+            return node_id;
+        }
+        let split = match self.config.strategy {
+            SplitStrategy::CompletelyRandom => self.completely_random_split(idx),
+            SplitStrategy::BestOfSqrt | SplitStrategy::BestOfAll => {
+                let f = self.x.cols();
+                let tried: Vec<usize> = if self.config.strategy == SplitStrategy::BestOfAll {
+                    (0..f).collect()
+                } else {
+                    let k = (f as f64).sqrt().ceil() as usize;
+                    self.rng.sample_indices(f, k.clamp(1, f))
+                };
+                let mut best: Option<(usize, f64, f64)> = None;
+                for feat in tried {
+                    if let Some((t, sse)) = self.best_threshold(feat, idx) {
+                        match best {
+                            Some((_, _, b)) if b <= sse => {}
+                            _ => best = Some((feat, t, sse)),
+                        }
+                    }
+                }
+                best.map(|(feat, t, _)| (feat, t))
+            }
+        };
+        let Some((feature, threshold)) = split else {
+            let v = self.leaf_value(idx);
+            self.nodes[node_id as usize] = Node::Leaf { value: v };
+            return node_id;
+        };
+        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| self.x[(i, feature)] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            let v = self.leaf_value(idx);
+            self.nodes[node_id as usize] = Node::Leaf { value: v };
+            return node_id;
+        }
+        idx.clear();
+        idx.shrink_to_fit();
+        let left = self.build(&mut left_idx, depth + 1);
+        let right = self.build(&mut right_idx, depth + 1);
+        self.nodes[node_id as usize] = Node::Split { feature: feature as u32, threshold, left, right };
+        node_id
+    }
+}
+
+impl RegressionTree {
+    /// Fit a tree on rows `idx` of `(x, y)`.
+    pub fn fit_indices(
+        x: &Matrix,
+        y: &[f64],
+        idx: &[usize],
+        config: TreeConfig,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert!(!idx.is_empty(), "cannot fit a tree on no samples");
+        let mut b = Builder {
+            x,
+            y,
+            config,
+            nodes: Vec::new(),
+            rng: rng.derive_stream(0x7EE),
+        };
+        let mut root_idx = idx.to_vec();
+        b.build(&mut root_idx, 0);
+        RegressionTree { nodes: b.nodes }
+    }
+
+    /// Fit on all rows.
+    pub fn fit(x: &Matrix, y: &[f64], config: TreeConfig, rng: &mut Rng64) -> Self {
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        Self::fit_indices(x, y, &idx, config, rng)
+    }
+
+    /// Predict one feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (size diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accumulate per-feature split counts into `counts` (length must cover
+    /// every feature index the tree was trained on).
+    pub fn count_feature_splits(&self, counts: &mut [u64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, .. } = node {
+                counts[*feature as usize] += 1;
+            }
+        }
+    }
+
+    /// Maximum depth of the fitted tree.
+    pub fn depth(&self) -> u32 {
+        fn walk(nodes: &[Node], id: usize) -> u32 {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + walk(nodes, *left as usize).max(walk(nodes, *right as usize))
+                }
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data(n: usize) -> (Matrix, Vec<f64>) {
+        // y = 1 if x0 > 0.5 else 0; x1 is noise
+        let mut rng = Rng64::new(1);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            x.push_row(&[a, b]);
+            y.push(if a > 0.5 { 1.0 } else { 0.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let (x, y) = step_data(200);
+        let mut rng = Rng64::new(2);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig { strategy: SplitStrategy::BestOfAll, ..Default::default() },
+            &mut rng,
+        );
+        assert!(tree.predict(&[0.9, 0.5]) > 0.9);
+        assert!(tree.predict(&[0.1, 0.5]) < 0.1);
+    }
+
+    #[test]
+    fn pure_targets_make_single_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![5.0, 5.0, 5.0];
+        let mut rng = Rng64::new(3);
+        let tree = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[99.0]), 5.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        // noisy target keeps the tree splitting until the leaf floor stops it
+        let mut rng = Rng64::new(4);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..120 {
+            let a = rng.next_f64();
+            x.push_row(&[a, rng.next_f64()]);
+            y.push(a + rng.next_gaussian());
+        }
+        let small = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
+        let big = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig { min_samples_leaf: 25, ..Default::default() },
+            &mut rng,
+        );
+        assert!(
+            big.node_count() < small.node_count(),
+            "leaf floor must prune: {} vs {}",
+            big.node_count(),
+            small.node_count()
+        );
+    }
+
+    #[test]
+    fn max_depth_caps_tree() {
+        let (x, y) = step_data(300);
+        let mut rng = Rng64::new(5);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig { max_depth: 2, min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn completely_random_tree_still_learns_strong_signal() {
+        let (x, y) = step_data(400);
+        let mut rng = Rng64::new(6);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig {
+                strategy: SplitStrategy::CompletelyRandom,
+                min_samples_leaf: 2,
+                max_depth: u32::MAX,
+            },
+            &mut rng,
+        );
+        // grown to purity, training error is ~0 even with random splits
+        assert!(tree.predict(&[0.95, 0.2]) > 0.5);
+        assert!(tree.predict(&[0.05, 0.2]) < 0.5);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn constant_features_become_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]);
+        let y = vec![0.0, 1.0, 0.0, 1.0];
+        let mut rng = Rng64::new(7);
+        let tree = RegressionTree::fit(&x, &y, TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict(&[1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_counts_identify_informative_feature() {
+        let (x, y) = step_data(300);
+        let mut rng = Rng64::new(9);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig { strategy: SplitStrategy::BestOfAll, ..Default::default() },
+            &mut rng,
+        );
+        let mut counts = vec![0u64; 2];
+        tree.count_feature_splits(&mut counts);
+        assert!(counts[0] >= 1, "x0 carries the signal");
+        assert!(counts[0] >= counts[1]);
+    }
+
+    #[test]
+    fn fit_indices_uses_subset_only() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![100.0]]);
+        let y = vec![0.0, 1.0, 1000.0];
+        let mut rng = Rng64::new(8);
+        let tree = RegressionTree::fit_indices(
+            &x,
+            &y,
+            &[0, 1],
+            TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
+        // never saw row 2: prediction bounded by training targets
+        assert!(tree.predict(&[100.0]) <= 1.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! The CNN: conv(trace) -> ReLU -> flatten ++ scalars -> dense -> ReLU ->
+//! dropout -> dense(1), trained with mini-batch SGD + momentum on MSE.
+//!
+//! The convolution is the *first* layer, so backpropagation only needs
+//! kernel gradients (no input gradients), which keeps the implementation
+//! compact without losing any training fidelity.
+
+use stca_util::{Matrix, Rng64};
+
+/// Network hyperparameters (the dimensions the paper's TUNE search covers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Convolution kernel size (square, valid padding, stride 1).
+    pub kernel: usize,
+    /// Number of convolution filters.
+    pub filters: usize,
+    /// Hidden dense-layer width ("number of neurons").
+    pub hidden: usize,
+    /// Dropout probability on the hidden layer.
+    pub dropout: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// SGD momentum.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Weight-init / shuffling / dropout seed — vary this to reproduce the
+    /// run-to-run variance of Figure 5.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            kernel: 5,
+            filters: 4,
+            hidden: 32,
+            dropout: 0.1,
+            learning_rate: 0.01,
+            momentum: 0.9,
+            batch_size: 16,
+            epochs: 60,
+            seed: 1,
+        }
+    }
+}
+
+/// One training example.
+#[derive(Debug, Clone)]
+pub struct NnSample {
+    /// Scalar features.
+    pub scalars: Vec<f64>,
+    /// Trace matrix (single channel). May be `0 x 0`.
+    pub trace: Matrix,
+}
+
+struct Dense {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    vw: Vec<f64>,
+    vb: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Dense {
+    fn new(inputs: usize, outputs: usize, rng: &mut Rng64) -> Self {
+        let scale = (2.0 / inputs as f64).sqrt();
+        Dense {
+            w: (0..inputs * outputs).map(|_| rng.next_gaussian() * scale).collect(),
+            b: vec![0.0; outputs],
+            vw: vec![0.0; inputs * outputs],
+            vb: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Accumulate gradients for one example; returns dL/dx.
+    fn backward(
+        &self,
+        x: &[f64],
+        dy: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+    ) -> Vec<f64> {
+        let mut dx = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            let g = dy[o];
+            gb[o] += g;
+            let row = o * self.inputs;
+            for i in 0..self.inputs {
+                gw[row + i] += g * x[i];
+                dx[i] += g * self.w[row + i];
+            }
+        }
+        dx
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn apply(&mut self, gw: &[f64], gb: &[f64], lr: f64, momentum: f64, scale: f64) {
+        for i in 0..self.w.len() {
+            self.vw[i] = momentum * self.vw[i] - lr * gw[i] * scale;
+            self.w[i] += self.vw[i];
+        }
+        for i in 0..self.b.len() {
+            self.vb[i] = momentum * self.vb[i] - lr * gb[i] * scale;
+            self.b[i] += self.vb[i];
+        }
+    }
+}
+
+/// The fitted network.
+pub struct ConvNet {
+    config: NetConfig,
+    kernels: Vec<f64>, // filters x k x k
+    kernel_bias: Vec<f64>,
+    vk: Vec<f64>,
+    vkb: Vec<f64>,
+    d1: Dense,
+    d2: Dense,
+    trace_rows: usize,
+    trace_cols: usize,
+    scalar_dim: usize,
+    /// Mean training loss per epoch (diagnostics / Figure-5 training time).
+    pub loss_curve: Vec<f64>,
+}
+
+impl ConvNet {
+    fn conv_out_dims(&self) -> (usize, usize) {
+        let k = self.config.kernel.min(self.trace_rows).min(self.trace_cols).max(1);
+        (self.trace_rows + 1 - k, self.trace_cols + 1 - k)
+    }
+
+    fn effective_kernel(&self) -> usize {
+        self.config.kernel.min(self.trace_rows).min(self.trace_cols).max(1)
+    }
+
+    fn conv_forward(&self, trace: &Matrix, out: &mut Vec<f64>) {
+        let k = self.effective_kernel();
+        let (oh, ow) = self.conv_out_dims();
+        out.clear();
+        for f in 0..self.config.filters {
+            let kern = &self.kernels[f * k * k..(f + 1) * k * k];
+            for r in 0..oh {
+                for c in 0..ow {
+                    let mut acc = self.kernel_bias[f];
+                    for kr in 0..k {
+                        let row = trace.row(r + kr);
+                        for kc in 0..k {
+                            acc += kern[kr * k + kc] * row[c + kc];
+                        }
+                    }
+                    out.push(acc.max(0.0)); // fused ReLU
+                }
+            }
+        }
+    }
+
+    fn feature_dim(&self) -> usize {
+        let (oh, ow) = self.conv_out_dims();
+        let conv = if self.trace_rows > 0 && self.trace_cols > 0 {
+            self.config.filters * oh * ow
+        } else {
+            0
+        };
+        conv + self.scalar_dim
+    }
+
+    /// Train a network on `(samples, y)`.
+    pub fn fit(samples: &[NnSample], y: &[f64], config: NetConfig) -> Self {
+        assert_eq!(samples.len(), y.len());
+        assert!(!samples.is_empty());
+        let mut rng = Rng64::new(config.seed);
+        let trace_rows = samples[0].trace.rows();
+        let trace_cols = samples[0].trace.cols();
+        let scalar_dim = samples[0].scalars.len();
+        let k = config.kernel.min(trace_rows.max(1)).min(trace_cols.max(1)).max(1);
+        let kscale = (2.0 / (k * k) as f64).sqrt();
+        let mut net = ConvNet {
+            kernels: (0..config.filters * k * k)
+                .map(|_| rng.next_gaussian() * kscale)
+                .collect(),
+            kernel_bias: vec![0.0; config.filters],
+            vk: vec![0.0; config.filters * k * k],
+            vkb: vec![0.0; config.filters],
+            d1: Dense::new(0, 0, &mut rng), // placeholder, rebuilt below
+            d2: Dense::new(0, 0, &mut rng),
+            trace_rows,
+            trace_cols,
+            scalar_dim,
+            config,
+            loss_curve: Vec::new(),
+        };
+        let fdim = net.feature_dim();
+        net.d1 = Dense::new(fdim, config.hidden, &mut rng);
+        net.d2 = Dense::new(config.hidden, 1, &mut rng);
+
+        let n = samples.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut conv_buf = Vec::new();
+        let mut h_buf = Vec::new();
+        let mut o_buf = Vec::new();
+        for _epoch in 0..config.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(config.batch_size.max(1)) {
+                let kk = net.effective_kernel();
+                let mut gk = vec![0.0; net.kernels.len()];
+                let mut gkb = vec![0.0; net.kernel_bias.len()];
+                let mut gw1 = vec![0.0; net.d1.w.len()];
+                let mut gb1 = vec![0.0; net.d1.b.len()];
+                let mut gw2 = vec![0.0; net.d2.w.len()];
+                let mut gb2 = vec![0.0; net.d2.b.len()];
+                for &i in batch {
+                    let s = &samples[i];
+                    // ---- forward ----
+                    let mut features = Vec::with_capacity(fdim);
+                    if trace_rows > 0 && trace_cols > 0 {
+                        net.conv_forward(&s.trace, &mut conv_buf);
+                        features.extend_from_slice(&conv_buf);
+                    }
+                    features.extend_from_slice(&s.scalars);
+                    net.d1.forward(&features, &mut h_buf);
+                    let mut hidden: Vec<f64> = h_buf.iter().map(|&v| v.max(0.0)).collect();
+                    // inverted dropout
+                    let mut mask = vec![1.0; hidden.len()];
+                    if config.dropout > 0.0 {
+                        let keep = 1.0 - config.dropout;
+                        for (h, m) in hidden.iter_mut().zip(&mut mask) {
+                            if rng.next_bool(config.dropout) {
+                                *m = 0.0;
+                                *h = 0.0;
+                            } else {
+                                *m = 1.0 / keep;
+                                *h *= 1.0 / keep;
+                            }
+                        }
+                    }
+                    net.d2.forward(&hidden, &mut o_buf);
+                    let pred = o_buf[0];
+                    let err = pred - y[i];
+                    epoch_loss += err * err;
+                    // ---- backward ----
+                    let dh = net.d2.backward(&hidden, &[2.0 * err], &mut gw2, &mut gb2);
+                    let dpre: Vec<f64> = dh
+                        .iter()
+                        .zip(&mask)
+                        .zip(&h_buf)
+                        .map(|((&g, &m), &pre)| if pre > 0.0 { g * m } else { 0.0 })
+                        .collect();
+                    let dfeat = net.d1.backward(&features, &dpre, &mut gw1, &mut gb1);
+                    // conv kernel gradients (conv output came first in features)
+                    if trace_rows > 0 && trace_cols > 0 {
+                        let (oh, ow) = net.conv_out_dims();
+                        for f in 0..config.filters {
+                            for r in 0..oh {
+                                for c in 0..ow {
+                                    let oi = f * oh * ow + r * ow + c;
+                                    if conv_buf[oi] <= 0.0 {
+                                        continue; // ReLU gate
+                                    }
+                                    let g = dfeat[oi];
+                                    gkb[f] += g;
+                                    for kr in 0..kk {
+                                        let row = s.trace.row(r + kr);
+                                        for kc in 0..kk {
+                                            gk[f * kk * kk + kr * kk + kc] += g * row[c + kc];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut scale = 1.0 / batch.len() as f64;
+                // global-norm gradient clipping: keeps badly-tuned trials
+                // finite instead of diverging (PyTorch pipelines do the same)
+                let norm2: f64 = gk
+                    .iter()
+                    .chain(&gkb)
+                    .chain(&gw1)
+                    .chain(&gb1)
+                    .chain(&gw2)
+                    .chain(&gb2)
+                    .map(|g| g * g)
+                    .sum();
+                let norm = (norm2 * scale * scale).sqrt();
+                const CLIP: f64 = 5.0;
+                if norm > CLIP {
+                    scale *= CLIP / norm;
+                }
+                let (lr, mom) = (config.learning_rate, config.momentum);
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..net.kernels.len() {
+                    net.vk[i] = mom * net.vk[i] - lr * gk[i] * scale;
+                    net.kernels[i] += net.vk[i];
+                }
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..net.kernel_bias.len() {
+                    net.vkb[i] = mom * net.vkb[i] - lr * gkb[i] * scale;
+                    net.kernel_bias[i] += net.vkb[i];
+                }
+                net.d1.apply(&gw1, &gb1, lr, mom, scale);
+                net.d2.apply(&gw2, &gb2, lr, mom, scale);
+            }
+            net.loss_curve.push(epoch_loss / n as f64);
+        }
+        net
+    }
+
+    /// Predict one sample (dropout disabled, as at inference).
+    pub fn predict(&self, sample: &NnSample) -> f64 {
+        let mut features = Vec::with_capacity(self.feature_dim());
+        let mut conv_buf = Vec::new();
+        if self.trace_rows > 0 && self.trace_cols > 0 {
+            self.conv_forward(&sample.trace, &mut conv_buf);
+            features.extend_from_slice(&conv_buf);
+        }
+        features.extend_from_slice(&sample.scalars);
+        let mut h = Vec::new();
+        self.d1.forward(&features, &mut h);
+        let hidden: Vec<f64> = h.iter().map(|&v| v.max(0.0)).collect();
+        let mut out = Vec::new();
+        self.d2.forward(&hidden, &mut out);
+        out[0]
+    }
+
+    /// Predict many samples.
+    pub fn predict_all(&self, samples: &[NnSample]) -> Vec<f64> {
+        samples.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Final training loss (MSE).
+    pub fn final_loss(&self) -> f64 {
+        *self.loss_curve.last().unwrap_or(&f64::NAN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize, seed: u64) -> (Vec<NnSample>, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            s.push(NnSample { scalars: vec![a, b], trace: Matrix::zeros(0, 0) });
+            y.push(0.7 * a - 0.3 * b + 0.1);
+        }
+        (s, y)
+    }
+
+    fn trace_data(n: usize, seed: u64) -> (Vec<NnSample>, Vec<f64>) {
+        // label encoded as a bright patch location in an 8x8 trace
+        let mut rng = Rng64::new(seed);
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let hot = i % 2 == 0;
+            let mut t = Matrix::zeros(8, 8);
+            for r in 0..8 {
+                for c in 0..8 {
+                    t[(r, c)] = rng.next_f64() * 0.1;
+                }
+            }
+            let (r0, c0) = if hot { (0, 0) } else { (5, 5) };
+            for r in r0..r0 + 3 {
+                for c in c0..c0 + 3 {
+                    t[(r, c)] += 1.0;
+                }
+            }
+            s.push(NnSample { scalars: vec![], trace: t });
+            y.push(if hot { 1.0 } else { 0.0 });
+        }
+        (s, y)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (s, y) = linear_data(200, 1);
+        let cfg = NetConfig { dropout: 0.0, epochs: 120, ..Default::default() };
+        let net = ConvNet::fit(&s, &y, cfg);
+        let (st, yt) = linear_data(50, 2);
+        let pred = net.predict_all(&st);
+        let mse: f64 =
+            pred.iter().zip(&yt).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / yt.len() as f64;
+        assert!(mse < 0.01, "test MSE {mse}");
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (s, y) = linear_data(100, 3);
+        let net = ConvNet::fit(&s, &y, NetConfig { dropout: 0.0, ..Default::default() });
+        let first = net.loss_curve[0];
+        let last = net.final_loss();
+        assert!(last < first * 0.5, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn conv_learns_patch_location() {
+        let (s, y) = trace_data(120, 4);
+        let cfg = NetConfig {
+            kernel: 3,
+            filters: 4,
+            hidden: 16,
+            dropout: 0.0,
+            epochs: 80,
+            learning_rate: 0.02,
+            ..Default::default()
+        };
+        let net = ConvNet::fit(&s, &y, cfg);
+        let (st, yt) = trace_data(40, 5);
+        let correct = net
+            .predict_all(&st)
+            .iter()
+            .zip(&yt)
+            .filter(|(p, t)| (p.round() - **t).abs() < 0.5)
+            .count();
+        assert!(correct >= 32, "classification-ish accuracy {correct}/40");
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        // the run-to-run variance of Figure 5
+        let (s, y) = linear_data(60, 6);
+        let a = ConvNet::fit(&s, &y, NetConfig { seed: 1, epochs: 5, ..Default::default() });
+        let b = ConvNet::fit(&s, &y, NetConfig { seed: 2, epochs: 5, ..Default::default() });
+        assert_ne!(a.predict(&s[0]), b.predict(&s[0]));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let (s, y) = linear_data(60, 7);
+        let cfg = NetConfig { seed: 9, epochs: 10, ..Default::default() };
+        let a = ConvNet::fit(&s, &y, cfg);
+        let b = ConvNet::fit(&s, &y, cfg);
+        assert_eq!(a.predict(&s[0]), b.predict(&s[0]));
+    }
+}

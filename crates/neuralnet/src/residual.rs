@@ -1,0 +1,339 @@
+//! Residual MLP — the paper's stated future work.
+//!
+//! §4.1 closes: *"In future work, we will explore the reliability and
+//! accuracy tradeoff with more complicated neural network structures, e.g.,
+//! residual and long short-term memory (LSTM) networks."* This module
+//! implements the residual half of that agenda: an MLP whose hidden blocks
+//! compute `x + f(x)` (identity skip connections), trained with the same
+//! SGD-momentum/clipping machinery as [`crate::net::ConvNet`]. The Figure-5
+//! harness can include it to extend the stability study beyond plain CNNs.
+//!
+//! Architecture: `dense_in -> [residual block]*depth -> dense_out(1)` where
+//! a block is `x + W2 relu(W1 x)` (both `hidden x hidden`).
+
+use stca_util::Rng64;
+
+/// Residual-network hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResNetConfig {
+    /// Hidden width (all blocks share it).
+    pub hidden: usize,
+    /// Number of residual blocks.
+    pub depth: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// SGD momentum.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for ResNetConfig {
+    fn default() -> Self {
+        ResNetConfig {
+            hidden: 32,
+            depth: 2,
+            learning_rate: 0.01,
+            momentum: 0.9,
+            batch_size: 16,
+            epochs: 80,
+            seed: 1,
+        }
+    }
+}
+
+struct Linear {
+    w: Vec<f64>, // out x in
+    b: Vec<f64>,
+    vw: Vec<f64>,
+    vb: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Linear {
+    fn new(inputs: usize, outputs: usize, gain: f64, rng: &mut Rng64) -> Self {
+        let scale = gain * (2.0 / inputs as f64).sqrt();
+        Linear {
+            w: (0..inputs * outputs).map(|_| rng.next_gaussian() * scale).collect(),
+            b: vec![0.0; outputs],
+            vw: vec![0.0; inputs * outputs],
+            vb: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.outputs)
+            .map(|o| {
+                let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+                self.b[o] + row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn backward(&self, x: &[f64], dy: &[f64], gw: &mut [f64], gb: &mut [f64]) -> Vec<f64> {
+        let mut dx = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            let g = dy[o];
+            gb[o] += g;
+            let row = o * self.inputs;
+            for i in 0..self.inputs {
+                gw[row + i] += g * x[i];
+                dx[i] += g * self.w[row + i];
+            }
+        }
+        dx
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn apply(&mut self, gw: &[f64], gb: &[f64], lr: f64, mom: f64, scale: f64) {
+        for i in 0..self.w.len() {
+            self.vw[i] = mom * self.vw[i] - lr * gw[i] * scale;
+            self.w[i] += self.vw[i];
+        }
+        for i in 0..self.b.len() {
+            self.vb[i] = mom * self.vb[i] - lr * gb[i] * scale;
+            self.b[i] += self.vb[i];
+        }
+    }
+}
+
+struct Grads {
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+}
+
+impl Grads {
+    fn zeros_like(l: &Linear) -> Grads {
+        Grads { gw: vec![0.0; l.w.len()], gb: vec![0.0; l.b.len()] }
+    }
+}
+
+/// A fitted residual MLP.
+pub struct ResNet {
+    config: ResNetConfig,
+    input: Linear,
+    blocks: Vec<(Linear, Linear)>,
+    output: Linear,
+    /// Mean training MSE per epoch.
+    pub loss_curve: Vec<f64>,
+}
+
+impl ResNet {
+    /// Train on flat feature vectors.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: ResNetConfig) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let dim = x[0].len();
+        let mut rng = Rng64::new(config.seed);
+        let mut net = ResNet {
+            input: Linear::new(dim, config.hidden, 1.0, &mut rng),
+            blocks: (0..config.depth)
+                .map(|_| {
+                    (
+                        Linear::new(config.hidden, config.hidden, 1.0, &mut rng),
+                        // residual branches start small so blocks begin
+                        // near-identity — the stability trick of ResNets
+                        Linear::new(config.hidden, config.hidden, 0.1, &mut rng),
+                    )
+                })
+                .collect(),
+            output: Linear::new(config.hidden, 1, 1.0, &mut rng),
+            config,
+            loss_curve: Vec::new(),
+        };
+        let n = x.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _epoch in 0..config.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(config.batch_size.max(1)) {
+                let mut g_in = Grads::zeros_like(&net.input);
+                let mut g_blocks: Vec<(Grads, Grads)> = net
+                    .blocks
+                    .iter()
+                    .map(|(a, b)| (Grads::zeros_like(a), Grads::zeros_like(b)))
+                    .collect();
+                let mut g_out = Grads::zeros_like(&net.output);
+                for &i in batch {
+                    // ---- forward, retaining activations ----
+                    let h0: Vec<f64> =
+                        net.input.forward(&x[i]).iter().map(|v| v.max(0.0)).collect();
+                    let mut hs = vec![h0];
+                    let mut mids = Vec::with_capacity(net.blocks.len());
+                    for (w1, w2) in &net.blocks {
+                        let prev = hs.last().expect("nonempty");
+                        let mid: Vec<f64> =
+                            w1.forward(prev).iter().map(|v| v.max(0.0)).collect();
+                        let delta = w2.forward(&mid);
+                        let next: Vec<f64> =
+                            prev.iter().zip(&delta).map(|(p, d)| p + d).collect();
+                        mids.push(mid);
+                        hs.push(next);
+                    }
+                    let pred = net.output.forward(hs.last().expect("nonempty"))[0];
+                    let err = pred - y[i];
+                    epoch_loss += err * err;
+                    // ---- backward ----
+                    let mut dh = net.output.backward(
+                        hs.last().expect("nonempty"),
+                        &[2.0 * err],
+                        &mut g_out.gw,
+                        &mut g_out.gb,
+                    );
+                    for bi in (0..net.blocks.len()).rev() {
+                        let (w1, w2) = &net.blocks[bi];
+                        let (g1, g2) = &mut g_blocks[bi];
+                        // next = prev + W2 relu(W1 prev); dnext flows to both
+                        let dmid = w2.backward(&mids[bi], &dh, &mut g2.gw, &mut g2.gb);
+                        let dmid_gated: Vec<f64> = dmid
+                            .iter()
+                            .zip(&mids[bi])
+                            .map(|(g, &m)| if m > 0.0 { *g } else { 0.0 })
+                            .collect();
+                        let dprev_branch =
+                            w1.backward(&hs[bi], &dmid_gated, &mut g1.gw, &mut g1.gb);
+                        for (d, b) in dh.iter_mut().zip(&dprev_branch) {
+                            *d += b; // skip connection adds gradients
+                        }
+                    }
+                    // input layer (ReLU gate on h0)
+                    let dh0: Vec<f64> = dh
+                        .iter()
+                        .zip(&hs[0])
+                        .map(|(g, &h)| if h > 0.0 { *g } else { 0.0 })
+                        .collect();
+                    net.input.backward(&x[i], &dh0, &mut g_in.gw, &mut g_in.gb);
+                }
+                // clip + apply
+                let mut scale = 1.0 / batch.len() as f64;
+                let norm2: f64 = g_in
+                    .gw
+                    .iter()
+                    .chain(&g_in.gb)
+                    .chain(g_blocks.iter().flat_map(|(a, b)| {
+                        a.gw.iter().chain(&a.gb).chain(b.gw.iter()).chain(&b.gb)
+                    }))
+                    .chain(&g_out.gw)
+                    .chain(&g_out.gb)
+                    .map(|g| g * g)
+                    .sum();
+                let norm = (norm2 * scale * scale).sqrt();
+                const CLIP: f64 = 5.0;
+                if norm > CLIP {
+                    scale *= CLIP / norm;
+                }
+                let (lr, mom) = (config.learning_rate, config.momentum);
+                net.input.apply(&g_in.gw, &g_in.gb, lr, mom, scale);
+                for ((w1, w2), (g1, g2)) in net.blocks.iter_mut().zip(&g_blocks) {
+                    w1.apply(&g1.gw, &g1.gb, lr, mom, scale);
+                    w2.apply(&g2.gw, &g2.gb, lr, mom, scale);
+                }
+                net.output.apply(&g_out.gw, &g_out.gb, lr, mom, scale);
+            }
+            net.loss_curve.push(epoch_loss / n as f64);
+        }
+        net
+    }
+
+    /// Predict one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut h: Vec<f64> = self.input.forward(x).iter().map(|v| v.max(0.0)).collect();
+        for (w1, w2) in &self.blocks {
+            let mid: Vec<f64> = w1.forward(&h).iter().map(|v| v.max(0.0)).collect();
+            let delta = w2.forward(&mid);
+            for (hv, d) in h.iter_mut().zip(&delta) {
+                *hv += d;
+            }
+        }
+        self.output.forward(&h)[0]
+    }
+
+    /// Predict many.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Final training MSE.
+    pub fn final_loss(&self) -> f64 {
+        *self.loss_curve.last().unwrap_or(&f64::NAN)
+    }
+
+    /// Number of residual blocks.
+    pub fn depth(&self) -> usize {
+        self.config.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.next_f64() * 2.0 - 1.0;
+                let b = rng.next_f64() * 2.0 - 1.0;
+                (vec![a, b], (3.0 * a).sin() * 0.5 + b * b)
+            })
+            .unzip()
+    }
+
+    #[test]
+    fn learns_nonlinear_surface() {
+        let (x, y) = wave_data(250, 1);
+        let (xt, yt) = wave_data(80, 2);
+        let net = ResNet::fit(&x, &y, ResNetConfig { epochs: 100, ..Default::default() });
+        let pred = net.predict_all(&xt);
+        let mse: f64 =
+            pred.iter().zip(&yt).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / yt.len() as f64;
+        assert!(mse < 0.08, "test MSE {mse}");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = wave_data(200, 3);
+        let net = ResNet::fit(&x, &y, ResNetConfig { epochs: 60, ..Default::default() });
+        assert!(net.final_loss() < net.loss_curve[0] * 0.5);
+    }
+
+    #[test]
+    fn deeper_nets_still_train_thanks_to_skips() {
+        let (x, y) = wave_data(200, 4);
+        let net = ResNet::fit(
+            &x,
+            &y,
+            ResNetConfig { depth: 6, epochs: 60, ..Default::default() },
+        );
+        assert_eq!(net.depth(), 6);
+        assert!(
+            net.final_loss().is_finite() && net.final_loss() < net.loss_curve[0],
+            "deep residual net must not diverge: {:?}",
+            net.loss_curve.last()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = wave_data(60, 5);
+        let cfg = ResNetConfig { epochs: 10, ..Default::default() };
+        let a = ResNet::fit(&x, &y, cfg);
+        let b = ResNet::fit(&x, &y, cfg);
+        assert_eq!(a.predict(&x[0]), b.predict(&x[0]));
+    }
+
+    #[test]
+    fn seed_variation_changes_model() {
+        let (x, y) = wave_data(60, 6);
+        let a = ResNet::fit(&x, &y, ResNetConfig { seed: 1, epochs: 10, ..Default::default() });
+        let b = ResNet::fit(&x, &y, ResNetConfig { seed: 2, epochs: 10, ..Default::default() });
+        assert_ne!(a.predict(&x[0]), b.predict(&x[0]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Random hyperparameter search — the stand-in for TUNE / PipeTune.
+//!
+//! The paper tuned its CNN baseline over epochs, batch size, learning rate,
+//! neuron count and drop rate. This module samples configurations uniformly
+//! from those ranges, trains each on a training split, scores on a
+//! validation split, and returns trials sorted by validation MSE.
+
+use crate::net::{ConvNet, NetConfig, NnSample};
+use stca_util::Rng64;
+
+/// Ranges to sample hyperparameters from.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Epoch range (inclusive).
+    pub epochs: (usize, usize),
+    /// Batch-size choices.
+    pub batch_sizes: Vec<usize>,
+    /// Log-uniform learning-rate range.
+    pub learning_rate: (f64, f64),
+    /// Hidden-width choices ("number of neurons").
+    pub hidden: Vec<usize>,
+    /// Dropout range.
+    pub dropout: (f64, f64),
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            epochs: (30, 120),
+            batch_sizes: vec![8, 16, 32],
+            learning_rate: (1e-3, 5e-2),
+            hidden: vec![16, 32, 64],
+            dropout: (0.0, 0.3),
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Draw one configuration.
+    pub fn sample(&self, rng: &mut Rng64) -> NetConfig {
+        let lr = (self.learning_rate.0.ln()
+            + rng.next_f64() * (self.learning_rate.1.ln() - self.learning_rate.0.ln()))
+        .exp();
+        NetConfig {
+            epochs: self.epochs.0 + rng.next_index(self.epochs.1 - self.epochs.0 + 1),
+            batch_size: self.batch_sizes[rng.next_index(self.batch_sizes.len())],
+            learning_rate: lr,
+            hidden: self.hidden[rng.next_index(self.hidden.len())],
+            dropout: rng.next_range(self.dropout.0, self.dropout.1),
+            seed: rng.next_u64(),
+            ..Default::default()
+        }
+    }
+}
+
+/// One search trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// The configuration trained.
+    pub config: NetConfig,
+    /// Validation MSE.
+    pub val_mse: f64,
+    /// Final training MSE.
+    pub train_mse: f64,
+}
+
+/// Run `trials` random configurations; returns results sorted by validation
+/// MSE (best first).
+pub fn random_search(
+    train: (&[NnSample], &[f64]),
+    val: (&[NnSample], &[f64]),
+    space: &SearchSpace,
+    trials: usize,
+    rng: &mut Rng64,
+) -> Vec<TrialResult> {
+    assert!(trials >= 1);
+    let mut results = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let config = space.sample(rng);
+        let net = ConvNet::fit(train.0, train.1, config);
+        let pred = net.predict_all(val.0);
+        let val_mse = pred
+            .iter()
+            .zip(val.1)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / val.1.len() as f64;
+        results.push(TrialResult { config, val_mse, train_mse: net.final_loss() });
+    }
+    results.sort_by(|a, b| a.val_mse.partial_cmp(&b.val_mse).expect("finite MSE"));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stca_util::Matrix;
+
+    fn data(n: usize, seed: u64) -> (Vec<NnSample>, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.next_f64();
+                (NnSample { scalars: vec![a], trace: Matrix::zeros(0, 0) }, 2.0 * a)
+            })
+            .unzip()
+    }
+
+    #[test]
+    fn search_returns_sorted_trials() {
+        let (tr_s, tr_y) = data(80, 1);
+        let (va_s, va_y) = data(30, 2);
+        let mut rng = Rng64::new(3);
+        let space = SearchSpace { epochs: (5, 15), ..Default::default() };
+        let results = random_search((&tr_s, &tr_y), (&va_s, &va_y), &space, 4, &mut rng);
+        assert_eq!(results.len(), 4);
+        for w in results.windows(2) {
+            assert!(w[0].val_mse <= w[1].val_mse);
+        }
+    }
+
+    #[test]
+    fn sampled_configs_stay_in_space() {
+        let space = SearchSpace::default();
+        let mut rng = Rng64::new(4);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            assert!(c.epochs >= 30 && c.epochs <= 120);
+            assert!(space.batch_sizes.contains(&c.batch_size));
+            assert!(c.learning_rate >= 1e-3 && c.learning_rate <= 5e-2);
+            assert!(space.hidden.contains(&c.hidden));
+            assert!((0.0..=0.3).contains(&c.dropout));
+        }
+    }
+}

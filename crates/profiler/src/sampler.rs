@@ -1,0 +1,142 @@
+//! Counter-trace post-processing: matrix form, feature ordering, scaling.
+//!
+//! A sampled run yields `trace_len` counter snapshots; multi-grain scanning
+//! consumes them as a 29 x T matrix. Figure 7c shows the *ordering* of the
+//! 29 counter rows matters: grouping correlated counters (all L1d together,
+//! all LLC together) lets convolution windows capture correlated events,
+//! while a shuffled ordering destroys that spatial locality. Both orderings
+//! are provided so the ablation can be reproduced.
+
+use stca_cachesim::{Counter, CounterSet, COUNTER_COUNT};
+use stca_util::{Matrix, Rng64};
+
+/// How counter rows are ordered in the trace matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterOrdering {
+    /// Canonical grouped order (correlated counters adjacent).
+    Grouped,
+    /// Deterministically shuffled with the given seed (destroys locality).
+    Shuffled(u64),
+}
+
+/// Permutation of the 29 counters for an ordering. `perm[i]` is the counter
+/// index placed at row `i`.
+pub fn ordering_permutation(ordering: CounterOrdering) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..COUNTER_COUNT).collect();
+    if let CounterOrdering::Shuffled(seed) = ordering {
+        let mut rng = Rng64::new(seed);
+        rng.shuffle(&mut perm);
+    }
+    perm
+}
+
+/// Convert a sampled trace to a `29 x T` matrix under the given ordering,
+/// with `log1p` scaling (counter magnitudes span 6 orders of magnitude;
+/// trees are scale-free per split but windowed kernels mix features, and the
+/// compression keeps any single counter from dominating a window).
+pub fn trace_to_matrix(trace: &[CounterSet], ordering: CounterOrdering) -> Matrix {
+    let perm = ordering_permutation(ordering);
+    let t = trace.len();
+    let mut m = Matrix::zeros(COUNTER_COUNT, t);
+    for (col, snap) in trace.iter().enumerate() {
+        let feats = snap.to_features();
+        for (row, &src) in perm.iter().enumerate() {
+            m[(row, col)] = feats[src].ln_1p();
+        }
+    }
+    m
+}
+
+/// Flatten a trace matrix row-major (the Eq.-2 "long 1xK vector" layout).
+pub fn flatten(m: &Matrix) -> Vec<f64> {
+    m.as_slice().to_vec()
+}
+
+/// Human-readable row labels for a given ordering (diagnostics/examples).
+pub fn row_labels(ordering: CounterOrdering) -> Vec<&'static str> {
+    ordering_permutation(ordering)
+        .into_iter()
+        .map(|i| Counter::ALL[i].name())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Vec<CounterSet> {
+        (0..5)
+            .map(|i| {
+                let mut c = CounterSet::new();
+                c.add(Counter::LlcMisses, 10 * (i + 1));
+                c.add(Counter::L1dLoads, 1000);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grouped_is_identity_permutation() {
+        assert_eq!(
+            ordering_permutation(CounterOrdering::Grouped),
+            (0..COUNTER_COUNT).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shuffled_is_a_permutation_and_deterministic() {
+        let a = ordering_permutation(CounterOrdering::Shuffled(7));
+        let b = ordering_permutation(CounterOrdering::Shuffled(7));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..COUNTER_COUNT).collect::<Vec<_>>());
+        assert_ne!(a, ordering_permutation(CounterOrdering::Grouped));
+    }
+
+    #[test]
+    fn matrix_shape_and_scaling() {
+        let m = trace_to_matrix(&sample_trace(), CounterOrdering::Grouped);
+        assert_eq!(m.rows(), COUNTER_COUNT);
+        assert_eq!(m.cols(), 5);
+        // LlcMisses row: ln(1+10), ln(1+20), ...
+        let row = Counter::LlcMisses as usize;
+        assert!((m[(row, 0)] - (11f64).ln()).abs() < 1e-12);
+        assert!(m[(row, 4)] > m[(row, 0)]);
+    }
+
+    #[test]
+    fn shuffled_matrix_holds_same_values_in_different_rows() {
+        let g = trace_to_matrix(&sample_trace(), CounterOrdering::Grouped);
+        let s = trace_to_matrix(&sample_trace(), CounterOrdering::Shuffled(3));
+        let perm = ordering_permutation(CounterOrdering::Shuffled(3));
+        for (row, &src) in perm.iter().enumerate() {
+            assert_eq!(s.row(row), g.row(src));
+        }
+    }
+
+    #[test]
+    fn flatten_length() {
+        let m = trace_to_matrix(&sample_trace(), CounterOrdering::Grouped);
+        assert_eq!(flatten(&m).len(), COUNTER_COUNT * 5);
+    }
+
+    #[test]
+    fn labels_follow_permutation() {
+        let labels = row_labels(CounterOrdering::Grouped);
+        assert_eq!(labels[0], "inst_retired");
+        assert_eq!(labels.len(), COUNTER_COUNT);
+        let shuffled = row_labels(CounterOrdering::Shuffled(3));
+        let perm = ordering_permutation(CounterOrdering::Shuffled(3));
+        for (i, &src) in perm.iter().enumerate() {
+            assert_eq!(shuffled[i], Counter::ALL[src].name());
+        }
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_matrix() {
+        let m = trace_to_matrix(&[], CounterOrdering::Grouped);
+        assert_eq!(m.rows(), COUNTER_COUNT);
+        assert_eq!(m.cols(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Stratified condition sampling (§4).
+//!
+//! Uniform random sampling over-samples some regions of the condition space.
+//! The paper's procedure: randomly select *seed* settings, execute them,
+//! cluster the results by effective cache allocation, and generate new
+//! settings near each cluster's centroid setting — repeatedly refining the
+//! centroids. The paper reports this cut profiling time by 67% at equal
+//! accuracy.
+//!
+//! The sampler is generic over the (expensive) evaluation: callers pass a
+//! closure running one profiling experiment and returning measured EA, so
+//! tests can exercise the sampling logic against synthetic surfaces.
+
+use stca_util::kmeans::kmeans;
+use stca_util::Rng64;
+use stca_workloads::conditions::bounds;
+use stca_workloads::{BenchmarkId, RuntimeCondition};
+
+/// Configuration for the stratified sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct StratifiedConfig {
+    /// Random seed experiments executed first.
+    pub seeds: usize,
+    /// Clusters formed over seed EAs.
+    pub clusters: usize,
+    /// Refinement settings generated near each centroid per round.
+    pub per_cluster: usize,
+    /// Refinement rounds.
+    pub rounds: usize,
+    /// Relative jitter applied to centroid settings when generating
+    /// neighbours (fraction of each dimension's range).
+    pub jitter: f64,
+}
+
+impl Default for StratifiedConfig {
+    fn default() -> Self {
+        StratifiedConfig { seeds: 12, clusters: 4, per_cluster: 3, rounds: 2, jitter: 0.12 }
+    }
+}
+
+/// One evaluated condition.
+#[derive(Debug, Clone)]
+pub struct EvaluatedCondition {
+    /// The condition that was run.
+    pub condition: RuntimeCondition,
+    /// Measured effective allocation of the target workload.
+    pub ea: f64,
+}
+
+fn jittered_near(c: &RuntimeCondition, jitter: f64, rng: &mut Rng64) -> RuntimeCondition {
+    let mut out = c.clone();
+    for w in &mut out.workloads {
+        let du = (bounds::MAX_UTIL - bounds::MIN_UTIL) * jitter;
+        let dt = (bounds::MAX_TIMEOUT - bounds::MIN_TIMEOUT) * jitter;
+        w.utilization = (w.utilization + rng.next_range(-du, du))
+            .clamp(bounds::MIN_UTIL, bounds::MAX_UTIL);
+        w.timeout_ratio = (w.timeout_ratio + rng.next_range(-dt, dt))
+            .clamp(bounds::MIN_TIMEOUT, bounds::MAX_TIMEOUT);
+    }
+    out
+}
+
+/// Run the stratified sampling procedure for a collocation pair. The
+/// returned list contains every evaluated condition (seeds + refinements),
+/// which becomes the profiling dataset.
+pub fn stratified_sample(
+    pair: (BenchmarkId, BenchmarkId),
+    config: StratifiedConfig,
+    rng: &mut Rng64,
+    mut evaluate: impl FnMut(&RuntimeCondition) -> f64,
+) -> Vec<EvaluatedCondition> {
+    assert!(config.seeds >= config.clusters, "need at least one seed per cluster");
+    let mut evaluated: Vec<EvaluatedCondition> = Vec::new();
+
+    // seed phase
+    for _ in 0..config.seeds {
+        let c = RuntimeCondition::random_pair(pair.0, pair.1, rng);
+        let ea = evaluate(&c);
+        evaluated.push(EvaluatedCondition { condition: c, ea });
+    }
+
+    for _ in 0..config.rounds {
+        // cluster by EA (1-D)
+        let points: Vec<Vec<f64>> = evaluated.iter().map(|e| vec![e.ea]).collect();
+        let km = kmeans(&points, config.clusters, 50, rng);
+        // per cluster: find the member closest to the centroid and generate
+        // neighbours around its *condition* (settings near the centroid
+        // setting, per §4). New evaluations are staged and appended after
+        // the cluster loop so cluster assignments stay index-aligned.
+        let mut staged: Vec<EvaluatedCondition> = Vec::new();
+        for c in 0..km.centroids.len() {
+            let centroid_ea = km.centroids[c][0];
+            let representative = evaluated
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| km.assignment[*i] == c)
+                .min_by(|(_, a), (_, b)| {
+                    (a.ea - centroid_ea)
+                        .abs()
+                        .partial_cmp(&(b.ea - centroid_ea).abs())
+                        .expect("finite EA")
+                })
+                .map(|(_, e)| e.condition.clone());
+            let Some(rep) = representative else { continue };
+            for _ in 0..config.per_cluster {
+                let c = jittered_near(&rep, config.jitter, rng);
+                let ea = evaluate(&c);
+                staged.push(EvaluatedCondition { condition: c, ea });
+            }
+        }
+        evaluated.extend(staged);
+    }
+    evaluated
+}
+
+/// Plain uniform sampling of `n` conditions (the comparison point the paper
+/// abandoned for over-sampling).
+pub fn uniform_sample(
+    pair: (BenchmarkId, BenchmarkId),
+    n: usize,
+    rng: &mut Rng64,
+    mut evaluate: impl FnMut(&RuntimeCondition) -> f64,
+) -> Vec<EvaluatedCondition> {
+    (0..n)
+        .map(|_| {
+            let c = RuntimeCondition::random_pair(pair.0, pair.1, rng);
+            let ea = evaluate(&c);
+            EvaluatedCondition { condition: c, ea }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic EA surface: EA depends sharply on the target's timeout
+    /// (cliff at 1.0) and mildly on utilization.
+    fn surface(c: &RuntimeCondition) -> f64 {
+        let w = &c.workloads[0];
+        let cliff = if w.timeout_ratio < 1.0 { 0.3 } else { 0.8 };
+        cliff + 0.1 * w.utilization
+    }
+
+    #[test]
+    fn produces_expected_count() {
+        let mut rng = Rng64::new(1);
+        let cfg = StratifiedConfig { seeds: 10, clusters: 3, per_cluster: 2, rounds: 2, jitter: 0.1 };
+        let out = stratified_sample(
+            (BenchmarkId::Redis, BenchmarkId::Social),
+            cfg,
+            &mut rng,
+            surface,
+        );
+        // 10 seeds + 2 rounds x 3 clusters x 2 = 22
+        assert_eq!(out.len(), 22);
+        assert!(out.iter().all(|e| e.condition.in_bounds()));
+    }
+
+    #[test]
+    fn refinements_concentrate_near_cluster_representatives() {
+        let mut rng = Rng64::new(2);
+        let cfg = StratifiedConfig { seeds: 16, clusters: 2, per_cluster: 8, rounds: 1, jitter: 0.05 };
+        let out = stratified_sample(
+            (BenchmarkId::Knn, BenchmarkId::Bfs),
+            cfg,
+            &mut rng,
+            surface,
+        );
+        let refinements = &out[16..];
+        // both sides of the EA cliff get refined (low-EA and high-EA regions)
+        let low = refinements.iter().filter(|e| e.ea < 0.5).count();
+        let high = refinements.iter().filter(|e| e.ea >= 0.5).count();
+        assert!(low > 0 && high > 0, "both strata sampled: low={low} high={high}");
+    }
+
+    #[test]
+    fn uniform_sampling_covers_space() {
+        let mut rng = Rng64::new(3);
+        let out = uniform_sample((BenchmarkId::Knn, BenchmarkId::Bfs), 50, &mut rng, surface);
+        assert_eq!(out.len(), 50);
+        let utils: Vec<f64> = out.iter().map(|e| e.condition.workloads[0].utilization).collect();
+        let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 0.4 && max > 0.8, "uniform spread: {min}..{max}");
+    }
+
+    #[test]
+    fn evaluation_called_once_per_condition() {
+        let mut rng = Rng64::new(4);
+        let mut calls = 0;
+        let cfg = StratifiedConfig::default();
+        let out = stratified_sample(
+            (BenchmarkId::Jacobi, BenchmarkId::Spstream),
+            cfg,
+            &mut rng,
+            |c| {
+                calls += 1;
+                surface(c)
+            },
+        );
+        assert_eq!(calls, out.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! Simulation outputs.
+
+use stca_util::{Percentiles, Seconds};
+
+/// Results of one queueing simulation run (per station).
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Response time (queueing + service) per completed query, in
+    /// completion order.
+    pub response_times: Vec<Seconds>,
+    /// Queueing delay per completed query.
+    pub queue_delays: Vec<Seconds>,
+    /// Realized service time per completed query.
+    pub service_times: Vec<Seconds>,
+    /// Whether each completed query was boosted at some point.
+    pub boosted: Vec<bool>,
+    /// Total simulated time.
+    pub makespan: Seconds,
+    /// Total server-seconds spent processing at the boosted rate.
+    pub boosted_busy_time: Seconds,
+    /// Total server-seconds spent processing (any rate).
+    pub busy_time: Seconds,
+}
+
+impl SimResult {
+    /// Number of completed queries.
+    pub fn completed(&self) -> usize {
+        self.response_times.len()
+    }
+
+    /// Mean response time.
+    pub fn mean_response(&self) -> Seconds {
+        assert!(!self.response_times.is_empty());
+        self.response_times.iter().sum::<f64>() / self.response_times.len() as f64
+    }
+
+    /// Response-time quantile.
+    pub fn response_quantile(&self, q: f64) -> Seconds {
+        let mut p = Percentiles::with_capacity(self.response_times.len());
+        p.extend_from(&self.response_times);
+        p.quantile(q)
+    }
+
+    /// Median response time.
+    pub fn median_response(&self) -> Seconds {
+        self.response_quantile(0.5)
+    }
+
+    /// 95th-percentile response time (the paper's tail metric).
+    pub fn p95_response(&self) -> Seconds {
+        self.response_quantile(0.95)
+    }
+
+    /// Mean queueing delay — the dynamic-condition feedback of §3.3.
+    pub fn mean_queue_delay(&self) -> Seconds {
+        if self.queue_delays.is_empty() {
+            0.0
+        } else {
+            self.queue_delays.iter().sum::<f64>() / self.queue_delays.len() as f64
+        }
+    }
+
+    /// Mean realized service time.
+    pub fn mean_service(&self) -> Seconds {
+        assert!(!self.service_times.is_empty());
+        self.service_times.iter().sum::<f64>() / self.service_times.len() as f64
+    }
+
+    /// Completed queries per second of simulated time.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.response_times.len() as f64 / self.makespan
+        }
+    }
+
+    /// Fraction of queries that received a boost.
+    pub fn boost_fraction(&self) -> f64 {
+        if self.boosted.is_empty() {
+            0.0
+        } else {
+            self.boosted.iter().filter(|&&b| b).count() as f64 / self.boosted.len() as f64
+        }
+    }
+
+    /// Fraction of busy time spent at the boosted rate — the "gross
+    /// increase in resource allocation" exposure used when computing
+    /// effective allocation from measurements.
+    pub fn boosted_busy_fraction(&self) -> f64 {
+        if self.busy_time <= 0.0 {
+            0.0
+        } else {
+            self.boosted_busy_time / self.busy_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimResult {
+        SimResult {
+            response_times: vec![1.0, 2.0, 3.0, 4.0],
+            queue_delays: vec![0.0, 0.5, 1.0, 1.5],
+            service_times: vec![1.0, 1.5, 2.0, 2.5],
+            boosted: vec![false, false, true, true],
+            makespan: 10.0,
+            boosted_busy_time: 2.0,
+            busy_time: 7.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample();
+        assert_eq!(r.completed(), 4);
+        assert!((r.mean_response() - 2.5).abs() < 1e-12);
+        assert!((r.median_response() - 2.5).abs() < 1e-12);
+        assert!((r.mean_queue_delay() - 0.75).abs() < 1e-12);
+        assert!((r.boost_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.boosted_busy_fraction() - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_counts_completions_per_second() {
+        let r = sample();
+        assert!((r.throughput() - 0.4).abs() < 1e-12);
+        let empty = SimResult {
+            response_times: vec![],
+            queue_delays: vec![],
+            service_times: vec![],
+            boosted: vec![],
+            makespan: 0.0,
+            boosted_busy_time: 0.0,
+            busy_time: 0.0,
+        };
+        assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn p95_with_many_samples() {
+        let r = SimResult {
+            response_times: (1..=100).map(|i| i as f64).collect(),
+            queue_delays: vec![],
+            service_times: vec![1.0],
+            boosted: vec![],
+            makespan: 1.0,
+            boosted_busy_time: 0.0,
+            busy_time: 1.0,
+        };
+        assert!((r.p95_response() - 95.05).abs() < 0.01);
+    }
+}

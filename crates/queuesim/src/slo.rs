@@ -1,0 +1,137 @@
+//! Service-level objectives.
+//!
+//! The paper's motivation is SLO-driven: online services stipulate response
+//! time goals, flag executions in danger of violating them (the intro's
+//! social network triggers short-term allocation when a query is still in
+//! flight at 800 ms), and the policy search balances per-workload SLOs
+//! ("SLO-driven matching", §5.2). This module gives that vocabulary a type:
+//! a percentile target, violation accounting over measured responses, and
+//! the early-warning threshold that drives timeout selection.
+
+use crate::metrics::SimResult;
+use stca_util::{Percentiles, Seconds};
+
+/// A response-time objective: `percentile` of responses must finish within
+/// `target` seconds (e.g. p95 <= 20 ms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Response-time bound, seconds.
+    pub target: Seconds,
+    /// Percentile the bound applies to, in `(0, 1]` (0.95 = p95).
+    pub percentile: f64,
+}
+
+impl SloSpec {
+    /// Construct, validating ranges.
+    pub fn new(target: Seconds, percentile: f64) -> Self {
+        assert!(target > 0.0, "SLO target must be positive");
+        assert!(
+            percentile > 0.0 && percentile <= 1.0,
+            "percentile must be in (0, 1]"
+        );
+        SloSpec { target, percentile }
+    }
+
+    /// The common p95 objective.
+    pub fn p95(target: Seconds) -> Self {
+        SloSpec::new(target, 0.95)
+    }
+
+    /// Fraction of responses exceeding the target.
+    pub fn violation_rate(&self, responses: &[Seconds]) -> f64 {
+        if responses.is_empty() {
+            return 0.0;
+        }
+        responses.iter().filter(|&&r| r > self.target).count() as f64 / responses.len() as f64
+    }
+
+    /// Whether a response set meets the objective: the configured
+    /// percentile of responses is within the target.
+    pub fn satisfied(&self, responses: &[Seconds]) -> bool {
+        if responses.is_empty() {
+            return true;
+        }
+        let mut p = Percentiles::with_capacity(responses.len());
+        p.extend_from(responses);
+        p.quantile(self.percentile) <= self.target
+    }
+
+    /// Whether a simulation result meets the objective.
+    pub fn satisfied_by(&self, result: &SimResult) -> bool {
+        self.satisfied(&result.response_times)
+    }
+
+    /// The early-warning threshold: a query still in flight past this point
+    /// is in danger of violating the SLO (the intro's 800 ms example uses
+    /// `fraction = 0.8` of a 1 s goal). This is the natural absolute
+    /// timeout for a short-term allocation policy targeting this SLO.
+    pub fn warning_threshold(&self, fraction: f64) -> Seconds {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.target * fraction
+    }
+
+    /// Convert the warning threshold into an Eq.-4 timeout ratio for a
+    /// workload with the given expected service time.
+    pub fn timeout_ratio(&self, fraction: f64, expected_service: Seconds) -> f64 {
+        assert!(expected_service > 0.0);
+        self.warning_threshold(fraction) / expected_service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_rate_counts_exceedances() {
+        let slo = SloSpec::p95(1.0);
+        let responses = [0.5, 0.9, 1.1, 2.0, 0.7];
+        assert!((slo.violation_rate(&responses) - 0.4).abs() < 1e-12);
+        assert_eq!(slo.violation_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn satisfaction_uses_the_configured_percentile() {
+        // 100 responses, 4 slow ones: p95 is still within a 1s target
+        let mut responses = vec![0.5; 96];
+        responses.extend([5.0, 5.0, 5.0, 5.0]);
+        assert!(SloSpec::p95(1.0).satisfied(&responses));
+        // a p99 objective is violated by the same data
+        assert!(!SloSpec::new(1.0, 0.99).satisfied(&responses));
+    }
+
+    #[test]
+    fn warning_threshold_matches_intro_example() {
+        // "if the query is still being processed after 800 milliseconds" —
+        // an 80% warning on a 1-second goal
+        let slo = SloSpec::p95(1.0);
+        assert!((slo.warning_threshold(0.8) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_ratio_normalizes_by_service_time() {
+        // 800ms warning for a service with 100ms mean service = T of 8...
+        // which Table 2 would clamp; a 200ms service gives T = 4
+        let slo = SloSpec::p95(1.0);
+        assert!((slo.timeout_ratio(0.8, 0.2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfied_by_simulation_result() {
+        use crate::simulator::{QueueSim, StationConfig};
+        let mut sim = QueueSim::new(
+            StationConfig::mm2(0.1, 0.5, 6.0, 1.0),
+            3,
+        );
+        let r = sim.run();
+        // generous target: must pass; impossible target: must fail
+        assert!(SloSpec::p95(100.0).satisfied_by(&r));
+        assert!(!SloSpec::p95(1e-6).satisfied_by(&r));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_target_rejected() {
+        SloSpec::p95(0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Probability distributions for workload and arrival modeling.
+//!
+//! Service-time and inter-arrival distributions in the paper's test
+//! environment are not all exponential: Spark stages are close to
+//! deterministic with jitter, microservice chains are right-skewed
+//! (lognormal-ish), and key-value lookups are nearly constant with a heavy
+//! tail. The [`Distribution`] enum covers those shapes and keeps experiment
+//! configuration serializable as plain data.
+
+use crate::rng::Rng64;
+
+/// A one-dimensional sampling distribution over non-negative values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// Always the same value.
+    Deterministic(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with the given mean.
+    Exponential { mean: f64 },
+    /// Lognormal parameterized by the *target* mean and the sigma of the
+    /// underlying normal (shape). Heavier `sigma` means a heavier tail.
+    LogNormal { mean: f64, sigma: f64 },
+    /// Two-branch hyperexponential: with probability `p` the mean is
+    /// `mean_a`, else `mean_b`. Captures bimodal query mixes.
+    HyperExp { p: f64, mean_a: f64, mean_b: f64 },
+    /// Bounded Pareto with shape `alpha` on `[lo, hi]`; heavy-tailed
+    /// service demands.
+    BoundedPareto { alpha: f64, lo: f64, hi: f64 },
+}
+
+impl Distribution {
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
+        match *self {
+            Distribution::Deterministic(v) => v,
+            Distribution::Uniform { lo, hi } => rng.next_range(lo, hi),
+            Distribution::Exponential { mean } => rng.next_exp(1.0 / mean),
+            Distribution::LogNormal { mean, sigma } => {
+                // mean of lognormal = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+                let mu = mean.ln() - sigma * sigma / 2.0;
+                (mu + sigma * rng.next_gaussian()).exp()
+            }
+            Distribution::HyperExp { p, mean_a, mean_b } => {
+                let mean = if rng.next_bool(p) { mean_a } else { mean_b };
+                rng.next_exp(1.0 / mean)
+            }
+            Distribution::BoundedPareto { alpha, lo, hi } => {
+                let u = rng.next_f64();
+                let la = lo.powf(alpha);
+                let ha = hi.powf(alpha);
+                let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+                x.clamp(lo, hi)
+            }
+        }
+    }
+
+    /// Analytic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Deterministic(v) => v,
+            Distribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Distribution::Exponential { mean } => mean,
+            Distribution::LogNormal { mean, .. } => mean,
+            Distribution::HyperExp { p, mean_a, mean_b } => p * mean_a + (1.0 - p) * mean_b,
+            Distribution::BoundedPareto { alpha, lo, hi } => {
+                if (alpha - 1.0).abs() < 1e-12 {
+                    let la = lo.powf(alpha);
+                    let ha = hi.powf(alpha);
+                    // limit form for alpha == 1
+                    la * (hi / lo).ln() / (1.0 - la / ha)
+                } else {
+                    let la = lo.powf(alpha);
+                    let ha = hi.powf(alpha);
+                    (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0))
+                        * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
+                }
+            }
+        }
+    }
+
+    /// Scale the distribution so its mean becomes `target_mean`, preserving
+    /// shape. Used to normalize arrival rates relative to service times
+    /// (Table 2 expresses inter-arrival as a percentage of service time).
+    pub fn scaled_to_mean(&self, target_mean: f64) -> Distribution {
+        assert!(target_mean > 0.0);
+        let k = target_mean / self.mean();
+        self.scaled(k)
+    }
+
+    /// Multiply all samples by `k` (k > 0).
+    pub fn scaled(&self, k: f64) -> Distribution {
+        assert!(k > 0.0, "scale must be positive");
+        match *self {
+            Distribution::Deterministic(v) => Distribution::Deterministic(v * k),
+            Distribution::Uniform { lo, hi } => Distribution::Uniform { lo: lo * k, hi: hi * k },
+            Distribution::Exponential { mean } => Distribution::Exponential { mean: mean * k },
+            Distribution::LogNormal { mean, sigma } => {
+                Distribution::LogNormal { mean: mean * k, sigma }
+            }
+            Distribution::HyperExp { p, mean_a, mean_b } => Distribution::HyperExp {
+                p,
+                mean_a: mean_a * k,
+                mean_b: mean_b * k,
+            },
+            Distribution::BoundedPareto { alpha, lo, hi } => {
+                Distribution::BoundedPareto { alpha, lo: lo * k, hi: hi * k }
+            }
+        }
+    }
+}
+
+/// Zipf sampler over ranks `0..n` with parameter `theta` (0 = uniform,
+/// larger = more skew). Used for key popularity in the Redis/YCSB workload
+/// model and for reuse-distance skew in data-reuse-heavy benchmarks.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which is
+/// O(1) per sample and exact.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // precomputed constants
+    hx0: f64,
+    hxm: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Create a Zipf sampler over `n` items with skew `theta > 0`,
+    /// `theta != 1` handled via the generalized harmonic form.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1);
+        assert!(theta > 0.0, "theta must be positive");
+        let q = theta;
+        let h = |x: f64| -> f64 {
+            if (q - 1.0).abs() < 1e-9 {
+                (1.0 + x).ln()
+            } else {
+                ((1.0 + x).powf(1.0 - q) - 1.0) / (1.0 - q)
+            }
+        };
+        let hx0 = h(0.5) - 1.0; // h(x0) with shifted origin
+        let hxm = h(n as f64 - 0.5);
+        let s = 1.0 - Self::h_inv_static(q, h(1.5) - 1.0);
+        Zipf { n, theta: q, hx0, hxm, s }
+    }
+
+    fn h_inv_static(q: f64, x: f64) -> f64 {
+        if (q - 1.0).abs() < 1e-9 {
+            x.exp() - 1.0
+        } else {
+            (1.0 + x * (1.0 - q)).powf(1.0 / (1.0 - q)) - 1.0
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if (self.theta - 1.0).abs() < 1e-9 {
+            (1.0 + x).ln()
+        } else {
+            ((1.0 + x).powf(1.0 - self.theta) - 1.0) / (1.0 - self.theta)
+        }
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        loop {
+            let u = self.hx0 + rng.next_f64() * (self.hxm - self.hx0);
+            let x = Self::h_inv_static(self.theta, u);
+            let k = (x + 0.5).floor().clamp(0.0, (self.n - 1) as f64);
+            // acceptance test
+            if k - x <= self.s || u >= self.h(k + 0.5) - (1.0 + k).powf(-self.theta) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &Distribution, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng64::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Distribution::Deterministic(3.5);
+        let mut rng = Rng64::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn exponential_sample_mean_matches() {
+        let d = Distribution::Exponential { mean: 2.0 };
+        let m = sample_mean(&d, 100_000, 2);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_sample_mean_matches() {
+        let d = Distribution::LogNormal { mean: 5.0, sigma: 0.8 };
+        let m = sample_mean(&d, 200_000, 3);
+        assert!((m - 5.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn hyperexp_mean() {
+        let d = Distribution::HyperExp { p: 0.3, mean_a: 1.0, mean_b: 10.0 };
+        assert!((d.mean() - 7.3).abs() < 1e-12);
+        let m = sample_mean(&d, 200_000, 4);
+        assert!((m - 7.3).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn bounded_pareto_in_range() {
+        let d = Distribution::BoundedPareto { alpha: 1.5, lo: 1.0, hi: 100.0 };
+        let mut rng = Rng64::new(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x));
+        }
+        let m = sample_mean(&d, 200_000, 6);
+        assert!((m - d.mean()).abs() / d.mean() < 0.05, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn scaled_to_mean_preserves_shape() {
+        let d = Distribution::HyperExp { p: 0.5, mean_a: 1.0, mean_b: 3.0 };
+        let s = d.scaled_to_mean(10.0);
+        assert!((s.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_most_popular_rank_dominates() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = Rng64::new(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should beat rank 10");
+        assert!(counts[0] > counts[100] * 3);
+        // all samples in range (indexing would have panicked otherwise)
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let z = Zipf::new(1, 0.9);
+        let mut rng = Rng64::new(8);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn zipf_theta_one_regression() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng64::new(9);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Used in two places in the reproduction, both from the paper:
+//! * stratified profiling (§4): seed experiments are clustered by effective
+//!   cache allocation and new settings are generated near cluster centroids;
+//! * insight extraction (§5.2): workloads are clustered by the concepts the
+//!   deep forest learned, revealing the arrival-rate/service-time/timeout
+//!   interaction that raw counters alone do not show.
+
+use crate::rng::Rng64;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centers, `k x dims`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Run k-means over `points` (each a dims-length vector).
+///
+/// `k` is clamped to the number of points. Empty clusters are re-seeded from
+/// the point farthest from its centroid, so the result always has `k`
+/// non-degenerate clusters when there are at least `k` distinct points.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut Rng64) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    let dims = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dims), "ragged points");
+    let k = k.min(points.len()).max(1);
+
+    // k-means++ seeding
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.next_index(points.len())].clone());
+    let mut dist2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            // all points coincide with some centroid; pick arbitrary
+            rng.next_index(points.len())
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (d, p) in dist2.iter_mut().zip(points) {
+            *d = d.min(sq_dist(p, centroids.last().expect("nonempty")));
+        }
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // assign
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // update
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // re-seed empty cluster at the point farthest from its centroid
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        sq_dist(p, &centroids[assignment[*i]])
+                            .partial_cmp(&sq_dist(q, &centroids[assignment[*j]]))
+                            .expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty points");
+                centroids[c] = points[far].clone();
+            } else {
+                for (cc, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cc = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeansResult { centroids, assignment, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, n: usize, rng: &mut Rng64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| vec![center + rng.next_gaussian() * 0.1, center + rng.next_gaussian() * 0.1])
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = Rng64::new(1);
+        let mut pts = blob(0.0, 50, &mut rng);
+        pts.extend(blob(10.0, 50, &mut rng));
+        let res = kmeans(&pts, 2, 100, &mut rng);
+        // all points in the same blob share an assignment
+        let a0 = res.assignment[0];
+        assert!(res.assignment[..50].iter().all(|&a| a == a0));
+        let a1 = res.assignment[50];
+        assert!(res.assignment[50..].iter().all(|&a| a == a1));
+        assert_ne!(a0, a1);
+        assert!(res.inertia < 10.0);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let mut rng = Rng64::new(2);
+        let pts = vec![vec![1.0], vec![2.0]];
+        let res = kmeans(&pts, 10, 10, &mut rng);
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let mut rng = Rng64::new(3);
+        let pts = vec![vec![5.0, 5.0]; 20];
+        let res = kmeans(&pts, 3, 50, &mut rng);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster() {
+        let mut rng = Rng64::new(4);
+        let pts = blob(1.0, 30, &mut rng);
+        let res = kmeans(&pts, 1, 50, &mut rng);
+        assert!((res.centroids[0][0] - 1.0).abs() < 0.1);
+        assert!(res.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = Rng64::new(9);
+        let mut r2 = Rng64::new(9);
+        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let a = kmeans(&pts, 4, 100, &mut r1);
+        let b = kmeans(&pts, 4, 100, &mut r2);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

@@ -1,0 +1,281 @@
+//! Online statistics and percentile estimation.
+//!
+//! Response-time experiments report means, medians and tail percentiles
+//! (the paper reports medians and 95th percentiles throughout). The
+//! [`OnlineStats`] accumulator uses Welford's algorithm; [`Percentiles`]
+//! stores samples and answers arbitrary quantile queries with linear
+//! interpolation (type-7, the R/NumPy default).
+
+/// Welford single-pass accumulator for count/mean/variance/min/max.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observed value (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observed value (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Quantile of a mutable slice using linear interpolation between order
+/// statistics (sorts the slice). `q` in `[0,1]`. Panics on empty input.
+pub fn quantile_in_place(values: &mut [f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q));
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (values.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        values[lo]
+    } else {
+        values[lo] + (h - lo as f64) * (values[hi] - values[lo])
+    }
+}
+
+/// Sample store supporting arbitrary quantile queries.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Empty store.
+    pub fn new() -> Self {
+        Percentiles { samples: Vec::new(), sorted: true }
+    }
+
+    /// Store with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Percentiles { samples: Vec::with_capacity(cap), sorted: true }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Add many samples.
+    pub fn extend_from(&mut self, xs: &[f64]) {
+        self.samples.extend_from_slice(xs);
+        self.sorted = false;
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Quantile `q` in `[0,1]`. Panics if empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "quantile of empty sample set");
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let h = q.clamp(0.0, 1.0) * (self.samples.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            self.samples[lo] + (h - lo as f64) * (self.samples[hi] - self.samples[lo])
+        }
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile — the paper's tail-latency metric.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Arithmetic mean. Panics if empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty());
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_var() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // population var is 4; sample var = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut p = Percentiles::new();
+        p.extend_from(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((p.median() - 2.5).abs() < 1e-12);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert_eq!(p.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn p95_of_uniform_grid() {
+        let mut p = Percentiles::new();
+        for i in 0..=100 {
+            p.push(i as f64);
+        }
+        assert!((p.p95() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_empty_panics() {
+        Percentiles::new().median();
+    }
+
+    #[test]
+    fn quantile_in_place_single() {
+        let mut v = [42.0];
+        assert_eq!(quantile_in_place(&mut v, 0.5), 42.0);
+    }
+}

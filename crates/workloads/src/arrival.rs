@@ -1,0 +1,99 @@
+//! Open-loop arrival processes.
+//!
+//! Table 2 expresses arrival intensity *relative to service time*: a 90%
+//! setting means the mean inter-arrival time is `service_time / 0.9`, i.e.
+//! the offered utilization of a single server is 0.9 (the evaluation's
+//! Figure-8 experiments run at 90%). Inter-arrival times are exponential in
+//! the paper's policy experiments; other shapes are supported for the G/G/k
+//! simulator's generality.
+
+use stca_util::{Distribution, Rng64, Seconds};
+
+/// An open-loop arrival process.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    inter_arrival: Distribution,
+}
+
+impl ArrivalProcess {
+    /// Build from an explicit inter-arrival distribution.
+    pub fn new(inter_arrival: Distribution) -> Self {
+        assert!(inter_arrival.mean() > 0.0, "inter-arrival mean must be positive");
+        ArrivalProcess { inter_arrival }
+    }
+
+    /// Poisson arrivals at utilization `util` of a `servers`-wide station
+    /// whose mean service time is `mean_service`: the arrival *rate* is
+    /// `util * servers / mean_service`.
+    pub fn poisson_at_utilization(util: f64, mean_service: Seconds, servers: usize) -> Self {
+        assert!(util > 0.0 && util < 1.5, "utilization out of sane range: {util}");
+        assert!(servers >= 1);
+        let rate = util * servers as f64 / mean_service;
+        ArrivalProcess::new(Distribution::Exponential { mean: 1.0 / rate })
+    }
+
+    /// Mean inter-arrival time.
+    pub fn mean_inter_arrival(&self) -> Seconds {
+        self.inter_arrival.mean()
+    }
+
+    /// Arrival rate (1 / mean inter-arrival).
+    pub fn rate(&self) -> f64 {
+        1.0 / self.inter_arrival.mean()
+    }
+
+    /// Draw the next inter-arrival gap.
+    pub fn next_gap(&self, rng: &mut Rng64) -> Seconds {
+        self.inter_arrival.sample(rng)
+    }
+
+    /// Generate the first `n` absolute arrival times starting at `t0`.
+    pub fn arrival_times(&self, n: usize, t0: Seconds, rng: &mut Rng64) -> Vec<Seconds> {
+        let mut t = t0;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap(rng);
+                t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_sets_rate() {
+        let a = ArrivalProcess::poisson_at_utilization(0.9, 2.0, 1);
+        assert!((a.rate() - 0.45).abs() < 1e-12);
+        let a2 = ArrivalProcess::poisson_at_utilization(0.5, 1.0, 4);
+        assert!((a2.rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_times_are_increasing() {
+        let a = ArrivalProcess::poisson_at_utilization(0.8, 1.0, 1);
+        let mut rng = Rng64::new(1);
+        let times = a.arrival_times(1000, 0.0, &mut rng);
+        assert_eq!(times.len(), 1000);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let a = ArrivalProcess::poisson_at_utilization(0.9, 1.0, 1);
+        let mut rng = Rng64::new(2);
+        let times = a.arrival_times(50_000, 0.0, &mut rng);
+        let rate = times.len() as f64 / times.last().expect("nonempty");
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn absurd_utilization_rejected() {
+        ArrivalProcess::poisson_at_utilization(5.0, 1.0, 1);
+    }
+}

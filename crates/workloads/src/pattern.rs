@@ -1,0 +1,515 @@
+//! Memory access patterns.
+//!
+//! An [`AccessGenerator`] turns a pattern description into a deterministic
+//! stream of `(address, kind)` pairs. Footprints are expressed in cache
+//! lines; the spec layer converts from "fractions of a 2 MB LLC way" so the
+//! same benchmark definition works at any simulator scale.
+
+use stca_cachesim::{AccessKind, Address};
+use stca_util::dist::Zipf;
+use stca_util::Rng64;
+
+/// Line size assumed by generators (matches every geometry in the repo).
+pub const LINE_BYTES: u64 = 64;
+
+/// Description of a benchmark's memory behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPattern {
+    /// Repeated sequential sweeps over `footprint_lines`, touching each line
+    /// `reuse` times before advancing (stencil-like neighbourhood reuse).
+    /// Jacobi: large grid, misses on every new line but L1/L2 reuse inside
+    /// the stencil.
+    Stencil {
+        /// Grid size in cache lines.
+        footprint_lines: u64,
+        /// Touches per line before moving on.
+        reuse: u32,
+    },
+    /// Zipf-skewed references over `footprint_lines` with skew `theta`.
+    /// High `theta` + small footprint = KNN/Kmeans-style high reuse; low
+    /// `theta` + large footprint = Redis-style low reuse.
+    ZipfReuse {
+        /// Working-set size in cache lines.
+        footprint_lines: u64,
+        /// Zipf skew (higher = hotter head).
+        theta: f64,
+    },
+    /// Uniformly random line references (pointer chasing). BFS frontier
+    /// expansion: limited reuse, moderate misses.
+    PointerChase {
+        /// Graph size in cache lines.
+        footprint_lines: u64,
+    },
+    /// One-directional streaming: every reference is a new line, wrapping
+    /// only after the whole footprint passes. Spstream windowed word count.
+    Stream {
+        /// Stream buffer size in cache lines.
+        footprint_lines: u64,
+    },
+    /// Zipf-popularity choice among `regions` microservice regions, each of
+    /// `region_lines` lines, with high locality inside the active region.
+    /// Models Social's 36 microservices sharing one allocation policy.
+    Microservices {
+        /// Number of microservice working sets.
+        regions: u32,
+        /// Lines per region.
+        region_lines: u64,
+        /// Popularity skew across regions.
+        theta: f64,
+    },
+    /// Kmeans-style: hot centroid block (always cache-resident) mixed with a
+    /// cold scan of the point set. `hot_fraction` of references go to the
+    /// centroids.
+    HotCold {
+        /// Centroid block size in lines.
+        hot_lines: u64,
+        /// Point-set size in lines.
+        cold_lines: u64,
+        /// Fraction of references hitting the hot block.
+        hot_fraction: f64,
+    },
+    /// Task-phase behaviour (Spark executors): the stream alternates
+    /// between sub-patterns every `phase_len` accesses, each phase working
+    /// in its own address region. Phase boundaries are the "task execution"
+    /// effect Table 1 attributes Spkmeans' extra misses to, and the fixed
+    /// phases dCat's throughput profiling assumes.
+    Phased {
+        /// The sub-patterns cycled through.
+        phases: Vec<AccessPattern>,
+        /// Accesses spent in each phase before switching.
+        phase_len: u64,
+    },
+}
+
+impl AccessPattern {
+    /// Total footprint in lines (hot + cold for mixed patterns).
+    pub fn footprint_lines(&self) -> u64 {
+        match *self {
+            AccessPattern::Stencil { footprint_lines, .. }
+            | AccessPattern::ZipfReuse { footprint_lines, .. }
+            | AccessPattern::PointerChase { footprint_lines }
+            | AccessPattern::Stream { footprint_lines } => footprint_lines,
+            AccessPattern::Microservices { regions, region_lines, .. } => {
+                regions as u64 * region_lines
+            }
+            AccessPattern::HotCold { hot_lines, cold_lines, .. } => hot_lines + cold_lines,
+            AccessPattern::Phased { ref phases, .. } => {
+                phases.iter().map(|p| p.footprint_lines()).sum()
+            }
+        }
+    }
+
+    /// Same pattern with every footprint scaled by `k` (clamped to >= 1
+    /// line). Used to match scaled-down cache geometries.
+    pub fn scaled(&self, k: f64) -> AccessPattern {
+        let s = |l: u64| ((l as f64 * k).round() as u64).max(1);
+        match *self {
+            AccessPattern::Stencil { footprint_lines, reuse } => {
+                AccessPattern::Stencil { footprint_lines: s(footprint_lines), reuse }
+            }
+            AccessPattern::ZipfReuse { footprint_lines, theta } => {
+                AccessPattern::ZipfReuse { footprint_lines: s(footprint_lines), theta }
+            }
+            AccessPattern::PointerChase { footprint_lines } => {
+                AccessPattern::PointerChase { footprint_lines: s(footprint_lines) }
+            }
+            AccessPattern::Stream { footprint_lines } => {
+                AccessPattern::Stream { footprint_lines: s(footprint_lines) }
+            }
+            AccessPattern::Microservices { regions, region_lines, theta } => {
+                AccessPattern::Microservices { regions, region_lines: s(region_lines), theta }
+            }
+            AccessPattern::HotCold { hot_lines, cold_lines, hot_fraction } => {
+                AccessPattern::HotCold {
+                    hot_lines: s(hot_lines),
+                    cold_lines: s(cold_lines),
+                    hot_fraction,
+                }
+            }
+            AccessPattern::Phased { ref phases, phase_len } => AccessPattern::Phased {
+                phases: phases.iter().map(|p| p.scaled(k)).collect(),
+                phase_len,
+            },
+        }
+    }
+}
+
+/// Stateful generator of one workload's address stream.
+#[derive(Debug, Clone)]
+pub struct AccessGenerator {
+    pattern: AccessPattern,
+    base: Address,
+    rng: Rng64,
+    /// Sequential position for scan/stream/stencil patterns.
+    cursor: u64,
+    /// Remaining touches of the current line (stencil).
+    remaining_reuse: u32,
+    /// Active microservice region.
+    active_region: u32,
+    /// References left before switching region.
+    region_budget: u32,
+    zipf: Option<Zipf>,
+    region_zipf: Option<Zipf>,
+    /// Sub-generators and rotation state for phased patterns.
+    phased: Option<PhasedState>,
+    /// Fraction of data references that are stores.
+    store_fraction: f64,
+}
+
+#[derive(Debug, Clone)]
+struct PhasedState {
+    gens: Vec<AccessGenerator>,
+    phase_len: u64,
+    active: usize,
+    remaining: u64,
+}
+
+impl AccessGenerator {
+    /// Create a generator. `base` offsets the workload into its own address
+    /// region so collocated workloads never alias.
+    pub fn new(pattern: AccessPattern, base: Address, store_fraction: f64, seed: u64) -> Self {
+        let zipf = match &pattern {
+            AccessPattern::ZipfReuse { footprint_lines, theta } => {
+                Some(Zipf::new((*footprint_lines).max(1), *theta))
+            }
+            _ => None,
+        };
+        let region_zipf = match &pattern {
+            AccessPattern::Microservices { regions, theta, .. } => {
+                Some(Zipf::new(*regions as u64, *theta))
+            }
+            _ => None,
+        };
+        let phased = match &pattern {
+            AccessPattern::Phased { phases, phase_len } => {
+                assert!(!phases.is_empty(), "phased pattern needs phases");
+                assert!(*phase_len > 0, "phase length must be positive");
+                let mut offset = 0u64;
+                let gens = phases
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let g = AccessGenerator::new(
+                            p.clone(),
+                            base + offset * LINE_BYTES,
+                            store_fraction,
+                            seed ^ ((i as u64 + 1) << 48),
+                        );
+                        offset += p.footprint_lines();
+                        g
+                    })
+                    .collect();
+                Some(PhasedState { gens, phase_len: *phase_len, active: 0, remaining: *phase_len })
+            }
+            _ => None,
+        };
+        AccessGenerator {
+            pattern,
+            base,
+            rng: Rng64::new(seed),
+            cursor: 0,
+            remaining_reuse: 0,
+            active_region: 0,
+            region_budget: 0,
+            zipf,
+            region_zipf,
+            phased,
+            store_fraction,
+        }
+    }
+
+    /// Pattern in use.
+    pub fn pattern(&self) -> &AccessPattern {
+        &self.pattern
+    }
+
+    #[inline]
+    fn addr_of_line(&self, line: u64) -> Address {
+        self.base + line * LINE_BYTES
+    }
+
+    /// Produce the next data access.
+    pub fn next_access(&mut self) -> (Address, AccessKind) {
+        if let Some(ph) = &mut self.phased {
+            if ph.remaining == 0 {
+                ph.active = (ph.active + 1) % ph.gens.len();
+                ph.remaining = ph.phase_len;
+            }
+            ph.remaining -= 1;
+            return ph.gens[ph.active].next_access();
+        }
+        let line = match &self.pattern {
+            AccessPattern::Stencil { footprint_lines, reuse } => {
+                if self.remaining_reuse == 0 {
+                    self.cursor = (self.cursor + 1) % (*footprint_lines).max(1);
+                    self.remaining_reuse = *reuse;
+                }
+                self.remaining_reuse -= 1;
+                // stencil touches the line and a near neighbour
+                if self.rng.next_bool(0.3) {
+                    (self.cursor + 1) % (*footprint_lines).max(1)
+                } else {
+                    self.cursor
+                }
+            }
+            AccessPattern::ZipfReuse { .. } => {
+                self.zipf.as_ref().expect("zipf built in new").sample(&mut self.rng)
+            }
+            AccessPattern::PointerChase { footprint_lines } => {
+                self.rng.next_below((*footprint_lines).max(1))
+            }
+            AccessPattern::Stream { footprint_lines } => {
+                self.cursor = (self.cursor + 1) % (*footprint_lines).max(1);
+                self.cursor
+            }
+            AccessPattern::Microservices { regions, region_lines, .. } => {
+                if self.region_budget == 0 {
+                    self.active_region =
+                        self.region_zipf.as_ref().expect("built in new").sample(&mut self.rng)
+                            as u32;
+                    self.region_budget = 16 + self.rng.next_below(48) as u32;
+                }
+                self.region_budget -= 1;
+                let within = if self.rng.next_bool(0.8) {
+                    // hot quarter of the region
+                    self.rng.next_below((region_lines / 4).max(1))
+                } else {
+                    self.rng.next_below((*region_lines).max(1))
+                };
+                let _ = regions;
+                self.active_region as u64 * region_lines + within
+            }
+            AccessPattern::HotCold { hot_lines, cold_lines, hot_fraction } => {
+                if self.rng.next_bool(*hot_fraction) {
+                    self.rng.next_below((*hot_lines).max(1))
+                } else {
+                    self.cursor = (self.cursor + 1) % (*cold_lines).max(1);
+                    hot_lines + self.cursor
+                }
+            }
+            AccessPattern::Phased { .. } => unreachable!("handled above"),
+        };
+        let kind = if self.rng.next_bool(self.store_fraction) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        (self.addr_of_line(line), kind)
+    }
+
+    /// Produce an instruction fetch from the workload's (small, hot) code
+    /// region. Code footprints fit L1i except for occasional cold paths.
+    pub fn next_ifetch(&mut self) -> (Address, AccessKind) {
+        // 64-line (4 KB) hot code region, 1% cold excursions to 1024 lines
+        let line = if self.rng.next_bool(0.99) {
+            self.rng.next_below(64)
+        } else {
+            self.rng.next_below(1024)
+        };
+        (self.base + (1 << 36) + line * LINE_BYTES, AccessKind::IFetch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn distinct_lines(pattern: AccessPattern, n: usize) -> usize {
+        let mut g = AccessGenerator::new(pattern, 0, 0.0, 42);
+        let mut seen = HashSet::new();
+        for _ in 0..n {
+            let (addr, _) = g.next_access();
+            seen.insert(addr / LINE_BYTES);
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn stream_touches_every_line_once_per_pass() {
+        let n = distinct_lines(AccessPattern::Stream { footprint_lines: 100 }, 100);
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn zipf_high_theta_concentrates() {
+        let hot = distinct_lines(
+            AccessPattern::ZipfReuse { footprint_lines: 10_000, theta: 1.2 },
+            5_000,
+        );
+        let cold = distinct_lines(
+            AccessPattern::ZipfReuse { footprint_lines: 10_000, theta: 0.4 },
+            5_000,
+        );
+        assert!(
+            hot < cold,
+            "skewed stream should touch fewer distinct lines ({hot} vs {cold})"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_spreads_wide() {
+        let n = distinct_lines(AccessPattern::PointerChase { footprint_lines: 1_000 }, 3_000);
+        assert!(n > 900, "uniform chase covers most lines, got {n}");
+    }
+
+    #[test]
+    fn stencil_reuses_lines() {
+        let mut g = AccessGenerator::new(
+            AccessPattern::Stencil { footprint_lines: 1000, reuse: 8 },
+            0,
+            0.0,
+            1,
+        );
+        let mut seen = HashSet::new();
+        for _ in 0..800 {
+            let (addr, _) = g.next_access();
+            seen.insert(addr / LINE_BYTES);
+        }
+        // ~800/8 = 100 distinct lines plus neighbours
+        assert!(seen.len() < 300, "stencil should reuse, saw {}", seen.len());
+    }
+
+    #[test]
+    fn hotcold_respects_fractions() {
+        let mut g = AccessGenerator::new(
+            AccessPattern::HotCold { hot_lines: 10, cold_lines: 10_000, hot_fraction: 0.9 },
+            0,
+            0.0,
+            2,
+        );
+        let mut hot_hits = 0;
+        for _ in 0..10_000 {
+            let (addr, _) = g.next_access();
+            if addr / LINE_BYTES < 10 {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.03, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn microservices_visit_many_regions() {
+        let mut g = AccessGenerator::new(
+            AccessPattern::Microservices { regions: 36, region_lines: 256, theta: 0.8 },
+            0,
+            0.0,
+            3,
+        );
+        let mut regions = HashSet::new();
+        for _ in 0..50_000 {
+            let (addr, _) = g.next_access();
+            regions.insert(addr / LINE_BYTES / 256);
+        }
+        assert!(regions.len() > 20, "should visit most regions, got {}", regions.len());
+    }
+
+    #[test]
+    fn store_fraction_honoured() {
+        let mut g = AccessGenerator::new(
+            AccessPattern::Stream { footprint_lines: 100 },
+            0,
+            0.3,
+            4,
+        );
+        let stores = (0..10_000)
+            .filter(|_| matches!(g.next_access().1, AccessKind::Store))
+            .count();
+        let frac = stores as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "store fraction {frac}");
+    }
+
+    #[test]
+    fn base_offsets_namespace_workloads() {
+        let mut a = AccessGenerator::new(AccessPattern::Stream { footprint_lines: 10 }, 0, 0.0, 5);
+        let mut b = AccessGenerator::new(
+            AccessPattern::Stream { footprint_lines: 10 },
+            1 << 40,
+            0.0,
+            5,
+        );
+        let (addr_a, _) = a.next_access();
+        let (addr_b, _) = b.next_access();
+        assert_ne!(addr_a, addr_b);
+        assert_eq!(addr_b - addr_a, 1 << 40);
+    }
+
+    #[test]
+    fn ifetch_is_mostly_hot() {
+        let mut g = AccessGenerator::new(AccessPattern::Stream { footprint_lines: 10 }, 0, 0.0, 6);
+        let mut lines = HashSet::new();
+        for _ in 0..5_000 {
+            let (addr, kind) = g.next_ifetch();
+            assert_eq!(kind, AccessKind::IFetch);
+            lines.insert(addr / LINE_BYTES);
+        }
+        assert!(lines.len() < 200, "code region should be small, got {}", lines.len());
+    }
+
+    #[test]
+    fn scaled_pattern_shrinks_footprint() {
+        let p = AccessPattern::ZipfReuse { footprint_lines: 1024, theta: 0.9 };
+        let s = p.scaled(1.0 / 64.0);
+        assert_eq!(s.footprint_lines(), 16);
+        // never collapses to zero
+        let tiny = p.scaled(1e-9);
+        assert_eq!(tiny.footprint_lines(), 1);
+    }
+
+    #[test]
+    fn phased_pattern_alternates_regions() {
+        let phases = vec![
+            AccessPattern::ZipfReuse { footprint_lines: 100, theta: 1.0 },
+            AccessPattern::Stream { footprint_lines: 1000 },
+        ];
+        let total = phases.iter().map(|p| p.footprint_lines()).sum::<u64>();
+        let p = AccessPattern::Phased { phases, phase_len: 50 };
+        assert_eq!(p.footprint_lines(), total);
+        let mut g = AccessGenerator::new(p, 0, 0.0, 9);
+        // first 50 accesses live in the first phase's region
+        for _ in 0..50 {
+            let (addr, _) = g.next_access();
+            assert!(addr / LINE_BYTES < 100);
+        }
+        // next 50 in the stream's region (offset by 100 lines)
+        for _ in 0..50 {
+            let (addr, _) = g.next_access();
+            let line = addr / LINE_BYTES;
+            assert!((100..1100).contains(&line), "line {line}");
+        }
+        // and back again
+        let (addr, _) = g.next_access();
+        assert!(addr / LINE_BYTES < 100);
+    }
+
+    #[test]
+    fn phased_scaling_scales_all_phases() {
+        let p = AccessPattern::Phased {
+            phases: vec![
+                AccessPattern::Stream { footprint_lines: 640 },
+                AccessPattern::PointerChase { footprint_lines: 320 },
+            ],
+            phase_len: 10,
+        };
+        let s = p.scaled(0.5);
+        assert_eq!(s.footprint_lines(), 480);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            AccessGenerator::new(
+                AccessPattern::ZipfReuse { footprint_lines: 500, theta: 0.9 },
+                0,
+                0.2,
+                77,
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The Social macro-benchmark's microservice topology.
+//!
+//! Social (§5, after DeathStarBench) composes **36 microservices in 30
+//! Docker containers**: a user query fans out from a frontend through
+//! compose/read paths into storage and cache tiers. All services share one
+//! allocation policy in the paper, so the cache model treats Social as a
+//! single workload whose *internal* structure drives its high service-time
+//! variance (queries touch different service subsets) and its many-region
+//! access pattern.
+//!
+//! This module builds the topology explicitly so examples can inspect it and
+//! so the per-query demand model (how many services a query touches, and the
+//! resulting demand multiplier) derives from the graph rather than from a
+//! hand-picked constant.
+
+use stca_util::Rng64;
+
+/// Tier a microservice belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Edge/API gateway services.
+    Frontend,
+    /// Business-logic services (compose, timeline, social graph...).
+    Logic,
+    /// Caches (memcached-style).
+    Cache,
+    /// Persistent stores (MongoDB-style).
+    Storage,
+}
+
+/// One microservice.
+#[derive(Debug, Clone)]
+pub struct Microservice {
+    /// Service index (0..36).
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Tier.
+    pub tier: Tier,
+    /// Container the service runs in (0..30; some containers host two).
+    pub container: usize,
+    /// Downstream services invoked (by id).
+    pub calls: Vec<usize>,
+    /// Relative service demand of this hop (unit mean across the graph).
+    pub demand_weight: f64,
+}
+
+/// The Social service graph.
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    services: Vec<Microservice>,
+}
+
+/// Services in the canonical Social deployment.
+pub const SERVICE_COUNT: usize = 36;
+/// Containers in the canonical Social deployment.
+pub const CONTAINER_COUNT: usize = 30;
+
+impl SocialGraph {
+    /// Build the canonical 36-service / 30-container topology: 4 frontend
+    /// services, 12 logic services, 10 caches, 10 stores. Each logic service
+    /// calls one cache and one store; the last 6 service pairs double up in
+    /// shared containers to land on 30 containers.
+    pub fn standard() -> Self {
+        let mut services = Vec::with_capacity(SERVICE_COUNT);
+        let mut container = 0;
+        let mut next_container = |shared_with: Option<usize>| -> usize {
+            match shared_with {
+                Some(c) => c,
+                None => {
+                    let c = container;
+                    container += 1;
+                    c
+                }
+            }
+        };
+
+        // 4 frontends (ids 0..4)
+        for i in 0..4 {
+            services.push(Microservice {
+                id: i,
+                name: format!("frontend-{i}"),
+                tier: Tier::Frontend,
+                container: next_container(None),
+                calls: Vec::new(), // filled below
+                demand_weight: 0.5,
+            });
+        }
+        // 12 logic services (ids 4..16)
+        let logic_names = [
+            "compose-post", "home-timeline", "user-timeline", "social-graph", "user",
+            "url-shorten", "media", "text", "unique-id", "post-storage-logic",
+            "write-home-timeline", "notification",
+        ];
+        for (i, name) in logic_names.iter().enumerate() {
+            services.push(Microservice {
+                id: 4 + i,
+                name: (*name).into(),
+                tier: Tier::Logic,
+                container: next_container(None),
+                calls: Vec::new(),
+                demand_weight: 1.0,
+            });
+        }
+        // 10 caches (ids 16..26) and 10 stores (ids 26..36); the last 6 of
+        // each pair share a container with its sibling.
+        for i in 0..10 {
+            services.push(Microservice {
+                id: 16 + i,
+                name: format!("cache-{i}"),
+                tier: Tier::Cache,
+                container: next_container(None),
+                calls: Vec::new(),
+                demand_weight: 0.4,
+            });
+        }
+        for i in 0..10 {
+            let shared = if i >= 4 {
+                // share with cache-i's container
+                Some(services[16 + i].container)
+            } else {
+                None
+            };
+            services.push(Microservice {
+                id: 26 + i,
+                name: format!("store-{i}"),
+                tier: Tier::Storage,
+                container: next_container(shared),
+                calls: Vec::new(),
+                demand_weight: 1.2,
+            });
+        }
+
+        // wire calls: frontends fan out to 3 logic services each;
+        // logic service j calls cache (16 + j % 10) and store (26 + j % 10)
+        for (f, svc) in services.iter_mut().take(4).enumerate() {
+            svc.calls = (0..3).map(|k| 4 + (f * 3 + k) % 12).collect();
+        }
+        for j in 0..12 {
+            services[4 + j].calls = vec![16 + j % 10, 26 + j % 10];
+        }
+
+        let g = SocialGraph { services };
+        debug_assert_eq!(g.container_count(), CONTAINER_COUNT);
+        g
+    }
+
+    /// All services.
+    pub fn services(&self) -> &[Microservice] {
+        &self.services
+    }
+
+    /// Number of distinct containers.
+    pub fn container_count(&self) -> usize {
+        let mut cs: Vec<usize> = self.services.iter().map(|s| s.container).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs.len()
+    }
+
+    /// Sample one query's path: the frontend chosen uniformly, its logic
+    /// fan-out, and each logic hop's cache/store calls (store skipped on a
+    /// simulated cache hit with probability `cache_hit`). Returns visited
+    /// service ids in invocation order.
+    pub fn sample_path(&self, cache_hit: f64, rng: &mut Rng64) -> Vec<usize> {
+        let mut path = Vec::with_capacity(12);
+        let frontend = rng.next_index(4);
+        path.push(frontend);
+        for &logic in &self.services[frontend].calls {
+            path.push(logic);
+            let calls = &self.services[logic].calls;
+            // calls[0] = cache, calls[1] = store
+            path.push(calls[0]);
+            if !rng.next_bool(cache_hit) {
+                path.push(calls[1]);
+            }
+        }
+        path
+    }
+
+    /// Demand multiplier of a sampled path: total demand weight of visited
+    /// services normalized by the mean path weight, so the multiplier is 1.0
+    /// on average. Heavier paths (cache misses to stores) produce the
+    /// long-tail queries Social is known for.
+    pub fn path_demand(&self, path: &[usize], cache_hit: f64) -> f64 {
+        let weight: f64 = path.iter().map(|&s| self.services[s].demand_weight).sum();
+        // mean path: frontend(0.5) + 3 x (logic 1.0 + cache 0.4 + (1-hit) x store 1.2)
+        let mean = 0.5 + 3.0 * (1.0 + 0.4 + (1.0 - cache_hit) * 1.2);
+        weight / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_counts() {
+        let g = SocialGraph::standard();
+        assert_eq!(g.services().len(), SERVICE_COUNT);
+        assert_eq!(g.container_count(), CONTAINER_COUNT);
+    }
+
+    #[test]
+    fn tiers_are_correctly_sized() {
+        let g = SocialGraph::standard();
+        let count = |t: Tier| g.services().iter().filter(|s| s.tier == t).count();
+        assert_eq!(count(Tier::Frontend), 4);
+        assert_eq!(count(Tier::Logic), 12);
+        assert_eq!(count(Tier::Cache), 10);
+        assert_eq!(count(Tier::Storage), 10);
+    }
+
+    #[test]
+    fn every_logic_service_calls_cache_and_store() {
+        let g = SocialGraph::standard();
+        for s in g.services().iter().filter(|s| s.tier == Tier::Logic) {
+            assert_eq!(s.calls.len(), 2, "{}", s.name);
+            assert_eq!(g.services()[s.calls[0]].tier, Tier::Cache);
+            assert_eq!(g.services()[s.calls[1]].tier, Tier::Storage);
+        }
+    }
+
+    #[test]
+    fn paths_start_at_frontend_and_are_valid() {
+        let g = SocialGraph::standard();
+        let mut rng = Rng64::new(1);
+        for _ in 0..100 {
+            let path = g.sample_path(0.8, &mut rng);
+            assert_eq!(g.services()[path[0]].tier, Tier::Frontend);
+            assert!(path.len() >= 7, "frontend + 3x(logic+cache) minimum");
+            assert!(path.iter().all(|&s| s < SERVICE_COUNT));
+        }
+    }
+
+    #[test]
+    fn cache_misses_lengthen_paths() {
+        let g = SocialGraph::standard();
+        let mut rng = Rng64::new(2);
+        let avg_len = |hit: f64, rng: &mut Rng64| -> f64 {
+            (0..2000).map(|_| g.sample_path(hit, rng).len()).sum::<usize>() as f64 / 2000.0
+        };
+        let hot = avg_len(0.95, &mut rng);
+        let cold = avg_len(0.2, &mut rng);
+        assert!(cold > hot + 1.0, "misses add store hops: {cold} vs {hot}");
+    }
+
+    #[test]
+    fn path_demand_has_unit_mean() {
+        let g = SocialGraph::standard();
+        let mut rng = Rng64::new(3);
+        let hit = 0.8;
+        let mean: f64 = (0..20_000)
+            .map(|_| {
+                let p = g.sample_path(hit, &mut rng);
+                g.path_demand(&p, hit)
+            })
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean demand multiplier {mean}");
+    }
+
+    #[test]
+    fn shared_containers_host_pairs() {
+        let g = SocialGraph::standard();
+        let mut by_container = std::collections::HashMap::new();
+        for s in g.services() {
+            by_container.entry(s.container).or_insert_with(Vec::new).push(s.id);
+        }
+        let doubled = by_container.values().filter(|v| v.len() == 2).count();
+        assert_eq!(doubled, 6, "six containers host a cache+store pair");
+        assert!(by_container.values().all(|v| v.len() <= 2));
+    }
+}

@@ -1,0 +1,63 @@
+//! Tour of the CAT substrate: resctrl-style schemata, class-of-service
+//! tables, way layouts, and the §2 conjectures (private regions disjoint,
+//! sharing degree at most 2) checked on real layouts.
+//!
+//! ```sh
+//! cargo run --example cat_resctrl_demo
+//! ```
+
+use stca_repro::cat::layout::{
+    private_regions_disjoint, private_ways, sharing_degree_bounded, ChainLayout,
+};
+use stca_repro::cat::resctrl::ResctrlFs;
+use stca_repro::cat::{PairLayout, ShortTermPolicy};
+
+fn main() {
+    // --- resctrl-style programming, as the paper's tooling (pqos) does ---
+    let ways = 20; // the E5-2683's 20-way, 40 MB LLC
+    let mut fs = ResctrlFs::mount(ways, 8);
+    let redis_default = fs.mkdir("redis-default").expect("COS available");
+    let redis_boost = fs.mkdir("redis-boost").expect("COS available");
+    // private ways #0-1; boost adds shared ways #2-3
+    fs.write_schemata(redis_default, "L3:0=3").expect("valid schemata");
+    fs.write_schemata(redis_boost, "L3:0=f").expect("valid schemata");
+    fs.assign_task(redis_default, 42).expect("task assigned");
+    let table = fs.commit().expect("commit to COS table");
+    println!("resctrl groups committed: task 42 runs under COS {}", fs.group_of(42));
+    println!(
+        "  default mask {} ({} ways), boost mask {}",
+        table.mask(redis_default).expect("exists").to_hex(),
+        table.mask(redis_default).expect("exists").length(),
+        table.mask(redis_boost).expect("exists").to_hex(),
+    );
+
+    // non-contiguous masks are rejected exactly as hardware rejects them
+    let mut fs2 = ResctrlFs::mount(ways, 4);
+    let g = fs2.mkdir("bad").expect("COS available");
+    let err = fs2.write_schemata(g, "L3:0=5").expect_err("0b101 is not contiguous");
+    println!("\nwriting mask 0x5: rejected ({err})");
+
+    // --- the paper's pairwise layout and the two conjectures ---
+    let layout = PairLayout::symmetric(2, 2);
+    let (pa, pb) = layout.policies(1.5, 0.75);
+    println!("\npair layout on 6 ways: A default {}, boosted {}", pa.default, pa.boosted);
+    println!("                       B default {}, boosted {}", pb.default, pb.boosted);
+    println!("A's private ways: {:?}", private_ways(&pa, &[pb]));
+    println!("B's private ways: {:?}", private_ways(&pb, &[pa]));
+    println!("conjecture 1 (private regions disjoint): {}", private_regions_disjoint(&[pa, pb]));
+    println!("conjecture 2 (sharing degree <= 2):      {}", sharing_degree_bounded(&[pa, pb]));
+
+    // chains of 5 workloads still satisfy both — contiguity forces pairwise
+    // interaction, which is why the paper's contention model is pairwise
+    let chain = ChainLayout::new(5, 2, 1);
+    let policies: Vec<ShortTermPolicy> = chain.policies(1.0);
+    println!(
+        "\nchain of 5 workloads ({} ways): disjoint={} bounded={}",
+        chain.total_ways(),
+        private_regions_disjoint(&policies),
+        sharing_degree_bounded(&policies),
+    );
+    for (i, p) in policies.iter().enumerate() {
+        println!("  workload {i}: default {} boosted {}", p.default, p.boosted);
+    }
+}

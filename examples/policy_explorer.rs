@@ -1,0 +1,94 @@
+//! Model-driven policy exploration (the paper's §5.2 workflow): profile a
+//! pair, train the model, explore the 5x5 timeout grid, pick the
+//! SLO-matched timeout vector, and verify the chosen policy in the test
+//! environment against the no-sharing baseline.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer
+//! ```
+
+use stca_repro::baselines::policies::no_sharing;
+use stca_repro::cat::PairLayout;
+use stca_repro::core::{ModelConfig, PolicyExplorer, Predictor};
+use stca_repro::profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_repro::profiler::profile::{ProfileRow, ProfileSet};
+use stca_repro::profiler::sampler::CounterOrdering;
+use stca_repro::util::Rng64;
+use stca_repro::workloads::{BenchmarkId, RuntimeCondition, WorkloadSpec};
+
+fn run_policies(
+    pair: (BenchmarkId, BenchmarkId),
+    policies: &[stca_repro::cat::ShortTermPolicy],
+    seed: u64,
+) -> Vec<f64> {
+    let cond = RuntimeCondition::pair(pair.0, 0.9, 6.0, pair.1, 0.9, 6.0);
+    let spec = ExperimentSpec {
+        measured_queries: 200,
+        warmup_queries: 30,
+        accesses_per_query: Some(1200),
+        ..ExperimentSpec::standard(cond, seed)
+    };
+    let out = TestEnvironment::new(spec).run_with_policies(Some(policies.to_vec()));
+    out.workloads
+        .iter()
+        .map(|w| w.p95_response() / WorkloadSpec::for_benchmark(w.benchmark).mean_service_time)
+        .collect()
+}
+
+fn main() {
+    let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
+    let layout = PairLayout::symmetric(2, 2);
+
+    // profile
+    let mut rng = Rng64::new(11);
+    let mut profiles = ProfileSet::new();
+    println!("profiling {}({}) ...", pair.0, pair.1);
+    for i in 0..10 {
+        let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
+        let spec = ExperimentSpec {
+            measured_queries: 150,
+            warmup_queries: 20,
+            accesses_per_query: Some(1200),
+            ..ExperimentSpec::standard(condition.clone(), 300 + i)
+        };
+        let outcome = TestEnvironment::new(spec).run();
+        for (j, w) in outcome.workloads.iter().enumerate() {
+            profiles.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+        }
+    }
+
+    // train + explore
+    println!("training and exploring the timeout grid at 90% arrival ...");
+    let predictor = Predictor::train(&profiles, &ModelConfig::quick(5));
+    let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, 0.9);
+    let result = explorer.explore();
+    println!("\npredicted normalized p95 over the 5x5 grid (rows = T_{}, cols = T_{}):", pair.0, pair.1);
+    for (i, row) in result.grid.iter().enumerate() {
+        let cells: Vec<String> =
+            row.iter().map(|(a, b)| format!("{a:.1}/{b:.1}")).collect();
+        println!(
+            "  T={:4.2} | {}",
+            stca_repro::core::explorer::TIMEOUT_GRID[i],
+            cells.join("  ")
+        );
+    }
+    println!(
+        "\nchosen timeout vector: T_{} = {:.2}, T_{} = {:.2} (SLO intersection: {})",
+        pair.0, result.timeout_a, pair.1, result.timeout_b, result.intersected
+    );
+
+    // verify against the no-sharing baseline
+    let chosen = result.policies(&layout);
+    let base = run_policies(pair, &no_sharing(&layout), 777);
+    let ours = run_policies(pair, &chosen, 778);
+    println!("\nverification in the test environment (p95 / expected service):");
+    for (i, b) in [pair.0, pair.1].iter().enumerate() {
+        println!(
+            "  {:>8}: no-sharing {:.2}, model-driven {:.2}  -> speedup {:.2}x",
+            b.short_name(),
+            base[i],
+            ours[i],
+            base[i] / ours[i]
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: profile a collocated pair, train the model, predict
+//! response time, and compare against ground truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stca_repro::core::{ModelConfig, Predictor};
+use stca_repro::profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_repro::profiler::profile::{ProfileRow, ProfileSet};
+use stca_repro::profiler::sampler::CounterOrdering;
+use stca_repro::util::Rng64;
+use stca_repro::workloads::{BenchmarkId, RuntimeCondition};
+
+fn main() {
+    // 1. Stage 1 — profile Redis collocated with the Social microservice
+    //    benchmark under a handful of random Table-2 conditions.
+    let pair = (BenchmarkId::Redis, BenchmarkId::Social);
+    let mut rng = Rng64::new(7);
+    let mut profiles = ProfileSet::new();
+    println!("profiling {}({}) ...", pair.0, pair.1);
+    for i in 0..8 {
+        let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
+        let spec = ExperimentSpec {
+            measured_queries: 150,
+            warmup_queries: 20,
+            accesses_per_query: Some(1200),
+            ..ExperimentSpec::standard(condition.clone(), 100 + i)
+        };
+        let outcome = TestEnvironment::new(spec).run();
+        for (j, w) in outcome.workloads.iter().enumerate() {
+            println!(
+                "  condition {i}, {:>8}: util={:.2} timeout={:.2} -> mean resp {:.4}s, EA {:.2}",
+                w.benchmark.short_name(),
+                condition.workloads[j].utilization,
+                condition.workloads[j].timeout_ratio,
+                w.mean_response(),
+                w.effective_allocation,
+            );
+            profiles.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+        }
+    }
+
+    // 2. Stage 2 — train the deep-forest models on the profiles.
+    println!("\ntraining deep forest on {} profile rows ...", profiles.len());
+    let predictor = Predictor::train(&profiles, &ModelConfig::quick(42));
+
+    // 3. Stage 3 — predict response time for a fresh, unseen condition and
+    //    compare with what the test environment actually measures.
+    let condition = RuntimeCondition::pair(pair.0, 0.9, 0.75, pair.1, 0.9, 1.5);
+    let spec = ExperimentSpec {
+        measured_queries: 200,
+        warmup_queries: 30,
+        accesses_per_query: Some(1200),
+        ..ExperimentSpec::standard(condition.clone(), 999)
+    };
+    let outcome = TestEnvironment::new(spec).run();
+    println!("\nunseen condition: both at 90% arrival, T_redis=75%, T_social=150%");
+    for (j, w) in outcome.workloads.iter().enumerate() {
+        let row = ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped);
+        let pred = predictor.predict_response(&row, w.benchmark);
+        let measured = w.mean_response();
+        println!(
+            "  {:>8}: predicted mean {:.4}s (EA {:.2}), measured {:.4}s  -> APE {:.1}%",
+            w.benchmark.short_name(),
+            pred.mean_response,
+            pred.ea,
+            measured,
+            stca_repro::util::absolute_percent_error(pred.mean_response, measured),
+        );
+    }
+}

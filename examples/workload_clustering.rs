@@ -1,0 +1,67 @@
+//! The §5.2 insight experiment: clustering runtime conditions by the deep
+//! forest's learned *concepts* exposes the arrival-rate / service-time /
+//! timeout interaction behind effective allocation, while clustering raw
+//! hardware counters does not.
+//!
+//! ```sh
+//! cargo run --release --example workload_clustering
+//! ```
+
+use stca_repro::core::insight::{cluster_by_concepts, cluster_by_counters};
+use stca_repro::core::{ModelConfig, Predictor};
+use stca_repro::profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_repro::profiler::profile::{ProfileRow, ProfileSet};
+use stca_repro::profiler::sampler::CounterOrdering;
+use stca_repro::util::Rng64;
+use stca_repro::workloads::{BenchmarkId, RuntimeCondition};
+
+fn main() {
+    let pair = (BenchmarkId::Kmeans, BenchmarkId::Redis);
+    let mut rng = Rng64::new(3);
+    let mut profiles = ProfileSet::new();
+    println!("profiling {}({}) over random conditions ...", pair.0, pair.1);
+    for i in 0..12 {
+        let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
+        let spec = ExperimentSpec {
+            measured_queries: 120,
+            warmup_queries: 20,
+            accesses_per_query: Some(1000),
+            ..ExperimentSpec::standard(condition.clone(), 600 + i)
+        };
+        let outcome = TestEnvironment::new(spec).run();
+        for (j, w) in outcome.workloads.iter().enumerate() {
+            profiles.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+        }
+    }
+    let predictor = Predictor::train(&profiles, &ModelConfig::quick(9));
+
+    let k = 3;
+    let mut rng = Rng64::new(17);
+    let concepts = cluster_by_concepts(&predictor, &profiles, k, &mut rng);
+    let counters = cluster_by_counters(&profiles, k, &mut rng);
+
+    let show = |name: &str, a: &stca_repro::core::insight::ClusterAnalysis| {
+        println!("\n{name} clustering (k={k}):");
+        println!(
+            "{:>8} {:>6} {:>10} {:>10} {:>8} {:>8}",
+            "cluster", "size", "mean util", "mean T", "mean EA", "EA std"
+        );
+        for (i, c) in a.clusters.iter().enumerate() {
+            if c.size == 0 {
+                continue;
+            }
+            println!(
+                "{:>8} {:>6} {:>10.2} {:>10.2} {:>8.2} {:>8.3}",
+                i, c.size, c.mean_utilization, c.mean_timeout, c.mean_ea, c.ea_std
+            );
+        }
+        println!("weighted within-cluster EA dispersion: {:.4}", a.weighted_ea_dispersion());
+    };
+    show("concept-space", &concepts);
+    show("raw-counter", &counters);
+    println!(
+        "\nThe concept clustering should separate EA regimes more cleanly \
+         (lower dispersion), revealing that EA depends jointly on arrival \
+         rate and timeout — the interaction the paper reports raw counters miss."
+    );
+}

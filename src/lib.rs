@@ -1,0 +1,16 @@
+//! Umbrella crate for the STCA reproduction workspace.
+//!
+//! Re-exports every sub-crate so examples and integration tests can depend on
+//! a single package. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+
+pub use stca_baselines as baselines;
+pub use stca_cachesim as cachesim;
+pub use stca_cat as cat;
+pub use stca_core as core;
+pub use stca_deepforest as deepforest;
+pub use stca_neuralnet as neuralnet;
+pub use stca_profiler as profiler;
+pub use stca_queuesim as queuesim;
+pub use stca_util as util;
+pub use stca_workloads as workloads;

@@ -1,0 +1,89 @@
+//! Integration tests for >2-workload collocation (chain layouts) — the
+//! Figure-7b configuration where bigger caches host more services.
+
+use stca_repro::cat::layout::{ChainLayout, ExperimentLayout};
+use stca_repro::profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_repro::workloads::{BenchmarkId, RuntimeCondition};
+
+fn chain_spec(n: usize, timeout: f64, seed: u64) -> ExperimentSpec {
+    let benchmarks: Vec<BenchmarkId> = [
+        BenchmarkId::Kmeans,
+        BenchmarkId::Bfs,
+        BenchmarkId::Redis,
+        BenchmarkId::Knn,
+    ]
+    .into_iter()
+    .cycle()
+    .take(n)
+    .collect();
+    let mut rng = stca_repro::util::Rng64::new(seed);
+    let mut cond = RuntimeCondition::random_chain(&benchmarks, &mut rng);
+    for w in &mut cond.workloads {
+        w.utilization = 0.7;
+        w.timeout_ratio = timeout;
+    }
+    ExperimentSpec {
+        layout: ExperimentLayout::Chain(ChainLayout::new(n, 2, 2)),
+        measured_queries: 40,
+        warmup_queries: 8,
+        accesses_per_query: Some(300),
+        ..ExperimentSpec::quick(cond, seed)
+    }
+}
+
+#[test]
+fn three_workload_chain_runs() {
+    let out = TestEnvironment::new(chain_spec(3, 1.0, 1)).run();
+    assert_eq!(out.workloads.len(), 3);
+    for w in &out.workloads {
+        assert_eq!(w.response_times.len(), 40);
+        assert!(w.mean_response() > 0.0);
+        assert!(w.effective_allocation > 0.0);
+        assert_eq!(w.trace.len(), 20);
+    }
+}
+
+#[test]
+fn four_workload_chain_fits_default_platform() {
+    // 4 workloads x 2 private + 3 x 2 shared = 14 ways <= 20
+    let spec = chain_spec(4, 0.5, 2);
+    assert!(spec.layout.total_ways() <= spec.config.llc.ways);
+    let out = TestEnvironment::new(spec).run();
+    assert_eq!(out.workloads.len(), 4);
+    // interior workloads have larger boost regions than edge ones
+    let edge_ratio = out.workloads[0].policy.allocation_ratio();
+    let interior_ratio = out.workloads[1].policy.allocation_ratio();
+    assert!(
+        interior_ratio > edge_ratio,
+        "interior chain workloads boost into both neighbours: {interior_ratio} vs {edge_ratio}"
+    );
+}
+
+#[test]
+fn chain_baseline_never_boosts() {
+    let out = TestEnvironment::new(chain_spec(3, 0.25, 3)).run_baseline();
+    for w in &out.workloads {
+        assert_eq!(w.boost_fraction(), 0.0);
+        assert_eq!(w.cos_switches, 0);
+    }
+}
+
+#[test]
+fn chain_neighbours_contend_in_shared_regions() {
+    // aggressive timeouts on all three: the middle workload shares with
+    // both neighbours and should see evictions from/to its shared regions
+    let out = TestEnvironment::new(chain_spec(3, 0.0, 4)).run();
+    let middle = &out.workloads[1];
+    assert!(
+        middle.boost_fraction() > 0.5,
+        "T=0 should boost the middle workload frequently"
+    );
+}
+
+#[test]
+#[should_panic(expected = "layout must host")]
+fn layout_arity_mismatch_rejected() {
+    let mut spec = chain_spec(3, 1.0, 5);
+    spec.layout = ExperimentLayout::pair_symmetric(2, 2); // 2 regions, 3 workloads
+    let _ = TestEnvironment::new(spec);
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration: the full Stage 1 → 2 → 3 pipeline plus policy
+//! exploration, spanning every crate in the workspace.
+
+use stca_repro::core::{ModelConfig, PolicyExplorer, Predictor};
+use stca_repro::profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_repro::profiler::profile::{ProfileRow, ProfileSet};
+use stca_repro::profiler::sampler::CounterOrdering;
+use stca_repro::util::Rng64;
+use stca_repro::workloads::{BenchmarkId, RuntimeCondition};
+
+fn build_profiles(
+    pair: (BenchmarkId, BenchmarkId),
+    n: usize,
+    seed: u64,
+) -> (ProfileSet, Vec<RuntimeCondition>) {
+    let mut rng = Rng64::new(seed);
+    let mut set = ProfileSet::new();
+    let mut conds = Vec::new();
+    for i in 0..n {
+        let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
+        let outcome =
+            TestEnvironment::new(ExperimentSpec::quick(condition.clone(), seed + i as u64)).run();
+        for (j, w) in outcome.workloads.iter().enumerate() {
+            set.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+        }
+        conds.push(condition);
+    }
+    (set, conds)
+}
+
+#[test]
+fn profile_train_predict_pipeline() {
+    let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
+    let (profiles, _) = build_profiles(pair, 6, 0xE2E);
+    assert_eq!(profiles.len(), 12);
+
+    let predictor = Predictor::train(&profiles, &ModelConfig::quick(1));
+    // every training row gets a finite, positive prediction
+    for row in &profiles.rows {
+        let pred = predictor.predict_response(row, pair.0);
+        assert!(pred.mean_response > 0.0 && pred.mean_response.is_finite());
+        assert!(pred.p95_response >= pred.median_response);
+        assert!(pred.ea > 0.0 && pred.ea <= 2.0);
+        assert!(pred.boost_rate > 0.0);
+    }
+}
+
+#[test]
+fn prediction_correlates_with_ground_truth_direction() {
+    // train on mixed conditions, then check the model predicts *higher*
+    // response for a high-utilization condition than a low one
+    let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
+    let (profiles, _) = build_profiles(pair, 6, 0xD1);
+    let predictor = Predictor::train(&profiles, &ModelConfig::quick(2));
+
+    let mk = |util: f64, seed: u64| {
+        let condition = RuntimeCondition::pair(pair.0, util, 6.0, pair.1, 0.5, 6.0);
+        let out = TestEnvironment::new(ExperimentSpec::quick(condition.clone(), seed)).run();
+        ProfileRow::from_outcome(&condition, 0, &out.workloads[0], CounterOrdering::Grouped)
+    };
+    let low = predictor.predict_response(&mk(0.3, 50), pair.0);
+    let high = predictor.predict_response(&mk(0.9, 51), pair.0);
+    assert!(
+        high.mean_response > low.mean_response,
+        "predicted response must grow with utilization: {} vs {}",
+        low.mean_response,
+        high.mean_response
+    );
+}
+
+#[test]
+fn explorer_end_to_end() {
+    let pair = (BenchmarkId::Redis, BenchmarkId::Social);
+    let (profiles, _) = build_profiles(pair, 5, 0xE3);
+    let predictor = Predictor::train(&profiles, &ModelConfig::quick(3));
+    let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, 0.9);
+    let result = explorer.explore();
+    // the chosen vector is on the grid and all predictions are positive
+    assert!(result.grid.iter().flatten().all(|&(a, b)| a > 0.0 && b > 0.0));
+    let layout = stca_repro::cat::PairLayout::symmetric(2, 2);
+    let policies = result.policies(&layout);
+    assert_eq!(policies.len(), 2);
+    // chosen policies can actually run in the environment
+    let cond = RuntimeCondition::pair(pair.0, 0.9, 6.0, pair.1, 0.9, 6.0);
+    let out = TestEnvironment::new(ExperimentSpec::quick(cond, 99))
+        .run_with_policies(Some(policies));
+    assert_eq!(out.workloads.len(), 2);
+    assert!(out.workloads.iter().all(|w| w.mean_response() > 0.0));
+}
+
+#[test]
+fn effective_allocation_reacts_to_contention() {
+    // redis alone boosting vs redis boosting while kmeans also boosts into
+    // the same shared ways: EA should not improve when contention appears
+    let mk = |partner_timeout: f64, seed: u64| {
+        let cond = RuntimeCondition::pair(
+            BenchmarkId::Redis,
+            0.8,
+            0.25,
+            BenchmarkId::Kmeans,
+            0.8,
+            partner_timeout,
+        );
+        let out = TestEnvironment::new(ExperimentSpec::quick(cond, seed)).run();
+        out.workloads[0].effective_allocation
+    };
+    // average over a few seeds to suppress run noise
+    let solo: f64 = (0..3).map(|s| mk(6.0, 200 + s)).sum::<f64>() / 3.0;
+    let contended: f64 = (0..3).map(|s| mk(0.0, 300 + s)).sum::<f64>() / 3.0;
+    assert!(
+        contended <= solo * 1.15,
+        "contention should not raise redis' EA: solo {solo:.3} vs contended {contended:.3}"
+    );
+}

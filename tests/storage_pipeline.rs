@@ -1,0 +1,54 @@
+//! Integration: the offline workflow — profile, persist, reload, train —
+//! must be equivalent to training on the in-memory profiles (the paper's
+//! separation of offline profiling from model exploration).
+
+use stca_repro::core::{ModelConfig, Predictor};
+use stca_repro::profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_repro::profiler::profile::{ProfileRow, ProfileSet};
+use stca_repro::profiler::sampler::CounterOrdering;
+use stca_repro::profiler::storage;
+use stca_repro::util::Rng64;
+use stca_repro::workloads::{BenchmarkId, RuntimeCondition};
+
+fn profiles(n: usize, seed: u64) -> ProfileSet {
+    let mut rng = Rng64::new(seed);
+    let mut set = ProfileSet::new();
+    for i in 0..n {
+        let cond = RuntimeCondition::random_pair(BenchmarkId::Knn, BenchmarkId::Redis, &mut rng);
+        let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), seed + i as u64)).run();
+        for (j, w) in out.workloads.iter().enumerate() {
+            set.push(ProfileRow::from_outcome(&cond, j, w, CounterOrdering::Grouped));
+        }
+    }
+    set
+}
+
+#[test]
+fn persisted_profiles_train_identical_models() {
+    let set = profiles(4, 0x57);
+    let text = storage::to_string(&set);
+    let reloaded = storage::from_string(&text).expect("roundtrip");
+    assert_eq!(reloaded.len(), set.len());
+
+    let m1 = Predictor::train(&set, &ModelConfig::quick(3));
+    let m2 = Predictor::train(&reloaded, &ModelConfig::quick(3));
+    // bit-exact roundtrip + deterministic training = identical predictions
+    for row in &set.rows {
+        assert_eq!(m1.predict_ea(row), m2.predict_ea(row));
+        assert_eq!(
+            m1.predict_base_service_norm(row),
+            m2.predict_base_service_norm(row)
+        );
+    }
+}
+
+#[test]
+fn profile_file_is_diffable_text() {
+    let set = profiles(2, 0x58);
+    let text = storage::to_string(&set);
+    assert!(text.starts_with("STCA-PROFILES v1\n"));
+    // purely line-oriented ASCII: no tabs, no binary
+    assert!(text.bytes().all(|b| b == b'\n' || (0x20..0x7f).contains(&b)));
+    let lines = text.lines().count();
+    assert!(lines > 10, "one record spans multiple readable lines");
+}
