@@ -69,7 +69,7 @@ impl Ridge {
         assert!(lambda >= 0.0);
         let n = x.rows();
         let d = x.cols() + 1; // + intercept
-        // normal matrix A = X'X + lambda I, rhs = X'y
+                              // normal matrix A = X'X + lambda I, rhs = X'y
         let mut a = vec![0.0; d * d];
         let mut rhs = vec![0.0; d];
         #[allow(clippy::needless_range_loop)]
@@ -104,7 +104,11 @@ impl Ridge {
 
     /// Predict one feature vector.
     pub fn predict(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len() + 1, self.weights.len(), "feature width mismatch");
+        assert_eq!(
+            features.len() + 1,
+            self.weights.len(),
+            "feature width mismatch"
+        );
         let mut acc = *self.weights.last().expect("intercept present");
         for (w, x) in self.weights.iter().zip(features) {
             acc += w * x;

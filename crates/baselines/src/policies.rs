@@ -125,10 +125,7 @@ pub fn policies_for(
             let mut best_ta = 6.0;
             let mut best_score_a = f64::INFINITY;
             for &t in &DYNASPRINT_TIMEOUTS {
-                let cand = vec![
-                    ShortTermPolicy::new(pa.default, layout.boosted_a(), t),
-                    pb,
-                ];
+                let cand = vec![ShortTermPolicy::new(pa.default, layout.boosted_a(), t), pb];
                 let score = eval(&cand, Some(DYNASPRINT_CALIBRATION_UTIL))[0];
                 if score < best_score_a {
                     best_score_a = score;
@@ -138,10 +135,7 @@ pub fn policies_for(
             let mut best_tb = 6.0;
             let mut best_score_b = f64::INFINITY;
             for &t in &DYNASPRINT_TIMEOUTS {
-                let cand = vec![
-                    pa,
-                    ShortTermPolicy::new(pb.default, layout.boosted_b(), t),
-                ];
+                let cand = vec![pa, ShortTermPolicy::new(pb.default, layout.boosted_b(), t)];
                 let score = eval(&cand, Some(DYNASPRINT_CALIBRATION_UTIL))[1];
                 if score < best_score_b {
                     best_score_b = score;
@@ -159,7 +153,10 @@ pub fn policies_for(
 /// partition (adjacent to A's private span, keeping contiguity), the rest
 /// join B's. Both resulting settings are contiguous and disjoint.
 pub fn split_shared(layout: &PairLayout, to_a: usize) -> (AllocationSetting, AllocationSetting) {
-    assert!(to_a <= layout.shared, "cannot grant more than the shared region");
+    assert!(
+        to_a <= layout.shared,
+        "cannot grant more than the shared region"
+    );
     let a = AllocationSetting::new(layout.base_way, layout.private_a + to_a);
     let b_start = layout.base_way + layout.private_a + to_a;
     let b = AllocationSetting::new(b_start, (layout.shared - to_a) + layout.private_b);
@@ -167,7 +164,10 @@ pub fn split_shared(layout: &PairLayout, to_a: usize) -> (AllocationSetting, All
 }
 
 fn static_pair(a: AllocationSetting, b: AllocationSetting) -> Vec<ShortTermPolicy> {
-    vec![ShortTermPolicy::static_only(a), ShortTermPolicy::static_only(b)]
+    vec![
+        ShortTermPolicy::static_only(a),
+        ShortTermPolicy::static_only(b),
+    ]
 }
 
 /// Private-ways-only policies.
@@ -245,7 +245,10 @@ mod tests {
         let ps = policies_for(PolicyStrategy::DCat, &layout(), &mut eval);
         assert_eq!(ps[1].default.length, 4, "B gets the shared region");
         assert_eq!(ps[0].default.length, 2, "A keeps private only");
-        assert!(!ps[0].boost_enabled() && !ps[1].boost_enabled(), "dCat is static");
+        assert!(
+            !ps[0].boost_enabled() && !ps[1].boost_enabled(),
+            "dCat is static"
+        );
     }
 
     #[test]
@@ -290,13 +293,18 @@ mod tests {
             utils_seen.push(u);
             // pretend T=0.75 is best for A, T=3.0 for B at low rate
             let score = |t: f64, best: f64| (t - best).abs() + 1.0;
-            vec![score(ps[0].timeout_ratio, 0.75), score(ps[1].timeout_ratio, 3.0)]
+            vec![
+                score(ps[0].timeout_ratio, 0.75),
+                score(ps[1].timeout_ratio, 3.0),
+            ]
         };
         let ps = policies_for(PolicyStrategy::DynaSprint, &layout(), &mut eval);
         assert_eq!(ps[0].timeout_ratio, 0.75);
         assert_eq!(ps[1].timeout_ratio, 3.0);
         assert!(
-            utils_seen.iter().all(|u| *u == Some(DYNASPRINT_CALIBRATION_UTIL)),
+            utils_seen
+                .iter()
+                .all(|u| *u == Some(DYNASPRINT_CALIBRATION_UTIL)),
             "dynaSprint only ever measures at its calibration rate"
         );
         assert!(ps[0].boost_enabled());

@@ -1,11 +1,15 @@
-//! Criterion microbenchmarks for the performance-critical substrates:
-//! cache-hierarchy access throughput (the hot loop of every experiment),
-//! queueing simulation, tree/forest training, and multi-grain scanning.
+//! Microbenchmarks for the performance-critical substrates: cache-hierarchy
+//! access throughput (the hot loop of every experiment), queueing
+//! simulation, tree/forest training, multi-grain scanning — and the
+//! observability fast paths (disabled log call sites, counter increments,
+//! histogram records), which must stay in the low-nanosecond range so
+//! instrumented hot loops pay nothing when logging is off.
 //!
-//! Run with `cargo bench -p stca-bench`.
+//! The harness is hand-rolled on `std::time::Instant` because the build
+//! environment is offline (no `criterion`): each benchmark runs a warm-up,
+//! then `SAMPLES` timed batches, and reports the median, min, and max
+//! per-iteration time. Run with `cargo bench -p stca-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::hint::black_box;
 use stca_cachesim::{AccessKind, Hierarchy, HierarchyConfig};
 use stca_cat::AllocationSetting;
 use stca_deepforest::forest::{Forest, ForestConfig};
@@ -13,68 +17,129 @@ use stca_deepforest::mgs::{MgsConfig, MultiGrainScanner};
 use stca_queuesim::{QueueSim, StationConfig};
 use stca_util::{Distribution, Matrix, Rng64};
 use stca_workloads::{AccessGenerator, AccessPattern};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_hierarchy_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cachesim");
-    let n: u64 = 10_000;
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("hierarchy_access_10k", |b| {
-        let config = HierarchyConfig::experiment_default();
-        let mut hier = Hierarchy::new(config, 1);
-        hier.set_llc_mask(0, AllocationSetting::new(0, 4).to_cbm(20).expect("valid"));
-        let mut gen = AccessGenerator::new(
-            AccessPattern::ZipfReuse { footprint_lines: 4096, theta: 0.8 },
-            0,
-            0.2,
-            2,
-        );
-        b.iter(|| {
-            for _ in 0..n {
-                let (a, k) = gen.next_access();
-                black_box(hier.access(0, a, k));
-            }
-        });
+const SAMPLES: usize = 15;
+
+/// Run `f` (a batch of `iters` iterations) `SAMPLES` times and report
+/// per-iteration timings.
+fn bench(name: &str, iters: u64, mut f: impl FnMut(u64)) {
+    // warm-up
+    f(iters);
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f(iters);
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[SAMPLES / 2];
+    let (unit, scale) = if median < 1e-6 {
+        ("ns", 1e9)
+    } else if median < 1e-3 {
+        ("us", 1e6)
+    } else {
+        ("ms", 1e3)
+    };
+    println!(
+        "{name:<40} {:>9.2} {unit}/iter  (min {:>9.2}, max {:>9.2}, {SAMPLES} samples x {iters} iters)",
+        median * scale,
+        per_iter[0] * scale,
+        per_iter[SAMPLES - 1] * scale,
+    );
+}
+
+fn bench_obs_fast_paths() {
+    // logging fully disabled: the default LogConfig filters everything off
+    stca_obs::init_with(stca_obs::LogConfig::default());
+    bench("obs/disabled_trace_call_site", 10_000_000, |n| {
+        for i in 0..n {
+            // the macro must reduce to one relaxed atomic load; the
+            // format arguments must never be evaluated
+            stca_obs::trace!("event {} processed", black_box(i));
+        }
     });
-    group.bench_function("llc_mask_switch", |b| {
-        let config = HierarchyConfig::experiment_default();
-        let mut hier = Hierarchy::new(config, 3);
-        let narrow = AllocationSetting::new(0, 2).to_cbm(20).expect("valid");
-        let wide = AllocationSetting::new(0, 4).to_cbm(20).expect("valid");
-        let mut flip = false;
-        b.iter(|| {
+    bench("obs/disabled_debug_call_site", 10_000_000, |n| {
+        for i in 0..n {
+            stca_obs::debug!("queue depth {}", black_box(i));
+        }
+    });
+    let counter = stca_obs::counter("bench.obs.counter_total");
+    bench("obs/counter_inc", 10_000_000, |n| {
+        for _ in 0..n {
+            counter.inc();
+        }
+    });
+    let hist = stca_obs::histogram("bench.obs.histogram_values");
+    bench("obs/histogram_record", 1_000_000, |n| {
+        for i in 0..n {
+            hist.record(black_box(i as f64 * 1e-6));
+        }
+    });
+}
+
+fn queuesim_config() -> StationConfig {
+    StationConfig {
+        inter_arrival: Distribution::Exponential { mean: 0.6 },
+        service: Distribution::LogNormal {
+            mean: 1.0,
+            sigma: 0.4,
+        },
+        expected_service: 1.0,
+        timeout_ratio: 1.0,
+        boost_rate: 1.8,
+        servers: 2,
+        shared_boost: true,
+        measured_queries: 2000,
+        warmup_queries: 200,
+    }
+}
+
+fn bench_hierarchy_access() {
+    let config = HierarchyConfig::experiment_default();
+    let mut hier = Hierarchy::new(config, 1);
+    hier.set_llc_mask(0, AllocationSetting::new(0, 4).to_cbm(20).expect("valid"));
+    let mut gen = AccessGenerator::new(
+        AccessPattern::ZipfReuse {
+            footprint_lines: 4096,
+            theta: 0.8,
+        },
+        0,
+        0.2,
+        2,
+    );
+    bench("cachesim/hierarchy_access", 100_000, |n| {
+        for _ in 0..n {
+            let (a, k) = gen.next_access();
+            black_box(hier.access(0, a, k));
+        }
+    });
+
+    let mut hier = Hierarchy::new(config, 3);
+    let narrow = AllocationSetting::new(0, 2).to_cbm(20).expect("valid");
+    let wide = AllocationSetting::new(0, 4).to_cbm(20).expect("valid");
+    let mut flip = false;
+    bench("cachesim/llc_mask_switch", 100_000, |n| {
+        for _ in 0..n {
             flip = !flip;
             hier.set_llc_mask(0, if flip { narrow } else { wide });
             black_box(hier.access(0, 0x1000, AccessKind::Load));
-        });
+        }
     });
-    group.finish();
 }
 
-fn bench_queuesim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queuesim");
-    group.bench_function("ggk_stap_2000_queries", |b| {
-        b.iter_batched(
-            || {
-                QueueSim::new(
-                    StationConfig {
-                        inter_arrival: Distribution::Exponential { mean: 0.6 },
-                        service: Distribution::LogNormal { mean: 1.0, sigma: 0.4 },
-                        expected_service: 1.0,
-                        timeout_ratio: 1.0,
-                        boost_rate: 1.8,
-                        servers: 2,
-                        shared_boost: true,
-                        measured_queries: 2000,
-                        warmup_queries: 200,
-                    },
-                    7,
-                )
-            },
-            |mut sim| black_box(sim.run()),
-            BatchSize::SmallInput,
-        );
+fn bench_queuesim() {
+    // whole-run granularity: one iteration = 2200 simulated queries. This
+    // is the loop the obs instrumentation must not slow down — compare
+    // against the seed before/after instrumenting.
+    bench("queuesim/ggk_stap_2200_queries", 20, |n| {
+        for i in 0..n {
+            let mut sim = QueueSim::new(queuesim_config(), 7 + i);
+            black_box(sim.run());
+        }
     });
-    group.finish();
 }
 
 fn training_data(n: usize, f: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -89,29 +154,28 @@ fn training_data(n: usize, f: usize, seed: u64) -> (Matrix, Vec<f64>) {
     (x, y)
 }
 
-fn bench_deepforest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("deepforest");
-    group.sample_size(10);
-    group.bench_function("forest_fit_200x50", |b| {
-        let (x, y) = training_data(200, 50, 1);
-        b.iter(|| {
+fn bench_deepforest() {
+    let (x, y) = training_data(200, 50, 1);
+    bench("deepforest/forest_fit_200x50", 5, |n| {
+        for _ in 0..n {
             let mut rng = Rng64::new(2);
-            black_box(Forest::fit(&x, &y, ForestConfig::random(20), &mut rng))
-        });
+            black_box(Forest::fit(&x, &y, ForestConfig::random(20), &mut rng));
+        }
     });
-    group.bench_function("mgs_fit_transform_29x20", |b| {
-        let mut rng = Rng64::new(3);
-        let traces: Vec<Matrix> = (0..40)
-            .map(|_| {
-                let mut m = Matrix::zeros(29, 20);
-                for v in m.as_mut_slice() {
-                    *v = rng.next_f64();
-                }
-                m
-            })
-            .collect();
-        let y: Vec<f64> = (0..40).map(|i| (i % 4) as f64 / 4.0).collect();
-        b.iter(|| {
+
+    let mut rng = Rng64::new(3);
+    let traces: Vec<Matrix> = (0..40)
+        .map(|_| {
+            let mut m = Matrix::zeros(29, 20);
+            for v in m.as_mut_slice() {
+                *v = rng.next_f64();
+            }
+            m
+        })
+        .collect();
+    let y: Vec<f64> = (0..40).map(|i| (i % 4) as f64 / 4.0).collect();
+    bench("deepforest/mgs_fit_transform_29x20", 3, |n| {
+        for _ in 0..n {
             let mut rng = Rng64::new(4);
             let mgs = MultiGrainScanner::fit(
                 &traces,
@@ -124,11 +188,15 @@ fn bench_deepforest(c: &mut Criterion) {
                 },
                 &mut rng,
             );
-            black_box(mgs.transform(&traces[0]))
-        });
+            black_box(mgs.transform(&traces[0]));
+        }
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_hierarchy_access, bench_queuesim, bench_deepforest);
-criterion_main!(benches);
+fn main() {
+    println!("stca microbenchmarks (hand-rolled harness; median of {SAMPLES} samples)\n");
+    bench_obs_fast_paths();
+    bench_hierarchy_access();
+    bench_queuesim();
+    bench_deepforest();
+}

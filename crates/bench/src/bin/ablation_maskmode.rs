@@ -18,12 +18,22 @@ use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
 use stca_workloads::{BenchmarkId, RuntimeCondition};
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Redis);
     println!("Ablation: CAT fill-only masks vs strict partitioning");
-    println!("(pair {}({}), both boosting at a moderate timeout)\n", pair.0, pair.1);
+    println!(
+        "(pair {}({}), both boosting at a moderate timeout)\n",
+        pair.0, pair.1
+    );
     let mut t = Table::new(&[
-        "mode", "util", "workload", "EA", "p95/es", "foreign-way hits", "boost %",
+        "mode",
+        "util",
+        "workload",
+        "EA",
+        "p95/es",
+        "foreign-way hits",
+        "boost %",
     ]);
     let seeds: u64 = match scale {
         stca_bench::Scale::Quick => 1,
@@ -31,6 +41,7 @@ fn main() {
     };
     for &util in &[0.5, 0.9] {
         for mode in [MaskMode::FillOnly, MaskMode::Strict] {
+            stca_obs::info!("running {mode:?} at utilization {util:.1}");
             // accumulate across paired seeds
             let mut ea = [0.0f64; 2];
             let mut p95 = [0.0f64; 2];
@@ -76,4 +87,5 @@ fn main() {
     println!("their installed lines immediately. The EA shift cuts both ways —");
     println!("losing the grace period hurts reuse-after-revocation, while instant");
     println!("invalidation also frees the partition from stale neighbour lines.");
+    stca_obs::emit_run_report();
 }

@@ -14,12 +14,22 @@ use stca_util::Rng64;
 use stca_workloads::{BenchmarkId, RuntimeCondition, WorkloadSpec};
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
     let mut rng = Rng64::new(0xD1A6);
     let mut t = Table::new(&[
-        "util", "timeout", "bench", "EA", "base/es", "measured mean", "oracle mean",
-        "err%", "measured p95", "oracle p95", "p95 err%",
+        "util",
+        "timeout",
+        "bench",
+        "EA",
+        "base/es",
+        "measured mean",
+        "oracle mean",
+        "err%",
+        "measured p95",
+        "oracle p95",
+        "p95 err%",
     ]);
     let n = match scale {
         Scale::Quick => 4,
@@ -27,16 +37,15 @@ fn main() {
     };
     for i in 0..n {
         let cond = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
+        stca_obs::info!("diag_stage3 condition {}/{n}", i + 1);
         let spec = scale.experiment_spec(cond.clone(), 0xA0 + i);
         let out = stca_profiler::executor::TestEnvironment::new(spec).run();
         for (j, w) in out.workloads.iter().enumerate() {
             let bspec = WorkloadSpec::for_benchmark(w.benchmark);
             let es = bspec.mean_service_time;
             let wc = &cond.workloads[j];
-            let boost_rate = boost_rate_from_ea(
-                w.effective_allocation,
-                w.policy.allocation_ratio().max(1.0),
-            );
+            let boost_rate =
+                boost_rate_from_ea(w.effective_allocation, w.policy.allocation_ratio().max(1.0));
             let sim = QueueSim::new(
                 StationConfig {
                     inter_arrival: stca_util::Distribution::Exponential {
@@ -74,4 +83,5 @@ fn main() {
         }
     }
     t.print();
+    stca_obs::emit_run_report();
 }

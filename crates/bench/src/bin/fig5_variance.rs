@@ -30,12 +30,16 @@ fn standardized_nn(ds: &Dataset, mean: &[f64], std: &[f64]) -> Vec<NnSample> {
             for ((v, m), s) in flat.iter_mut().zip(mean).zip(std) {
                 *v = (*v - *m) / s.max(1e-9);
             }
-            NnSample { scalars: flat, trace: stca_util::Matrix::zeros(0, 0) }
+            NnSample {
+                scalars: flat,
+                trace: stca_util::Matrix::zeros(0, 0),
+            }
         })
         .collect()
 }
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let retrains = match scale {
         Scale::Quick => 5,
@@ -43,7 +47,7 @@ fn main() {
         Scale::Full => 100,
     };
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
-    eprintln!("fig5: profiling dataset for {}({})...", pair.0, pair.1);
+    stca_obs::info!("fig5: profiling dataset for {}({})", pair.0, pair.1);
     let dataset = build_pair_dataset(
         pair,
         scale.conditions_per_pair(),
@@ -53,7 +57,7 @@ fn main() {
     );
     let mut rng = Rng64::new(1);
     let (train, test) = dataset.split(0.7, &mut rng);
-    eprintln!("  {} train rows, {} test rows", train.len(), test.len());
+    stca_obs::info!("{} train rows, {} test rows", train.len(), test.len());
 
     // shared standardization for the CNN
     let flat_dim = train.rows[0].row.flat_features().len();
@@ -67,7 +71,11 @@ fn main() {
     let std: Vec<f64> = stats.iter().map(|s| s.std_dev()).collect();
 
     let observe = |pred_train: &[f64], pred_test: &[f64]| {
-        let obs_train: Vec<f64> = train.rows.iter().map(|r| r.row.mean_response_norm).collect();
+        let obs_train: Vec<f64> = train
+            .rows
+            .iter()
+            .map(|r| r.row.mean_response_norm)
+            .collect();
         let obs_test: Vec<f64> = test.rows.iter().map(|r| r.row.mean_response_norm).collect();
         (
             ape_summary(pred_train, &obs_train).median,
@@ -93,7 +101,10 @@ fn main() {
                 .iter()
                 .map(|r| {
                     let es = WorkloadSpec::for_benchmark(r.benchmark).mean_service_time;
-                    predictor.predict_response(&r.row, r.benchmark).mean_response / es
+                    predictor
+                        .predict_response(&r.row, r.benchmark)
+                        .mean_response
+                        / es
                 })
                 .collect()
         };
@@ -108,25 +119,51 @@ fn main() {
         let t0 = Instant::now();
         let nn_tr = standardized_nn(&train, &mean, &std);
         let nn_te = standardized_nn(&test, &mean, &std);
-        let y: Vec<f64> = train.rows.iter().map(|r| r.row.mean_response_norm).collect();
+        let y: Vec<f64> = train
+            .rows
+            .iter()
+            .map(|r| r.row.mean_response_norm)
+            .collect();
         let net = ConvNet::fit(
             &nn_tr,
             &y,
-            NetConfig { epochs: 60, hidden: 32, dropout: 0.1, seed: 0xC4 + run as u64, ..Default::default() },
+            NetConfig {
+                epochs: 60,
+                hidden: 32,
+                dropout: 0.1,
+                seed: 0xC4 + run as u64,
+                ..Default::default()
+            },
         );
         nn_time.push(t0.elapsed().as_secs_f64());
         let (tr, va) = observe(&net.predict_all(&nn_tr), &net.predict_all(&nn_te));
         nn_train.push(tr);
         nn_val.push(va);
-        eprintln!("  run {run}: df val {:.1}%, cnn val {:.1}%", df_val.max(), nn_val.max());
+        stca_obs::info!(
+            "run {run}: df val {:.1}%, cnn val {:.1}%",
+            df_val.max(),
+            nn_val.max()
+        );
     }
 
     println!("Figure 5: random variation over {retrains} retrains");
     println!("(median APE of normalized mean response; training time in seconds)\n");
     let mut t = Table::new(&["model", "metric", "mean", "min", "max"]);
     let fam = |t: &mut Table, name: &str, tr: &OnlineStats, va: &OnlineStats, ti: &OnlineStats| {
-        t.row(&[name.into(), "train APE".into(), pct(tr.mean()), pct(tr.min()), pct(tr.max())]);
-        t.row(&[name.into(), "valid APE".into(), pct(va.mean()), pct(va.min()), pct(va.max())]);
+        t.row(&[
+            name.into(),
+            "train APE".into(),
+            pct(tr.mean()),
+            pct(tr.min()),
+            pct(tr.max()),
+        ]);
+        t.row(&[
+            name.into(),
+            "valid APE".into(),
+            pct(va.mean()),
+            pct(va.min()),
+            pct(va.max()),
+        ]);
         t.row(&[
             name.into(),
             "train time".into(),
@@ -140,6 +177,9 @@ fn main() {
     t.print();
     let df_spread = df_val.max() - df_val.min();
     let nn_spread = nn_val.max() - nn_val.min();
-    println!("\nvalidation-APE spread (max-min): deep forest {df_spread:.1}pp vs CNN {nn_spread:.1}pp");
+    println!(
+        "\nvalidation-APE spread (max-min): deep forest {df_spread:.1}pp vs CNN {nn_spread:.1}pp"
+    );
     println!("Paper's finding: deep forests reliably low error; best CNNs can win but worst are ~2x worse.");
+    stca_obs::emit_run_report();
 }

@@ -40,6 +40,7 @@ fn pairs_for(scale: Scale) -> Vec<(BenchmarkId, BenchmarkId)> {
 }
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let pairs = pairs_for(scale);
     let n_cond = scale.conditions_per_pair();
@@ -48,8 +49,8 @@ fn main() {
         Scale::Standard => 1500,
         Scale::Full => 3000,
     };
-    eprintln!(
-        "fig6: profiling {} pairs x {} conditions (scale {:?})...",
+    stca_obs::info!(
+        "fig6: profiling {} pairs x {} conditions (scale {:?})",
         pairs.len(),
         n_cond,
         scale
@@ -63,15 +64,15 @@ fn main() {
             CounterOrdering::Grouped,
             0x56A6 + i as u64 * 1000,
         );
-        eprintln!("  profiled {}({}) -> {} rows", pair.0, pair.1, d.len());
+        stca_obs::info!("profiled {}({}) -> {} rows", pair.0, pair.1, d.len());
         dataset.extend(d);
     }
 
     // paper protocol: test conditions are unseen — models must extrapolate
     // into the high-arrival-rate regime
     let (pool, test) = dataset.split_by_utilization(0.75);
-    eprintln!(
-        "  extrapolation split: {} low-util training pool, {} high-util test rows",
+    stca_obs::info!(
+        "extrapolation split: {} low-util training pool, {} high-util test rows",
         pool.len(),
         test.len()
     );
@@ -82,16 +83,22 @@ fn main() {
         dataset.len()
     );
     println!("ours trains on 33% of the pool, competitors on 70%)\n");
-    let mut t = Table::new(&["approach", "train rows", "median APE", "p95 APE", "mean APE"]);
+    let mut t = Table::new(&[
+        "approach",
+        "train rows",
+        "median APE",
+        "p95 APE",
+        "mean APE",
+    ]);
     for approach in Approach::ALL {
         let mut rng = Rng64::new(0xF16 + approach as u64);
         let (train, _) = pool.split(approach.train_fraction(), &mut rng);
-        let start = std::time::Instant::now();
+        let timer = stca_obs::StageTimer::new("bench.fig6.approach_seconds");
         let s = evaluate_approach(approach, &train, &test, sim_queries, 7 + approach as u64);
-        eprintln!(
-            "  {} done in {:.1}s (median {:.1}%)",
+        stca_obs::info!(
+            "{} done in {:.1}s (median {:.1}%)",
             approach.name(),
-            start.elapsed().as_secs_f64(),
+            timer.stop(),
             s.median
         );
         t.row(&[
@@ -105,4 +112,5 @@ fn main() {
     t.print();
     println!("\nPaper (for shape comparison): linreg ~50% median / >300% p95; tree ~20% / >100%;");
     println!("CNN 26% median; queue model 23%; ours 11% median / 12% p95.");
+    stca_obs::emit_run_report();
 }

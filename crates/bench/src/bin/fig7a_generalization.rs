@@ -37,6 +37,7 @@ fn pairs_for(scale: Scale) -> Vec<(BenchmarkId, BenchmarkId)> {
 }
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     println!("Figure 7a: per-collocation median APE of mean-response predictions");
     println!("(label x(y) = predicting x collocated with y; unseen high-util conditions)\n");
@@ -51,7 +52,7 @@ fn main() {
         );
         let (pool, test) = ds.split_by_utilization(0.75);
         if pool.is_empty() || test.is_empty() {
-            eprintln!("  skipping {}({}): degenerate split", pair.0, pair.1);
+            stca_obs::warn!("skipping {}({}): degenerate split", pair.0, pair.1);
             continue;
         }
         let config = if pool.len() >= 30 {
@@ -63,8 +64,7 @@ fn main() {
         // report each direction separately, as the paper's labels do
         for target in [pair.0, pair.1] {
             let partner = if target == pair.0 { pair.1 } else { pair.0 };
-            let rows: Vec<_> =
-                test.rows.iter().filter(|r| r.benchmark == target).collect();
+            let rows: Vec<_> = test.rows.iter().filter(|r| r.benchmark == target).collect();
             if rows.is_empty() {
                 continue;
             }
@@ -81,9 +81,10 @@ fn main() {
                 pct(s.median),
                 pct(s.p95),
             ]);
-            eprintln!("  {}({}): median {:.1}%", target, partner, s.median);
+            stca_obs::info!("{}({}): median {:.1}%", target, partner, s.median);
         }
     }
     t.print();
     println!("\nPaper: median error below 15% for every collocation.");
+    stca_obs::emit_run_report();
 }

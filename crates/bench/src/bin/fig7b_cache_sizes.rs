@@ -26,6 +26,7 @@ use stca_workloads::{BenchmarkId, RuntimeCondition, WorkloadSpec};
 const PLATFORMS: [(usize, usize); 5] = [(20, 1), (30, 1), (40, 2), (59, 2), (72, 2)];
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
     let n_cond = scale.conditions_per_pair();
@@ -92,7 +93,7 @@ fn main() {
         );
         let (pool, test) = ds.split_by_utilization(0.75);
         if pool.is_empty() || test.is_empty() {
-            eprintln!("  {mb} MB: degenerate split, skipping");
+            stca_obs::warn!("{mb} MB: degenerate split, skipping");
             continue;
         }
         let mcfg = if pool.len() >= 30 {
@@ -106,12 +107,15 @@ fn main() {
             .iter()
             .map(|r| {
                 let es = WorkloadSpec::for_benchmark(r.benchmark).mean_service_time;
-                predictor.predict_response(&r.row, r.benchmark).mean_response / es
+                predictor
+                    .predict_response(&r.row, r.benchmark)
+                    .mean_response
+                    / es
             })
             .collect();
         let obs: Vec<f64> = test.rows.iter().map(|r| r.row.mean_response_norm).collect();
         let s = ape_summary(&pred, &obs);
-        eprintln!("  {} MB done: median {:.1}%", mb, s.median);
+        stca_obs::info!("{} MB done: median {:.1}%", mb, s.median);
         t.row(&[
             format!("{mb} MB"),
             config.llc.ways.to_string(),
@@ -124,4 +128,5 @@ fn main() {
     }
     t.print();
     println!("\nPaper: median response-time error below 15% on every platform.");
+    stca_obs::emit_run_report();
 }

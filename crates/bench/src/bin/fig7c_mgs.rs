@@ -53,7 +53,10 @@ fn score(ds: &Dataset, mgs: Option<MgsConfig>, seed: u64) -> (f64, f64) {
         .iter()
         .map(|r| {
             let es = WorkloadSpec::for_benchmark(r.benchmark).mean_service_time;
-            predictor.predict_response(&r.row, r.benchmark).mean_response / es
+            predictor
+                .predict_response(&r.row, r.benchmark)
+                .mean_response
+                / es
         })
         .collect();
     let obs: Vec<f64> = test.rows.iter().map(|r| r.row.mean_response_norm).collect();
@@ -62,6 +65,7 @@ fn score(ds: &Dataset, mgs: Option<MgsConfig>, seed: u64) -> (f64, f64) {
 }
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
     let full_mgs = MgsConfig {
@@ -70,18 +74,24 @@ fn main() {
         trees_per_window: 25,
         max_positions_per_sample: 40,
     };
-    eprintln!("fig7c: building datasets (grouped/shuffled x 2s/5s sampling)...");
+    stca_obs::info!("fig7c: building datasets (grouped/shuffled x 2s/5s sampling)");
     let grouped_2s = build(pair, scale, CounterOrdering::Grouped, 2.0, 0xA1);
     let shuffled_2s = build(pair, scale, CounterOrdering::Shuffled(99), 2.0, 0xA1);
     let grouped_5s = build(pair, scale, CounterOrdering::Grouped, 5.0, 0xA1);
 
-    println!("Figure 7c: multi-grain scanning ablation (pair {}({}))\n", pair.0, pair.1);
+    println!(
+        "Figure 7c: multi-grain scanning ablation (pair {}({}))\n",
+        pair.0, pair.1
+    );
     let mut t = Table::new(&["setting", "median APE", "p95 APE"]);
     let mut row = |name: &str, (m, p): (f64, f64)| {
-        eprintln!("  {name}: median {m:.1}%");
+        stca_obs::info!("{name}: median {m:.1}%");
         t.row(&[name.into(), pct(m), pct(p)]);
     };
-    row("full (grouped, 5/10/15 windows, 2s, 25 trees)", score(&grouped_2s, Some(full_mgs.clone()), 1));
+    row(
+        "full (grouped, 5/10/15 windows, 2s, 25 trees)",
+        score(&grouped_2s, Some(full_mgs.clone()), 1),
+    );
     row(
         "shuffled counter ordering",
         score(&shuffled_2s, Some(full_mgs.clone()), 2),
@@ -90,16 +100,25 @@ fn main() {
         "small windows (2/4)",
         score(
             &grouped_2s,
-            Some(MgsConfig { window_sizes: vec![2, 4], ..full_mgs.clone() }),
+            Some(MgsConfig {
+                window_sizes: vec![2, 4],
+                ..full_mgs.clone()
+            }),
             3,
         ),
     );
-    row("sampling every 5s", score(&grouped_5s, Some(full_mgs.clone()), 4));
+    row(
+        "sampling every 5s",
+        score(&grouped_5s, Some(full_mgs.clone()), 4),
+    );
     row(
         "few estimators (3 trees/window)",
         score(
             &grouped_2s,
-            Some(MgsConfig { trees_per_window: 3, ..full_mgs.clone() }),
+            Some(MgsConfig {
+                trees_per_window: 3,
+                ..full_mgs.clone()
+            }),
             5,
         ),
     );
@@ -107,4 +126,5 @@ fn main() {
     t.print();
     println!("\nPaper: spatial ordering matters most (5% -> 15% when shuffled);");
     println!("4x smaller windows doubled error; 5s sampling cost ~2 points.");
+    stca_obs::emit_run_report();
 }

@@ -43,11 +43,19 @@ fn groups(scale: Scale) -> Vec<(&'static str, (BenchmarkId, BenchmarkId))> {
 }
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let layout = PairLayout::symmetric(2, 2);
     println!("Figure 8: speedup in p95 response time vs no cache sharing (90% arrival)\n");
     let mut t = Table::new(&[
-        "group", "workload", "static", "dCat", "dCat-iter", "dynaSprint", "simple ML", "ours",
+        "group",
+        "workload",
+        "static",
+        "dCat",
+        "dCat-iter",
+        "dynaSprint",
+        "simple ML",
+        "ours",
     ]);
     let mut summary: Vec<(&str, Vec<f64>)> = vec![
         ("static", vec![]),
@@ -58,13 +66,12 @@ fn main() {
         ("ours", vec![]),
     ];
     for (gi, (label, pair)) in groups(scale).into_iter().enumerate() {
-        eprintln!("fig8 group {label}: {}+{}", pair.0, pair.1);
+        stca_obs::info!("fig8 group {label}: {}+{}", pair.0, pair.1);
         let seed = 0xF8 + gi as u64 * 10_007;
         // paired evaluation seeds shared by every strategy
         let eval_seeds: Vec<u64> = (0..3).map(|k| seed ^ (0xE0A1 + k * 7919)).collect();
         // baseline
-        let base =
-            score_policies_paired(pair, EVAL_UTIL, &no_sharing(&layout), scale, &eval_seeds);
+        let base = score_policies_paired(pair, EVAL_UTIL, &no_sharing(&layout), scale, &eval_seeds);
         // measured-strategy baselines
         let mut strategy_scores: Vec<Vec<f64>> = Vec::new();
         for (si, strat) in [
@@ -79,7 +86,7 @@ fn main() {
             let mut eval = make_policy_eval(pair, EVAL_UTIL, scale, seed ^ ((si as u64) << 12));
             let policies = policies_for(strat, &layout, &mut eval);
             let score = score_policies_paired(pair, EVAL_UTIL, &policies, scale, &eval_seeds);
-            eprintln!("  {strat:?}: scores {score:?}");
+            stca_obs::info!("{strat:?}: scores {score:?}");
             strategy_scores.push(score);
         }
         // model-driven strategies: profile, train, explore, evaluate
@@ -100,14 +107,13 @@ fn main() {
             };
             let predictor = Predictor::train(&ds.profile_set(), &mcfg);
             let profiles = ds.profile_set();
-            let explorer =
-                PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, EVAL_UTIL);
+            let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, EVAL_UTIL);
             let choice = explorer.explore();
             let policies = choice.policies(&layout);
             let score = score_policies_paired(pair, EVAL_UTIL, &policies, scale, &eval_seeds);
             let _ = mi;
-            eprintln!(
-                "  {}: T=({:.2},{:.2}) scores {score:?}",
+            stca_obs::info!(
+                "{}: T=({:.2},{:.2}) scores {score:?}",
                 if simple { "simple ML" } else { "ours" },
                 choice.timeout_a,
                 choice.timeout_b
@@ -145,4 +151,5 @@ fn main() {
     m.print();
     println!("\nPaper shape: ours ~2x median vs no-sharing; ~1.2-1.3x vs dCat/dynaSprint;");
     println!("simple ML exceeds dCat on most workloads but trails the full model.");
+    stca_obs::emit_run_report();
 }

@@ -19,6 +19,7 @@ use stca_util::Rng64;
 use stca_workloads::BenchmarkId;
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let pairs: Vec<(BenchmarkId, BenchmarkId)> = match scale {
         Scale::Quick => vec![(BenchmarkId::Kmeans, BenchmarkId::Redis)],
@@ -60,7 +61,13 @@ fn main() {
         let dc = by_concepts.weighted_ea_dispersion();
         let dh = by_counters.weighted_ea_dispersion();
         ratios.push(dc / dh.max(1e-12));
-        eprintln!("  {}({}): concepts {:.4} vs counters {:.4}", pair.0, pair.1, dc, dh);
+        stca_obs::info!(
+            "{}({}): concepts {:.4} vs counters {:.4}",
+            pair.0,
+            pair.1,
+            dc,
+            dh
+        );
         t.row(&[
             format!("{}({})", pair.0.short_name(), pair.1.short_name()),
             profiles.len().to_string(),
@@ -85,6 +92,9 @@ fn main() {
     }
     t.print();
     let mean_ratio: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    println!("\nmean concept/counter dispersion ratio: {mean_ratio:.2} (< 1 reproduces the paper's");
+    println!(
+        "\nmean concept/counter dispersion ratio: {mean_ratio:.2} (< 1 reproduces the paper's"
+    );
     println!("finding: learned concepts separate EA regimes that raw counters do not).");
+    stca_obs::emit_run_report();
 }

@@ -32,7 +32,10 @@ fn score(train: &Dataset, test: &Dataset, seed: u64) -> f64 {
         .iter()
         .map(|r| {
             let es = WorkloadSpec::for_benchmark(r.benchmark).mean_service_time;
-            predictor.predict_response(&r.row, r.benchmark).mean_response / es
+            predictor
+                .predict_response(&r.row, r.benchmark)
+                .mean_response
+                / es
         })
         .collect();
     let obs: Vec<f64> = test.rows.iter().map(|r| r.row.mean_response_norm).collect();
@@ -40,6 +43,7 @@ fn score(train: &Dataset, test: &Dataset, seed: u64) -> f64 {
 }
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
     let budgets: Vec<usize> = match scale {
@@ -59,23 +63,42 @@ fn main() {
             c
         })
         .collect();
-    eprintln!("profiling_time: building holdout ({} conditions)...", test_conditions.len());
-    let test = run_conditions(pair, &test_conditions, scale, CounterOrdering::Grouped, 0x907);
+    stca_obs::info!(
+        "profiling_time: building holdout ({} conditions)",
+        test_conditions.len()
+    );
+    let test = run_conditions(
+        pair,
+        &test_conditions,
+        scale,
+        CounterOrdering::Grouped,
+        0x907,
+    );
 
     // uniform pool, reused at every budget (prefix)
     let uniform_conditions: Vec<RuntimeCondition> = (0..max_budget)
         .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, &mut rng))
         .collect();
-    eprintln!("profiling_time: building uniform pool ({max_budget} conditions)...");
-    let uniform_pool =
-        run_conditions(pair, &uniform_conditions, scale, CounterOrdering::Grouped, 0x908);
+    stca_obs::info!("profiling_time: building uniform pool ({max_budget} conditions)");
+    let uniform_pool = run_conditions(
+        pair,
+        &uniform_conditions,
+        scale,
+        CounterOrdering::Grouped,
+        0x908,
+    );
 
-    println!("Profiling-time study (pair {}({}); holdout = high-utilization)\n", pair.0, pair.1);
+    println!(
+        "Profiling-time study (pair {}({}); holdout = high-utilization)\n",
+        pair.0, pair.1
+    );
     let mut t = Table::new(&["budget (conditions)", "uniform median APE"]);
     for &b in &budgets {
-        let train = Dataset { rows: uniform_pool.rows[..(2 * b).min(uniform_pool.len())].to_vec() };
+        let train = Dataset {
+            rows: uniform_pool.rows[..(2 * b).min(uniform_pool.len())].to_vec(),
+        };
         let m = score(&train, &test, 0x909 + b as u64);
-        eprintln!("  uniform budget {b}: {m:.1}%");
+        stca_obs::info!("uniform budget {b}: {m:.1}%");
         t.row(&[b.to_string(), pct(m)]);
     }
     t.print();
@@ -91,12 +114,17 @@ fn main() {
         jitter: 0.1,
     };
     let strat_budget = strat_cfg.seeds + strat_cfg.rounds * 3 * 2;
-    eprintln!("profiling_time: stratified sampling ({strat_budget} conditions)...");
+    stca_obs::info!("profiling_time: stratified sampling ({strat_budget} conditions)");
     let mut srng = Rng64::new(0x90A);
     let mut strat_rows = Dataset::default();
     let evaluated = stratified_sample(pair, strat_cfg, &mut srng, |cond| {
-        let ds =
-            run_conditions(pair, std::slice::from_ref(cond), scale, CounterOrdering::Grouped, 0x90B);
+        let ds = run_conditions(
+            pair,
+            std::slice::from_ref(cond),
+            scale,
+            CounterOrdering::Grouped,
+            0x90B,
+        );
         let ea = ds.rows[0].row.ea;
         strat_rows.extend(ds);
         ea
@@ -108,11 +136,15 @@ fn main() {
         };
         score(&train, &test, 0x90D)
     };
-    println!("\nStratified vs uniform at equal budget ({} conditions):", evaluated.len());
+    println!(
+        "\nStratified vs uniform at equal budget ({} conditions):",
+        evaluated.len()
+    );
     let mut s = Table::new(&["sampling", "median APE"]);
     s.row(&["uniform".into(), pct(uniform_same)]);
     s.row(&["stratified (seeds+refine)".into(), pct(strat_score)]);
     s.print();
     println!("\nPaper: 15 min -> 14%, 30 min -> 11%, 2.5 h -> 8.6%; stratified sampling");
     println!("reduced profiling time by 67% at equal accuracy.");
+    stca_obs::emit_run_report();
 }

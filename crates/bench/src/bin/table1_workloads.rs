@@ -42,17 +42,26 @@ fn characterize(
             hier.access(0, ai, ki);
         }
     }
-    hier.retire(0, n * spec.instructions_per_access, n * spec.instructions_per_access);
+    hier.retire(
+        0,
+        n * spec.instructions_per_access,
+        n * spec.instructions_per_access,
+    );
     let c = hier.counters_of(0).delta(&before);
     let llc_mpka = c.get(Counter::LlcMisses) as f64 * 1000.0 / n as f64;
     let l1_acc = c.get(Counter::L1dLoads) + c.get(Counter::L1dStores);
     let l1_miss = c.get(Counter::L1dLoadMisses) + c.get(Counter::L1dStoreMisses);
-    let l1_ratio = if l1_acc > 0 { l1_miss as f64 / l1_acc as f64 } else { 0.0 };
+    let l1_ratio = if l1_acc > 0 {
+        l1_miss as f64 / l1_acc as f64
+    } else {
+        0.0
+    };
     let cpa = c.get(Counter::Cycles) as f64 / n as f64;
     (llc_mpka, l1_ratio, cpa)
 }
 
 fn main() {
+    stca_obs::init_from_env();
     let scale = stca_bench::scale_from_args();
     let n: u64 = match scale {
         stca_bench::Scale::Quick => 40_000,
@@ -82,6 +91,12 @@ fn main() {
         let full = AllocationSetting::new(0, ways);
         let (llc_p, l1_p, cpa_p) = characterize(&spec, &config, private, n, 42);
         let (_, _, cpa_f) = characterize(&spec, &config, full, n, 42);
+        stca_obs::info!(
+            "{}: {:.2} LLC MPKA, {:.2}x full-cache speedup",
+            id,
+            llc_p,
+            cpa_p / cpa_f
+        );
         t.row(&[
             id.short_name().to_string(),
             f2(spec.footprint_ways(&config)),
@@ -95,4 +110,5 @@ fn main() {
     println!();
     println!("Expected orderings: knn lowest LLC misses per kilo-access; spstream/redis high;");
     println!("jacobi/bfs moderate; cache-sensitive benchmarks show >1x full-cache speedup.");
+    stca_obs::emit_run_report();
 }

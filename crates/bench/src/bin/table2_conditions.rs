@@ -12,6 +12,7 @@ use stca_workloads::conditions::bounds;
 use stca_workloads::{BenchmarkId, RuntimeCondition};
 
 fn main() {
+    stca_obs::init_from_env();
     println!("Table 2: static runtime conditions for each online service\n");
     let mut t = Table::new(&["description", "supported settings"]);
     t.row(&[
@@ -24,7 +25,11 @@ fn main() {
     ]);
     t.row(&[
         "query inter-arrival rate (rel. to service time)".into(),
-        format!("{:.0}% - {:.0}%", bounds::MIN_UTIL * 100.0, bounds::MAX_UTIL * 100.0),
+        format!(
+            "{:.0}% - {:.0}%",
+            bounds::MIN_UTIL * 100.0,
+            bounds::MAX_UTIL * 100.0
+        ),
     ]);
     t.row(&[
         "timeout policy (rel. to service time)".into(),
@@ -36,10 +41,7 @@ fn main() {
     ]);
     t.row(&[
         "cache usage sampling".into(),
-        format!(
-            "1 Hz - every {:.0} seconds",
-            bounds::MAX_SAMPLE_PERIOD
-        ),
+        format!("1 Hz - every {:.0} seconds", bounds::MAX_SAMPLE_PERIOD),
     ]);
     t.print();
 
@@ -75,4 +77,5 @@ fn main() {
         "\nPairwise collocations covered by the profiling harness: {}",
         RuntimeCondition::all_pairs().len()
     );
+    stca_obs::emit_run_report();
 }

@@ -3,16 +3,17 @@
 //! A dataset is a list of labeled profile rows: for each sampled runtime
 //! condition of a collocation pair, one row per workload, carrying the
 //! Eq.-2 features and the measured ground truth (EA and response times).
-//! Experiments are embarrassingly parallel; a crossbeam scope fans
-//! conditions out over worker threads, and results are re-sorted by
+//! Experiments are embarrassingly parallel; a scoped thread pool pulls
+//! conditions off a shared atomic cursor, and results are re-sorted by
 //! condition index so output is deterministic regardless of scheduling.
 
-use crossbeam::channel;
 use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
 use stca_profiler::profile::{ProfileRow, ProfileSet};
 use stca_profiler::sampler::CounterOrdering;
 use stca_util::Rng64;
 use stca_workloads::{BenchmarkId, RuntimeCondition};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +92,12 @@ impl Dataset {
     /// Rows whose target workload belongs to `pair` (ordered).
     pub fn for_pair(&self, pair: (BenchmarkId, BenchmarkId)) -> Dataset {
         Dataset {
-            rows: self.rows.iter().filter(|r| r.pair == pair).cloned().collect(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| r.pair == pair)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -178,36 +184,37 @@ pub fn run_conditions_customized(
     customize: impl Fn(stca_profiler::executor::ExperimentSpec) -> stca_profiler::executor::ExperimentSpec
         + Sync,
 ) -> Dataset {
-    let (tx, rx) = channel::unbounded::<(usize, Vec<LabeledRow>)>();
-    let (work_tx, work_rx) = channel::unbounded::<(usize, RuntimeCondition)>();
-    for (i, c) in conditions.iter().enumerate() {
-        work_tx.send((i, c.clone())).expect("queue open");
-    }
-    drop(work_tx);
+    stca_obs::time_scope!("bench.dataset.build_seconds");
+    let conditions_run = stca_obs::counter("bench.dataset.conditions_total");
+    let (tx, rx) = mpsc::channel::<(usize, Vec<LabeledRow>)>();
+    let cursor = AtomicUsize::new(0);
     let customize = &customize;
-    crossbeam::thread::scope(|scope| {
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
         for _ in 0..worker_threads() {
-            let work_rx = work_rx.clone();
             let tx = tx.clone();
-            scope.spawn(move |_| {
-                while let Ok((i, cond)) = work_rx.recv() {
-                    let spec =
-                        customize(scale.experiment_spec(cond.clone(), seed ^ ((i as u64) << 20)));
-                    let out = TestEnvironment::new(spec).run();
-                    let n = out.workloads.len();
-                    let rows: Vec<LabeledRow> = out
-                        .workloads
-                        .iter()
-                        .enumerate()
-                        .map(|(j, w)| LabeledRow {
-                            benchmark: w.benchmark,
-                            // partner = the next workload along the chain
-                            pair: (w.benchmark, out.workloads[(j + 1) % n].benchmark),
-                            row: ProfileRow::from_outcome(&cond, j, w, ordering),
-                        })
-                        .collect();
-                    tx.send((i, rows)).expect("collector open");
-                }
+            let conditions_run = conditions_run.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cond) = conditions.get(i) else { break };
+                stca_obs::debug!("condition {i}: running experiment");
+                let spec =
+                    customize(scale.experiment_spec(cond.clone(), seed ^ ((i as u64) << 20)));
+                let out = TestEnvironment::new(spec).run();
+                let n = out.workloads.len();
+                let rows: Vec<LabeledRow> = out
+                    .workloads
+                    .iter()
+                    .enumerate()
+                    .map(|(j, w)| LabeledRow {
+                        benchmark: w.benchmark,
+                        // partner = the next workload along the chain
+                        pair: (w.benchmark, out.workloads[(j + 1) % n].benchmark),
+                        row: ProfileRow::from_outcome(cond, j, w, ordering),
+                    })
+                    .collect();
+                conditions_run.inc();
+                tx.send((i, rows)).expect("collector open");
             });
         }
         drop(tx);
@@ -217,7 +224,6 @@ pub fn run_conditions_customized(
             rows: collected.into_iter().flat_map(|(_, rows)| rows).collect(),
         }
     })
-    .expect("worker panic")
 }
 
 #[cfg(test)]

@@ -195,10 +195,20 @@ pub fn evaluate_approach(
             let (val_s, tr_s) = s.split_at(n_val);
             let (val_y, tr_y) = y.split_at(n_val);
             let mut rng = Rng64::new(seed);
-            let space = SearchSpace { epochs: (20, 60), ..Default::default() };
+            let space = SearchSpace {
+                epochs: (20, 60),
+                ..Default::default()
+            };
             let trials = random_search((tr_s, tr_y), (val_s, val_y), &space, 4, &mut rng);
             let best = trials.first().expect("at least one trial");
-            let net = ConvNet::fit(&s, &y, NetConfig { seed, ..best.config });
+            let net = ConvNet::fit(
+                &s,
+                &y,
+                NetConfig {
+                    seed,
+                    ..best.config
+                },
+            );
             net.predict_all(&scaler.apply(test))
         }
         Approach::QueueModel => test
@@ -224,7 +234,9 @@ pub fn evaluate_approach(
                 .iter()
                 .map(|r| {
                     let spec = WorkloadSpec::for_benchmark(r.benchmark);
-                    predictor.predict_response(&r.row, r.benchmark).mean_response
+                    predictor
+                        .predict_response(&r.row, r.benchmark)
+                        .mean_response
                         / spec.mean_service_time
                 })
                 .collect()

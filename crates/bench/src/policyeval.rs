@@ -86,8 +86,7 @@ mod tests {
     fn no_sharing_policies_run_and_score() {
         let pair = (BenchmarkId::Knn, BenchmarkId::Bfs);
         let layout = PairLayout::symmetric(2, 2);
-        let scores =
-            run_pair_with_policies(pair, 0.7, &no_sharing(&layout), Scale::Quick, 1);
+        let scores = run_pair_with_policies(pair, 0.7, &no_sharing(&layout), Scale::Quick, 1);
         assert_eq!(scores.len(), 2);
         assert!(scores.iter().all(|&s| s > 0.0 && s.is_finite()));
     }

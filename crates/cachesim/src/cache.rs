@@ -12,8 +12,8 @@ use crate::address::{Address, AddressMapper};
 use crate::config::CacheGeometry;
 use crate::replacement::{Replacement, ReplacementKind};
 use crate::WorkloadId;
-use std::collections::HashMap;
 use stca_util::Rng64;
+use std::collections::HashMap;
 
 /// Result of a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,16 +49,21 @@ struct Line {
     dirty: bool,
 }
 
-const INVALID_LINE: Line = Line { tag: 0, owner: 0, valid: false, dirty: false };
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    owner: 0,
+    valid: false,
+    dirty: false,
+};
 
 /// One cache level.
 #[derive(Debug)]
 pub struct CacheLevel {
     geometry: CacheGeometry,
     mapper: AddressMapper,
-    lines: Vec<Line>,           // sets * ways, row-major by set
-    repl: Vec<Replacement>,     // per set
-    valid_bits: Vec<u64>,       // per set, bit i = way i valid
+    lines: Vec<Line>,       // sets * ways, row-major by set
+    repl: Vec<Replacement>, // per set
+    valid_bits: Vec<u64>,   // per set, bit i = way i valid
     tick: u64,
     occupancy: HashMap<WorkloadId, u64>,
     rng: Rng64,
@@ -99,7 +104,10 @@ impl CacheLevel {
             let line = &self.lines[base + w];
             if line.valid && line.tag == tag {
                 self.repl[set].touch(w, self.tick);
-                return AccessOutcome::Hit { way: w, foreign_way: (fill_mask >> w) & 1 == 0 };
+                return AccessOutcome::Hit {
+                    way: w,
+                    foreign_way: (fill_mask >> w) & 1 == 0,
+                };
             }
         }
         AccessOutcome::Miss
@@ -150,13 +158,22 @@ impl CacheLevel {
                 dirty: slot.dirty,
                 addr: self.mapper.compose(slot.tag, set),
             };
-            *self.occupancy.entry(slot.owner).or_insert(0) =
-                self.occupancy.get(&slot.owner).copied().unwrap_or(0).saturating_sub(1);
+            *self.occupancy.entry(slot.owner).or_insert(0) = self
+                .occupancy
+                .get(&slot.owner)
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(1);
             Some(ev)
         } else {
             None
         };
-        *slot = Line { tag, owner, valid: true, dirty };
+        *slot = Line {
+            tag,
+            owner,
+            valid: true,
+            dirty,
+        };
         self.valid_bits[set] |= 1 << victim_way;
         *self.occupancy.entry(owner).or_insert(0) += 1;
         self.repl[set].touch(victim_way, self.tick);
@@ -177,8 +194,12 @@ impl CacheLevel {
                 line.valid = false;
                 let owner = line.owner;
                 self.valid_bits[set] &= !(1 << w);
-                *self.occupancy.entry(owner).or_insert(0) =
-                    self.occupancy.get(&owner).copied().unwrap_or(0).saturating_sub(1);
+                *self.occupancy.entry(owner).or_insert(0) = self
+                    .occupancy
+                    .get(&owner)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_sub(1);
                 return true;
             }
         }
@@ -244,7 +265,10 @@ mod tests {
         // first line evicted (LRU), last four resident
         assert_eq!(c.lookup(0, FULL), AccessOutcome::Miss);
         for i in 1..5u64 {
-            assert!(matches!(c.lookup(i * 256, FULL), AccessOutcome::Hit { .. }), "line {i}");
+            assert!(
+                matches!(c.lookup(i * 256, FULL), AccessOutcome::Hit { .. }),
+                "line {i}"
+            );
         }
     }
 
@@ -256,7 +280,10 @@ mod tests {
             assert_eq!(c.fill(i * 256, 1, FULL, false).expect("ok"), None);
         }
         // workload 2 restricted to ways 0-1 must evict workload 1
-        let ev = c.fill(100 * 256, 2, 0b0011, false).expect("ok").expect("evicts");
+        let ev = c
+            .fill(100 * 256, 2, 0b0011, false)
+            .expect("ok")
+            .expect("evicts");
         assert_eq!(ev.owner, 1);
         assert_eq!(c.occupancy_of(2), 1);
         assert_eq!(c.occupancy_of(1), 3);
@@ -289,7 +316,10 @@ mod tests {
     fn dirty_eviction_propagates() {
         let mut c = small_cache();
         c.fill(0, 1, 0b0001, true).expect("ok");
-        let ev = c.fill(256, 1, 0b0001, false).expect("ok").expect("evicts way 0");
+        let ev = c
+            .fill(256, 1, 0b0001, false)
+            .expect("ok")
+            .expect("evicts way 0");
         assert!(ev.dirty);
         assert_eq!(ev.addr, 0);
     }

@@ -26,10 +26,17 @@ impl CacheGeometry {
     /// Construct and sanity-check a geometry. Set count must come out a
     /// power of two.
     pub fn new(size_bytes: usize, ways: usize, line_size: usize) -> Self {
-        let g = CacheGeometry { size_bytes, ways, line_size };
+        let g = CacheGeometry {
+            size_bytes,
+            ways,
+            line_size,
+        };
         let sets = g.sets();
         assert!(sets >= 1, "geometry has no sets");
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         g
     }
 
@@ -52,7 +59,10 @@ impl CacheGeometry {
     /// clamped so the cache keeps at least one set (tiny L1s bottom out
     /// while a large LLC keeps scaling).
     pub fn scaled_down(&self, divisor: usize) -> CacheGeometry {
-        assert!(divisor >= 1 && divisor.is_power_of_two(), "divisor must be a power of two");
+        assert!(
+            divisor >= 1 && divisor.is_power_of_two(),
+            "divisor must be a power of two"
+        );
         let divisor = divisor.min(self.sets());
         CacheGeometry::new(self.size_bytes / divisor, self.ways, self.line_size)
     }
@@ -74,7 +84,12 @@ pub struct Latencies {
 impl Default for Latencies {
     fn default() -> Self {
         // Typical Broadwell-class figures.
-        Latencies { l1: 4, l2: 12, llc: 42, memory: 200 }
+        Latencies {
+            l1: 4,
+            l2: 12,
+            llc: 42,
+            memory: 200,
+        }
     }
 }
 

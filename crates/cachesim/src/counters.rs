@@ -204,7 +204,9 @@ impl Default for CounterSet {
 impl CounterSet {
     /// All-zero counters.
     pub fn new() -> Self {
-        CounterSet { values: [0; COUNTER_COUNT] }
+        CounterSet {
+            values: [0; COUNTER_COUNT],
+        }
     }
 
     /// Read one counter.

@@ -18,8 +18,8 @@ use crate::config::HierarchyConfig;
 use crate::counters::{Counter, CounterBank, CounterSet};
 use crate::replacement::ReplacementKind;
 use crate::WorkloadId;
-use std::collections::HashMap;
 use stca_cat::CapacityBitmask;
+use std::collections::HashMap;
 
 /// How LLC way masks are enforced.
 ///
@@ -142,9 +142,21 @@ impl Hierarchy {
         let config = &self.config;
         let seed = self.seed;
         self.privates[idx].get_or_insert_with(|| PrivateCaches {
-            l1d: CacheLevel::new(config.l1d, ReplacementKind::Lru, seed ^ ((w as u64) << 8) | 1),
-            l1i: CacheLevel::new(config.l1i, ReplacementKind::Lru, seed ^ ((w as u64) << 8) | 2),
-            l2: CacheLevel::new(config.l2, ReplacementKind::Lru, seed ^ ((w as u64) << 8) | 3),
+            l1d: CacheLevel::new(
+                config.l1d,
+                ReplacementKind::Lru,
+                seed ^ ((w as u64) << 8) | 1,
+            ),
+            l1i: CacheLevel::new(
+                config.l1i,
+                ReplacementKind::Lru,
+                seed ^ ((w as u64) << 8) | 2,
+            ),
+            l2: CacheLevel::new(
+                config.l2,
+                ReplacementKind::Lru,
+                seed ^ ((w as u64) << 8) | 3,
+            ),
         })
     }
 
@@ -232,9 +244,9 @@ impl Hierarchy {
         // strict partitioning demotes foreign-way hits to misses: the
         // resident copy is invalidated and refetched into the partition
         let llc_outcome = match llc_outcome {
-            AccessOutcome::Hit { foreign_way: true, .. }
-                if self.mask_mode == MaskMode::Strict =>
-            {
+            AccessOutcome::Hit {
+                foreign_way: true, ..
+            } if self.mask_mode == MaskMode::Strict => {
                 self.llc.invalidate(addr);
                 AccessOutcome::Miss
             }
@@ -299,7 +311,8 @@ impl Hierarchy {
                 AccessKind::IFetch => &mut p.l1i,
                 _ => &mut p.l1d,
             };
-            l1.fill(addr, w, u64::MAX, false).expect("full mask fill cannot fail")
+            l1.fill(addr, w, u64::MAX, false)
+                .expect("full mask fill cannot fail")
         };
         if evicted.is_some() && kind != AccessKind::IFetch {
             self.counters.of_mut(w).bump(Counter::L1dEvictions);
@@ -361,9 +374,9 @@ mod tests {
 
     fn tiny_config() -> HierarchyConfig {
         HierarchyConfig {
-            l1d: CacheGeometry::new(512, 2, 64),  // 4 sets x 2 ways
+            l1d: CacheGeometry::new(512, 2, 64), // 4 sets x 2 ways
             l1i: CacheGeometry::new(512, 2, 64),
-            l2: CacheGeometry::new(2048, 4, 64),  // 8 sets x 4 ways
+            l2: CacheGeometry::new(2048, 4, 64), // 8 sets x 4 ways
             llc: CacheGeometry::new(8192, 8, 64), // 16 sets x 8 ways
             latencies: Default::default(),
         }
@@ -421,7 +434,11 @@ mod tests {
         }
         let c1 = h.counters_of(1);
         let c2 = h.counters_of(2);
-        assert_eq!(c1.get(Counter::LlcEvictionsCaused), 0, "disjoint masks cannot evict");
+        assert_eq!(
+            c1.get(Counter::LlcEvictionsCaused),
+            0,
+            "disjoint masks cannot evict"
+        );
         assert_eq!(c2.get(Counter::LlcEvictionsCaused), 0);
         // overlapping mask now causes cross-workload evictions
         h.set_llc_mask(2, AllocationSetting::new(0, 8).to_cbm(ways).expect("ok"));
@@ -437,7 +454,12 @@ mod tests {
         // the fundamental curve the paper's models learn
         let miss_rate = |ways_allowed: usize| -> f64 {
             let mut h = Hierarchy::new(tiny_config(), 5);
-            h.set_llc_mask(1, AllocationSetting::new(0, ways_allowed).to_cbm(8).expect("ok"));
+            h.set_llc_mask(
+                1,
+                AllocationSetting::new(0, ways_allowed)
+                    .to_cbm(8)
+                    .expect("ok"),
+            );
             // working set: 64 lines; LLC partition holds 16*ways_allowed lines;
             // L2 holds 32, L1 8 — loop repeatedly
             let mut misses_before = 0;
@@ -469,7 +491,10 @@ mod tests {
         // same LLC set: llc has 16 sets -> stride 16*64 = 1024
         h.access(1, 1024, AccessKind::Load); // evicts dirty line
         let c = h.counters_of(1);
-        assert!(c.get(Counter::MemWrites) >= 1, "dirty eviction must write back");
+        assert!(
+            c.get(Counter::MemWrites) >= 1,
+            "dirty eviction must write back"
+        );
     }
 
     #[test]

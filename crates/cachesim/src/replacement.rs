@@ -62,7 +62,11 @@ impl Replacement {
         ways: usize,
         rng: &mut Rng64,
     ) -> Option<usize> {
-        let way_mask = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+        let way_mask = if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        };
         let allowed = allowed & way_mask;
         if allowed == 0 {
             return None;
@@ -101,7 +105,9 @@ pub struct LruState {
 
 impl LruState {
     fn new(ways: usize) -> Self {
-        LruState { last_touch: vec![0; ways] }
+        LruState {
+            last_touch: vec![0; ways],
+        }
     }
 
     #[inline]
@@ -136,7 +142,10 @@ pub struct PlruState {
 
 impl PlruState {
     fn new(ways: usize) -> Self {
-        PlruState { bits: 0, leaves: ways.next_power_of_two() }
+        PlruState {
+            bits: 0,
+            leaves: ways.next_power_of_two(),
+        }
     }
 
     fn touch(&mut self, way: usize) {
@@ -257,7 +266,9 @@ mod tests {
         let mut r = Replacement::new(ReplacementKind::Random, 8);
         let mut rng = Rng64::new(5);
         for _ in 0..1000 {
-            let v = r.victim(0b0011_0000, 0xFF, 8, &mut rng).expect("allowed nonempty");
+            let v = r
+                .victim(0b0011_0000, 0xFF, 8, &mut rng)
+                .expect("allowed nonempty");
             assert!(v == 4 || v == 5);
         }
     }

@@ -30,7 +30,10 @@ impl AllocationSetting {
 
     /// Recover the setting from a contiguous bitmask.
     pub fn from_cbm(cbm: &CapacityBitmask) -> Self {
-        AllocationSetting { offset: cbm.offset(), length: cbm.length() }
+        AllocationSetting {
+            offset: cbm.offset(),
+            length: cbm.length(),
+        }
     }
 
     /// Exclusive end way.

@@ -27,7 +27,10 @@ impl CapacityBitmask {
         }
         let highest = 63 - bits.leading_zeros() as usize;
         if highest >= ways {
-            return Err(CatError::OutOfRange { ways, highest_bit: highest });
+            return Err(CatError::OutOfRange {
+                ways,
+                highest_bit: highest,
+            });
         }
         // Contiguity: after shifting out trailing zeros, the mask must be
         // all-ones up to its width.
@@ -35,7 +38,10 @@ impl CapacityBitmask {
         if (shifted & shifted.wrapping_add(1)) != 0 {
             return Err(CatError::NonContiguous);
         }
-        Ok(CapacityBitmask { bits, ways: ways as u8 })
+        Ok(CapacityBitmask {
+            bits,
+            ways: ways as u8,
+        })
     }
 
     /// Build from an `(offset, length)` allocation setting.
@@ -44,10 +50,20 @@ impl CapacityBitmask {
             return Err(CatError::EmptyMask);
         }
         if offset + length > ways {
-            return Err(CatError::OutOfRange { ways, highest_bit: offset + length - 1 });
+            return Err(CatError::OutOfRange {
+                ways,
+                highest_bit: offset + length - 1,
+            });
         }
-        let bits = if length == 64 { u64::MAX } else { ((1u64 << length) - 1) << offset };
-        Ok(CapacityBitmask { bits, ways: ways as u8 })
+        let bits = if length == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << length) - 1) << offset
+        };
+        Ok(CapacityBitmask {
+            bits,
+            ways: ways as u8,
+        })
     }
 
     /// Mask covering every way of the cache.
@@ -128,7 +144,13 @@ mod tests {
 
     #[test]
     fn contiguous_masks_accepted() {
-        for (bits, ways) in [(0b1u64, 4), (0b1100, 4), (0xF, 4), (0xFF00, 16), (u64::MAX, 64)] {
+        for (bits, ways) in [
+            (0b1u64, 4),
+            (0b1100, 4),
+            (0xF, 4),
+            (0xFF00, 16),
+            (u64::MAX, 64),
+        ] {
             assert!(CapacityBitmask::new(bits, ways).is_ok(), "{bits:#x}");
         }
     }
@@ -136,20 +158,29 @@ mod tests {
     #[test]
     fn non_contiguous_rejected() {
         assert_eq!(CapacityBitmask::new(0b101, 4), Err(CatError::NonContiguous));
-        assert_eq!(CapacityBitmask::new(0b1001_1, 8), Err(CatError::NonContiguous));
+        assert_eq!(
+            CapacityBitmask::new(0b10011, 8),
+            Err(CatError::NonContiguous)
+        );
     }
 
     #[test]
     fn empty_rejected() {
         assert_eq!(CapacityBitmask::new(0, 4), Err(CatError::EmptyMask));
-        assert_eq!(CapacityBitmask::from_span(2, 0, 8), Err(CatError::EmptyMask));
+        assert_eq!(
+            CapacityBitmask::from_span(2, 0, 8),
+            Err(CatError::EmptyMask)
+        );
     }
 
     #[test]
     fn out_of_range_rejected() {
         assert!(matches!(
             CapacityBitmask::new(0b1_0000, 4),
-            Err(CatError::OutOfRange { ways: 4, highest_bit: 4 })
+            Err(CatError::OutOfRange {
+                ways: 4,
+                highest_bit: 4
+            })
         ));
         assert!(CapacityBitmask::from_span(3, 2, 4).is_err());
     }
@@ -201,7 +232,10 @@ mod tests {
 
     #[test]
     fn hex_parse_errors() {
-        assert!(matches!(CapacityBitmask::from_hex("zz", 8), Err(CatError::Parse(_))));
+        assert!(matches!(
+            CapacityBitmask::from_hex("zz", 8),
+            Err(CatError::Parse(_))
+        ));
         assert_eq!(CapacityBitmask::from_hex("0", 8), Err(CatError::EmptyMask));
     }
 

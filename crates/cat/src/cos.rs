@@ -58,9 +58,16 @@ impl CosTable {
     pub fn set_mask(&mut self, cos: CosId, mask: CapacityBitmask) -> Result<(), CatError> {
         let idx = cos as usize;
         if idx >= self.masks.len() {
-            return Err(CatError::CosOutOfRange { max: self.classes() - 1, requested: cos });
+            return Err(CatError::CosOutOfRange {
+                max: self.classes() - 1,
+                requested: cos,
+            });
         }
-        assert_eq!(mask.cache_ways(), self.ways, "mask validated for a different cache");
+        assert_eq!(
+            mask.cache_ways(),
+            self.ways,
+            "mask validated for a different cache"
+        );
         self.masks[idx] = mask;
         self.writes += 1;
         Ok(())
@@ -77,7 +84,10 @@ impl CosTable {
     /// Bind a workload to a class (rebinding moves it).
     pub fn bind(&mut self, workload: WorkloadId, cos: CosId) -> Result<(), CatError> {
         if cos as usize >= self.masks.len() {
-            return Err(CatError::CosOutOfRange { max: self.classes() - 1, requested: cos });
+            return Err(CatError::CosOutOfRange {
+                max: self.classes() - 1,
+                requested: cos,
+            });
         }
         if let Some(entry) = self.bindings.iter_mut().find(|(w, _)| *w == workload) {
             entry.1 = cos;
@@ -148,7 +158,10 @@ mod tests {
         let mut t = CosTable::new(2, 16);
         assert!(matches!(
             t.set_mask(5, mask(0, 1)),
-            Err(CatError::CosOutOfRange { max: 1, requested: 5 })
+            Err(CatError::CosOutOfRange {
+                max: 1,
+                requested: 5
+            })
         ));
         assert!(t.bind(7, 3).is_err());
     }

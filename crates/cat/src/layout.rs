@@ -44,7 +44,12 @@ impl PairLayout {
     /// Symmetric pair layout with `private` ways each and `shared` middle
     /// ways, starting at way 0.
     pub fn symmetric(private: usize, shared: usize) -> Self {
-        PairLayout { base_way: 0, private_a: private, shared, private_b: private }
+        PairLayout {
+            base_way: 0,
+            private_a: private,
+            shared,
+            private_b: private,
+        }
     }
 
     /// Total ways consumed by the layout.
@@ -130,7 +135,11 @@ impl ChainLayout {
         assert!(i < self.n);
         let has_left = i > 0;
         let has_right = i + 1 < self.n;
-        let start = if has_left { self.private_start(i) - self.shared } else { self.private_start(i) };
+        let start = if has_left {
+            self.private_start(i) - self.shared
+        } else {
+            self.private_start(i)
+        };
         let mut len = self.private;
         if has_left {
             len += self.shared;
@@ -364,8 +373,12 @@ mod tests {
     fn interior_chain_workload_shares_with_exactly_two() {
         let c = ChainLayout::new(4, 2, 1);
         let ps = c.policies(1.0);
-        let others: Vec<ShortTermPolicy> =
-            ps.iter().enumerate().filter(|&(j, _)| j != 1).map(|(_, p)| *p).collect();
+        let others: Vec<ShortTermPolicy> = ps
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != 1)
+            .map(|(_, p)| *p)
+            .collect();
         assert_eq!(sharing_degree(&ps[1], &others), 2);
     }
 
@@ -411,7 +424,12 @@ mod tests {
 
     #[test]
     fn asymmetric_pair() {
-        let l = PairLayout { base_way: 4, private_a: 3, shared: 2, private_b: 1 };
+        let l = PairLayout {
+            base_way: 4,
+            private_a: 3,
+            shared: 2,
+            private_b: 1,
+        };
         assert_eq!(l.default_a(), AllocationSetting::new(4, 3));
         assert_eq!(l.boosted_a(), AllocationSetting::new(4, 5));
         assert_eq!(l.default_b(), AllocationSetting::new(9, 1));

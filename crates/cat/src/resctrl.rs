@@ -101,7 +101,11 @@ impl ResctrlFs {
             schemata: Schemata::single(CapacityBitmask::full(ways)),
             tasks: Vec::new(),
         };
-        ResctrlFs { ways, groups: vec![root], max_groups }
+        ResctrlFs {
+            ways,
+            groups: vec![root],
+            max_groups,
+        }
     }
 
     /// Create a new resource group. Fails when hardware COS are exhausted —
@@ -204,8 +208,14 @@ mod tests {
         assert!(Schemata::parse("MB:0=10", 16).is_err());
         assert!(Schemata::parse("L3:0", 16).is_err());
         assert!(Schemata::parse("L3:x=3", 16).is_err());
-        assert!(Schemata::parse("L3:0=3;0=7", 16).is_err(), "duplicate domain");
-        assert!(Schemata::parse("L3:0=5", 16).is_err(), "non-contiguous mask");
+        assert!(
+            Schemata::parse("L3:0=3;0=7", 16).is_err(),
+            "duplicate domain"
+        );
+        assert!(
+            Schemata::parse("L3:0=5", 16).is_err(),
+            "non-contiguous mask"
+        );
     }
 
     #[test]
@@ -268,6 +278,9 @@ mod tests {
     #[test]
     fn write_schemata_unknown_group() {
         let mut fs = ResctrlFs::mount(16, 4);
-        assert!(matches!(fs.write_schemata(9, "L3:0=1"), Err(CatError::UnknownCos(9))));
+        assert!(matches!(
+            fs.write_schemata(9, "L3:0=1"),
+            Err(CatError::UnknownCos(9))
+        ));
     }
 }

@@ -33,20 +33,27 @@ pub const NEVER_BOOST_RATIO: f64 = 6.0;
 impl ShortTermPolicy {
     /// Policy that boosts a query once its time in system exceeds
     /// `timeout_ratio x` the expected service time.
-    pub fn new(
-        default: AllocationSetting,
-        boosted: AllocationSetting,
-        timeout_ratio: f64,
-    ) -> Self {
+    pub fn new(default: AllocationSetting, boosted: AllocationSetting, timeout_ratio: f64) -> Self {
         assert!(timeout_ratio >= 0.0, "timeout ratio must be non-negative");
-        assert!(default.length > 0 && boosted.length > 0, "settings must be non-empty");
-        ShortTermPolicy { default, boosted, timeout_ratio }
+        assert!(
+            default.length > 0 && boosted.length > 0,
+            "settings must be non-empty"
+        );
+        ShortTermPolicy {
+            default,
+            boosted,
+            timeout_ratio,
+        }
     }
 
     /// Static policy: never boost (the `(a, a, 0)` denominator case of
     /// Eq. 3, with the timeout pushed past the disable bound).
     pub fn static_only(default: AllocationSetting) -> Self {
-        ShortTermPolicy { default, boosted: default, timeout_ratio: NEVER_BOOST_RATIO }
+        ShortTermPolicy {
+            default,
+            boosted: default,
+            timeout_ratio: NEVER_BOOST_RATIO,
+        }
     }
 
     /// Whether this policy can ever trigger a boost.
@@ -82,7 +89,11 @@ mod tests {
     use super::*;
 
     fn policy(t: f64) -> ShortTermPolicy {
-        ShortTermPolicy::new(AllocationSetting::new(0, 2), AllocationSetting::new(0, 4), t)
+        ShortTermPolicy::new(
+            AllocationSetting::new(0, 2),
+            AllocationSetting::new(0, 4),
+            t,
+        )
     }
 
     #[test]

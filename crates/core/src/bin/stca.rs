@@ -10,8 +10,6 @@
 //!
 //! Every subcommand is deterministic given `--seed`.
 
-use std::path::PathBuf;
-use std::process::ExitCode;
 use stca_cachesim::{Counter, Hierarchy, HierarchyConfig};
 use stca_cat::AllocationSetting;
 use stca_core::{ModelConfig, PolicyExplorer, Predictor};
@@ -21,6 +19,8 @@ use stca_profiler::sampler::CounterOrdering;
 use stca_profiler::storage;
 use stca_util::Rng64;
 use stca_workloads::{AccessGenerator, BenchmarkId, RuntimeCondition, WorkloadSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
 const USAGE: &str = "\
 stca — short-term cache allocation toolkit
@@ -32,6 +32,10 @@ USAGE:
   stca explore --profiles FILE --pair A,B [--util U] [--seed N]
 
 Benchmarks: jac knn kmeans spkmeans spstream bfs social redis
+
+Observability (any subcommand):
+  --metrics-out FILE    write a JSON metrics report and print a summary table
+  STCA_LOG=info         enable logging (e.g. STCA_LOG=info,queuesim=trace)
 ";
 
 fn parse_benchmark(s: &str) -> Result<BenchmarkId, String> {
@@ -81,7 +85,8 @@ impl Args {
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
@@ -99,7 +104,10 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     let n: u64 = args.get_parsed("accesses", 100_000u64)?;
     let config = HierarchyConfig::experiment_default();
     let ways = config.llc.ways;
-    println!("{:>10} {:>16} {:>14} {:>20}", "benchmark", "footprint(ways)", "LLC MPKA(2w)", "full-cache speedup");
+    println!(
+        "{:>10} {:>16} {:>14} {:>20}",
+        "benchmark", "footprint(ways)", "LLC MPKA(2w)", "full-cache speedup"
+    );
     for id in BenchmarkId::ALL {
         let spec = WorkloadSpec::for_benchmark(id);
         let run = |alloc: AllocationSetting| -> (f64, f64) {
@@ -135,17 +143,13 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn profile_conditions(
-    pair: (BenchmarkId, BenchmarkId),
-    n: usize,
-    seed: u64,
-) -> ProfileSet {
+fn profile_conditions(pair: (BenchmarkId, BenchmarkId), n: usize, seed: u64) -> ProfileSet {
     let mut rng = Rng64::new(seed);
     let mut set = ProfileSet::new();
     for i in 0..n {
         let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
-        eprintln!(
-            "  [{}/{}] util=({:.2},{:.2}) T=({:.2},{:.2})",
+        stca_obs::info!(
+            "[{}/{}] util=({:.2},{:.2}) T=({:.2},{:.2})",
             i + 1,
             n,
             condition.workloads[0].utilization,
@@ -161,7 +165,12 @@ fn profile_conditions(
         };
         let out = TestEnvironment::new(spec).run();
         for (j, w) in out.workloads.iter().enumerate() {
-            set.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+            set.push(ProfileRow::from_outcome(
+                &condition,
+                j,
+                w,
+                CounterOrdering::Grouped,
+            ));
         }
     }
     set
@@ -172,7 +181,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let n: usize = args.get_parsed("n", 10usize)?;
     let seed: u64 = args.get_parsed("seed", 2022u64)?;
     let out: PathBuf = PathBuf::from(args.get("o").or(args.get("out")).unwrap_or("profiles.stca"));
-    eprintln!("profiling {}({}) over {n} conditions...", pair.0, pair.1);
+    stca_obs::info!("profiling {}({}) over {n} conditions", pair.0, pair.1);
     let set = profile_conditions(pair, n, seed);
     storage::save(&set, &out).map_err(|e| e.to_string())?;
     println!("wrote {} profile rows to {}", set.len(), out.display());
@@ -185,7 +194,7 @@ fn load_profiles(args: &Args) -> Result<ProfileSet, String> {
     if set.is_empty() {
         return Err("profile file holds no rows".into());
     }
-    eprintln!("loaded {} profile rows from {}", set.len(), path.display());
+    stca_obs::info!("loaded {} profile rows from {}", set.len(), path.display());
     Ok(set)
 }
 
@@ -200,7 +209,10 @@ fn train(set: &ProfileSet, seed: u64) -> Predictor {
 
 fn cmd_predict(args: &Args) -> Result<(), String> {
     let pair = parse_pair(args.require("pair")?)?;
-    let util: f64 = args.require("util")?.parse().map_err(|e| format!("bad --util: {e}"))?;
+    let util: f64 = args
+        .require("util")?
+        .parse()
+        .map_err(|e| format!("bad --util: {e}"))?;
     let timeouts = args.require("timeouts")?;
     let (ta, tb) = timeouts
         .split_once(',')
@@ -218,8 +230,18 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     let es_a = WorkloadSpec::for_benchmark(pair.0).mean_service_time;
     let es_b = WorkloadSpec::for_benchmark(pair.1).mean_service_time;
     println!("predicted p95 response at util {util:.2}, T=({ta:.2},{tb:.2}):");
-    println!("  {:>8}: {:.4}s ({:.2}x expected service)", pair.0.short_name(), pa * es_a, pa);
-    println!("  {:>8}: {:.4}s ({:.2}x expected service)", pair.1.short_name(), pb * es_b, pb);
+    println!(
+        "  {:>8}: {:.4}s ({:.2}x expected service)",
+        pair.0.short_name(),
+        pa * es_a,
+        pa
+    );
+    println!(
+        "  {:>8}: {:.4}s ({:.2}x expected service)",
+        pair.1.short_name(),
+        pb * es_b,
+        pb
+    );
     Ok(())
 }
 
@@ -231,7 +253,10 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     let predictor = train(&profiles, seed);
     let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, util);
     let result = explorer.explore();
-    println!("predicted normalized p95 grid (rows: T_{}, cols: T_{}):", pair.0, pair.1);
+    println!(
+        "predicted normalized p95 grid (rows: T_{}, cols: T_{}):",
+        pair.0, pair.1
+    );
     print!("{:>8}", "");
     for t in stca_core::explorer::TIMEOUT_GRID {
         print!("{t:>12.2}");
@@ -252,6 +277,7 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    stca_obs::init_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprint!("{USAGE}");
@@ -275,6 +301,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown subcommand {other:?}")),
     };
+    stca_obs::emit_run_report();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

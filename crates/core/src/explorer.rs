@@ -76,13 +76,24 @@ impl<'a> PolicyExplorer<'a> {
         utilization: f64,
     ) -> Self {
         assert!(!profiles.is_empty(), "explorer needs profile features");
-        PolicyExplorer { predictor, profiles, benchmark_a, benchmark_b, utilization }
+        PolicyExplorer {
+            predictor,
+            profiles,
+            benchmark_a,
+            benchmark_b,
+            utilization,
+        }
     }
 
     /// Nearest profiled row in (own util, own timeout, other util, other
     /// timeout) space, with static features overwritten by the candidate's.
     fn synthesize_row(&self, own_timeout: f64, other_timeout: f64) -> ProfileRow {
-        let target = [self.utilization, own_timeout, self.utilization, other_timeout];
+        let target = [
+            self.utilization,
+            own_timeout,
+            self.utilization,
+            other_timeout,
+        ];
         let nearest = self
             .profiles
             .rows
@@ -119,10 +130,8 @@ impl<'a> PolicyExplorer<'a> {
         let row_b = self.synthesize_row(timeout_b, timeout_a);
         let pred_a = self.predictor.predict_response(&row_a, self.benchmark_a);
         let pred_b = self.predictor.predict_response(&row_b, self.benchmark_b);
-        let es_a = stca_workloads::WorkloadSpec::for_benchmark(self.benchmark_a)
-            .mean_service_time;
-        let es_b = stca_workloads::WorkloadSpec::for_benchmark(self.benchmark_b)
-            .mean_service_time;
+        let es_a = stca_workloads::WorkloadSpec::for_benchmark(self.benchmark_a).mean_service_time;
+        let es_b = stca_workloads::WorkloadSpec::for_benchmark(self.benchmark_b).mean_service_time;
         (pred_a.p95_response / es_a, pred_b.p95_response / es_b)
     }
 
@@ -135,6 +144,7 @@ impl<'a> PolicyExplorer<'a> {
     /// compares 5-point and finer grids).
     pub fn explore_with_grid(&self, grid_points: &[f64]) -> ExplorationResult {
         assert!(!grid_points.is_empty());
+        stca_obs::time_scope!("core.explorer.explore_seconds");
         let n = grid_points.len();
         let mut grid = vec![vec![(0.0, 0.0); n]; n];
         for (i, &ta) in grid_points.iter().enumerate() {
@@ -142,6 +152,7 @@ impl<'a> PolicyExplorer<'a> {
                 grid[i][j] = self.predict_point(ta, tb);
             }
         }
+        stca_obs::counter("core.explorer.candidates_evaluated_total").add((n * n) as u64);
         // step 1: per-workload near-best sets
         let best_a = grid
             .iter()
@@ -164,6 +175,22 @@ impl<'a> PolicyExplorer<'a> {
             }
         }
         let intersected = !intersection.is_empty();
+        // candidates outside the SLO intersection are pruned from step 2
+        stca_obs::counter("core.explorer.candidates_pruned_total")
+            .add((n * n - intersection.len()) as u64);
+        if intersected {
+            stca_obs::counter("core.explorer.slo_intersections_total").inc();
+        } else {
+            stca_obs::counter("core.explorer.minimax_fallbacks_total").inc();
+        }
+        stca_obs::debug!(
+            "explorer {}({}) at util {:.2}: {} candidates, {} in SLO intersection",
+            self.benchmark_a,
+            self.benchmark_b,
+            self.utilization,
+            n * n,
+            intersection.len()
+        );
         let (bi, bj) = if intersected {
             // within the intersection, prefer the point with the lowest sum
             intersection
@@ -218,10 +245,14 @@ mod tests {
         for i in 0..6 {
             let cond =
                 RuntimeCondition::random_pair(BenchmarkId::Redis, BenchmarkId::Social, &mut rng);
-            let out =
-                TestEnvironment::new(ExperimentSpec::quick(cond.clone(), 500 + i)).run();
+            let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), 500 + i)).run();
             for (j, w) in out.workloads.iter().enumerate() {
-                set.push(ProfileRow::from_outcome(&cond, j, w, CounterOrdering::Grouped));
+                set.push(ProfileRow::from_outcome(
+                    &cond,
+                    j,
+                    w,
+                    CounterOrdering::Grouped,
+                ));
             }
         }
         let predictor = Predictor::train(&set, &ModelConfig::quick(5));
@@ -245,8 +276,14 @@ mod tests {
         assert!(result.predicted_a > 0.0);
         assert!(result.predicted_b > 0.0);
         // the chosen point's predictions match its grid cell
-        let i = TIMEOUT_GRID.iter().position(|&t| t == result.timeout_a).expect("on grid");
-        let j = TIMEOUT_GRID.iter().position(|&t| t == result.timeout_b).expect("on grid");
+        let i = TIMEOUT_GRID
+            .iter()
+            .position(|&t| t == result.timeout_a)
+            .expect("on grid");
+        let j = TIMEOUT_GRID
+            .iter()
+            .position(|&t| t == result.timeout_b)
+            .expect("on grid");
         assert_eq!(result.grid[i][j], (result.predicted_a, result.predicted_b));
     }
 

@@ -58,8 +58,9 @@ impl ClusterAnalysis {
 fn summarize(profiles: &ProfileSet, assignment: &[usize], k: usize) -> ClusterAnalysis {
     let mut clusters = Vec::with_capacity(k);
     for c in 0..k {
-        let members: Vec<usize> =
-            (0..assignment.len()).filter(|&i| assignment[i] == c).collect();
+        let members: Vec<usize> = (0..assignment.len())
+            .filter(|&i| assignment[i] == c)
+            .collect();
         let mut util = OnlineStats::new();
         let mut timeout = OnlineStats::new();
         let mut ea = OnlineStats::new();
@@ -77,7 +78,10 @@ fn summarize(profiles: &ProfileSet, assignment: &[usize], k: usize) -> ClusterAn
             ea_std: ea.std_dev(),
         });
     }
-    ClusterAnalysis { assignment: assignment.to_vec(), clusters }
+    ClusterAnalysis {
+        assignment: assignment.to_vec(),
+        clusters,
+    }
 }
 
 fn normalize_columns(points: &mut [Vec<f64>]) {
@@ -104,8 +108,11 @@ pub fn cluster_by_concepts(
     k: usize,
     rng: &mut Rng64,
 ) -> ClusterAnalysis {
-    let mut points: Vec<Vec<f64>> =
-        profiles.rows.iter().map(|r| predictor.concepts(r)).collect();
+    let mut points: Vec<Vec<f64>> = profiles
+        .rows
+        .iter()
+        .map(|r| predictor.concepts(r))
+        .collect();
     normalize_columns(&mut points);
     let res = kmeans(&points, k, 100, rng);
     summarize(profiles, &res.assignment, res.centroids.len())
@@ -114,11 +121,7 @@ pub fn cluster_by_concepts(
 /// Cluster profile rows by the raw hardware-counter trace alone (the
 /// comparison the paper draws: counters without learned concepts miss the
 /// arrival/service/timeout interaction).
-pub fn cluster_by_counters(
-    profiles: &ProfileSet,
-    k: usize,
-    rng: &mut Rng64,
-) -> ClusterAnalysis {
+pub fn cluster_by_counters(profiles: &ProfileSet, k: usize, rng: &mut Rng64) -> ClusterAnalysis {
     let mut points: Vec<Vec<f64>> = profiles
         .rows
         .iter()
@@ -155,7 +158,12 @@ mod tests {
                 RuntimeCondition::random_pair(BenchmarkId::Kmeans, BenchmarkId::Redis, &mut rng);
             let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), 900 + i)).run();
             for (j, w) in out.workloads.iter().enumerate() {
-                set.push(ProfileRow::from_outcome(&cond, j, w, CounterOrdering::Grouped));
+                set.push(ProfileRow::from_outcome(
+                    &cond,
+                    j,
+                    w,
+                    CounterOrdering::Grouped,
+                ));
             }
         }
         let p = Predictor::train(&set, &ModelConfig::quick(6));
@@ -170,8 +178,14 @@ mod tests {
         let by_h = cluster_by_counters(&profiles, 3, &mut rng);
         assert_eq!(by_c.assignment.len(), profiles.len());
         assert_eq!(by_h.assignment.len(), profiles.len());
-        assert_eq!(by_c.clusters.iter().map(|c| c.size).sum::<usize>(), profiles.len());
-        assert_eq!(by_h.clusters.iter().map(|c| c.size).sum::<usize>(), profiles.len());
+        assert_eq!(
+            by_c.clusters.iter().map(|c| c.size).sum::<usize>(),
+            profiles.len()
+        );
+        assert_eq!(
+            by_h.clusters.iter().map(|c| c.size).sum::<usize>(),
+            profiles.len()
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub struct ModelConfig {
 impl Default for ModelConfig {
     fn default() -> Self {
         // base service is predictable from scalars + raw trace: no MGS
-        let service = DeepForestConfig { mgs: None, ..DeepForestConfig::default() };
+        let service = DeepForestConfig {
+            mgs: None,
+            ..DeepForestConfig::default()
+        };
         ModelConfig {
             ea_forest: DeepForestConfig::default(),
             service_forest: service,
@@ -57,8 +60,12 @@ impl ModelConfig {
     /// count that trains in seconds on a few hundred profiles.
     pub fn standard(seed: u64) -> Self {
         use stca_deepforest::{CascadeConfig, MgsConfig};
-        let cascade =
-            CascadeConfig { levels: 3, forests_per_level: 4, trees_per_forest: 40, folds: 3 };
+        let cascade = CascadeConfig {
+            levels: 3,
+            forests_per_level: 4,
+            trees_per_forest: 40,
+            folds: 3,
+        };
         let mgs = MgsConfig {
             window_sizes: vec![5, 10, 15],
             stride: 2,
@@ -89,8 +96,12 @@ impl ModelConfig {
     /// conversion.
     pub fn simple_ml(seed: u64) -> Self {
         use stca_deepforest::CascadeConfig;
-        let cascade =
-            CascadeConfig { levels: 1, forests_per_level: 2, trees_per_forest: 40, folds: 3 };
+        let cascade = CascadeConfig {
+            levels: 1,
+            forests_per_level: 2,
+            trees_per_forest: 40,
+            folds: 3,
+        };
         ModelConfig {
             ea_forest: DeepForestConfig {
                 mgs: None,
@@ -112,7 +123,12 @@ impl ModelConfig {
     /// A fast configuration for tests and quick experiments.
     pub fn quick(seed: u64) -> Self {
         use stca_deepforest::{CascadeConfig, MgsConfig};
-        let cascade = CascadeConfig { levels: 2, forests_per_level: 2, trees_per_forest: 12, folds: 3 };
+        let cascade = CascadeConfig {
+            levels: 2,
+            forests_per_level: 2,
+            trees_per_forest: 12,
+            folds: 3,
+        };
         let mgs = MgsConfig {
             window_sizes: vec![5, 10],
             stride: 3,
@@ -163,17 +179,26 @@ pub struct Predictor {
 }
 
 fn to_sample(row: &ProfileRow) -> Sample {
-    Sample { scalars: row.scalar_features(), trace: row.trace.clone() }
+    Sample {
+        scalars: row.scalar_features(),
+        trace: row.trace.clone(),
+    }
 }
 
 impl Predictor {
     /// Train on a profile set (Stage 2).
     pub fn train(profiles: &ProfileSet, config: &ModelConfig) -> Predictor {
         assert!(!profiles.is_empty(), "cannot train on an empty profile set");
+        stca_obs::time_scope!("core.predictor.train_seconds");
+        stca_obs::counter("core.predictor.trainings_total").inc();
+        stca_obs::info!("training predictor on {} profile rows", profiles.len());
         let samples: Vec<Sample> = profiles.rows.iter().map(to_sample).collect();
         let ea: Vec<f64> = profiles.rows.iter().map(|r| Target::Ea.of(r)).collect();
-        let service: Vec<f64> =
-            profiles.rows.iter().map(|r| Target::BaseService.of(r)).collect();
+        let service: Vec<f64> = profiles
+            .rows
+            .iter()
+            .map(|r| Target::BaseService.of(r))
+            .collect();
         Predictor {
             ea_model: DeepForest::fit(&samples, &ea, &config.ea_forest),
             service_model: DeepForest::fit(&samples, &service, &config.service_forest),
@@ -188,13 +213,17 @@ impl Predictor {
 
     /// Predict normalized base service time for a profile row.
     pub fn predict_base_service_norm(&self, row: &ProfileRow) -> f64 {
-        self.service_model.predict(&to_sample(row)).clamp(0.05, 20.0)
+        self.service_model
+            .predict(&to_sample(row))
+            .clamp(0.05, 20.0)
     }
 
     /// Full Stage-3 prediction of the response-time distribution for the
     /// workload described by `row` (which benchmark it is tells the model
     /// the service-time scale and demand shape).
     pub fn predict_response(&self, row: &ProfileRow, benchmark: BenchmarkId) -> ResponsePrediction {
+        stca_obs::time_scope!("core.predictor.predict_seconds");
+        stca_obs::counter("core.predictor.predictions_total").inc();
         let spec = WorkloadSpec::for_benchmark(benchmark);
         let ea = self.predict_ea(row);
         let base_norm = self.predict_base_service_norm(row);
@@ -255,11 +284,17 @@ mod tests {
         let mut set = ProfileSet::new();
         let mut benchmarks = Vec::new();
         for i in 0..n {
-            let cond = RuntimeCondition::random_pair(BenchmarkId::Kmeans, BenchmarkId::Bfs, &mut rng);
-            let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), seed ^ i as u64))
-                .run();
+            let cond =
+                RuntimeCondition::random_pair(BenchmarkId::Kmeans, BenchmarkId::Bfs, &mut rng);
+            let out =
+                TestEnvironment::new(ExperimentSpec::quick(cond.clone(), seed ^ i as u64)).run();
             for (j, w) in out.workloads.iter().enumerate() {
-                set.push(ProfileRow::from_outcome(&cond, j, w, CounterOrdering::Grouped));
+                set.push(ProfileRow::from_outcome(
+                    &cond,
+                    j,
+                    w,
+                    CounterOrdering::Grouped,
+                ));
                 benchmarks.push(w.benchmark);
             }
         }

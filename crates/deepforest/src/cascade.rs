@@ -11,6 +11,27 @@
 
 use crate::forest::{Forest, ForestConfig};
 use stca_util::{Matrix, Rng64};
+use std::sync::{Arc, OnceLock};
+
+/// Global cascade metrics, resolved once (predict runs in hot loops).
+struct CascadeMetrics {
+    fits: Arc<stca_obs::Counter>,
+    levels: Arc<stca_obs::Counter>,
+    predicts: Arc<stca_obs::Counter>,
+    level_fit_seconds: Arc<stca_obs::Histogram>,
+    fit_seconds: Arc<stca_obs::Histogram>,
+}
+
+fn cascade_metrics() -> &'static CascadeMetrics {
+    static METRICS: OnceLock<CascadeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CascadeMetrics {
+        fits: stca_obs::counter("deepforest.cascade.fits_total"),
+        levels: stca_obs::counter("deepforest.cascade.levels_fitted_total"),
+        predicts: stca_obs::counter("deepforest.cascade.predicts_total"),
+        level_fit_seconds: stca_obs::histogram("deepforest.cascade.level_fit_seconds"),
+        fit_seconds: stca_obs::histogram("deepforest.cascade.fit_seconds"),
+    })
+}
 
 /// Cascade hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -28,14 +49,24 @@ pub struct CascadeConfig {
 
 impl Default for CascadeConfig {
     fn default() -> Self {
-        CascadeConfig { levels: 3, forests_per_level: 4, trees_per_forest: 40, folds: 3 }
+        CascadeConfig {
+            levels: 3,
+            forests_per_level: 4,
+            trees_per_forest: 40,
+            folds: 3,
+        }
     }
 }
 
 impl CascadeConfig {
     /// The paper's setting: 4 levels x 4 forests x 100 estimators.
     pub fn paper() -> Self {
-        CascadeConfig { levels: 4, forests_per_level: 4, trees_per_forest: 100, folds: 3 }
+        CascadeConfig {
+            levels: 4,
+            forests_per_level: 4,
+            trees_per_forest: 100,
+            folds: 3,
+        }
     }
 }
 
@@ -58,6 +89,8 @@ impl Cascade {
     pub fn fit(x: &Matrix, y: &[f64], config: CascadeConfig, rng: &mut Rng64) -> Self {
         assert_eq!(x.rows(), y.len());
         assert!(x.rows() >= 2, "cascade needs at least two samples");
+        let metrics = cascade_metrics();
+        let fit_timer = stca_obs::StageTimer::with_histogram(metrics.fit_seconds.clone());
         let n = x.rows();
         let forests_per_level = (config.forests_per_level.max(2) + 1) & !1; // even, >= 2
         let folds = config.folds.clamp(2, n);
@@ -69,14 +102,15 @@ impl Cascade {
         let mut augmented = x.clone();
         let mut levels: Vec<Vec<Forest>> = Vec::with_capacity(config.levels);
         for level in 0..config.levels {
+            let level_timer =
+                stca_obs::StageTimer::with_histogram(metrics.level_fit_seconds.clone());
             let mut level_forests = Vec::with_capacity(forests_per_level);
             let mut concepts = Matrix::zeros(n, forests_per_level);
             for slot in 0..forests_per_level {
                 let fc = forest_config(slot, &config);
                 // out-of-fold concept column
                 for fold in 0..folds {
-                    let train_idx: Vec<usize> =
-                        (0..n).filter(|&i| fold_of[i] != fold).collect();
+                    let train_idx: Vec<usize> = (0..n).filter(|&i| fold_of[i] != fold).collect();
                     let test_idx: Vec<usize> = (0..n).filter(|&i| fold_of[i] == fold).collect();
                     if train_idx.is_empty() || test_idx.is_empty() {
                         continue;
@@ -91,18 +125,31 @@ impl Cascade {
                     }
                 }
                 // full-data forest kept for inference
-                let mut frng =
-                    rng.derive_stream(0xFFFF_0000 | (level as u64) << 8 | slot as u64);
+                let mut frng = rng.derive_stream(0xFFFF_0000 | (level as u64) << 8 | slot as u64);
                 level_forests.push(Forest::fit(&augmented, y, fc, &mut frng));
             }
             augmented = augmented.hcat(&concepts);
             levels.push(level_forests);
+            metrics.levels.inc();
+            let level_elapsed = level_timer.stop();
+            stca_obs::debug!(
+                "cascade level {level}: {forests_per_level} forests over {} features in {:.3}s",
+                augmented.cols() - forests_per_level,
+                level_elapsed
+            );
         }
+        metrics.fits.inc();
+        let elapsed = fit_timer.stop();
+        stca_obs::debug!(
+            "cascade fit: {} levels on {n} samples in {elapsed:.3}s",
+            levels.len()
+        );
         Cascade { levels }
     }
 
     /// Predict one feature vector.
     pub fn predict(&self, features: &[f64]) -> f64 {
+        cascade_metrics().predicts.inc();
         let concepts = self.concept_trajectory(features);
         let last = concepts.last().expect("cascade has at least one level");
         last.iter().sum::<f64>() / last.len() as f64
@@ -154,7 +201,12 @@ mod tests {
     }
 
     fn small() -> CascadeConfig {
-        CascadeConfig { levels: 2, forests_per_level: 4, trees_per_forest: 15, folds: 3 }
+        CascadeConfig {
+            levels: 2,
+            forests_per_level: 4,
+            trees_per_forest: 15,
+            folds: 3,
+        }
     }
 
     #[test]
@@ -184,7 +236,10 @@ mod tests {
     fn forests_per_level_rounds_to_even() {
         let (x, y) = xor_data(40, 5);
         let mut rng = Rng64::new(6);
-        let cfg = CascadeConfig { forests_per_level: 3, ..small() };
+        let cfg = CascadeConfig {
+            forests_per_level: 3,
+            ..small()
+        };
         let c = Cascade::fit(&x, &y, cfg, &mut rng);
         assert_eq!(c.concept_trajectory(x.row(0))[0].len(), 4);
     }

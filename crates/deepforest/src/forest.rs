@@ -122,7 +122,10 @@ impl Forest {
         if total == 0 {
             return vec![0.0; n_features];
         }
-        counts.into_iter().map(|c| c as f64 / total as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -146,7 +149,11 @@ mod tests {
 
     fn mse(forest: &Forest, x: &Matrix, y: &[f64]) -> f64 {
         let pred = forest.predict_matrix(x);
-        pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64
+        pred.iter()
+            .zip(y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64
     }
 
     #[test]

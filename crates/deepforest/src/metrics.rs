@@ -83,7 +83,10 @@ mod tests {
     fn kfold_runs_all_samples() {
         let mut rng = Rng64::new(1);
         let samples: Vec<Sample> = (0..40)
-            .map(|i| Sample { scalars: vec![i as f64 / 40.0], trace: Matrix::zeros(0, 0) })
+            .map(|i| Sample {
+                scalars: vec![i as f64 / 40.0],
+                trace: Matrix::zeros(0, 0),
+            })
             .collect();
         let y: Vec<f64> = samples.iter().map(|s| 1.0 + s.scalars[0]).collect();
         let cfg = DeepForestConfig {
@@ -98,6 +101,10 @@ mod tests {
             seed: 2,
         };
         let s = kfold_ape(&samples, &y, &cfg, 4, &mut rng);
-        assert!(s.median < 15.0, "linear target is easy: median {}", s.median);
+        assert!(
+            s.median < 15.0,
+            "linear target is easy: median {}",
+            s.median
+        );
     }
 }

@@ -10,6 +10,31 @@
 
 use crate::forest::{Forest, ForestConfig};
 use stca_util::{Matrix, Rng64};
+use std::sync::{Arc, OnceLock};
+
+/// Global MGS metrics, resolved once (transform runs per sample).
+struct MgsMetrics {
+    fits: Arc<stca_obs::Counter>,
+    windows_fitted: Arc<stca_obs::Counter>,
+    windows_skipped: Arc<stca_obs::Counter>,
+    training_positions: Arc<stca_obs::Counter>,
+    transforms: Arc<stca_obs::Counter>,
+    window_fit_seconds: Arc<stca_obs::Histogram>,
+    transform_seconds: Arc<stca_obs::Histogram>,
+}
+
+fn mgs_metrics() -> &'static MgsMetrics {
+    static METRICS: OnceLock<MgsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| MgsMetrics {
+        fits: stca_obs::counter("deepforest.mgs.fits_total"),
+        windows_fitted: stca_obs::counter("deepforest.mgs.windows_fitted_total"),
+        windows_skipped: stca_obs::counter("deepforest.mgs.windows_skipped_total"),
+        training_positions: stca_obs::counter("deepforest.mgs.training_positions_total"),
+        transforms: stca_obs::counter("deepforest.mgs.transforms_total"),
+        window_fit_seconds: stca_obs::histogram("deepforest.mgs.window_fit_seconds"),
+        transform_seconds: stca_obs::histogram("deepforest.mgs.transform_seconds"),
+    })
+}
 
 /// Multi-grain scanning hyperparameters.
 #[derive(Debug, Clone)]
@@ -89,30 +114,37 @@ impl MultiGrainScanner {
         assert!(!traces.is_empty());
         let rows = traces[0].rows();
         let cols = traces[0].cols();
-        assert!(traces.iter().all(|t| t.rows() == rows && t.cols() == cols), "ragged traces");
+        assert!(
+            traces.iter().all(|t| t.rows() == rows && t.cols() == cols),
+            "ragged traces"
+        );
+        let metrics = mgs_metrics();
         let mut windows = Vec::new();
         for (wi, &w) in config.window_sizes.iter().enumerate() {
             let wr = w.min(rows);
             let wc = w.min(cols);
             let pos = positions(rows, cols, wr, wc, config.stride);
             if pos.is_empty() {
+                metrics.windows_skipped.inc();
+                stca_obs::debug!("mgs window {w}: no positions on a {rows}x{cols} trace, skipped");
                 continue;
             }
+            let window_timer =
+                stca_obs::StageTimer::with_histogram(metrics.window_fit_seconds.clone());
             let mut x = Matrix::zeros(0, 0);
             let mut labels = Vec::new();
             let mut buf = Vec::with_capacity(wr * wc);
             let mut sub_rng = rng.derive_stream(0x3C5 + wi as u64);
             for (ti, trace) in traces.iter().enumerate() {
-                let chosen: Vec<(usize, usize)> =
-                    if pos.len() > config.max_positions_per_sample {
-                        sub_rng
-                            .sample_indices(pos.len(), config.max_positions_per_sample)
-                            .into_iter()
-                            .map(|i| pos[i])
-                            .collect()
-                    } else {
-                        pos.clone()
-                    };
+                let chosen: Vec<(usize, usize)> = if pos.len() > config.max_positions_per_sample {
+                    sub_rng
+                        .sample_indices(pos.len(), config.max_positions_per_sample)
+                        .into_iter()
+                        .map(|i| pos[i])
+                        .collect()
+                } else {
+                    pos.clone()
+                };
                 for (r0, c0) in chosen {
                     window_vector(trace, r0, c0, wr, wc, &mut buf);
                     x.push_row(&buf);
@@ -130,8 +162,21 @@ impl MultiGrainScanner {
                 &mut forest_rng,
             );
             windows.push((wr, wc, forest));
+            metrics.windows_fitted.inc();
+            metrics.training_positions.add(x.rows() as u64);
+            let elapsed = window_timer.stop();
+            stca_obs::debug!(
+                "mgs window {w} ({wr}x{wc}): forest over {} positions in {elapsed:.3}s",
+                x.rows()
+            );
         }
-        MultiGrainScanner { windows, stride: config.stride, trace_rows: rows, trace_cols: cols }
+        metrics.fits.inc();
+        MultiGrainScanner {
+            windows,
+            stride: config.stride,
+            trace_rows: rows,
+            trace_cols: cols,
+        }
     }
 
     /// Number of representational features produced per sample.
@@ -147,8 +192,15 @@ impl MultiGrainScanner {
     /// Transform one trace into representational features (per-position
     /// kernel predictions, window sizes concatenated).
     pub fn transform(&self, trace: &Matrix) -> Vec<f64> {
-        assert_eq!(trace.rows(), self.trace_rows, "trace shape must match training");
+        assert_eq!(
+            trace.rows(),
+            self.trace_rows,
+            "trace shape must match training"
+        );
         assert_eq!(trace.cols(), self.trace_cols);
+        let metrics = mgs_metrics();
+        metrics.transforms.inc();
+        let _timer = stca_obs::StageTimer::with_histogram(metrics.transform_seconds.clone());
         let mut out = Vec::with_capacity(self.feature_count());
         let mut buf = Vec::new();
         for (wr, wc, forest) in &self.windows {
@@ -244,7 +296,10 @@ mod tests {
     fn oversized_windows_clamp() {
         let (traces, y) = patch_traces(10, 5);
         let mut rng = Rng64::new(6);
-        let cfg = MgsConfig { window_sizes: vec![35], ..small_config() };
+        let cfg = MgsConfig {
+            window_sizes: vec![35],
+            ..small_config()
+        };
         let mgs = MultiGrainScanner::fit(&traces, &y, &cfg, &mut rng);
         assert_eq!(mgs.window_shapes(), vec![(12, 10)]);
         assert_eq!(mgs.feature_count(), 1, "single clamped full-matrix window");

@@ -22,7 +22,10 @@ pub struct Sample {
 impl Sample {
     /// Tabular-only sample.
     pub fn tabular(scalars: Vec<f64>) -> Self {
-        Sample { scalars, trace: Matrix::zeros(0, 0) }
+        Sample {
+            scalars,
+            trace: Matrix::zeros(0, 0),
+        }
     }
 }
 
@@ -92,7 +95,11 @@ impl DeepForest {
             x.push_row(&assemble_features(s, &mgs, config.include_raw_trace));
         }
         let cascade = Cascade::fit(&x, y, config.cascade, &mut rng);
-        DeepForest { mgs, cascade, include_raw_trace: config.include_raw_trace }
+        DeepForest {
+            mgs,
+            cascade,
+            include_raw_trace: config.include_raw_trace,
+        }
     }
 
     /// Predict one sample.
@@ -162,7 +169,10 @@ mod tests {
                 }
             }
             let ea = if contended { 0.35 } else { 0.85 } - 0.05 * timeout;
-            samples.push(Sample { scalars: vec![timeout, 0.5], trace });
+            samples.push(Sample {
+                scalars: vec![timeout, 0.5],
+                trace,
+            });
             y.push(ea);
         }
         (samples, y)

@@ -34,14 +34,25 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { strategy: SplitStrategy::BestOfSqrt, min_samples_leaf: 2, max_depth: 32 }
+        TreeConfig {
+            strategy: SplitStrategy::BestOfSqrt,
+            min_samples_leaf: 2,
+            max_depth: 32,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
-    Split { feature: u32, threshold: f64, left: u32, right: u32 },
-    Leaf { value: f64 },
+    Split {
+        feature: u32,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        value: f64,
+    },
 }
 
 /// A fitted regression tree.
@@ -71,8 +82,10 @@ impl<'a> Builder<'a> {
     /// Best (threshold, sse) for one feature over the node's samples, or
     /// None when the feature is constant.
     fn best_threshold(&self, feature: usize, idx: &[usize]) -> Option<(f64, f64)> {
-        let mut pairs: Vec<(f64, f64)> =
-            idx.iter().map(|&i| (self.x[(i, feature)], self.y[i])).collect();
+        let mut pairs: Vec<(f64, f64)> = idx
+            .iter()
+            .map(|&i| (self.x[(i, feature)], self.y[i]))
+            .collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
         if pairs[0].0 == pairs[pairs.len() - 1].0 {
             return None;
@@ -178,8 +191,9 @@ impl<'a> Builder<'a> {
             self.nodes[node_id as usize] = Node::Leaf { value: v };
             return node_id;
         };
-        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| self.x[(i, feature)] <= threshold);
+        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| self.x[(i, feature)] <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             let v = self.leaf_value(idx);
             self.nodes[node_id as usize] = Node::Leaf { value: v };
@@ -189,7 +203,12 @@ impl<'a> Builder<'a> {
         idx.shrink_to_fit();
         let left = self.build(&mut left_idx, depth + 1);
         let right = self.build(&mut right_idx, depth + 1);
-        self.nodes[node_id as usize] = Node::Split { feature: feature as u32, threshold, left, right };
+        self.nodes[node_id as usize] = Node::Split {
+            feature: feature as u32,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 }
@@ -229,7 +248,12 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if features[*feature as usize] <= *threshold {
                         *left as usize
                     } else {
@@ -294,7 +318,10 @@ mod tests {
         let tree = RegressionTree::fit(
             &x,
             &y,
-            TreeConfig { strategy: SplitStrategy::BestOfAll, ..Default::default() },
+            TreeConfig {
+                strategy: SplitStrategy::BestOfAll,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert!(tree.predict(&[0.9, 0.5]) > 0.9);
@@ -325,13 +352,19 @@ mod tests {
         let small = RegressionTree::fit(
             &x,
             &y,
-            TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            TreeConfig {
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
             &mut rng,
         );
         let big = RegressionTree::fit(
             &x,
             &y,
-            TreeConfig { min_samples_leaf: 25, ..Default::default() },
+            TreeConfig {
+                min_samples_leaf: 25,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert!(
@@ -349,7 +382,11 @@ mod tests {
         let tree = RegressionTree::fit(
             &x,
             &y,
-            TreeConfig { max_depth: 2, min_samples_leaf: 1, ..Default::default() },
+            TreeConfig {
+                max_depth: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert!(tree.depth() <= 2);
@@ -392,7 +429,10 @@ mod tests {
         let tree = RegressionTree::fit(
             &x,
             &y,
-            TreeConfig { strategy: SplitStrategy::BestOfAll, ..Default::default() },
+            TreeConfig {
+                strategy: SplitStrategy::BestOfAll,
+                ..Default::default()
+            },
             &mut rng,
         );
         let mut counts = vec![0u64; 2];
@@ -410,7 +450,10 @@ mod tests {
             &x,
             &y,
             &[0, 1],
-            TreeConfig { min_samples_leaf: 1, ..Default::default() },
+            TreeConfig {
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
             &mut rng,
         );
         // never saw row 2: prediction bounded by training targets

@@ -69,7 +69,9 @@ impl Dense {
     fn new(inputs: usize, outputs: usize, rng: &mut Rng64) -> Self {
         let scale = (2.0 / inputs as f64).sqrt();
         Dense {
-            w: (0..inputs * outputs).map(|_| rng.next_gaussian() * scale).collect(),
+            w: (0..inputs * outputs)
+                .map(|_| rng.next_gaussian() * scale)
+                .collect(),
             b: vec![0.0; outputs],
             vw: vec![0.0; inputs * outputs],
             vb: vec![0.0; outputs],
@@ -91,13 +93,7 @@ impl Dense {
     }
 
     /// Accumulate gradients for one example; returns dL/dx.
-    fn backward(
-        &self,
-        x: &[f64],
-        dy: &[f64],
-        gw: &mut [f64],
-        gb: &mut [f64],
-    ) -> Vec<f64> {
+    fn backward(&self, x: &[f64], dy: &[f64], gw: &mut [f64], gb: &mut [f64]) -> Vec<f64> {
         let mut dx = vec![0.0; self.inputs];
         for o in 0..self.outputs {
             let g = dy[o];
@@ -142,12 +138,21 @@ pub struct ConvNet {
 
 impl ConvNet {
     fn conv_out_dims(&self) -> (usize, usize) {
-        let k = self.config.kernel.min(self.trace_rows).min(self.trace_cols).max(1);
+        let k = self
+            .config
+            .kernel
+            .min(self.trace_rows)
+            .min(self.trace_cols)
+            .max(1);
         (self.trace_rows + 1 - k, self.trace_cols + 1 - k)
     }
 
     fn effective_kernel(&self) -> usize {
-        self.config.kernel.min(self.trace_rows).min(self.trace_cols).max(1)
+        self.config
+            .kernel
+            .min(self.trace_rows)
+            .min(self.trace_cols)
+            .max(1)
     }
 
     fn conv_forward(&self, trace: &Matrix, out: &mut Vec<f64>) {
@@ -189,7 +194,11 @@ impl ConvNet {
         let trace_rows = samples[0].trace.rows();
         let trace_cols = samples[0].trace.cols();
         let scalar_dim = samples[0].scalars.len();
-        let k = config.kernel.min(trace_rows.max(1)).min(trace_cols.max(1)).max(1);
+        let k = config
+            .kernel
+            .min(trace_rows.max(1))
+            .min(trace_cols.max(1))
+            .max(1);
         let kscale = (2.0 / (k * k) as f64).sqrt();
         let mut net = ConvNet {
             kernels: (0..config.filters * k * k)
@@ -362,7 +371,10 @@ mod tests {
         for _ in 0..n {
             let a = rng.next_f64();
             let b = rng.next_f64();
-            s.push(NnSample { scalars: vec![a, b], trace: Matrix::zeros(0, 0) });
+            s.push(NnSample {
+                scalars: vec![a, b],
+                trace: Matrix::zeros(0, 0),
+            });
             y.push(0.7 * a - 0.3 * b + 0.1);
         }
         (s, y)
@@ -387,7 +399,10 @@ mod tests {
                     t[(r, c)] += 1.0;
                 }
             }
-            s.push(NnSample { scalars: vec![], trace: t });
+            s.push(NnSample {
+                scalars: vec![],
+                trace: t,
+            });
             y.push(if hot { 1.0 } else { 0.0 });
         }
         (s, y)
@@ -396,19 +411,34 @@ mod tests {
     #[test]
     fn learns_linear_function() {
         let (s, y) = linear_data(200, 1);
-        let cfg = NetConfig { dropout: 0.0, epochs: 120, ..Default::default() };
+        let cfg = NetConfig {
+            dropout: 0.0,
+            epochs: 120,
+            ..Default::default()
+        };
         let net = ConvNet::fit(&s, &y, cfg);
         let (st, yt) = linear_data(50, 2);
         let pred = net.predict_all(&st);
-        let mse: f64 =
-            pred.iter().zip(&yt).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / yt.len() as f64;
+        let mse: f64 = pred
+            .iter()
+            .zip(&yt)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / yt.len() as f64;
         assert!(mse < 0.01, "test MSE {mse}");
     }
 
     #[test]
     fn loss_decreases_over_training() {
         let (s, y) = linear_data(100, 3);
-        let net = ConvNet::fit(&s, &y, NetConfig { dropout: 0.0, ..Default::default() });
+        let net = ConvNet::fit(
+            &s,
+            &y,
+            NetConfig {
+                dropout: 0.0,
+                ..Default::default()
+            },
+        );
         let first = net.loss_curve[0];
         let last = net.final_loss();
         assert!(last < first * 0.5, "loss should fall: {first} -> {last}");
@@ -441,15 +471,35 @@ mod tests {
     fn different_seeds_give_different_models() {
         // the run-to-run variance of Figure 5
         let (s, y) = linear_data(60, 6);
-        let a = ConvNet::fit(&s, &y, NetConfig { seed: 1, epochs: 5, ..Default::default() });
-        let b = ConvNet::fit(&s, &y, NetConfig { seed: 2, epochs: 5, ..Default::default() });
+        let a = ConvNet::fit(
+            &s,
+            &y,
+            NetConfig {
+                seed: 1,
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let b = ConvNet::fit(
+            &s,
+            &y,
+            NetConfig {
+                seed: 2,
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.predict(&s[0]), b.predict(&s[0]));
     }
 
     #[test]
     fn same_seed_is_deterministic() {
         let (s, y) = linear_data(60, 7);
-        let cfg = NetConfig { seed: 9, epochs: 10, ..Default::default() };
+        let cfg = NetConfig {
+            seed: 9,
+            epochs: 10,
+            ..Default::default()
+        };
         let a = ConvNet::fit(&s, &y, cfg);
         let b = ConvNet::fit(&s, &y, cfg);
         assert_eq!(a.predict(&s[0]), b.predict(&s[0]));

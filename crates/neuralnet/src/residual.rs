@@ -59,7 +59,9 @@ impl Linear {
     fn new(inputs: usize, outputs: usize, gain: f64, rng: &mut Rng64) -> Self {
         let scale = gain * (2.0 / inputs as f64).sqrt();
         Linear {
-            w: (0..inputs * outputs).map(|_| rng.next_gaussian() * scale).collect(),
+            w: (0..inputs * outputs)
+                .map(|_| rng.next_gaussian() * scale)
+                .collect(),
             b: vec![0.0; outputs],
             vw: vec![0.0; inputs * outputs],
             vb: vec![0.0; outputs],
@@ -111,7 +113,10 @@ struct Grads {
 
 impl Grads {
     fn zeros_like(l: &Linear) -> Grads {
-        Grads { gw: vec![0.0; l.w.len()], gb: vec![0.0; l.b.len()] }
+        Grads {
+            gw: vec![0.0; l.w.len()],
+            gb: vec![0.0; l.b.len()],
+        }
     }
 }
 
@@ -163,17 +168,19 @@ impl ResNet {
                 let mut g_out = Grads::zeros_like(&net.output);
                 for &i in batch {
                     // ---- forward, retaining activations ----
-                    let h0: Vec<f64> =
-                        net.input.forward(&x[i]).iter().map(|v| v.max(0.0)).collect();
+                    let h0: Vec<f64> = net
+                        .input
+                        .forward(&x[i])
+                        .iter()
+                        .map(|v| v.max(0.0))
+                        .collect();
                     let mut hs = vec![h0];
                     let mut mids = Vec::with_capacity(net.blocks.len());
                     for (w1, w2) in &net.blocks {
                         let prev = hs.last().expect("nonempty");
-                        let mid: Vec<f64> =
-                            w1.forward(prev).iter().map(|v| v.max(0.0)).collect();
+                        let mid: Vec<f64> = w1.forward(prev).iter().map(|v| v.max(0.0)).collect();
                         let delta = w2.forward(&mid);
-                        let next: Vec<f64> =
-                            prev.iter().zip(&delta).map(|(p, d)| p + d).collect();
+                        let next: Vec<f64> = prev.iter().zip(&delta).map(|(p, d)| p + d).collect();
                         mids.push(mid);
                         hs.push(next);
                     }
@@ -290,17 +297,35 @@ mod tests {
     fn learns_nonlinear_surface() {
         let (x, y) = wave_data(250, 1);
         let (xt, yt) = wave_data(80, 2);
-        let net = ResNet::fit(&x, &y, ResNetConfig { epochs: 100, ..Default::default() });
+        let net = ResNet::fit(
+            &x,
+            &y,
+            ResNetConfig {
+                epochs: 100,
+                ..Default::default()
+            },
+        );
         let pred = net.predict_all(&xt);
-        let mse: f64 =
-            pred.iter().zip(&yt).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / yt.len() as f64;
+        let mse: f64 = pred
+            .iter()
+            .zip(&yt)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / yt.len() as f64;
         assert!(mse < 0.08, "test MSE {mse}");
     }
 
     #[test]
     fn loss_decreases() {
         let (x, y) = wave_data(200, 3);
-        let net = ResNet::fit(&x, &y, ResNetConfig { epochs: 60, ..Default::default() });
+        let net = ResNet::fit(
+            &x,
+            &y,
+            ResNetConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        );
         assert!(net.final_loss() < net.loss_curve[0] * 0.5);
     }
 
@@ -310,7 +335,11 @@ mod tests {
         let net = ResNet::fit(
             &x,
             &y,
-            ResNetConfig { depth: 6, epochs: 60, ..Default::default() },
+            ResNetConfig {
+                depth: 6,
+                epochs: 60,
+                ..Default::default()
+            },
         );
         assert_eq!(net.depth(), 6);
         assert!(
@@ -323,7 +352,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = wave_data(60, 5);
-        let cfg = ResNetConfig { epochs: 10, ..Default::default() };
+        let cfg = ResNetConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         let a = ResNet::fit(&x, &y, cfg);
         let b = ResNet::fit(&x, &y, cfg);
         assert_eq!(a.predict(&x[0]), b.predict(&x[0]));
@@ -332,8 +364,24 @@ mod tests {
     #[test]
     fn seed_variation_changes_model() {
         let (x, y) = wave_data(60, 6);
-        let a = ResNet::fit(&x, &y, ResNetConfig { seed: 1, epochs: 10, ..Default::default() });
-        let b = ResNet::fit(&x, &y, ResNetConfig { seed: 2, epochs: 10, ..Default::default() });
+        let a = ResNet::fit(
+            &x,
+            &y,
+            ResNetConfig {
+                seed: 1,
+                epochs: 10,
+                ..Default::default()
+            },
+        );
+        let b = ResNet::fit(
+            &x,
+            &y,
+            ResNetConfig {
+                seed: 2,
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.predict(&x[0]), b.predict(&x[0]));
     }
 }

@@ -85,7 +85,11 @@ pub fn random_search(
             .map(|(p, t)| (p - t) * (p - t))
             .sum::<f64>()
             / val.1.len() as f64;
-        results.push(TrialResult { config, val_mse, train_mse: net.final_loss() });
+        results.push(TrialResult {
+            config,
+            val_mse,
+            train_mse: net.final_loss(),
+        });
     }
     results.sort_by(|a, b| a.val_mse.partial_cmp(&b.val_mse).expect("finite MSE"));
     results
@@ -101,7 +105,13 @@ mod tests {
         (0..n)
             .map(|_| {
                 let a = rng.next_f64();
-                (NnSample { scalars: vec![a], trace: Matrix::zeros(0, 0) }, 2.0 * a)
+                (
+                    NnSample {
+                        scalars: vec![a],
+                        trace: Matrix::zeros(0, 0),
+                    },
+                    2.0 * a,
+                )
             })
             .unzip()
     }
@@ -111,7 +121,10 @@ mod tests {
         let (tr_s, tr_y) = data(80, 1);
         let (va_s, va_y) = data(30, 2);
         let mut rng = Rng64::new(3);
-        let space = SearchSpace { epochs: (5, 15), ..Default::default() };
+        let space = SearchSpace {
+            epochs: (5, 15),
+            ..Default::default()
+        };
         let results = random_search((&tr_s, &tr_y), (&va_s, &va_y), &space, 4, &mut rng);
         assert_eq!(results.len(), 4);
         for w in results.windows(2) {

@@ -1,0 +1,506 @@
+//! Global metrics registry: counters, gauges, log-bucketed histograms.
+//!
+//! Metric names follow `subsystem.name` with a unit suffix
+//! (`_total` for counters, `_seconds` / `_bytes` etc. for measured
+//! quantities): `queuesim.events_total`,
+//! `deepforest.cascade.level_fit_seconds`. Handles are `Arc`s; call sites
+//! in hot paths should look a handle up once (or accumulate locally and
+//! flush once per run) rather than hitting the registry per event.
+//!
+//! Histograms are log-bucketed: bucket `i` covers
+//! `[MIN * G^i, MIN * G^(i+1))` with `G = 2^(1/4)`, spanning 1 ns to ~30 y
+//! when values are seconds. Quantiles are estimated as the geometric
+//! midpoint of the bucket containing the target rank, clamped to the
+//! observed min/max — relative error is bounded by the bucket width
+//! (≤ ~19%), which is plenty for p50/p95/p99 stage timings.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Sub-buckets per octave (power of two) in histograms.
+const SUB_BUCKETS_PER_OCTAVE: usize = 4;
+/// Octaves covered: MIN .. MIN * 2^OCTAVES.
+const OCTAVES: usize = 60;
+/// Regular buckets (plus one underflow and one overflow bucket).
+const BUCKETS: usize = OCTAVES * SUB_BUCKETS_PER_OCTAVE;
+/// Lower bound of the first regular bucket.
+const MIN_VALUE: f64 = 1e-9;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest observed `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A lock-free log-bucketed histogram of non-negative `f64` samples.
+pub struct Histogram {
+    /// `[underflow, BUCKETS regular, overflow]`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of samples as `f64` bits, updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// Index of the regular bucket containing `v` (assumes `v >= MIN_VALUE`).
+fn bucket_index(v: f64) -> usize {
+    let exp = (v / MIN_VALUE).log2() * SUB_BUCKETS_PER_OCTAVE as f64;
+    (exp.floor() as usize).min(BUCKETS - 1)
+}
+
+/// Lower bound of regular bucket `i`.
+fn bucket_lower(i: usize) -> f64 {
+    MIN_VALUE * 2f64.powf(i as f64 / SUB_BUCKETS_PER_OCTAVE as f64)
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS + 2).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample. Negative and NaN samples are counted in the
+    /// underflow bucket and excluded from sum/min/max.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.buckets[0].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = if v < MIN_VALUE {
+            0
+        } else if v >= bucket_lower(BUCKETS) {
+            BUCKETS + 1
+        } else {
+            1 + bucket_index(v)
+        };
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v >= 0.0 {
+            fetch_update_f64(&self.sum_bits, |s| s + v);
+            fetch_update_f64(&self.min_bits, |m| m.min(v));
+            fetch_update_f64(&self.max_bits, |m| m.max(v));
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of (non-negative, finite) samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        let m = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean of samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let estimate = if slot == 0 {
+                    self.min()
+                } else if slot == BUCKETS + 1 {
+                    self.max()
+                } else {
+                    let lo = bucket_lower(slot - 1);
+                    let hi = bucket_lower(slot);
+                    (lo * hi).sqrt()
+                };
+                return estimate.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// `(count, sum, min, max, p50, p95, p99)` in one read.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time histogram statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+fn fetch_update_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// A named metric of any kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Arc<Counter>),
+    /// Latest-value gauge.
+    Gauge(Arc<Gauge>),
+    /// Distribution.
+    Histogram(Arc<Histogram>),
+}
+
+/// The metric store. One global instance lives behind [`registry`];
+/// separate instances are for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the named counter. Panics if the name is already
+    /// registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.write().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.write().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.write().expect("registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Sorted snapshot of all metrics.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.metrics
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Remove every metric (test isolation between runs).
+    pub fn clear(&self) {
+        self.metrics.write().expect("registry lock").clear();
+    }
+
+    /// The whole registry as a JSON [`Value`] tree:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count, sum,
+    /// min, max, mean, p50, p95, p99}}}`.
+    pub fn to_json_value(&self) -> Value {
+        let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        for (name, metric) in self.snapshot() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.insert(name, Value::Number(c.get() as f64));
+                }
+                Metric::Gauge(g) => {
+                    gauges.insert(name, Value::Number(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.summary();
+                    let mut obj = BTreeMap::new();
+                    obj.insert("count".to_string(), Value::Number(s.count as f64));
+                    obj.insert("sum".to_string(), Value::Number(s.sum));
+                    obj.insert("min".to_string(), Value::Number(s.min));
+                    obj.insert("max".to_string(), Value::Number(s.max));
+                    obj.insert("mean".to_string(), Value::Number(s.mean));
+                    obj.insert("p50".to_string(), Value::Number(s.p50));
+                    obj.insert("p95".to_string(), Value::Number(s.p95));
+                    obj.insert("p99".to_string(), Value::Number(s.p99));
+                    histograms.insert(name, Value::Object(obj));
+                }
+            }
+        }
+        let mut root = BTreeMap::new();
+        root.insert("counters".to_string(), Value::Object(counters));
+        root.insert("gauges".to_string(), Value::Object(gauges));
+        root.insert("histograms".to_string(), Value::Object(histograms));
+        Value::Object(root)
+    }
+
+    /// JSON metrics report as a string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Prometheus text exposition format. Dots in names become
+    /// underscores and every metric gains the `stca_` namespace prefix.
+    pub fn to_prometheus(&self) -> String {
+        let sanitize = |name: &str| format!("stca_{}", name.replace(['.', '-'], "_"));
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            let pname = sanitize(&name);
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.summary();
+                    out.push_str(&format!("# TYPE {pname} summary\n"));
+                    for (q, v) in [(0.5, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+                        out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    out.push_str(&format!(
+                        "{pname}_sum {}\n{pname}_count {}\n",
+                        s.sum, s.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Global counter handle (registry lookup; cache the `Arc` in hot paths).
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Global gauge handle.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Global histogram handle.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers() {
+        assert!((bucket_lower(0) - 1e-9).abs() < 1e-24);
+        // one octave up after SUB_BUCKETS_PER_OCTAVE buckets
+        assert!((bucket_lower(SUB_BUCKETS_PER_OCTAVE) - 2e-9).abs() / 2e-9 < 1e-12);
+        // indices round down within the bucket
+        let lo = bucket_lower(17);
+        let hi = bucket_lower(18);
+        assert_eq!(bucket_index(lo * 1.0000001), 17);
+        assert_eq!(bucket_index(hi * 0.9999999), 17);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let h = Histogram::default();
+        // 1..=1000 ms
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        let max_rel = 2f64.powf(1.0 / SUB_BUCKETS_PER_OCTAVE as f64) - 1.0; // ~19%
+        for (q, exact) in [(0.5, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= max_rel,
+                "q{q}: est {est} vs exact {exact} (rel {rel})"
+            );
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500.5).abs() < 1e-9);
+        assert!((h.min() - 1e-3).abs() < 1e-15);
+        assert!((h.max() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        h.record(0.25);
+        // single sample: every quantile is that sample (clamped to min/max)
+        assert_eq!(h.quantile(0.0), 0.25);
+        assert_eq!(h.quantile(1.0), 0.25);
+        h.record(f64::NAN); // counted, not summed
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn underflow_and_overflow() {
+        let h = Histogram::default();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(1e30);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 1e30);
+        assert!(h.quantile(0.99) <= 1e30);
+    }
+
+    #[test]
+    fn registry_kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x_total");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.gauge("x_total")));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let r = Registry::new();
+        r.counter("queuesim.events_total").add(5);
+        r.gauge("queuesim.server_utilization").set(0.75);
+        r.histogram("queuesim.run_seconds").record(0.5);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE stca_queuesim_events_total counter"));
+        assert!(text.contains("stca_queuesim_events_total 5"));
+        assert!(text.contains("stca_queuesim_server_utilization 0.75"));
+        assert!(text.contains("stca_queuesim_run_seconds{quantile=\"0.95\"}"));
+        assert!(text.contains("stca_queuesim_run_seconds_count 1"));
+    }
+}

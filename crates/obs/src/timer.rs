@@ -1,0 +1,102 @@
+//! RAII stage timers: wall time per pipeline stage, recorded into the
+//! global metrics registry on drop.
+
+use crate::metrics::{registry, Histogram};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times a stage from construction to drop into a named histogram
+/// (values in seconds; name metrics `*_seconds`).
+///
+/// ```
+/// {
+///     let _t = stca_obs::StageTimer::new("deepforest.cascade.fit_seconds");
+///     // ... work ...
+/// } // elapsed recorded here
+/// assert_eq!(stca_obs::histogram("deepforest.cascade.fit_seconds").count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StageTimer {
+    histogram: Arc<Histogram>,
+    start: Instant,
+    stopped: bool,
+}
+
+impl StageTimer {
+    /// Start timing into the global histogram `name`.
+    pub fn new(name: &str) -> StageTimer {
+        StageTimer {
+            histogram: registry().histogram(name),
+            start: Instant::now(),
+            stopped: false,
+        }
+    }
+
+    /// Start timing into an explicit histogram (pre-resolved handle for
+    /// hot paths, or a non-global registry in tests).
+    pub fn with_histogram(histogram: Arc<Histogram>) -> StageTimer {
+        StageTimer {
+            histogram,
+            start: Instant::now(),
+            stopped: false,
+        }
+    }
+
+    /// Stop early and return the elapsed seconds that were recorded.
+    pub fn stop(mut self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.histogram.record(elapsed);
+        self.stopped = true;
+        elapsed
+    }
+
+    /// Elapsed seconds so far, without recording.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.histogram.record(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn records_once_on_drop() {
+        let r = Registry::new();
+        let h = r.histogram("t.stage_seconds");
+        {
+            let _t = StageTimer::with_histogram(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 0.0);
+    }
+
+    #[test]
+    fn stop_records_and_suppresses_drop() {
+        let r = Registry::new();
+        let h = r.histogram("t.stop_seconds");
+        let t = StageTimer::with_histogram(h.clone());
+        let elapsed = t.stop();
+        assert_eq!(h.count(), 1, "stop() must not double-record with drop");
+        assert!(elapsed >= 0.0);
+        assert!((h.sum() - elapsed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_scope_macro_records_into_global_registry() {
+        {
+            crate::time_scope!("obs.test.scope_seconds");
+            std::hint::black_box(0);
+        }
+        assert_eq!(crate::histogram("obs.test.scope_seconds").count(), 1);
+    }
+}

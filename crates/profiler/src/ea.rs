@@ -31,7 +31,10 @@ pub fn effective_allocation(
     policy_service: f64,
     allocation_ratio: f64,
 ) -> f64 {
-    assert!(allocation_ratio >= 1.0, "boost cannot shrink the allocation");
+    assert!(
+        allocation_ratio >= 1.0,
+        "boost cannot shrink the allocation"
+    );
     if policy_service <= 0.0 || baseline_service <= 0.0 {
         return 0.0;
     }

@@ -18,12 +18,13 @@
 //! boosts change cycles-per-access and therefore realized service times.
 
 use crate::proxy::ProxyService;
-use std::collections::VecDeque;
 use stca_cachesim::{Counter, CounterSet, Hierarchy, HierarchyConfig, MaskMode};
 use stca_cat::layout::ExperimentLayout;
 use stca_cat::ShortTermPolicy;
 use stca_util::{Distribution, Percentiles, Rng64, Seconds};
 use stca_workloads::{AccessGenerator, RuntimeCondition, WorkloadSpec};
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
 
 /// Full description of one experiment run.
 #[derive(Debug, Clone)]
@@ -242,6 +243,28 @@ impl Station {
     }
 }
 
+/// Global executor metrics, resolved once (experiments run in tight bench
+/// loops; per-run quantities are accumulated locally and flushed at the
+/// end of each run).
+struct ExecMetrics {
+    experiments: Arc<stca_obs::Counter>,
+    trace_samples: Arc<stca_obs::Counter>,
+    cos_switches: Arc<stca_obs::Counter>,
+    ea: Arc<stca_obs::Histogram>,
+    run_seconds: Arc<stca_obs::Histogram>,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ExecMetrics {
+        experiments: stca_obs::counter("profiler.experiments_total"),
+        trace_samples: stca_obs::counter("profiler.trace_samples_total"),
+        cos_switches: stca_obs::counter("profiler.cos_switches_total"),
+        ea: stca_obs::histogram("profiler.ea"),
+        run_seconds: stca_obs::histogram("profiler.experiment_seconds"),
+    })
+}
+
 /// The collocated test environment.
 pub struct TestEnvironment {
     spec: ExperimentSpec,
@@ -251,7 +274,10 @@ impl TestEnvironment {
     /// Create an environment for a spec. The layout must host exactly the
     /// condition's workload count and fit in the configured LLC.
     pub fn new(spec: ExperimentSpec) -> Self {
-        assert!(spec.condition.workloads.len() >= 2, "collocation needs at least two workloads");
+        assert!(
+            spec.condition.workloads.len() >= 2,
+            "collocation needs at least two workloads"
+        );
         assert_eq!(
             spec.layout.workloads(),
             spec.condition.workloads.len(),
@@ -322,25 +348,32 @@ impl TestEnvironment {
     /// Run with explicit per-station policies (competing allocation schemes
     /// install their own settings through this hook).
     pub fn run_with_policies(&self, policies: Option<Vec<ShortTermPolicy>>) -> ExperimentOutcome {
+        let metrics = exec_metrics();
+        let timer = stca_obs::StageTimer::with_histogram(metrics.run_seconds.clone());
         let spec = &self.spec;
         let config = &spec.config;
         let ways = config.llc.ways;
-        let timeouts: Vec<f64> =
-            spec.condition.workloads.iter().map(|w| w.timeout_ratio).collect();
+        let timeouts: Vec<f64> = spec
+            .condition
+            .workloads
+            .iter()
+            .map(|w| w.timeout_ratio)
+            .collect();
         let policies = policies.unwrap_or_else(|| spec.layout.policies(&timeouts));
         assert_eq!(policies.len(), spec.condition.workloads.len());
 
         let mut hier = Hierarchy::new(*config, spec.seed);
         hier.set_mask_mode(spec.mask_mode);
-        let ns = spec.trace_len.min(
-            ((40.0 / spec.condition.sample_period).floor() as usize).max(1),
-        );
+        let ns = spec
+            .trace_len
+            .min(((40.0 / spec.condition.sample_period).floor() as usize).max(1));
 
         let mut stations: Vec<Station> = Vec::new();
         for (i, wc) in spec.condition.workloads.iter().enumerate() {
             let wspec = WorkloadSpec::for_benchmark(wc.benchmark);
-            let accesses_mean =
-                spec.accesses_per_query.unwrap_or(wspec.mean_accesses_per_query);
+            let accesses_mean = spec
+                .accesses_per_query
+                .unwrap_or(wspec.mean_accesses_per_query);
             let policy = policies[i];
             let sec_per_cycle = Self::calibrate(
                 &wspec,
@@ -421,6 +454,8 @@ impl TestEnvironment {
         let outcomes = stations
             .into_iter()
             .map(|mut s| {
+                metrics.trace_samples.add(s.trace.len() as u64);
+                metrics.cos_switches.add(s.proxy.switch_count());
                 // pad trace to trace_len
                 while s.trace.len() < spec.trace_len {
                     s.trace.push(CounterSet::new());
@@ -442,6 +477,7 @@ impl TestEnvironment {
                     // boost never exercised: the grant bought nothing
                     1.0 / ratio
                 };
+                metrics.ea.record(ea);
                 let base_service_default = if cpa_d > 0.0 {
                     s.accesses_mean as f64 * cpa_d * s.sec_per_cycle
                 } else if cpa_b > 0.0 {
@@ -467,7 +503,16 @@ impl TestEnvironment {
                 }
             })
             .collect();
-        ExperimentOutcome { workloads: outcomes }
+        metrics.experiments.inc();
+        let elapsed = timer.stop();
+        stca_obs::debug!(
+            "experiment done in {elapsed:.3}s: {} workloads x {} measured queries",
+            spec.condition.workloads.len(),
+            spec.measured_queries
+        );
+        ExperimentOutcome {
+            workloads: outcomes,
+        }
     }
 
     fn step_station(s: &mut Station, hier: &mut Hierarchy, quantum: u64) {
@@ -593,8 +638,7 @@ impl TestEnvironment {
         }
         s.station_time = frontier;
         // 8. counter-trace sampling at window boundaries
-        while s.trace.len() < s.windows
-            && s.completed_total >= (s.trace.len() + 1) * s.window_size
+        while s.trace.len() < s.windows && s.completed_total >= (s.trace.len() + 1) * s.window_size
         {
             hier.update_gauges(s.wid, boost_active);
             let now = hier.counters_of(s.wid);
@@ -639,14 +683,8 @@ mod tests {
     fn calibration_brings_service_time_near_spec() {
         // low utilization + never-boost: realized mean service should sit
         // near the Table-1 baseline (contention still perturbs it some)
-        let cond = RuntimeCondition::pair(
-            BenchmarkId::Knn,
-            0.3,
-            6.0,
-            BenchmarkId::Kmeans,
-            0.3,
-            6.0,
-        );
+        let cond =
+            RuntimeCondition::pair(BenchmarkId::Knn, 0.3, 6.0, BenchmarkId::Kmeans, 0.3, 6.0);
         let out = TestEnvironment::new(ExperimentSpec::quick(cond, 2)).run();
         let knn = &out.workloads[0];
         let expected = knn.expected_service;
@@ -711,14 +749,8 @@ mod tests {
 
     #[test]
     fn baseline_run_never_boosts() {
-        let cond = RuntimeCondition::pair(
-            BenchmarkId::Redis,
-            0.8,
-            0.5,
-            BenchmarkId::Social,
-            0.8,
-            0.5,
-        );
+        let cond =
+            RuntimeCondition::pair(BenchmarkId::Redis, 0.8, 0.5, BenchmarkId::Social, 0.8, 0.5);
         let out = TestEnvironment::new(ExperimentSpec::quick(cond, 6)).run_baseline();
         for w in &out.workloads {
             assert_eq!(w.boost_fraction(), 0.0);
@@ -735,7 +767,10 @@ mod tests {
             .iter()
             .filter(|c| c.get(Counter::LlcAccesses) > 0)
             .count();
-        assert!(active_rows >= 10, "most windows show LLC traffic, got {active_rows}");
+        assert!(
+            active_rows >= 10,
+            "most windows show LLC traffic, got {active_rows}"
+        );
     }
 
     #[test]
@@ -744,14 +779,8 @@ mod tests {
         // windows (40 sampling-seconds / 5), the rest zero-padded; at 2s
         // it fills the full 20-column matrix
         let run_with_period = |period: f64| {
-            let mut cond = RuntimeCondition::pair(
-                BenchmarkId::Knn,
-                0.7,
-                6.0,
-                BenchmarkId::Bfs,
-                0.7,
-                6.0,
-            );
+            let mut cond =
+                RuntimeCondition::pair(BenchmarkId::Knn, 0.7, 6.0, BenchmarkId::Bfs, 0.7, 6.0);
             cond.sample_period = period;
             let out = TestEnvironment::new(ExperimentSpec::quick(cond, 31)).run();
             out.workloads[0]
@@ -762,8 +791,14 @@ mod tests {
         };
         let fast = run_with_period(2.0);
         let slow = run_with_period(5.0);
-        assert!(slow <= 8, "5s sampling caps informative windows, got {slow}");
-        assert!(fast > slow, "2s sampling fills more windows: {fast} vs {slow}");
+        assert!(
+            slow <= 8,
+            "5s sampling caps informative windows, got {slow}"
+        );
+        assert!(
+            fast > slow,
+            "2s sampling fills more windows: {fast} vs {slow}"
+        );
     }
 
     #[test]
@@ -785,19 +820,18 @@ mod tests {
     #[test]
     fn higher_utilization_raises_response_time() {
         let run_at = |util: f64, seed: u64| {
-            let cond = RuntimeCondition::pair(
-                BenchmarkId::Knn,
-                util,
-                6.0,
-                BenchmarkId::Bfs,
-                0.5,
-                6.0,
-            );
-            TestEnvironment::new(ExperimentSpec::quick(cond, seed)).run().workloads[0]
+            let cond =
+                RuntimeCondition::pair(BenchmarkId::Knn, util, 6.0, BenchmarkId::Bfs, 0.5, 6.0);
+            TestEnvironment::new(ExperimentSpec::quick(cond, seed))
+                .run()
+                .workloads[0]
                 .mean_response()
         };
         let low = run_at(0.3, 8);
         let high = run_at(0.9, 8);
-        assert!(high > low, "queueing delay grows with utilization: {low} vs {high}");
+        assert!(
+            high > low,
+            "queueing delay grows with utilization: {low} vs {high}"
+        );
     }
 }

@@ -196,14 +196,7 @@ mod tests {
     use stca_workloads::BenchmarkId;
 
     fn tiny_outcome() -> (RuntimeCondition, crate::executor::ExperimentOutcome) {
-        let cond = RuntimeCondition::pair(
-            BenchmarkId::Knn,
-            0.6,
-            1.0,
-            BenchmarkId::Bfs,
-            0.7,
-            2.0,
-        );
+        let cond = RuntimeCondition::pair(BenchmarkId::Knn, 0.6, 1.0, BenchmarkId::Bfs, 0.7, 2.0);
         let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), 11)).run();
         (cond, out)
     }
@@ -240,7 +233,12 @@ mod tests {
         let (cond, out) = tiny_outcome();
         let mut set = ProfileSet::new();
         for (i, w) in out.workloads.iter().enumerate() {
-            set.push(ProfileRow::from_outcome(&cond, i, w, CounterOrdering::Grouped));
+            set.push(ProfileRow::from_outcome(
+                &cond,
+                i,
+                w,
+                CounterOrdering::Grouped,
+            ));
         }
         let (x, y) = set.design_matrix(Target::Ea);
         assert_eq!(x.rows(), 2);
@@ -255,7 +253,12 @@ mod tests {
         let mut set = ProfileSet::new();
         for _ in 0..5 {
             for (i, w) in out.workloads.iter().enumerate() {
-                set.push(ProfileRow::from_outcome(&cond, i, w, CounterOrdering::Grouped));
+                set.push(ProfileRow::from_outcome(
+                    &cond,
+                    i,
+                    w,
+                    CounterOrdering::Grouped,
+                ));
             }
         }
         let mut rng = Rng64::new(1);

@@ -9,9 +9,9 @@
 //! completes the service reverts to its default class — unless another
 //! still-outstanding query has also crossed its timeout.
 
-use std::collections::HashSet;
 use stca_cat::{AllocationSetting, ShortTermPolicy};
 use stca_util::Seconds;
+use std::collections::HashSet;
 
 /// Boost bookkeeping for one service.
 #[derive(Debug, Clone)]
@@ -51,7 +51,10 @@ impl ProxyService {
         if self.triggered.contains(&query_id) {
             return false;
         }
-        if self.policy.should_boost(now - arrival, self.expected_service) {
+        if self
+            .policy
+            .should_boost(now - arrival, self.expected_service)
+        {
             self.triggered.insert(query_id);
             true
         } else {

@@ -35,6 +35,7 @@ pub fn ordering_permutation(ordering: CounterOrdering) -> Vec<usize> {
 /// trees are scale-free per split but windowed kernels mix features, and the
 /// compression keeps any single counter from dominating a window).
 pub fn trace_to_matrix(trace: &[CounterSet], ordering: CounterOrdering) -> Matrix {
+    stca_obs::counter("profiler.sampler.traces_converted_total").inc();
     let perm = ordering_permutation(ordering);
     let t = trace.len();
     let mut m = Matrix::zeros(COUNTER_COUNT, t);

@@ -20,9 +20,9 @@
 //! ```
 
 use crate::profile::{ProfileRow, ProfileSet};
+use stca_util::Matrix;
 use std::fmt::Write as _;
 use std::path::Path;
-use stca_util::Matrix;
 
 /// Errors from loading a profile file.
 #[derive(Debug)]
@@ -112,8 +112,8 @@ impl<'a> Lines<'a> {
 
 fn parse_floats(s: &str, expect: Option<usize>, line_no: usize) -> Result<Vec<f64>, StorageError> {
     let vals: Result<Vec<f64>, _> = s.split_whitespace().map(|t| t.parse::<f64>()).collect();
-    let vals = vals
-        .map_err(|e| StorageError::Format(format!("bad float at line {line_no}: {e}")))?;
+    let vals =
+        vals.map_err(|e| StorageError::Format(format!("bad float at line {line_no}: {e}")))?;
     if let Some(n) = expect {
         if vals.len() != n {
             return Err(StorageError::Format(format!(
@@ -125,20 +125,23 @@ fn parse_floats(s: &str, expect: Option<usize>, line_no: usize) -> Result<Vec<f6
     Ok(vals)
 }
 
-fn expect_tagged<'a>(
-    lines: &mut Lines<'a>,
-    tag: &str,
-) -> Result<(&'a str, usize), StorageError> {
+fn expect_tagged<'a>(lines: &mut Lines<'a>, tag: &str) -> Result<(&'a str, usize), StorageError> {
     let line = lines.next()?;
     let rest = line.strip_prefix(tag).ok_or_else(|| {
-        StorageError::Format(format!("expected '{tag}' at line {}, got {line:?}", lines.line_no))
+        StorageError::Format(format!(
+            "expected '{tag}' at line {}, got {line:?}",
+            lines.line_no
+        ))
     })?;
     Ok((rest, lines.line_no))
 }
 
 /// Parse a profile set from a string.
 pub fn from_string(text: &str) -> Result<ProfileSet, StorageError> {
-    let mut lines = Lines { inner: text.lines(), line_no: 0 };
+    let mut lines = Lines {
+        inner: text.lines(),
+        line_no: 0,
+    };
     let header = lines.next()?;
     if header != "STCA-PROFILES v1" {
         return Err(StorageError::Format(format!("bad header {header:?}")));
@@ -164,8 +167,7 @@ pub fn from_string(text: &str) -> Result<ProfileSet, StorageError> {
             .ok_or_else(|| StorageError::Format(format!("missing count at line {ln}")))?
             .parse()
             .map_err(|e| StorageError::Format(format!("bad count at line {ln}: {e}")))?;
-        let static_features =
-            parse_floats(&parts.collect::<Vec<_>>().join(" "), Some(k), ln)?;
+        let static_features = parse_floats(&parts.collect::<Vec<_>>().join(" "), Some(k), ln)?;
 
         let (rest, ln) = expect_tagged(&mut lines, "dynamic ")?;
         let mut parts = rest.split_whitespace();
@@ -174,8 +176,7 @@ pub fn from_string(text: &str) -> Result<ProfileSet, StorageError> {
             .ok_or_else(|| StorageError::Format(format!("missing count at line {ln}")))?
             .parse()
             .map_err(|e| StorageError::Format(format!("bad count at line {ln}: {e}")))?;
-        let dynamic_features =
-            parse_floats(&parts.collect::<Vec<_>>().join(" "), Some(k), ln)?;
+        let dynamic_features = parse_floats(&parts.collect::<Vec<_>>().join(" "), Some(k), ln)?;
 
         let (rest, ln) = expect_tagged(&mut lines, "targets")?;
         let targets = parse_floats(rest, Some(5), ln)?;
@@ -311,6 +312,9 @@ mod tests {
         });
         let back = from_string(&to_string(&set)).expect("parses");
         assert_eq!(back.rows[0].static_features, set.rows[0].static_features);
-        assert_eq!(back.rows[0].p95_response_norm, set.rows[0].p95_response_norm);
+        assert_eq!(
+            back.rows[0].p95_response_norm,
+            set.rows[0].p95_response_norm
+        );
     }
 }

@@ -16,6 +16,15 @@ use stca_util::Rng64;
 use stca_workloads::conditions::bounds;
 use stca_workloads::{BenchmarkId, RuntimeCondition};
 
+/// Record one evaluated condition in the global registry: which sampling
+/// phase produced it and the measured EA, whose distribution
+/// (`profiler.sampling.ea`) is the stratifier's clustering signal.
+fn record_sample(phase_counter: &str, ea: f64) {
+    stca_obs::counter("profiler.samples_total").inc();
+    stca_obs::counter(phase_counter).inc();
+    stca_obs::histogram("profiler.sampling.ea").record(ea);
+}
+
 /// Configuration for the stratified sampler.
 #[derive(Debug, Clone, Copy)]
 pub struct StratifiedConfig {
@@ -34,7 +43,13 @@ pub struct StratifiedConfig {
 
 impl Default for StratifiedConfig {
     fn default() -> Self {
-        StratifiedConfig { seeds: 12, clusters: 4, per_cluster: 3, rounds: 2, jitter: 0.12 }
+        StratifiedConfig {
+            seeds: 12,
+            clusters: 4,
+            per_cluster: 3,
+            rounds: 2,
+            jitter: 0.12,
+        }
     }
 }
 
@@ -52,8 +67,8 @@ fn jittered_near(c: &RuntimeCondition, jitter: f64, rng: &mut Rng64) -> RuntimeC
     for w in &mut out.workloads {
         let du = (bounds::MAX_UTIL - bounds::MIN_UTIL) * jitter;
         let dt = (bounds::MAX_TIMEOUT - bounds::MIN_TIMEOUT) * jitter;
-        w.utilization = (w.utilization + rng.next_range(-du, du))
-            .clamp(bounds::MIN_UTIL, bounds::MAX_UTIL);
+        w.utilization =
+            (w.utilization + rng.next_range(-du, du)).clamp(bounds::MIN_UTIL, bounds::MAX_UTIL);
         w.timeout_ratio = (w.timeout_ratio + rng.next_range(-dt, dt))
             .clamp(bounds::MIN_TIMEOUT, bounds::MAX_TIMEOUT);
     }
@@ -69,13 +84,27 @@ pub fn stratified_sample(
     rng: &mut Rng64,
     mut evaluate: impl FnMut(&RuntimeCondition) -> f64,
 ) -> Vec<EvaluatedCondition> {
-    assert!(config.seeds >= config.clusters, "need at least one seed per cluster");
+    assert!(
+        config.seeds >= config.clusters,
+        "need at least one seed per cluster"
+    );
+    stca_obs::time_scope!("profiler.stratified.run_seconds");
+    stca_obs::debug!(
+        "stratified sampling {}({}): {} seeds, {} clusters x {} x {} rounds",
+        pair.0,
+        pair.1,
+        config.seeds,
+        config.clusters,
+        config.per_cluster,
+        config.rounds
+    );
     let mut evaluated: Vec<EvaluatedCondition> = Vec::new();
 
     // seed phase
     for _ in 0..config.seeds {
         let c = RuntimeCondition::random_pair(pair.0, pair.1, rng);
         let ea = evaluate(&c);
+        record_sample("profiler.stratified.seed_samples_total", ea);
         evaluated.push(EvaluatedCondition { condition: c, ea });
     }
 
@@ -105,11 +134,16 @@ pub fn stratified_sample(
             for _ in 0..config.per_cluster {
                 let c = jittered_near(&rep, config.jitter, rng);
                 let ea = evaluate(&c);
+                record_sample("profiler.stratified.refine_samples_total", ea);
                 staged.push(EvaluatedCondition { condition: c, ea });
             }
         }
         evaluated.extend(staged);
     }
+    stca_obs::debug!(
+        "stratified sampling done: {} conditions evaluated",
+        evaluated.len()
+    );
     evaluated
 }
 
@@ -125,6 +159,7 @@ pub fn uniform_sample(
         .map(|_| {
             let c = RuntimeCondition::random_pair(pair.0, pair.1, rng);
             let ea = evaluate(&c);
+            record_sample("profiler.uniform.samples_total", ea);
             EvaluatedCondition { condition: c, ea }
         })
         .collect()
@@ -145,7 +180,13 @@ mod tests {
     #[test]
     fn produces_expected_count() {
         let mut rng = Rng64::new(1);
-        let cfg = StratifiedConfig { seeds: 10, clusters: 3, per_cluster: 2, rounds: 2, jitter: 0.1 };
+        let cfg = StratifiedConfig {
+            seeds: 10,
+            clusters: 3,
+            per_cluster: 2,
+            rounds: 2,
+            jitter: 0.1,
+        };
         let out = stratified_sample(
             (BenchmarkId::Redis, BenchmarkId::Social),
             cfg,
@@ -160,18 +201,22 @@ mod tests {
     #[test]
     fn refinements_concentrate_near_cluster_representatives() {
         let mut rng = Rng64::new(2);
-        let cfg = StratifiedConfig { seeds: 16, clusters: 2, per_cluster: 8, rounds: 1, jitter: 0.05 };
-        let out = stratified_sample(
-            (BenchmarkId::Knn, BenchmarkId::Bfs),
-            cfg,
-            &mut rng,
-            surface,
-        );
+        let cfg = StratifiedConfig {
+            seeds: 16,
+            clusters: 2,
+            per_cluster: 8,
+            rounds: 1,
+            jitter: 0.05,
+        };
+        let out = stratified_sample((BenchmarkId::Knn, BenchmarkId::Bfs), cfg, &mut rng, surface);
         let refinements = &out[16..];
         // both sides of the EA cliff get refined (low-EA and high-EA regions)
         let low = refinements.iter().filter(|e| e.ea < 0.5).count();
         let high = refinements.iter().filter(|e| e.ea >= 0.5).count();
-        assert!(low > 0 && high > 0, "both strata sampled: low={low} high={high}");
+        assert!(
+            low > 0 && high > 0,
+            "both strata sampled: low={low} high={high}"
+        );
     }
 
     #[test]
@@ -179,7 +224,10 @@ mod tests {
         let mut rng = Rng64::new(3);
         let out = uniform_sample((BenchmarkId::Knn, BenchmarkId::Bfs), 50, &mut rng, surface);
         assert_eq!(out.len(), 50);
-        let utils: Vec<f64> = out.iter().map(|e| e.condition.workloads[0].utilization).collect();
+        let utils: Vec<f64> = out
+            .iter()
+            .map(|e| e.condition.workloads[0].utilization)
+            .collect();
         let min = utils.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(min < 0.4 && max > 0.8, "uniform spread: {min}..{max}");

@@ -30,5 +30,5 @@ pub mod simulator;
 pub mod slo;
 
 pub use metrics::SimResult;
-pub use slo::SloSpec;
 pub use simulator::{QueueSim, StationConfig};
+pub use slo::SloSpec;

@@ -17,9 +17,33 @@
 //! an ablation.
 
 use crate::metrics::SimResult;
+use stca_util::{Distribution, Rng64, Seconds};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
-use stca_util::{Distribution, Rng64, Seconds};
+use std::sync::{Arc, OnceLock};
+
+/// Global simulator metrics, resolved once (hot-loop counts are
+/// accumulated locally and flushed at the end of each run).
+struct SimMetrics {
+    events: Arc<stca_obs::Counter>,
+    timeout_switches: Arc<stca_obs::Counter>,
+    runs: Arc<stca_obs::Counter>,
+    queue_depth: Arc<stca_obs::Histogram>,
+    server_utilization: Arc<stca_obs::Gauge>,
+    run_seconds: Arc<stca_obs::Histogram>,
+}
+
+fn sim_metrics() -> &'static SimMetrics {
+    static METRICS: OnceLock<SimMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SimMetrics {
+        events: stca_obs::counter("queuesim.events_total"),
+        timeout_switches: stca_obs::counter("queuesim.timeout_switches_total"),
+        runs: stca_obs::counter("queuesim.runs_total"),
+        queue_depth: stca_obs::histogram("queuesim.queue_depth"),
+        server_utilization: stca_obs::gauge("queuesim.server_utilization"),
+        run_seconds: stca_obs::histogram("queuesim.run_seconds"),
+    })
+}
 
 /// Configuration of one simulated station (one collocated workload).
 #[derive(Debug, Clone)]
@@ -158,7 +182,11 @@ struct Engine {
 
 impl Engine {
     fn push_event(&mut self, time: Seconds, kind: EventKind) {
-        self.heap.push(Event { time, seq: self.seq, kind });
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
         self.seq += 1;
     }
 
@@ -171,7 +199,11 @@ impl Engine {
         if !self.boost_enabled {
             return 1.0;
         }
-        let boosted = if self.cfg.shared_boost { self.boost_active() } else { q.triggered };
+        let boosted = if self.cfg.shared_boost {
+            self.boost_active()
+        } else {
+            q.triggered
+        };
         if boosted {
             self.cfg.boost_rate
         } else {
@@ -211,7 +243,13 @@ impl Engine {
         q.generation += 1;
         let dep = now + q.remaining / new_rate;
         let generation = q.generation;
-        self.push_event(dep, EventKind::Departure { query: id, generation });
+        self.push_event(
+            dep,
+            EventKind::Departure {
+                query: id,
+                generation,
+            },
+        );
     }
 
     /// Rate switch for every in-service query (shared-boost flips).
@@ -232,7 +270,9 @@ impl Engine {
 
     fn dispatch(&mut self, now: Seconds) {
         while self.free_servers > 0 {
-            let Some(id) = self.fifo.pop_front() else { break };
+            let Some(id) = self.fifo.pop_front() else {
+                break;
+            };
             self.free_servers -= 1;
             {
                 let q = &mut self.queries[id];
@@ -254,11 +294,16 @@ impl QueueSim {
     pub fn new(config: StationConfig, seed: u64) -> Self {
         assert!(config.servers >= 1);
         assert!(config.boost_rate > 0.0, "boost rate must be positive");
-        QueueSim { config, rng: Rng64::new(seed) }
+        QueueSim {
+            config,
+            rng: Rng64::new(seed),
+        }
     }
 
     /// Run to completion and return measured statistics.
     pub fn run(&mut self) -> SimResult {
+        let metrics = sim_metrics();
+        let timer = stca_obs::StageTimer::with_histogram(metrics.run_seconds.clone());
         let cfg = self.config.clone();
         let total_queries = cfg.warmup_queries + cfg.measured_queries;
         let timeout_abs = cfg.timeout_ratio * cfg.expected_service;
@@ -290,12 +335,17 @@ impl QueueSim {
 
         let mut arrivals_generated = 0usize;
         let mut completed = 0usize;
+        // hot-loop accumulators, flushed to the global registry once per run
+        let mut events_processed = 0u64;
+        let mut timeout_switches = 0u64;
 
         let t0 = cfg.inter_arrival.sample(&mut self.rng);
         eng.push_event(t0, EventKind::Arrival);
 
         while let Some(ev) = eng.heap.pop() {
             let now = ev.time;
+            events_processed += 1;
+            stca_obs::trace!("t={now:.6} event {:?}", ev.kind);
             match ev.kind {
                 EventKind::Arrival => {
                     let id = eng.queries.len();
@@ -322,6 +372,11 @@ impl QueueSim {
                         eng.push_event(now + timeout_abs, EventKind::BoostTimer { query: id });
                     }
                     eng.fifo.push_back(id);
+                    // sampled (not per-arrival) so the histogram update cost
+                    // stays invisible next to the event loop itself
+                    if arrivals_generated.is_multiple_of(16) {
+                        metrics.queue_depth.record(eng.fifo.len() as f64);
+                    }
                     eng.dispatch(now);
                 }
                 EventKind::BoostTimer { query } => {
@@ -329,6 +384,9 @@ impl QueueSim {
                         continue;
                     }
                     let flipped_on = eng.trigger(query);
+                    if flipped_on {
+                        timeout_switches += 1;
+                    }
                     if cfg.shared_boost {
                         if flipped_on {
                             eng.reschedule_all(now);
@@ -381,6 +439,19 @@ impl QueueSim {
                 }
             }
         }
+        metrics.events.add(events_processed);
+        metrics.timeout_switches.add(timeout_switches);
+        metrics.runs.inc();
+        if result.makespan > 0.0 {
+            metrics
+                .server_utilization
+                .set(result.busy_time / (cfg.servers as f64 * result.makespan));
+        }
+        let elapsed = timer.stop();
+        stca_obs::debug!(
+            "run complete: {completed} queries, {events_processed} events, \
+             {timeout_switches} timeout switches, {elapsed:.3}s wall"
+        );
         result
     }
 }
@@ -410,7 +481,10 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.completed(), 5000);
         let mean = r.mean_response();
-        assert!((mean - 1.0).abs() < 0.12, "M/M/1 mean response {mean}, expected ~1.0");
+        assert!(
+            (mean - 1.0).abs() < 0.12,
+            "M/M/1 mean response {mean}, expected ~1.0"
+        );
     }
 
     #[test]
@@ -433,7 +507,10 @@ mod tests {
         };
         let low = run_at(0.3);
         let high = run_at(0.9);
-        assert!(high > 3.0 * low, "queueing blows up near saturation: {low} vs {high}");
+        assert!(
+            high > 3.0 * low,
+            "queueing blows up near saturation: {low} vs {high}"
+        );
     }
 
     #[test]
@@ -445,7 +522,11 @@ mod tests {
         let r = sim.run();
         assert!(r.boost_fraction() > 0.999, "all queries boosted at T=0");
         // with everything boosted 2x, mean service halves
-        assert!((r.mean_service() - 0.25).abs() < 0.03, "mean service {}", r.mean_service());
+        assert!(
+            (r.mean_service() - 0.25).abs() < 0.03,
+            "mean service {}",
+            r.mean_service()
+        );
     }
 
     #[test]
@@ -493,7 +574,11 @@ mod tests {
         // idle system: every query runs 0.5s at rate 1, then 0.5 work at
         // rate 2 -> service 0.75s total
         assert!(r.boost_fraction() > 0.99);
-        assert!((r.mean_service() - 0.75).abs() < 0.02, "mean {}", r.mean_service());
+        assert!(
+            (r.mean_service() - 0.75).abs() < 0.02,
+            "mean {}",
+            r.mean_service()
+        );
     }
 
     #[test]
@@ -504,7 +589,11 @@ mod tests {
             let mut cfg = base_config();
             cfg.servers = 2;
             cfg.inter_arrival = Distribution::Exponential { mean: 0.26 }; // busy
-            cfg.service = Distribution::HyperExp { p: 0.1, mean_a: 4.0, mean_b: 0.5 };
+            cfg.service = Distribution::HyperExp {
+                p: 0.1,
+                mean_a: 4.0,
+                mean_b: 0.5,
+            };
             cfg.expected_service = 0.85;
             cfg.timeout_ratio = 2.0;
             cfg.boost_rate = 2.0;
@@ -546,7 +635,10 @@ mod tests {
             .map(|(&s, _)| s)
             .collect();
         let mean: f64 = boosted_services.iter().sum::<f64>() / boosted_services.len() as f64;
-        assert!(mean < 0.6, "fully-boosted service should approach 0.25, got {mean}");
+        assert!(
+            mean < 0.6,
+            "fully-boosted service should approach 0.25, got {mean}"
+        );
     }
 
     #[test]

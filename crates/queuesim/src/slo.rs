@@ -119,10 +119,7 @@ mod tests {
     #[test]
     fn satisfied_by_simulation_result() {
         use crate::simulator::{QueueSim, StationConfig};
-        let mut sim = QueueSim::new(
-            StationConfig::mm2(0.1, 0.5, 6.0, 1.0),
-            3,
-        );
+        let mut sim = QueueSim::new(StationConfig::mm2(0.1, 0.5, 6.0, 1.0), 3);
         let r = sim.run();
         // generous target: must pass; impossible target: must fail
         assert!(SloSpec::p95(100.0).satisfied_by(&r));

@@ -72,7 +72,8 @@ impl Distribution {
                 } else {
                     let la = lo.powf(alpha);
                     let ha = hi.powf(alpha);
-                    (la / (1.0 - la / ha)) * (alpha / (alpha - 1.0))
+                    (la / (1.0 - la / ha))
+                        * (alpha / (alpha - 1.0))
                         * (1.0 / lo.powf(alpha - 1.0) - 1.0 / hi.powf(alpha - 1.0))
                 }
             }
@@ -93,19 +94,25 @@ impl Distribution {
         assert!(k > 0.0, "scale must be positive");
         match *self {
             Distribution::Deterministic(v) => Distribution::Deterministic(v * k),
-            Distribution::Uniform { lo, hi } => Distribution::Uniform { lo: lo * k, hi: hi * k },
+            Distribution::Uniform { lo, hi } => Distribution::Uniform {
+                lo: lo * k,
+                hi: hi * k,
+            },
             Distribution::Exponential { mean } => Distribution::Exponential { mean: mean * k },
-            Distribution::LogNormal { mean, sigma } => {
-                Distribution::LogNormal { mean: mean * k, sigma }
-            }
+            Distribution::LogNormal { mean, sigma } => Distribution::LogNormal {
+                mean: mean * k,
+                sigma,
+            },
             Distribution::HyperExp { p, mean_a, mean_b } => Distribution::HyperExp {
                 p,
                 mean_a: mean_a * k,
                 mean_b: mean_b * k,
             },
-            Distribution::BoundedPareto { alpha, lo, hi } => {
-                Distribution::BoundedPareto { alpha, lo: lo * k, hi: hi * k }
-            }
+            Distribution::BoundedPareto { alpha, lo, hi } => Distribution::BoundedPareto {
+                alpha,
+                lo: lo * k,
+                hi: hi * k,
+            },
         }
     }
 }
@@ -143,7 +150,13 @@ impl Zipf {
         let hx0 = h(0.5) - 1.0; // h(x0) with shifted origin
         let hxm = h(n as f64 - 0.5);
         let s = 1.0 - Self::h_inv_static(q, h(1.5) - 1.0);
-        Zipf { n, theta: q, hx0, hxm, s }
+        Zipf {
+            n,
+            theta: q,
+            hx0,
+            hxm,
+            s,
+        }
     }
 
     fn h_inv_static(q: f64, x: f64) -> f64 {
@@ -206,14 +219,21 @@ mod tests {
 
     #[test]
     fn lognormal_sample_mean_matches() {
-        let d = Distribution::LogNormal { mean: 5.0, sigma: 0.8 };
+        let d = Distribution::LogNormal {
+            mean: 5.0,
+            sigma: 0.8,
+        };
         let m = sample_mean(&d, 200_000, 3);
         assert!((m - 5.0).abs() < 0.15, "mean {m}");
     }
 
     #[test]
     fn hyperexp_mean() {
-        let d = Distribution::HyperExp { p: 0.3, mean_a: 1.0, mean_b: 10.0 };
+        let d = Distribution::HyperExp {
+            p: 0.3,
+            mean_a: 1.0,
+            mean_b: 10.0,
+        };
         assert!((d.mean() - 7.3).abs() < 1e-12);
         let m = sample_mean(&d, 200_000, 4);
         assert!((m - 7.3).abs() < 0.2, "mean {m}");
@@ -221,19 +241,31 @@ mod tests {
 
     #[test]
     fn bounded_pareto_in_range() {
-        let d = Distribution::BoundedPareto { alpha: 1.5, lo: 1.0, hi: 100.0 };
+        let d = Distribution::BoundedPareto {
+            alpha: 1.5,
+            lo: 1.0,
+            hi: 100.0,
+        };
         let mut rng = Rng64::new(5);
         for _ in 0..10_000 {
             let x = d.sample(&mut rng);
             assert!((1.0..=100.0).contains(&x));
         }
         let m = sample_mean(&d, 200_000, 6);
-        assert!((m - d.mean()).abs() / d.mean() < 0.05, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.05,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
     fn scaled_to_mean_preserves_shape() {
-        let d = Distribution::HyperExp { p: 0.5, mean_a: 1.0, mean_b: 3.0 };
+        let d = Distribution::HyperExp {
+            p: 0.5,
+            mean_a: 1.0,
+            mean_b: 3.0,
+        };
         let s = d.scaled_to_mean(10.0);
         assert!((s.mean() - 10.0).abs() < 1e-9);
     }

@@ -124,7 +124,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut Rng64) 
         .zip(&assignment)
         .map(|(p, &a)| sq_dist(p, &centroids[a]))
         .sum();
-    KMeansResult { centroids, assignment, inertia, iterations }
+    KMeansResult {
+        centroids,
+        assignment,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +138,12 @@ mod tests {
 
     fn blob(center: f64, n: usize, rng: &mut Rng64) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|_| vec![center + rng.next_gaussian() * 0.1, center + rng.next_gaussian() * 0.1])
+            .map(|_| {
+                vec![
+                    center + rng.next_gaussian() * 0.1,
+                    center + rng.next_gaussian() * 0.1,
+                ]
+            })
             .collect()
     }
 
@@ -181,7 +191,9 @@ mod tests {
     fn deterministic_given_seed() {
         let mut r1 = Rng64::new(9);
         let mut r2 = Rng64::new(9);
-        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
         let a = kmeans(&pts, 4, 100, &mut r1);
         let b = kmeans(&pts, 4, 100, &mut r2);
         assert_eq!(a.assignment, b.assignment);

@@ -19,7 +19,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -90,9 +96,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -127,12 +131,18 @@ pub struct Percentiles {
 impl Percentiles {
     /// Empty store.
     pub fn new() -> Self {
-        Percentiles { samples: Vec::new(), sorted: true }
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Store with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Percentiles { samples: Vec::with_capacity(cap), sorted: true }
+        Percentiles {
+            samples: Vec::with_capacity(cap),
+            sorted: true,
+        }
     }
 
     /// Add one sample.

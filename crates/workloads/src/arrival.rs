@@ -18,7 +18,10 @@ pub struct ArrivalProcess {
 impl ArrivalProcess {
     /// Build from an explicit inter-arrival distribution.
     pub fn new(inter_arrival: Distribution) -> Self {
-        assert!(inter_arrival.mean() > 0.0, "inter-arrival mean must be positive");
+        assert!(
+            inter_arrival.mean() > 0.0,
+            "inter-arrival mean must be positive"
+        );
         ArrivalProcess { inter_arrival }
     }
 
@@ -26,7 +29,10 @@ impl ArrivalProcess {
     /// whose mean service time is `mean_service`: the arrival *rate* is
     /// `util * servers / mean_service`.
     pub fn poisson_at_utilization(util: f64, mean_service: Seconds, servers: usize) -> Self {
-        assert!(util > 0.0 && util < 1.5, "utilization out of sane range: {util}");
+        assert!(
+            util > 0.0 && util < 1.5,
+            "utilization out of sane range: {util}"
+        );
         assert!(servers >= 1);
         let rate = util * servers as f64 / mean_service;
         ArrivalProcess::new(Distribution::Exponential { mean: 1.0 / rate })

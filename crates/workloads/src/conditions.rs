@@ -58,8 +58,16 @@ impl RuntimeCondition {
     ) -> Self {
         RuntimeCondition {
             workloads: vec![
-                WorkloadCondition { benchmark: a, utilization: util_a, timeout_ratio: timeout_a },
-                WorkloadCondition { benchmark: b, utilization: util_b, timeout_ratio: timeout_b },
+                WorkloadCondition {
+                    benchmark: a,
+                    utilization: util_a,
+                    timeout_ratio: timeout_a,
+                },
+                WorkloadCondition {
+                    benchmark: b,
+                    utilization: util_b,
+                    timeout_ratio: timeout_b,
+                },
             ],
             sample_period: 1.0,
         }
@@ -70,8 +78,7 @@ impl RuntimeCondition {
         self.workloads.iter().all(|w| {
             (bounds::MIN_UTIL..=bounds::MAX_UTIL).contains(&w.utilization)
                 && (bounds::MIN_TIMEOUT..=bounds::MAX_TIMEOUT).contains(&w.timeout_ratio)
-        }) && (bounds::MIN_SAMPLE_PERIOD..=bounds::MAX_SAMPLE_PERIOD)
-            .contains(&self.sample_period)
+        }) && (bounds::MIN_SAMPLE_PERIOD..=bounds::MAX_SAMPLE_PERIOD).contains(&self.sample_period)
     }
 
     /// Draw a uniformly random in-bounds condition for the given pair.
@@ -85,7 +92,10 @@ impl RuntimeCondition {
         wa.benchmark = a;
         let mut wb = draw();
         wb.benchmark = b;
-        RuntimeCondition { workloads: vec![wa, wb], sample_period: 1.0 }
+        RuntimeCondition {
+            workloads: vec![wa, wb],
+            sample_period: 1.0,
+        }
     }
 
     /// Draw a uniformly random in-bounds condition for a chain of
@@ -162,7 +172,8 @@ mod tests {
     fn random_conditions_are_in_bounds() {
         let mut rng = Rng64::new(3);
         for _ in 0..100 {
-            let c = RuntimeCondition::random_pair(BenchmarkId::Redis, BenchmarkId::Social, &mut rng);
+            let c =
+                RuntimeCondition::random_pair(BenchmarkId::Redis, BenchmarkId::Social, &mut rng);
             assert!(c.in_bounds());
             assert_eq!(c.workloads[0].benchmark, BenchmarkId::Redis);
             assert_eq!(c.workloads[1].benchmark, BenchmarkId::Social);

@@ -85,14 +85,24 @@ impl AccessPattern {
     /// Total footprint in lines (hot + cold for mixed patterns).
     pub fn footprint_lines(&self) -> u64 {
         match *self {
-            AccessPattern::Stencil { footprint_lines, .. }
-            | AccessPattern::ZipfReuse { footprint_lines, .. }
+            AccessPattern::Stencil {
+                footprint_lines, ..
+            }
+            | AccessPattern::ZipfReuse {
+                footprint_lines, ..
+            }
             | AccessPattern::PointerChase { footprint_lines }
             | AccessPattern::Stream { footprint_lines } => footprint_lines,
-            AccessPattern::Microservices { regions, region_lines, .. } => {
-                regions as u64 * region_lines
-            }
-            AccessPattern::HotCold { hot_lines, cold_lines, .. } => hot_lines + cold_lines,
+            AccessPattern::Microservices {
+                regions,
+                region_lines,
+                ..
+            } => regions as u64 * region_lines,
+            AccessPattern::HotCold {
+                hot_lines,
+                cold_lines,
+                ..
+            } => hot_lines + cold_lines,
             AccessPattern::Phased { ref phases, .. } => {
                 phases.iter().map(|p| p.footprint_lines()).sum()
             }
@@ -104,29 +114,48 @@ impl AccessPattern {
     pub fn scaled(&self, k: f64) -> AccessPattern {
         let s = |l: u64| ((l as f64 * k).round() as u64).max(1);
         match *self {
-            AccessPattern::Stencil { footprint_lines, reuse } => {
-                AccessPattern::Stencil { footprint_lines: s(footprint_lines), reuse }
-            }
-            AccessPattern::ZipfReuse { footprint_lines, theta } => {
-                AccessPattern::ZipfReuse { footprint_lines: s(footprint_lines), theta }
-            }
-            AccessPattern::PointerChase { footprint_lines } => {
-                AccessPattern::PointerChase { footprint_lines: s(footprint_lines) }
-            }
-            AccessPattern::Stream { footprint_lines } => {
-                AccessPattern::Stream { footprint_lines: s(footprint_lines) }
-            }
-            AccessPattern::Microservices { regions, region_lines, theta } => {
-                AccessPattern::Microservices { regions, region_lines: s(region_lines), theta }
-            }
-            AccessPattern::HotCold { hot_lines, cold_lines, hot_fraction } => {
-                AccessPattern::HotCold {
-                    hot_lines: s(hot_lines),
-                    cold_lines: s(cold_lines),
-                    hot_fraction,
-                }
-            }
-            AccessPattern::Phased { ref phases, phase_len } => AccessPattern::Phased {
+            AccessPattern::Stencil {
+                footprint_lines,
+                reuse,
+            } => AccessPattern::Stencil {
+                footprint_lines: s(footprint_lines),
+                reuse,
+            },
+            AccessPattern::ZipfReuse {
+                footprint_lines,
+                theta,
+            } => AccessPattern::ZipfReuse {
+                footprint_lines: s(footprint_lines),
+                theta,
+            },
+            AccessPattern::PointerChase { footprint_lines } => AccessPattern::PointerChase {
+                footprint_lines: s(footprint_lines),
+            },
+            AccessPattern::Stream { footprint_lines } => AccessPattern::Stream {
+                footprint_lines: s(footprint_lines),
+            },
+            AccessPattern::Microservices {
+                regions,
+                region_lines,
+                theta,
+            } => AccessPattern::Microservices {
+                regions,
+                region_lines: s(region_lines),
+                theta,
+            },
+            AccessPattern::HotCold {
+                hot_lines,
+                cold_lines,
+                hot_fraction,
+            } => AccessPattern::HotCold {
+                hot_lines: s(hot_lines),
+                cold_lines: s(cold_lines),
+                hot_fraction,
+            },
+            AccessPattern::Phased {
+                ref phases,
+                phase_len,
+            } => AccessPattern::Phased {
                 phases: phases.iter().map(|p| p.scaled(k)).collect(),
                 phase_len,
             },
@@ -169,9 +198,10 @@ impl AccessGenerator {
     /// region so collocated workloads never alias.
     pub fn new(pattern: AccessPattern, base: Address, store_fraction: f64, seed: u64) -> Self {
         let zipf = match &pattern {
-            AccessPattern::ZipfReuse { footprint_lines, theta } => {
-                Some(Zipf::new((*footprint_lines).max(1), *theta))
-            }
+            AccessPattern::ZipfReuse {
+                footprint_lines,
+                theta,
+            } => Some(Zipf::new((*footprint_lines).max(1), *theta)),
             _ => None,
         };
         let region_zipf = match &pattern {
@@ -199,7 +229,12 @@ impl AccessGenerator {
                         g
                     })
                     .collect();
-                Some(PhasedState { gens, phase_len: *phase_len, active: 0, remaining: *phase_len })
+                Some(PhasedState {
+                    gens,
+                    phase_len: *phase_len,
+                    active: 0,
+                    remaining: *phase_len,
+                })
             }
             _ => None,
         };
@@ -239,7 +274,10 @@ impl AccessGenerator {
             return ph.gens[ph.active].next_access();
         }
         let line = match &self.pattern {
-            AccessPattern::Stencil { footprint_lines, reuse } => {
+            AccessPattern::Stencil {
+                footprint_lines,
+                reuse,
+            } => {
                 if self.remaining_reuse == 0 {
                     self.cursor = (self.cursor + 1) % (*footprint_lines).max(1);
                     self.remaining_reuse = *reuse;
@@ -252,9 +290,11 @@ impl AccessGenerator {
                     self.cursor
                 }
             }
-            AccessPattern::ZipfReuse { .. } => {
-                self.zipf.as_ref().expect("zipf built in new").sample(&mut self.rng)
-            }
+            AccessPattern::ZipfReuse { .. } => self
+                .zipf
+                .as_ref()
+                .expect("zipf built in new")
+                .sample(&mut self.rng),
             AccessPattern::PointerChase { footprint_lines } => {
                 self.rng.next_below((*footprint_lines).max(1))
             }
@@ -262,11 +302,17 @@ impl AccessGenerator {
                 self.cursor = (self.cursor + 1) % (*footprint_lines).max(1);
                 self.cursor
             }
-            AccessPattern::Microservices { regions, region_lines, .. } => {
+            AccessPattern::Microservices {
+                regions,
+                region_lines,
+                ..
+            } => {
                 if self.region_budget == 0 {
-                    self.active_region =
-                        self.region_zipf.as_ref().expect("built in new").sample(&mut self.rng)
-                            as u32;
+                    self.active_region = self
+                        .region_zipf
+                        .as_ref()
+                        .expect("built in new")
+                        .sample(&mut self.rng) as u32;
                     self.region_budget = 16 + self.rng.next_below(48) as u32;
                 }
                 self.region_budget -= 1;
@@ -279,7 +325,11 @@ impl AccessGenerator {
                 let _ = regions;
                 self.active_region as u64 * region_lines + within
             }
-            AccessPattern::HotCold { hot_lines, cold_lines, hot_fraction } => {
+            AccessPattern::HotCold {
+                hot_lines,
+                cold_lines,
+                hot_fraction,
+            } => {
                 if self.rng.next_bool(*hot_fraction) {
                     self.rng.next_below((*hot_lines).max(1))
                 } else {
@@ -306,7 +356,10 @@ impl AccessGenerator {
         } else {
             self.rng.next_below(1024)
         };
-        (self.base + (1 << 36) + line * LINE_BYTES, AccessKind::IFetch)
+        (
+            self.base + (1 << 36) + line * LINE_BYTES,
+            AccessKind::IFetch,
+        )
     }
 }
 
@@ -327,18 +380,29 @@ mod tests {
 
     #[test]
     fn stream_touches_every_line_once_per_pass() {
-        let n = distinct_lines(AccessPattern::Stream { footprint_lines: 100 }, 100);
+        let n = distinct_lines(
+            AccessPattern::Stream {
+                footprint_lines: 100,
+            },
+            100,
+        );
         assert_eq!(n, 100);
     }
 
     #[test]
     fn zipf_high_theta_concentrates() {
         let hot = distinct_lines(
-            AccessPattern::ZipfReuse { footprint_lines: 10_000, theta: 1.2 },
+            AccessPattern::ZipfReuse {
+                footprint_lines: 10_000,
+                theta: 1.2,
+            },
             5_000,
         );
         let cold = distinct_lines(
-            AccessPattern::ZipfReuse { footprint_lines: 10_000, theta: 0.4 },
+            AccessPattern::ZipfReuse {
+                footprint_lines: 10_000,
+                theta: 0.4,
+            },
             5_000,
         );
         assert!(
@@ -349,14 +413,22 @@ mod tests {
 
     #[test]
     fn pointer_chase_spreads_wide() {
-        let n = distinct_lines(AccessPattern::PointerChase { footprint_lines: 1_000 }, 3_000);
+        let n = distinct_lines(
+            AccessPattern::PointerChase {
+                footprint_lines: 1_000,
+            },
+            3_000,
+        );
         assert!(n > 900, "uniform chase covers most lines, got {n}");
     }
 
     #[test]
     fn stencil_reuses_lines() {
         let mut g = AccessGenerator::new(
-            AccessPattern::Stencil { footprint_lines: 1000, reuse: 8 },
+            AccessPattern::Stencil {
+                footprint_lines: 1000,
+                reuse: 8,
+            },
             0,
             0.0,
             1,
@@ -373,7 +445,11 @@ mod tests {
     #[test]
     fn hotcold_respects_fractions() {
         let mut g = AccessGenerator::new(
-            AccessPattern::HotCold { hot_lines: 10, cold_lines: 10_000, hot_fraction: 0.9 },
+            AccessPattern::HotCold {
+                hot_lines: 10,
+                cold_lines: 10_000,
+                hot_fraction: 0.9,
+            },
             0,
             0.0,
             2,
@@ -392,7 +468,11 @@ mod tests {
     #[test]
     fn microservices_visit_many_regions() {
         let mut g = AccessGenerator::new(
-            AccessPattern::Microservices { regions: 36, region_lines: 256, theta: 0.8 },
+            AccessPattern::Microservices {
+                regions: 36,
+                region_lines: 256,
+                theta: 0.8,
+            },
             0,
             0.0,
             3,
@@ -402,13 +482,19 @@ mod tests {
             let (addr, _) = g.next_access();
             regions.insert(addr / LINE_BYTES / 256);
         }
-        assert!(regions.len() > 20, "should visit most regions, got {}", regions.len());
+        assert!(
+            regions.len() > 20,
+            "should visit most regions, got {}",
+            regions.len()
+        );
     }
 
     #[test]
     fn store_fraction_honoured() {
         let mut g = AccessGenerator::new(
-            AccessPattern::Stream { footprint_lines: 100 },
+            AccessPattern::Stream {
+                footprint_lines: 100,
+            },
             0,
             0.3,
             4,
@@ -422,9 +508,18 @@ mod tests {
 
     #[test]
     fn base_offsets_namespace_workloads() {
-        let mut a = AccessGenerator::new(AccessPattern::Stream { footprint_lines: 10 }, 0, 0.0, 5);
+        let mut a = AccessGenerator::new(
+            AccessPattern::Stream {
+                footprint_lines: 10,
+            },
+            0,
+            0.0,
+            5,
+        );
         let mut b = AccessGenerator::new(
-            AccessPattern::Stream { footprint_lines: 10 },
+            AccessPattern::Stream {
+                footprint_lines: 10,
+            },
             1 << 40,
             0.0,
             5,
@@ -437,19 +532,33 @@ mod tests {
 
     #[test]
     fn ifetch_is_mostly_hot() {
-        let mut g = AccessGenerator::new(AccessPattern::Stream { footprint_lines: 10 }, 0, 0.0, 6);
+        let mut g = AccessGenerator::new(
+            AccessPattern::Stream {
+                footprint_lines: 10,
+            },
+            0,
+            0.0,
+            6,
+        );
         let mut lines = HashSet::new();
         for _ in 0..5_000 {
             let (addr, kind) = g.next_ifetch();
             assert_eq!(kind, AccessKind::IFetch);
             lines.insert(addr / LINE_BYTES);
         }
-        assert!(lines.len() < 200, "code region should be small, got {}", lines.len());
+        assert!(
+            lines.len() < 200,
+            "code region should be small, got {}",
+            lines.len()
+        );
     }
 
     #[test]
     fn scaled_pattern_shrinks_footprint() {
-        let p = AccessPattern::ZipfReuse { footprint_lines: 1024, theta: 0.9 };
+        let p = AccessPattern::ZipfReuse {
+            footprint_lines: 1024,
+            theta: 0.9,
+        };
         let s = p.scaled(1.0 / 64.0);
         assert_eq!(s.footprint_lines(), 16);
         // never collapses to zero
@@ -460,11 +569,19 @@ mod tests {
     #[test]
     fn phased_pattern_alternates_regions() {
         let phases = vec![
-            AccessPattern::ZipfReuse { footprint_lines: 100, theta: 1.0 },
-            AccessPattern::Stream { footprint_lines: 1000 },
+            AccessPattern::ZipfReuse {
+                footprint_lines: 100,
+                theta: 1.0,
+            },
+            AccessPattern::Stream {
+                footprint_lines: 1000,
+            },
         ];
         let total = phases.iter().map(|p| p.footprint_lines()).sum::<u64>();
-        let p = AccessPattern::Phased { phases, phase_len: 50 };
+        let p = AccessPattern::Phased {
+            phases,
+            phase_len: 50,
+        };
         assert_eq!(p.footprint_lines(), total);
         let mut g = AccessGenerator::new(p, 0, 0.0, 9);
         // first 50 accesses live in the first phase's region
@@ -487,8 +604,12 @@ mod tests {
     fn phased_scaling_scales_all_phases() {
         let p = AccessPattern::Phased {
             phases: vec![
-                AccessPattern::Stream { footprint_lines: 640 },
-                AccessPattern::PointerChase { footprint_lines: 320 },
+                AccessPattern::Stream {
+                    footprint_lines: 640,
+                },
+                AccessPattern::PointerChase {
+                    footprint_lines: 320,
+                },
             ],
             phase_len: 10,
         };
@@ -500,7 +621,10 @@ mod tests {
     fn deterministic_given_seed() {
         let mk = || {
             AccessGenerator::new(
-                AccessPattern::ZipfReuse { footprint_lines: 500, theta: 0.9 },
+                AccessPattern::ZipfReuse {
+                    footprint_lines: 500,
+                    theta: 0.9,
+                },
                 0,
                 0.2,
                 77,

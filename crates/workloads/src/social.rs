@@ -88,9 +88,18 @@ impl SocialGraph {
         }
         // 12 logic services (ids 4..16)
         let logic_names = [
-            "compose-post", "home-timeline", "user-timeline", "social-graph", "user",
-            "url-shorten", "media", "text", "unique-id", "post-storage-logic",
-            "write-home-timeline", "notification",
+            "compose-post",
+            "home-timeline",
+            "user-timeline",
+            "social-graph",
+            "user",
+            "url-shorten",
+            "media",
+            "text",
+            "unique-id",
+            "post-storage-logic",
+            "write-home-timeline",
+            "notification",
         ];
         for (i, name) in logic_names.iter().enumerate() {
             services.push(Microservice {
@@ -238,7 +247,10 @@ mod tests {
         let g = SocialGraph::standard();
         let mut rng = Rng64::new(2);
         let avg_len = |hit: f64, rng: &mut Rng64| -> f64 {
-            (0..2000).map(|_| g.sample_path(hit, rng).len()).sum::<usize>() as f64 / 2000.0
+            (0..2000)
+                .map(|_| g.sample_path(hit, rng).len())
+                .sum::<usize>() as f64
+                / 2000.0
         };
         let hot = avg_len(0.95, &mut rng);
         let cold = avg_len(0.2, &mut rng);
@@ -265,7 +277,10 @@ mod tests {
         let g = SocialGraph::standard();
         let mut by_container = std::collections::HashMap::new();
         for s in g.services() {
-            by_container.entry(s.container).or_insert_with(Vec::new).push(s.id);
+            by_container
+                .entry(s.container)
+                .or_insert_with(Vec::new)
+                .push(s.id);
         }
         let doubled = by_container.values().filter(|v| v.len() == 2).count();
         assert_eq!(doubled, 6, "six containers host a cache+store pair");

@@ -100,9 +100,15 @@ impl WorkloadSpec {
         match id {
             BenchmarkId::Jacobi => WorkloadSpec {
                 id,
-                pattern: AccessPattern::Stencil { footprint_lines: 8 * w, reuse: 6 },
+                pattern: AccessPattern::Stencil {
+                    footprint_lines: 8 * w,
+                    reuse: 6,
+                },
                 mean_service_time: 2.0,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.25 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.25,
+                },
                 mean_accesses_per_query: 4000,
                 store_fraction: 0.3,
                 ifetch_per_access: 0.5,
@@ -116,7 +122,10 @@ impl WorkloadSpec {
                     theta: 1.1,
                 },
                 mean_service_time: 0.2,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.2 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.2,
+                },
                 mean_accesses_per_query: 4000,
                 store_fraction: 0.1,
                 ifetch_per_access: 0.5,
@@ -131,7 +140,10 @@ impl WorkloadSpec {
                     hot_fraction: 0.9,
                 },
                 mean_service_time: 0.5,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.2 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.2,
+                },
                 mean_accesses_per_query: 4000,
                 store_fraction: 0.15,
                 ifetch_per_access: 0.5,
@@ -150,12 +162,17 @@ impl WorkloadSpec {
                             cold_lines: 6 * w,
                             hot_fraction: 0.6,
                         },
-                        AccessPattern::Stream { footprint_lines: 4 * w },
+                        AccessPattern::Stream {
+                            footprint_lines: 4 * w,
+                        },
                     ],
                     phase_len: 2000,
                 },
                 mean_service_time: 81.0,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.3 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.3,
+                },
                 mean_accesses_per_query: 5000,
                 store_fraction: 0.25,
                 ifetch_per_access: 0.6,
@@ -164,9 +181,14 @@ impl WorkloadSpec {
             },
             BenchmarkId::Spstream => WorkloadSpec {
                 id,
-                pattern: AccessPattern::Stream { footprint_lines: 16 * w },
+                pattern: AccessPattern::Stream {
+                    footprint_lines: 16 * w,
+                },
                 mean_service_time: 1.0,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.35 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.35,
+                },
                 mean_accesses_per_query: 5000,
                 store_fraction: 0.35,
                 ifetch_per_access: 0.4,
@@ -175,9 +197,14 @@ impl WorkloadSpec {
             },
             BenchmarkId::Bfs => WorkloadSpec {
                 id,
-                pattern: AccessPattern::PointerChase { footprint_lines: 4 * w },
+                pattern: AccessPattern::PointerChase {
+                    footprint_lines: 4 * w,
+                },
                 mean_service_time: 0.8,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.3 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.3,
+                },
                 mean_accesses_per_query: 4000,
                 store_fraction: 0.2,
                 ifetch_per_access: 0.4,
@@ -192,7 +219,10 @@ impl WorkloadSpec {
                     theta: 0.9,
                 },
                 mean_service_time: 0.0075,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.45 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.45,
+                },
                 mean_accesses_per_query: 4000,
                 store_fraction: 0.25,
                 ifetch_per_access: 0.8,
@@ -201,9 +231,15 @@ impl WorkloadSpec {
             },
             BenchmarkId::Redis => WorkloadSpec {
                 id,
-                pattern: AccessPattern::ZipfReuse { footprint_lines: 12 * w, theta: 0.5 },
+                pattern: AccessPattern::ZipfReuse {
+                    footprint_lines: 12 * w,
+                    theta: 0.5,
+                },
                 mean_service_time: 0.001,
-                demand: Distribution::LogNormal { mean: 1.0, sigma: 0.25 },
+                demand: Distribution::LogNormal {
+                    mean: 1.0,
+                    sigma: 0.25,
+                },
                 mean_accesses_per_query: 4000,
                 store_fraction: 0.3,
                 ifetch_per_access: 0.3,
@@ -215,7 +251,10 @@ impl WorkloadSpec {
 
     /// All eight specs.
     pub fn all() -> Vec<WorkloadSpec> {
-        BenchmarkId::ALL.iter().map(|&id| WorkloadSpec::for_benchmark(id)).collect()
+        BenchmarkId::ALL
+            .iter()
+            .map(|&id| WorkloadSpec::for_benchmark(id))
+            .collect()
     }
 
     /// Access pattern rescaled for a concrete (possibly scaled-down)
@@ -249,10 +288,22 @@ mod tests {
 
     #[test]
     fn service_times_match_paper() {
-        assert_eq!(WorkloadSpec::for_benchmark(BenchmarkId::Social).mean_service_time, 0.0075);
-        assert_eq!(WorkloadSpec::for_benchmark(BenchmarkId::Redis).mean_service_time, 0.001);
-        assert_eq!(WorkloadSpec::for_benchmark(BenchmarkId::Spkmeans).mean_service_time, 81.0);
-        assert_eq!(WorkloadSpec::for_benchmark(BenchmarkId::Spstream).mean_service_time, 1.0);
+        assert_eq!(
+            WorkloadSpec::for_benchmark(BenchmarkId::Social).mean_service_time,
+            0.0075
+        );
+        assert_eq!(
+            WorkloadSpec::for_benchmark(BenchmarkId::Redis).mean_service_time,
+            0.001
+        );
+        assert_eq!(
+            WorkloadSpec::for_benchmark(BenchmarkId::Spkmeans).mean_service_time,
+            81.0
+        );
+        assert_eq!(
+            WorkloadSpec::for_benchmark(BenchmarkId::Spstream).mean_service_time,
+            1.0
+        );
     }
 
     #[test]
@@ -273,11 +324,7 @@ mod tests {
     fn reuse_ordering_matches_table1() {
         // footprint acts as a proxy for reuse at fixed access count: KNN's
         // working set is far smaller than Redis's or Spstream's
-        let fp = |id| {
-            WorkloadSpec::for_benchmark(id)
-                .pattern
-                .footprint_lines()
-        };
+        let fp = |id| WorkloadSpec::for_benchmark(id).pattern.footprint_lines();
         assert!(fp(BenchmarkId::Knn) < fp(BenchmarkId::Bfs));
         assert!(fp(BenchmarkId::Bfs) < fp(BenchmarkId::Redis));
         assert!(fp(BenchmarkId::Redis) < fp(BenchmarkId::Spstream));

@@ -19,11 +19,16 @@ fn main() {
     let redis_default = fs.mkdir("redis-default").expect("COS available");
     let redis_boost = fs.mkdir("redis-boost").expect("COS available");
     // private ways #0-1; boost adds shared ways #2-3
-    fs.write_schemata(redis_default, "L3:0=3").expect("valid schemata");
-    fs.write_schemata(redis_boost, "L3:0=f").expect("valid schemata");
+    fs.write_schemata(redis_default, "L3:0=3")
+        .expect("valid schemata");
+    fs.write_schemata(redis_boost, "L3:0=f")
+        .expect("valid schemata");
     fs.assign_task(redis_default, 42).expect("task assigned");
     let table = fs.commit().expect("commit to COS table");
-    println!("resctrl groups committed: task 42 runs under COS {}", fs.group_of(42));
+    println!(
+        "resctrl groups committed: task 42 runs under COS {}",
+        fs.group_of(42)
+    );
     println!(
         "  default mask {} ({} ways), boost mask {}",
         table.mask(redis_default).expect("exists").to_hex(),
@@ -34,18 +39,32 @@ fn main() {
     // non-contiguous masks are rejected exactly as hardware rejects them
     let mut fs2 = ResctrlFs::mount(ways, 4);
     let g = fs2.mkdir("bad").expect("COS available");
-    let err = fs2.write_schemata(g, "L3:0=5").expect_err("0b101 is not contiguous");
+    let err = fs2
+        .write_schemata(g, "L3:0=5")
+        .expect_err("0b101 is not contiguous");
     println!("\nwriting mask 0x5: rejected ({err})");
 
     // --- the paper's pairwise layout and the two conjectures ---
     let layout = PairLayout::symmetric(2, 2);
     let (pa, pb) = layout.policies(1.5, 0.75);
-    println!("\npair layout on 6 ways: A default {}, boosted {}", pa.default, pa.boosted);
-    println!("                       B default {}, boosted {}", pb.default, pb.boosted);
+    println!(
+        "\npair layout on 6 ways: A default {}, boosted {}",
+        pa.default, pa.boosted
+    );
+    println!(
+        "                       B default {}, boosted {}",
+        pb.default, pb.boosted
+    );
     println!("A's private ways: {:?}", private_ways(&pa, &[pb]));
     println!("B's private ways: {:?}", private_ways(&pb, &[pa]));
-    println!("conjecture 1 (private regions disjoint): {}", private_regions_disjoint(&[pa, pb]));
-    println!("conjecture 2 (sharing degree <= 2):      {}", sharing_degree_bounded(&[pa, pb]));
+    println!(
+        "conjecture 1 (private regions disjoint): {}",
+        private_regions_disjoint(&[pa, pb])
+    );
+    println!(
+        "conjecture 2 (sharing degree <= 2):      {}",
+        sharing_degree_bounded(&[pa, pb])
+    );
 
     // chains of 5 workloads still satisfy both — contiguity forces pairwise
     // interaction, which is why the paper's contention model is pairwise
@@ -58,6 +77,9 @@ fn main() {
         sharing_degree_bounded(&policies),
     );
     for (i, p) in policies.iter().enumerate() {
-        println!("  workload {i}: default {} boosted {}", p.default, p.boosted);
+        println!(
+            "  workload {i}: default {} boosted {}",
+            p.default, p.boosted
+        );
     }
 }

@@ -24,19 +24,15 @@ fn main() {
     );
     for &redis_util in &[0.4, 0.9] {
         for &redis_timeout in &[0.0, 0.5, 1.5, 3.0, 6.0] {
-            let cond = RuntimeCondition::pair(
-                kmeans,
-                0.7,
-                0.5,
-                redis,
-                redis_util,
-                redis_timeout,
-            );
+            let cond = RuntimeCondition::pair(kmeans, 0.7, 0.5, redis, redis_util, redis_timeout);
             let spec = ExperimentSpec {
                 measured_queries: 200,
                 warmup_queries: 30,
                 accesses_per_query: Some(1500),
-                ..ExperimentSpec::standard(cond, 0xC0 + (redis_util * 100.0) as u64 + (redis_timeout * 10.0) as u64)
+                ..ExperimentSpec::standard(
+                    cond,
+                    0xC0 + (redis_util * 100.0) as u64 + (redis_timeout * 10.0) as u64,
+                )
             };
             let out = TestEnvironment::new(spec).run();
             let km = &out.workloads[0];

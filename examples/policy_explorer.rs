@@ -53,7 +53,12 @@ fn main() {
         };
         let outcome = TestEnvironment::new(spec).run();
         for (j, w) in outcome.workloads.iter().enumerate() {
-            profiles.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+            profiles.push(ProfileRow::from_outcome(
+                &condition,
+                j,
+                w,
+                CounterOrdering::Grouped,
+            ));
         }
     }
 
@@ -62,10 +67,12 @@ fn main() {
     let predictor = Predictor::train(&profiles, &ModelConfig::quick(5));
     let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, 0.9);
     let result = explorer.explore();
-    println!("\npredicted normalized p95 over the 5x5 grid (rows = T_{}, cols = T_{}):", pair.0, pair.1);
+    println!(
+        "\npredicted normalized p95 over the 5x5 grid (rows = T_{}, cols = T_{}):",
+        pair.0, pair.1
+    );
     for (i, row) in result.grid.iter().enumerate() {
-        let cells: Vec<String> =
-            row.iter().map(|(a, b)| format!("{a:.1}/{b:.1}")).collect();
+        let cells: Vec<String> = row.iter().map(|(a, b)| format!("{a:.1}/{b:.1}")).collect();
         println!(
             "  T={:4.2} | {}",
             stca_repro::core::explorer::TIMEOUT_GRID[i],

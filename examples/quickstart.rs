@@ -37,12 +37,20 @@ fn main() {
                 w.mean_response(),
                 w.effective_allocation,
             );
-            profiles.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+            profiles.push(ProfileRow::from_outcome(
+                &condition,
+                j,
+                w,
+                CounterOrdering::Grouped,
+            ));
         }
     }
 
     // 2. Stage 2 — train the deep-forest models on the profiles.
-    println!("\ntraining deep forest on {} profile rows ...", profiles.len());
+    println!(
+        "\ntraining deep forest on {} profile rows ...",
+        profiles.len()
+    );
     let predictor = Predictor::train(&profiles, &ModelConfig::quick(42));
 
     // 3. Stage 3 — predict response time for a fresh, unseen condition and

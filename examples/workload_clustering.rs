@@ -19,7 +19,10 @@ fn main() {
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Redis);
     let mut rng = Rng64::new(3);
     let mut profiles = ProfileSet::new();
-    println!("profiling {}({}) over random conditions ...", pair.0, pair.1);
+    println!(
+        "profiling {}({}) over random conditions ...",
+        pair.0, pair.1
+    );
     for i in 0..12 {
         let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
         let spec = ExperimentSpec {
@@ -30,7 +33,12 @@ fn main() {
         };
         let outcome = TestEnvironment::new(spec).run();
         for (j, w) in outcome.workloads.iter().enumerate() {
-            profiles.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+            profiles.push(ProfileRow::from_outcome(
+                &condition,
+                j,
+                w,
+                CounterOrdering::Grouped,
+            ));
         }
     }
     let predictor = Predictor::train(&profiles, &ModelConfig::quick(9));
@@ -55,7 +63,10 @@ fn main() {
                 i, c.size, c.mean_utilization, c.mean_timeout, c.mean_ea, c.ea_std
             );
         }
-        println!("weighted within-cluster EA dispersion: {:.4}", a.weighted_ea_dispersion());
+        println!(
+            "weighted within-cluster EA dispersion: {:.4}",
+            a.weighted_ea_dispersion()
+        );
     };
     show("concept-space", &concepts);
     show("raw-counter", &counters);

@@ -10,6 +10,7 @@ pub use stca_cat as cat;
 pub use stca_core as core;
 pub use stca_deepforest as deepforest;
 pub use stca_neuralnet as neuralnet;
+pub use stca_obs as obs;
 pub use stca_profiler as profiler;
 pub use stca_queuesim as queuesim;
 pub use stca_util as util;

@@ -13,7 +13,9 @@ fn drive(pattern: AccessPattern, store_fraction: f64, n: u64, seed: u64) -> Coun
     let mut hier = Hierarchy::new(config, seed);
     hier.set_llc_mask(
         0,
-        AllocationSetting::new(0, 4).to_cbm(config.llc.ways).expect("valid"),
+        AllocationSetting::new(0, 4)
+            .to_cbm(config.llc.ways)
+            .expect("valid"),
     );
     let mut gen = AccessGenerator::new(pattern, 0, store_fraction, seed);
     let mut rng = Rng64::new(seed ^ 0xF0);
@@ -41,14 +43,22 @@ fn check_invariants(c: &CounterSet, label: &str) {
         get(L1dLoadMisses) + get(L1dStoreMisses) + get(L1iFetchMisses),
         "{label}: L2 requests are L1 misses"
     );
-    assert_eq!(get(L2Requests), get(L2Loads) + get(L2Stores), "{label}: L2 split");
+    assert_eq!(
+        get(L2Requests),
+        get(L2Loads) + get(L2Stores),
+        "{label}: L2 split"
+    );
     // every L2 miss becomes exactly one LLC access
     assert_eq!(
         get(LlcAccesses),
         get(L2LoadMisses) + get(L2StoreMisses),
         "{label}: LLC accesses are L2 misses"
     );
-    assert_eq!(get(LlcAccesses), get(LlcLoads) + get(LlcStores), "{label}: LLC split");
+    assert_eq!(
+        get(LlcAccesses),
+        get(LlcLoads) + get(LlcStores),
+        "{label}: LLC split"
+    );
     assert_eq!(
         get(LlcMisses),
         get(LlcLoadMisses) + get(LlcStoreMisses),
@@ -80,7 +90,9 @@ fn invariants_hold_under_mask_thrashing() {
     let narrow = AllocationSetting::new(0, 2).to_cbm(ways).expect("valid");
     let wide = AllocationSetting::new(0, 6).to_cbm(ways).expect("valid");
     let mut gen = AccessGenerator::new(
-        AccessPattern::PointerChase { footprint_lines: 4096 },
+        AccessPattern::PointerChase {
+            footprint_lines: 4096,
+        },
         0,
         0.3,
         8,
@@ -105,13 +117,17 @@ fn two_workload_totals_are_independent() {
         hier.set_llc_mask(0, AllocationSetting::new(0, 2).to_cbm(ways).expect("ok"));
         hier.set_llc_mask(1, AllocationSetting::new(10, 2).to_cbm(ways).expect("ok"));
         let mut ga = AccessGenerator::new(
-            AccessPattern::Stream { footprint_lines: 2000 },
+            AccessPattern::Stream {
+                footprint_lines: 2000,
+            },
             0,
             0.0,
             seed,
         );
         let mut gb = AccessGenerator::new(
-            AccessPattern::Stream { footprint_lines: 2000 },
+            AccessPattern::Stream {
+                footprint_lines: 2000,
+            },
             1 << 42,
             0.0,
             seed ^ 1,

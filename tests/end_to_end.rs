@@ -21,7 +21,12 @@ fn build_profiles(
         let outcome =
             TestEnvironment::new(ExperimentSpec::quick(condition.clone(), seed + i as u64)).run();
         for (j, w) in outcome.workloads.iter().enumerate() {
-            set.push(ProfileRow::from_outcome(&condition, j, w, CounterOrdering::Grouped));
+            set.push(ProfileRow::from_outcome(
+                &condition,
+                j,
+                w,
+                CounterOrdering::Grouped,
+            ));
         }
         conds.push(condition);
     }
@@ -76,14 +81,18 @@ fn explorer_end_to_end() {
     let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, 0.9);
     let result = explorer.explore();
     // the chosen vector is on the grid and all predictions are positive
-    assert!(result.grid.iter().flatten().all(|&(a, b)| a > 0.0 && b > 0.0));
+    assert!(result
+        .grid
+        .iter()
+        .flatten()
+        .all(|&(a, b)| a > 0.0 && b > 0.0));
     let layout = stca_repro::cat::PairLayout::symmetric(2, 2);
     let policies = result.policies(&layout);
     assert_eq!(policies.len(), 2);
     // chosen policies can actually run in the environment
     let cond = RuntimeCondition::pair(pair.0, 0.9, 6.0, pair.1, 0.9, 6.0);
-    let out = TestEnvironment::new(ExperimentSpec::quick(cond, 99))
-        .run_with_policies(Some(policies));
+    let out =
+        TestEnvironment::new(ExperimentSpec::quick(cond, 99)).run_with_policies(Some(policies));
     assert_eq!(out.workloads.len(), 2);
     assert!(out.workloads.iter().all(|w| w.mean_response() > 0.0));
 }

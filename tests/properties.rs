@@ -1,65 +1,90 @@
-//! Property-based tests on the core invariants, spanning crates.
+//! Property-style tests on the core invariants, spanning crates.
+//!
+//! Cases are generated with the workspace's own deterministic [`Rng64`]
+//! (the build environment is offline, so no `proptest`): each test draws a
+//! fixed number of random cases from a seeded stream, which keeps failures
+//! reproducible — rerun with the same seed and the same cases appear.
 
-use proptest::prelude::*;
+use stca_repro::cachesim::{AccessKind, CacheGeometry, Hierarchy, HierarchyConfig};
 use stca_repro::cat::layout::{private_regions_disjoint, sharing_degree_bounded};
 use stca_repro::cat::{AllocationSetting, CapacityBitmask, PairLayout, ShortTermPolicy};
-use stca_repro::cachesim::{AccessKind, CacheGeometry, Hierarchy, HierarchyConfig};
 use stca_repro::queuesim::{QueueSim, StationConfig};
 use stca_repro::util::{Distribution, Matrix, Rng64};
 
-proptest! {
-    /// Any span inside the cache is a valid contiguous CBM, and the
-    /// (offset, length) representation round-trips.
-    #[test]
-    fn cbm_span_roundtrip(
-        (ways, offset, len) in (1usize..=64).prop_flat_map(|ways| {
-            (Just(ways), 0..ways).prop_flat_map(move |(ways, offset)| {
-                (Just(ways), Just(offset), 1..=(ways - offset))
-            })
-        })
-    ) {
+/// Any span inside the cache is a valid contiguous CBM, and the
+/// (offset, length) representation round-trips.
+#[test]
+fn cbm_span_roundtrip() {
+    let mut rng = Rng64::new(0xCB1);
+    for _ in 0..256 {
+        let ways = 1 + rng.next_below(64) as usize;
+        let offset = rng.next_below(ways as u64) as usize;
+        let len = 1 + rng.next_below((ways - offset) as u64) as usize;
         let cbm = CapacityBitmask::from_span(offset, len, ways).expect("valid span");
-        prop_assert_eq!(cbm.offset(), offset);
-        prop_assert_eq!(cbm.length(), len);
+        assert_eq!(
+            cbm.offset(),
+            offset,
+            "ways={ways} offset={offset} len={len}"
+        );
+        assert_eq!(cbm.length(), len);
         let alloc = AllocationSetting::from_cbm(&cbm);
-        prop_assert_eq!(alloc.to_cbm(ways).expect("still valid"), cbm);
+        assert_eq!(alloc.to_cbm(ways).expect("still valid"), cbm);
     }
+}
 
-    /// Masks with a hole are always rejected.
-    #[test]
-    fn cbm_rejects_holes(lo_len in 1usize..8, gap in 1usize..8, hi_len in 1usize..8) {
-        let bits = ((1u64 << lo_len) - 1)
-            | (((1u64 << hi_len) - 1) << (lo_len + gap));
+/// Masks with a hole are always rejected.
+#[test]
+fn cbm_rejects_holes() {
+    let mut rng = Rng64::new(0xCB2);
+    for _ in 0..256 {
+        let lo_len = 1 + rng.next_below(7) as usize;
+        let gap = 1 + rng.next_below(7) as usize;
+        let hi_len = 1 + rng.next_below(7) as usize;
+        let bits = ((1u64 << lo_len) - 1) | (((1u64 << hi_len) - 1) << (lo_len + gap));
         let ways = lo_len + gap + hi_len;
-        prop_assert!(CapacityBitmask::new(bits, ways.max(1)).is_err());
+        assert!(
+            CapacityBitmask::new(bits, ways.max(1)).is_err(),
+            "hole must be rejected: lo={lo_len} gap={gap} hi={hi_len}"
+        );
     }
+}
 
-    /// Conjectures 1 and 2 of §2 hold for every well-formed pair layout.
-    #[test]
-    fn pair_layout_conjectures(
-        private_a in 1usize..6,
-        shared in 0usize..6,
-        private_b in 1usize..6,
-        ta in 0.0f64..6.0,
-        tb in 0.0f64..6.0,
-    ) {
-        let layout = PairLayout { base_way: 0, private_a, shared, private_b };
+/// Conjectures 1 and 2 of §2 hold for every well-formed pair layout.
+#[test]
+fn pair_layout_conjectures() {
+    let mut rng = Rng64::new(0xCB3);
+    for _ in 0..256 {
+        let private_a = 1 + rng.next_below(5) as usize;
+        let shared = rng.next_below(6) as usize;
+        let private_b = 1 + rng.next_below(5) as usize;
+        let ta = rng.next_range(0.0, 6.0);
+        let tb = rng.next_range(0.0, 6.0);
+        let layout = PairLayout {
+            base_way: 0,
+            private_a,
+            shared,
+            private_b,
+        };
         let (pa, pb) = layout.policies(ta, tb);
-        prop_assert!(private_regions_disjoint(&[pa, pb]));
-        prop_assert!(sharing_degree_bounded(&[pa, pb]));
+        assert!(private_regions_disjoint(&[pa, pb]));
+        assert!(sharing_degree_bounded(&[pa, pb]));
     }
+}
 
-    /// Queueing simulator invariants: responses positive, response >=
-    /// service for each query, work conserved.
-    #[test]
-    fn queuesim_invariants(
-        util in 0.1f64..0.95,
-        timeout in 0.0f64..6.0,
-        boost in 1.0f64..4.0,
-        seed in 0u64..1000,
-    ) {
+/// Queueing simulator invariants: responses positive, response >=
+/// service for each query, work conserved.
+#[test]
+fn queuesim_invariants() {
+    let mut rng = Rng64::new(0xCB4);
+    for _ in 0..24 {
+        let util = rng.next_range(0.1, 0.95);
+        let timeout = rng.next_range(0.0, 6.0);
+        let boost = rng.next_range(1.0, 4.0);
+        let seed = rng.next_below(1000);
         let cfg = StationConfig {
-            inter_arrival: Distribution::Exponential { mean: 1.0 / (2.0 * util) },
+            inter_arrival: Distribution::Exponential {
+                mean: 1.0 / (2.0 * util),
+            },
             service: Distribution::Exponential { mean: 1.0 },
             expected_service: 1.0,
             timeout_ratio: timeout,
@@ -70,21 +95,32 @@ proptest! {
             warmup_queries: 30,
         };
         let r = QueueSim::new(cfg, seed).run();
-        prop_assert_eq!(r.response_times.len(), 300);
-        for ((resp, serv), delay) in
-            r.response_times.iter().zip(&r.service_times).zip(&r.queue_delays)
+        assert_eq!(r.response_times.len(), 300);
+        for ((resp, serv), delay) in r
+            .response_times
+            .iter()
+            .zip(&r.service_times)
+            .zip(&r.queue_delays)
         {
-            prop_assert!(*resp > 0.0);
-            prop_assert!(*serv > 0.0);
-            prop_assert!(*delay >= 0.0);
-            prop_assert!(resp + 1e-9 >= serv + delay, "resp {resp} >= serv {serv} + delay {delay}");
+            assert!(*resp > 0.0);
+            assert!(*serv > 0.0);
+            assert!(*delay >= 0.0);
+            assert!(
+                resp + 1e-9 >= serv + delay,
+                "resp {resp} >= serv {serv} + delay {delay}"
+            );
         }
-        prop_assert!(r.boosted_busy_time <= r.busy_time + 1e-9);
+        assert!(r.boosted_busy_time <= r.busy_time + 1e-9);
     }
+}
 
-    /// A boost can only help (or leave unchanged) mean service time.
-    #[test]
-    fn boost_never_slows_service(timeout in 0.0f64..3.0, seed in 0u64..200) {
+/// A boost can only help (or leave unchanged) mean service time.
+#[test]
+fn boost_never_slows_service() {
+    let mut rng = Rng64::new(0xCB5);
+    for _ in 0..16 {
+        let timeout = rng.next_range(0.0, 3.0);
+        let seed = rng.next_below(200);
         let mk = |rate: f64| {
             let cfg = StationConfig {
                 inter_arrival: Distribution::Exponential { mean: 1.0 },
@@ -101,20 +137,34 @@ proptest! {
         };
         let plain = mk(1.0);
         let boosted = mk(2.0);
-        prop_assert!(boosted <= plain * 1.02, "boost 2x cannot slow service: {boosted} vs {plain}");
+        assert!(
+            boosted <= plain * 1.02,
+            "boost 2x cannot slow service: {boosted} vs {plain}"
+        );
     }
+}
 
-    /// Distribution scaling preserves shape: scaled mean matches target.
-    #[test]
-    fn distribution_scaling(mean in 0.01f64..100.0, target in 0.01f64..100.0) {
+/// Distribution scaling preserves shape: scaled mean matches target.
+#[test]
+fn distribution_scaling() {
+    let mut rng = Rng64::new(0xCB6);
+    for _ in 0..128 {
+        let mean = rng.next_range(0.01, 100.0);
+        let target = rng.next_range(0.01, 100.0);
         let d = Distribution::LogNormal { mean, sigma: 0.4 };
         let s = d.scaled_to_mean(target);
-        prop_assert!((s.mean() - target).abs() / target < 1e-9);
+        assert!((s.mean() - target).abs() / target < 1e-9);
     }
+}
 
-    /// Matrix hcat/select_rows preserve contents.
-    #[test]
-    fn matrix_ops_preserve_values(rows in 1usize..8, cols_a in 1usize..6, cols_b in 1usize..6) {
+/// Matrix hcat/select_rows preserve contents.
+#[test]
+fn matrix_ops_preserve_values() {
+    let mut case_rng = Rng64::new(0xCB7);
+    for _ in 0..64 {
+        let rows = 1 + case_rng.next_below(7) as usize;
+        let cols_a = 1 + case_rng.next_below(5) as usize;
+        let cols_b = 1 + case_rng.next_below(5) as usize;
         let mut rng = Rng64::new(42);
         let mk = |r: usize, c: usize, rng: &mut Rng64| {
             let mut m = Matrix::zeros(r, c);
@@ -130,25 +180,26 @@ proptest! {
         let c = a.hcat(&b);
         for i in 0..rows {
             for j in 0..cols_a {
-                prop_assert_eq!(c[(i, j)], a[(i, j)]);
+                assert_eq!(c[(i, j)], a[(i, j)]);
             }
             for j in 0..cols_b {
-                prop_assert_eq!(c[(i, cols_a + j)], b[(i, j)]);
+                assert_eq!(c[(i, cols_a + j)], b[(i, j)]);
             }
         }
         let sel = c.select_rows(&[rows - 1, 0]);
-        prop_assert_eq!(sel.row(0), c.row(rows - 1));
-        prop_assert_eq!(sel.row(1), c.row(0));
+        assert_eq!(sel.row(0), c.row(rows - 1));
+        assert_eq!(sel.row(1), c.row(0));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Cache-hierarchy invariant: with disjoint LLC masks, neither workload
-    /// ever evicts the other's lines, for arbitrary split points.
-    #[test]
-    fn disjoint_masks_never_interfere(split in 2usize..7, seed in 0u64..50) {
+/// Cache-hierarchy invariant: with disjoint LLC masks, neither workload
+/// ever evicts the other's lines, for arbitrary split points.
+#[test]
+fn disjoint_masks_never_interfere() {
+    let mut case_rng = Rng64::new(0xCB8);
+    for _ in 0..8 {
+        let split = 2 + case_rng.next_below(5) as usize;
+        let seed = case_rng.next_below(50);
         let config = HierarchyConfig {
             l1d: CacheGeometry::new(512, 2, 64),
             l1i: CacheGeometry::new(512, 2, 64),
@@ -157,25 +208,45 @@ proptest! {
             latencies: Default::default(),
         };
         let mut h = Hierarchy::new(config, seed);
-        h.set_llc_mask(0, AllocationSetting::new(0, split).to_cbm(8).expect("valid"));
-        h.set_llc_mask(1, AllocationSetting::new(split, 8 - split).to_cbm(8).expect("valid"));
+        h.set_llc_mask(
+            0,
+            AllocationSetting::new(0, split).to_cbm(8).expect("valid"),
+        );
+        h.set_llc_mask(
+            1,
+            AllocationSetting::new(split, 8 - split)
+                .to_cbm(8)
+                .expect("valid"),
+        );
         let mut rng = Rng64::new(seed);
         for _ in 0..4000 {
             let w = rng.next_below(2) as u32;
             let addr = ((w as u64) << 40) | (rng.next_below(256) * 64);
-            let kind = if rng.next_bool(0.3) { AccessKind::Store } else { AccessKind::Load };
+            let kind = if rng.next_bool(0.3) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             h.access(w, addr, kind);
         }
         for w in 0..2u32 {
             let c = h.counters_of(w);
-            prop_assert_eq!(c.get(stca_repro::cachesim::Counter::LlcEvictionsCaused), 0);
-            prop_assert_eq!(c.get(stca_repro::cachesim::Counter::LlcEvictionsSuffered), 0);
+            assert_eq!(c.get(stca_repro::cachesim::Counter::LlcEvictionsCaused), 0);
+            assert_eq!(
+                c.get(stca_repro::cachesim::Counter::LlcEvictionsSuffered),
+                0
+            );
         }
     }
+}
 
-    /// Occupancy never exceeds what the mask allows.
-    #[test]
-    fn occupancy_bounded_by_mask(ways_allowed in 1usize..8, seed in 0u64..50) {
+/// Occupancy never exceeds what the mask allows.
+#[test]
+fn occupancy_bounded_by_mask() {
+    let mut case_rng = Rng64::new(0xCB9);
+    for _ in 0..8 {
+        let ways_allowed = 1 + case_rng.next_below(7) as usize;
+        let seed = case_rng.next_below(50);
         let config = HierarchyConfig {
             l1d: CacheGeometry::new(512, 2, 64),
             l1i: CacheGeometry::new(512, 2, 64),
@@ -184,12 +255,17 @@ proptest! {
             latencies: Default::default(),
         };
         let mut h = Hierarchy::new(config, seed);
-        h.set_llc_mask(0, AllocationSetting::new(0, ways_allowed).to_cbm(8).expect("valid"));
+        h.set_llc_mask(
+            0,
+            AllocationSetting::new(0, ways_allowed)
+                .to_cbm(8)
+                .expect("valid"),
+        );
         let mut rng = Rng64::new(seed ^ 1);
         for _ in 0..5000 {
             h.access(0, rng.next_below(1024) * 64, AccessKind::Load);
         }
-        prop_assert!(h.llc_occupancy(0) <= (ways_allowed * 16) as u64);
+        assert!(h.llc_occupancy(0) <= (ways_allowed * 16) as u64);
     }
 }
 

@@ -17,7 +17,12 @@ fn profiles(n: usize, seed: u64) -> ProfileSet {
         let cond = RuntimeCondition::random_pair(BenchmarkId::Knn, BenchmarkId::Redis, &mut rng);
         let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), seed + i as u64)).run();
         for (j, w) in out.workloads.iter().enumerate() {
-            set.push(ProfileRow::from_outcome(&cond, j, w, CounterOrdering::Grouped));
+            set.push(ProfileRow::from_outcome(
+                &cond,
+                j,
+                w,
+                CounterOrdering::Grouped,
+            ));
         }
     }
     set
@@ -48,7 +53,9 @@ fn profile_file_is_diffable_text() {
     let text = storage::to_string(&set);
     assert!(text.starts_with("STCA-PROFILES v1\n"));
     // purely line-oriented ASCII: no tabs, no binary
-    assert!(text.bytes().all(|b| b == b'\n' || (0x20..0x7f).contains(&b)));
+    assert!(text
+        .bytes()
+        .all(|b| b == b'\n' || (0x20..0x7f).contains(&b)));
     let lines = text.lines().count();
     assert!(lines > 10, "one record spans multiple readable lines");
 }
