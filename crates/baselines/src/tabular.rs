@@ -6,7 +6,7 @@
 
 use stca_deepforest::forest::{Forest, ForestConfig};
 use stca_deepforest::tree::{RegressionTree, SplitStrategy, TreeConfig};
-use stca_util::{Matrix, Rng64};
+use stca_util::{Matrix, Rng64, SeedStream};
 
 /// Which simple model to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,21 +32,26 @@ pub enum TabularModel {
 impl TabularModel {
     /// Fit on a design matrix.
     pub fn fit(kind: TabularKind, x: &Matrix, y: &[f64], seed: u64) -> TabularModel {
-        let mut rng = Rng64::new(seed);
         match kind {
-            TabularKind::DecisionTree => TabularModel::Tree(RegressionTree::fit(
+            TabularKind::DecisionTree => {
+                let mut rng = Rng64::new(seed);
+                TabularModel::Tree(RegressionTree::fit(
+                    x,
+                    y,
+                    TreeConfig {
+                        strategy: SplitStrategy::BestOfAll,
+                        min_samples_leaf: 3,
+                        max_depth: 24,
+                    },
+                    &mut rng,
+                ))
+            }
+            TabularKind::RandomForest { trees } => TabularModel::Forest(Forest::fit(
                 x,
                 y,
-                TreeConfig {
-                    strategy: SplitStrategy::BestOfAll,
-                    min_samples_leaf: 3,
-                    max_depth: 24,
-                },
-                &mut rng,
+                ForestConfig::random(trees),
+                &SeedStream::new(seed),
             )),
-            TabularKind::RandomForest { trees } => {
-                TabularModel::Forest(Forest::fit(x, y, ForestConfig::random(trees), &mut rng))
-            }
         }
     }
 

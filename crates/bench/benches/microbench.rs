@@ -15,7 +15,7 @@ use stca_cat::AllocationSetting;
 use stca_deepforest::forest::{Forest, ForestConfig};
 use stca_deepforest::mgs::{MgsConfig, MultiGrainScanner};
 use stca_queuesim::{QueueSim, StationConfig};
-use stca_util::{Distribution, Matrix, Rng64};
+use stca_util::{Distribution, Matrix, Rng64, SeedStream};
 use stca_workloads::{AccessGenerator, AccessPattern};
 use std::hint::black_box;
 use std::time::Instant;
@@ -158,8 +158,12 @@ fn bench_deepforest() {
     let (x, y) = training_data(200, 50, 1);
     bench("deepforest/forest_fit_200x50", 5, |n| {
         for _ in 0..n {
-            let mut rng = Rng64::new(2);
-            black_box(Forest::fit(&x, &y, ForestConfig::random(20), &mut rng));
+            black_box(Forest::fit(
+                &x,
+                &y,
+                ForestConfig::random(20),
+                &SeedStream::new(2),
+            ));
         }
     });
 
@@ -176,7 +180,6 @@ fn bench_deepforest() {
     let y: Vec<f64> = (0..40).map(|i| (i % 4) as f64 / 4.0).collect();
     bench("deepforest/mgs_fit_transform_29x20", 3, |n| {
         for _ in 0..n {
-            let mut rng = Rng64::new(4);
             let mgs = MultiGrainScanner::fit(
                 &traces,
                 &y,
@@ -186,17 +189,59 @@ fn bench_deepforest() {
                     trees_per_window: 8,
                     max_positions_per_sample: 16,
                 },
-                &mut rng,
+                &SeedStream::new(4),
             );
             black_box(mgs.transform(&traces[0]));
         }
     });
 }
 
+fn bench_exec() {
+    // pool-dispatch overhead: the cost of fanning out n trivial tasks vs
+    // computing them in a serial loop. Small workloads should stay close to
+    // serial (the pool falls back to inline execution at 1 thread); larger
+    // per-task work amortizes the spawn cost.
+    let busy = |seed: u64, rounds: u64| -> u64 {
+        let mut rng = Rng64::new(seed);
+        let mut acc = 0u64;
+        for _ in 0..rounds {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        acc
+    };
+    bench("exec/par_map_range_64_empty_tasks", 200, |n| {
+        for _ in 0..n {
+            black_box(stca_exec::par_map_range(64, |i| i));
+        }
+    });
+    bench("exec/par_map_64_small_tasks", 50, |n| {
+        for _ in 0..n {
+            black_box(stca_exec::par_map_range(64, |i| busy(i as u64, 1_000)));
+        }
+    });
+    bench("exec/serial_64_small_tasks", 50, |n| {
+        for _ in 0..n {
+            black_box((0..64).map(|i| busy(i as u64, 1_000)).collect::<Vec<_>>());
+        }
+    });
+    bench("exec/par_map_64_large_tasks", 3, |n| {
+        for _ in 0..n {
+            black_box(stca_exec::par_map_range(64, |i| busy(i as u64, 400_000)));
+        }
+    });
+    bench("exec/serial_64_large_tasks", 3, |n| {
+        for _ in 0..n {
+            black_box((0..64).map(|i| busy(i as u64, 400_000)).collect::<Vec<_>>());
+        }
+    });
+}
+
 fn main() {
+    stca_exec::init_from_env_and_args();
     println!("stca microbenchmarks (hand-rolled harness; median of {SAMPLES} samples)\n");
     bench_obs_fast_paths();
     bench_hierarchy_access();
     bench_queuesim();
     bench_deepforest();
+    bench_exec();
 }

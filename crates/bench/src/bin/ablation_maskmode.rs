@@ -19,6 +19,7 @@ use stca_workloads::{BenchmarkId, RuntimeCondition};
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Redis);
     println!("Ablation: CAT fill-only masks vs strict partitioning");

@@ -15,6 +15,7 @@ use stca_workloads::{BenchmarkId, RuntimeCondition, WorkloadSpec};
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
     let mut rng = Rng64::new(0xD1A6);

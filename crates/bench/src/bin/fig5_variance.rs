@@ -40,6 +40,7 @@ fn standardized_nn(ds: &Dataset, mean: &[f64], std: &[f64]) -> Vec<NnSample> {
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let retrains = match scale {
         Scale::Quick => 5,

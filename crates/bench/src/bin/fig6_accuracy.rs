@@ -41,6 +41,7 @@ fn pairs_for(scale: Scale) -> Vec<(BenchmarkId, BenchmarkId)> {
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let pairs = pairs_for(scale);
     let n_cond = scale.conditions_per_pair();

@@ -38,6 +38,7 @@ fn pairs_for(scale: Scale) -> Vec<(BenchmarkId, BenchmarkId)> {
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     println!("Figure 7a: per-collocation median APE of mean-response predictions");
     println!("(label x(y) = predicting x collocated with y; unseen high-util conditions)\n");

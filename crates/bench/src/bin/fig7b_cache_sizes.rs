@@ -27,6 +27,7 @@ const PLATFORMS: [(usize, usize); 5] = [(20, 1), (30, 1), (40, 2), (59, 2), (72,
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
     let n_cond = scale.conditions_per_pair();

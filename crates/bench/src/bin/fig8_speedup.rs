@@ -44,6 +44,7 @@ fn groups(scale: Scale) -> Vec<(&'static str, (BenchmarkId, BenchmarkId))> {
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let layout = PairLayout::symmetric(2, 2);
     println!("Figure 8: speedup in p95 response time vs no cache sharing (90% arrival)\n");

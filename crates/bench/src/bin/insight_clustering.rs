@@ -20,6 +20,7 @@ use stca_workloads::BenchmarkId;
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let pairs: Vec<(BenchmarkId, BenchmarkId)> = match scale {
         Scale::Quick => vec![(BenchmarkId::Kmeans, BenchmarkId::Redis)],

@@ -16,7 +16,7 @@ use stca_bench::{Dataset, Scale};
 use stca_core::{ModelConfig, Predictor};
 use stca_deepforest::metrics::ape_summary;
 use stca_profiler::sampler::CounterOrdering;
-use stca_profiler::stratified::{stratified_sample, StratifiedConfig};
+use stca_profiler::stratified::{stratified_sample_with, StratifiedConfig};
 use stca_util::Rng64;
 use stca_workloads::{BenchmarkId, RuntimeCondition, WorkloadSpec};
 
@@ -44,6 +44,7 @@ fn score(train: &Dataset, test: &Dataset, seed: u64) -> f64 {
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let pair = (BenchmarkId::Kmeans, BenchmarkId::Bfs);
     let budgets: Vec<usize> = match scale {
@@ -116,8 +117,10 @@ fn main() {
     let strat_budget = strat_cfg.seeds + strat_cfg.rounds * 3 * 2;
     stca_obs::info!("profiling_time: stratified sampling ({strat_budget} conditions)");
     let mut srng = Rng64::new(0x90A);
-    let mut strat_rows = Dataset::default();
-    let evaluated = stratified_sample(pair, strat_cfg, &mut srng, |cond| {
+    // the profiled rows ride along as the evaluator payload; collecting
+    // them after the fact (in draw order) keeps the evaluator Fn + Sync so
+    // each batch of conditions can run in parallel
+    let evaluated = stratified_sample_with(pair, strat_cfg, &mut srng, |cond| {
         let ds = run_conditions(
             pair,
             std::slice::from_ref(cond),
@@ -125,10 +128,12 @@ fn main() {
             CounterOrdering::Grouped,
             0x90B,
         );
-        let ea = ds.rows[0].row.ea;
-        strat_rows.extend(ds);
-        ea
+        (ds.rows[0].row.ea, ds)
     });
+    let mut strat_rows = Dataset::default();
+    for e in &evaluated {
+        strat_rows.extend(e.payload.clone());
+    }
     let strat_score = score(&strat_rows, &test, 0x90C);
     let uniform_same = {
         let train = Dataset {

@@ -62,6 +62,7 @@ fn characterize(
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let scale = stca_bench::scale_from_args();
     let n: u64 = match scale {
         stca_bench::Scale::Quick => 40_000,

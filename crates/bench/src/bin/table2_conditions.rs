@@ -13,6 +13,7 @@ use stca_workloads::{BenchmarkId, RuntimeCondition};
 
 fn main() {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     println!("Table 2: static runtime conditions for each online service\n");
     let mut t = Table::new(&["description", "supported settings"]);
     t.row(&[

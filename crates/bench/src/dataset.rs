@@ -3,17 +3,15 @@
 //! A dataset is a list of labeled profile rows: for each sampled runtime
 //! condition of a collocation pair, one row per workload, carrying the
 //! Eq.-2 features and the measured ground truth (EA and response times).
-//! Experiments are embarrassingly parallel; a scoped thread pool pulls
-//! conditions off a shared atomic cursor, and results are re-sorted by
-//! condition index so output is deterministic regardless of scheduling.
+//! Experiments are embarrassingly parallel and each condition carries its
+//! own deterministic seed, so `stca_exec::par_map_indexed` runs them on the
+//! shared pool and returns rows in condition order at any thread count.
 
 use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
 use stca_profiler::profile::{ProfileRow, ProfileSet};
 use stca_profiler::sampler::CounterOrdering;
 use stca_util::Rng64;
 use stca_workloads::{BenchmarkId, RuntimeCondition};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,14 +133,6 @@ impl Dataset {
     }
 }
 
-/// Worker-thread count for dataset construction.
-pub fn worker_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 16)
-}
-
 /// Build a dataset for one collocation pair: `n_conditions` random Table-2
 /// conditions, each run through the test environment with a deterministic
 /// per-condition seed, in parallel.
@@ -186,44 +176,28 @@ pub fn run_conditions_customized(
 ) -> Dataset {
     stca_obs::time_scope!("bench.dataset.build_seconds");
     let conditions_run = stca_obs::counter("bench.dataset.conditions_total");
-    let (tx, rx) = mpsc::channel::<(usize, Vec<LabeledRow>)>();
-    let cursor = AtomicUsize::new(0);
-    let customize = &customize;
-    let cursor = &cursor;
-    std::thread::scope(|scope| {
-        for _ in 0..worker_threads() {
-            let tx = tx.clone();
-            let conditions_run = conditions_run.clone();
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(cond) = conditions.get(i) else { break };
-                stca_obs::debug!("condition {i}: running experiment");
-                let spec =
-                    customize(scale.experiment_spec(cond.clone(), seed ^ ((i as u64) << 20)));
-                let out = TestEnvironment::new(spec).run();
-                let n = out.workloads.len();
-                let rows: Vec<LabeledRow> = out
-                    .workloads
-                    .iter()
-                    .enumerate()
-                    .map(|(j, w)| LabeledRow {
-                        benchmark: w.benchmark,
-                        // partner = the next workload along the chain
-                        pair: (w.benchmark, out.workloads[(j + 1) % n].benchmark),
-                        row: ProfileRow::from_outcome(cond, j, w, ordering),
-                    })
-                    .collect();
-                conditions_run.inc();
-                tx.send((i, rows)).expect("collector open");
-            });
-        }
-        drop(tx);
-        let mut collected: Vec<(usize, Vec<LabeledRow>)> = rx.iter().collect();
-        collected.sort_by_key(|(i, _)| *i);
-        Dataset {
-            rows: collected.into_iter().flat_map(|(_, rows)| rows).collect(),
-        }
-    })
+    let per_condition = stca_exec::par_map_indexed(conditions, |i, cond| {
+        stca_obs::debug!("condition {i}: running experiment");
+        let spec = customize(scale.experiment_spec(cond.clone(), seed ^ ((i as u64) << 20)));
+        let out = TestEnvironment::new(spec).run();
+        let n = out.workloads.len();
+        let rows: Vec<LabeledRow> = out
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(j, w)| LabeledRow {
+                benchmark: w.benchmark,
+                // partner = the next workload along the chain
+                pair: (w.benchmark, out.workloads[(j + 1) % n].benchmark),
+                row: ProfileRow::from_outcome(cond, j, w, ordering),
+            })
+            .collect();
+        conditions_run.inc();
+        rows
+    });
+    Dataset {
+        rows: per_condition.into_iter().flatten().collect(),
+    }
 }
 
 #[cfg(test)]

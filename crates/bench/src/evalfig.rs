@@ -13,7 +13,7 @@ use stca_neuralnet::net::{ConvNet, NetConfig, NnSample};
 use stca_neuralnet::tune::{random_search, SearchSpace};
 use stca_profiler::profile::Target;
 use stca_queuesim::{QueueSim, StationConfig};
-use stca_util::{Matrix, Rng64};
+use stca_util::{Matrix, SeedStream};
 use stca_workloads::WorkloadSpec;
 
 /// The Figure-6 lineup.
@@ -194,12 +194,17 @@ pub fn evaluate_approach(
             let n_val = (s.len() / 4).max(1);
             let (val_s, tr_s) = s.split_at(n_val);
             let (val_y, tr_y) = y.split_at(n_val);
-            let mut rng = Rng64::new(seed);
             let space = SearchSpace {
                 epochs: (20, 60),
                 ..Default::default()
             };
-            let trials = random_search((tr_s, tr_y), (val_s, val_y), &space, 4, &mut rng);
+            let trials = random_search(
+                (tr_s, tr_y),
+                (val_s, val_y),
+                &space,
+                4,
+                &SeedStream::new(seed),
+            );
             let best = trials.first().expect("at least one trial");
             let net = ConvNet::fit(
                 &s,
@@ -211,12 +216,9 @@ pub fn evaluate_approach(
             );
             net.predict_all(&scaler.apply(test))
         }
-        Approach::QueueModel => test
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, r)| queue_only_prediction(r, sim_queries, seed ^ i as u64))
-            .collect(),
+        Approach::QueueModel => stca_exec::par_map_indexed(&test.rows, |i, r| {
+            queue_only_prediction(r, sim_queries, seed ^ i as u64)
+        }),
         Approach::QueueWithConcepts | Approach::Ours => {
             // use the stronger configuration once there is enough data to
             // feed it; tiny smoke runs keep the quick config
@@ -250,6 +252,7 @@ mod tests {
     use super::*;
     use crate::dataset::{build_pair_dataset, Scale};
     use stca_profiler::sampler::CounterOrdering;
+    use stca_util::Rng64;
     use stca_workloads::BenchmarkId;
 
     #[test]

@@ -45,15 +45,24 @@ pub fn score_policies_paired(
 ) -> Vec<f64> {
     assert!(!seeds.is_empty());
     let cond = RuntimeCondition::pair(pair.0, utilization, 6.0, pair.1, utilization, 6.0);
-    let mut acc = [0.0; 2];
-    for &seed in seeds {
+    // each repeat is an independent experiment keyed by its own seed
+    let per_seed = stca_exec::par_map_indexed(seeds, |_, &seed| {
         let mut spec = scale.experiment_spec(cond.clone(), seed);
         // p95 needs more samples than profiling runs collect
         spec.measured_queries = spec.measured_queries.max(500);
         let out = TestEnvironment::new(spec).run_with_policies(Some(policies.to_vec()));
-        for (i, w) in out.workloads.iter().enumerate() {
-            let es = WorkloadSpec::for_benchmark(w.benchmark).mean_service_time;
-            acc[i] += w.p95_response() / es;
+        out.workloads
+            .iter()
+            .map(|w| {
+                let es = WorkloadSpec::for_benchmark(w.benchmark).mean_service_time;
+                w.p95_response() / es
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut acc = [0.0; 2];
+    for scores in &per_seed {
+        for (a, s) in acc.iter_mut().zip(scores) {
+            *a += s;
         }
     }
     acc.iter().map(|a| a / seeds.len() as f64).collect()

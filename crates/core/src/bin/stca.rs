@@ -33,6 +33,10 @@ USAGE:
 
 Benchmarks: jac knn kmeans spkmeans spstream bfs social redis
 
+Parallelism (any subcommand):
+  --threads N           worker threads (default: STCA_THREADS, else all cores);
+                        results are identical at any thread count
+
 Observability (any subcommand):
   --metrics-out FILE    write a JSON metrics report and print a summary table
   STCA_LOG=info         enable logging (e.g. STCA_LOG=info,queuesim=trace)
@@ -145,9 +149,12 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
 
 fn profile_conditions(pair: (BenchmarkId, BenchmarkId), n: usize, seed: u64) -> ProfileSet {
     let mut rng = Rng64::new(seed);
-    let mut set = ProfileSet::new();
-    for i in 0..n {
-        let condition = RuntimeCondition::random_pair(pair.0, pair.1, &mut rng);
+    // conditions are drawn serially; the experiments (the expensive part)
+    // run in parallel, each with its original per-condition seed
+    let conditions: Vec<RuntimeCondition> = (0..n)
+        .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, &mut rng))
+        .collect();
+    let outcomes = stca_exec::par_map_indexed(&conditions, |i, condition| {
         stca_obs::info!(
             "[{}/{}] util=({:.2},{:.2}) T=({:.2},{:.2})",
             i + 1,
@@ -163,10 +170,13 @@ fn profile_conditions(pair: (BenchmarkId, BenchmarkId), n: usize, seed: u64) -> 
             accesses_per_query: Some(1500),
             ..ExperimentSpec::standard(condition.clone(), seed ^ ((i as u64) << 16))
         };
-        let out = TestEnvironment::new(spec).run();
+        TestEnvironment::new(spec).run()
+    });
+    let mut set = ProfileSet::new();
+    for (condition, out) in conditions.iter().zip(&outcomes) {
         for (j, w) in out.workloads.iter().enumerate() {
             set.push(ProfileRow::from_outcome(
-                &condition,
+                condition,
                 j,
                 w,
                 CounterOrdering::Grouped,
@@ -278,6 +288,7 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
 
 fn main() -> ExitCode {
     stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprint!("{USAGE}");

@@ -141,17 +141,17 @@ impl<'a> PolicyExplorer<'a> {
     }
 
     /// Explore an arbitrary timeout grid (the grid-granularity ablation
-    /// compares 5-point and finer grids).
+    /// compares 5-point and finer grids). Grid cells are evaluated in
+    /// parallel; prediction is pure given the candidate point, so the
+    /// result is identical at any thread count.
     pub fn explore_with_grid(&self, grid_points: &[f64]) -> ExplorationResult {
         assert!(!grid_points.is_empty());
         stca_obs::time_scope!("core.explorer.explore_seconds");
         let n = grid_points.len();
-        let mut grid = vec![vec![(0.0, 0.0); n]; n];
-        for (i, &ta) in grid_points.iter().enumerate() {
-            for (j, &tb) in grid_points.iter().enumerate() {
-                grid[i][j] = self.predict_point(ta, tb);
-            }
-        }
+        let cells = stca_exec::par_map_range(n * n, |k| {
+            self.predict_point(grid_points[k / n], grid_points[k % n])
+        });
+        let grid: Vec<Vec<(f64, f64)>> = cells.chunks(n).map(|row| row.to_vec()).collect();
         stca_obs::counter("core.explorer.candidates_evaluated_total").add((n * n) as u64);
         // step 1: per-workload near-best sets
         let best_a = grid

@@ -10,7 +10,7 @@
 //! predictions.
 
 use crate::forest::{Forest, ForestConfig};
-use stca_util::{Matrix, Rng64};
+use stca_util::{Matrix, SeedStream};
 use std::sync::{Arc, OnceLock};
 
 /// Global cascade metrics, resolved once (predict runs in hot loops).
@@ -84,9 +84,19 @@ fn forest_config(slot: usize, config: &CascadeConfig) -> ForestConfig {
     }
 }
 
+/// One unit of per-level training work: either a fold forest's out-of-fold
+/// concept predictions, or the full-data forest kept for inference.
+enum LevelFit {
+    Concepts(usize, Vec<(usize, f64)>),
+    Full(usize, Forest),
+    Skipped,
+}
+
 impl Cascade {
-    /// Fit the cascade on a design matrix.
-    pub fn fit(x: &Matrix, y: &[f64], config: CascadeConfig, rng: &mut Rng64) -> Self {
+    /// Fit the cascade on a design matrix. Within a level, every fold
+    /// forest and full-data forest trains in parallel; each draws from its
+    /// own tagged stream, so the cascade is identical at any thread count.
+    pub fn fit(x: &Matrix, y: &[f64], config: CascadeConfig, stream: &SeedStream) -> Self {
         assert_eq!(x.rows(), y.len());
         assert!(x.rows() >= 2, "cascade needs at least two samples");
         let metrics = cascade_metrics();
@@ -97,37 +107,60 @@ impl Cascade {
 
         // fold assignment, fixed across levels
         let mut fold_of: Vec<usize> = (0..n).map(|i| i % folds).collect();
-        rng.shuffle(&mut fold_of);
+        stream.rng(0xF01D).shuffle(&mut fold_of);
 
         let mut augmented = x.clone();
         let mut levels: Vec<Vec<Forest>> = Vec::with_capacity(config.levels);
         for level in 0..config.levels {
             let level_timer =
                 stca_obs::StageTimer::with_histogram(metrics.level_fit_seconds.clone());
-            let mut level_forests = Vec::with_capacity(forests_per_level);
-            let mut concepts = Matrix::zeros(n, forests_per_level);
-            for slot in 0..forests_per_level {
+            // per slot: `folds` out-of-fold forests plus the full-data one
+            let tasks_per_slot = folds + 1;
+            let fits = stca_exec::par_map_range(forests_per_level * tasks_per_slot, |k| {
+                let slot = k / tasks_per_slot;
+                let sub = k % tasks_per_slot;
                 let fc = forest_config(slot, &config);
-                // out-of-fold concept column
-                for fold in 0..folds {
+                if sub < folds {
+                    let fold = sub;
                     let train_idx: Vec<usize> = (0..n).filter(|&i| fold_of[i] != fold).collect();
                     let test_idx: Vec<usize> = (0..n).filter(|&i| fold_of[i] == fold).collect();
                     if train_idx.is_empty() || test_idx.is_empty() {
-                        continue;
+                        return LevelFit::Skipped;
                     }
                     let xs = augmented.select_rows(&train_idx);
                     let ys: Vec<f64> = train_idx.iter().map(|&i| y[i]).collect();
-                    let mut frng =
-                        rng.derive_stream((level as u64) << 24 | (slot as u64) << 8 | fold as u64);
-                    let f = Forest::fit(&xs, &ys, fc, &mut frng);
-                    for &i in &test_idx {
-                        concepts[(i, slot)] = f.predict(augmented.row(i));
-                    }
+                    let fstream =
+                        stream.derive((level as u64) << 24 | (slot as u64) << 8 | fold as u64);
+                    let f = Forest::fit(&xs, &ys, fc, &fstream);
+                    let preds = test_idx
+                        .iter()
+                        .map(|&i| (i, f.predict(augmented.row(i))))
+                        .collect();
+                    LevelFit::Concepts(slot, preds)
+                } else {
+                    // full-data forest kept for inference
+                    let fstream = stream.derive(0xFFFF_0000 | (level as u64) << 8 | slot as u64);
+                    LevelFit::Full(slot, Forest::fit(&augmented, y, fc, &fstream))
                 }
-                // full-data forest kept for inference
-                let mut frng = rng.derive_stream(0xFFFF_0000 | (level as u64) << 8 | slot as u64);
-                level_forests.push(Forest::fit(&augmented, y, fc, &mut frng));
+            });
+            let mut level_forests: Vec<Option<Forest>> =
+                (0..forests_per_level).map(|_| None).collect();
+            let mut concepts = Matrix::zeros(n, forests_per_level);
+            for fit in fits {
+                match fit {
+                    LevelFit::Concepts(slot, preds) => {
+                        for (i, p) in preds {
+                            concepts[(i, slot)] = p;
+                        }
+                    }
+                    LevelFit::Full(slot, forest) => level_forests[slot] = Some(forest),
+                    LevelFit::Skipped => {}
+                }
             }
+            let level_forests: Vec<Forest> = level_forests
+                .into_iter()
+                .map(|f| f.expect("one full-data forest per slot"))
+                .collect();
             augmented = augmented.hcat(&concepts);
             levels.push(level_forests);
             metrics.levels.inc();
@@ -182,6 +215,7 @@ impl Cascade {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stca_util::Rng64;
 
     /// XOR-ish target that defeats single shallow trees but not a cascade.
     fn xor_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -212,8 +246,7 @@ mod tests {
     #[test]
     fn learns_xor() {
         let (x, y) = xor_data(300, 1);
-        let mut rng = Rng64::new(2);
-        let c = Cascade::fit(&x, &y, small(), &mut rng);
+        let c = Cascade::fit(&x, &y, small(), &SeedStream::new(2));
         assert!(c.predict(&[0.9, 0.1, 0.5, 0.5, 0.5, 0.5]) > 0.6);
         assert!(c.predict(&[0.9, 0.9, 0.5, 0.5, 0.5, 0.5]) < 0.4);
         assert!(c.predict(&[0.1, 0.9, 0.5, 0.5, 0.5, 0.5]) > 0.6);
@@ -223,8 +256,7 @@ mod tests {
     #[test]
     fn concept_vector_shape() {
         let (x, y) = xor_data(60, 3);
-        let mut rng = Rng64::new(4);
-        let c = Cascade::fit(&x, &y, small(), &mut rng);
+        let c = Cascade::fit(&x, &y, small(), &SeedStream::new(4));
         let concepts = c.concept_vector(x.row(0));
         assert_eq!(concepts.len(), 2 * 4, "levels x forests concepts");
         let traj = c.concept_trajectory(x.row(0));
@@ -235,22 +267,19 @@ mod tests {
     #[test]
     fn forests_per_level_rounds_to_even() {
         let (x, y) = xor_data(40, 5);
-        let mut rng = Rng64::new(6);
         let cfg = CascadeConfig {
             forests_per_level: 3,
             ..small()
         };
-        let c = Cascade::fit(&x, &y, cfg, &mut rng);
+        let c = Cascade::fit(&x, &y, cfg, &SeedStream::new(6));
         assert_eq!(c.concept_trajectory(x.row(0))[0].len(), 4);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = xor_data(80, 7);
-        let mut r1 = Rng64::new(8);
-        let mut r2 = Rng64::new(8);
-        let c1 = Cascade::fit(&x, &y, small(), &mut r1);
-        let c2 = Cascade::fit(&x, &y, small(), &mut r2);
+        let c1 = Cascade::fit(&x, &y, small(), &SeedStream::new(8));
+        let c2 = Cascade::fit(&x, &y, small(), &SeedStream::new(8));
         assert_eq!(c1.predict(x.row(3)), c2.predict(x.row(3)));
     }
 
@@ -258,8 +287,7 @@ mod tests {
     fn tiny_dataset_does_not_panic() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
         let y = vec![0.0, 0.5, 1.0];
-        let mut rng = Rng64::new(9);
-        let c = Cascade::fit(&x, &y, small(), &mut rng);
+        let c = Cascade::fit(&x, &y, small(), &SeedStream::new(9));
         let p = c.predict(&[1.0]);
         assert!((0.0..=1.0).contains(&p));
     }

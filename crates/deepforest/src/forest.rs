@@ -5,7 +5,7 @@
 //! purity). Cascade levels mix both kinds to keep the ensemble diverse.
 
 use crate::tree::{RegressionTree, SplitStrategy, TreeConfig};
-use stca_util::{Matrix, Rng64};
+use stca_util::{Matrix, SeedStream};
 
 /// Which forest flavour to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,24 +73,24 @@ pub struct Forest {
 }
 
 impl Forest {
-    /// Fit a forest on `(x, y)`.
-    pub fn fit(x: &Matrix, y: &[f64], config: ForestConfig, rng: &mut Rng64) -> Self {
+    /// Fit a forest on `(x, y)`. Trees train in parallel; each draws its
+    /// randomness from a per-tree tagged stream, so the fitted forest is
+    /// identical at any thread count.
+    pub fn fit(x: &Matrix, y: &[f64], config: ForestConfig, stream: &SeedStream) -> Self {
         assert!(config.trees >= 1);
         assert_eq!(x.rows(), y.len());
         assert!(x.rows() > 0, "empty training set");
         let n = x.rows();
         let tree_config = config.tree_config();
-        let trees = (0..config.trees)
-            .map(|t| {
-                let mut tree_rng = rng.derive_stream(0xF0 + t as u64);
-                let idx: Vec<usize> = if config.bootstrap {
-                    (0..n).map(|_| tree_rng.next_index(n)).collect()
-                } else {
-                    (0..n).collect()
-                };
-                RegressionTree::fit_indices(x, y, &idx, tree_config, &mut tree_rng)
-            })
-            .collect();
+        let trees = stca_exec::par_map_range(config.trees, |t| {
+            let mut tree_rng = stream.rng(0xF0 + t as u64);
+            let idx: Vec<usize> = if config.bootstrap {
+                (0..n).map(|_| tree_rng.next_index(n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            RegressionTree::fit_indices(x, y, &idx, tree_config, &mut tree_rng)
+        });
         Forest { trees }
     }
 
@@ -132,6 +132,7 @@ impl Forest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stca_util::Rng64;
 
     fn noisy_plane(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         // y = 2 x0 - x1 + noise
@@ -160,8 +161,7 @@ mod tests {
     fn random_forest_fits_plane() {
         let (x, y) = noisy_plane(400, 1);
         let (xt, yt) = noisy_plane(100, 2);
-        let mut rng = Rng64::new(3);
-        let f = Forest::fit(&x, &y, ForestConfig::random(40), &mut rng);
+        let f = Forest::fit(&x, &y, ForestConfig::random(40), &SeedStream::new(3));
         let err = mse(&f, &xt, &yt);
         assert!(err < 0.05, "test MSE {err}");
     }
@@ -170,8 +170,12 @@ mod tests {
     fn completely_random_forest_fits_too() {
         let (x, y) = noisy_plane(400, 4);
         let (xt, yt) = noisy_plane(100, 5);
-        let mut rng = Rng64::new(6);
-        let f = Forest::fit(&x, &y, ForestConfig::completely_random(60), &mut rng);
+        let f = Forest::fit(
+            &x,
+            &y,
+            ForestConfig::completely_random(60),
+            &SeedStream::new(6),
+        );
         let err = mse(&f, &xt, &yt);
         assert!(err < 0.1, "test MSE {err}");
     }
@@ -180,28 +184,24 @@ mod tests {
     fn more_trees_reduce_variance() {
         let (x, y) = noisy_plane(200, 7);
         let (xt, yt) = noisy_plane(200, 8);
-        let mut r1 = Rng64::new(9);
-        let mut r2 = Rng64::new(9);
-        let small = Forest::fit(&x, &y, ForestConfig::random(2), &mut r1);
-        let big = Forest::fit(&x, &y, ForestConfig::random(60), &mut r2);
+        let stream = SeedStream::new(9);
+        let small = Forest::fit(&x, &y, ForestConfig::random(2), &stream);
+        let big = Forest::fit(&x, &y, ForestConfig::random(60), &stream);
         assert!(mse(&big, &xt, &yt) < mse(&small, &xt, &yt) * 1.2);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = noisy_plane(100, 10);
-        let mut r1 = Rng64::new(11);
-        let mut r2 = Rng64::new(11);
-        let f1 = Forest::fit(&x, &y, ForestConfig::random(10), &mut r1);
-        let f2 = Forest::fit(&x, &y, ForestConfig::random(10), &mut r2);
+        let f1 = Forest::fit(&x, &y, ForestConfig::random(10), &SeedStream::new(11));
+        let f2 = Forest::fit(&x, &y, ForestConfig::random(10), &SeedStream::new(11));
         assert_eq!(f1.predict(&[0.3, 0.7, 0.1]), f2.predict(&[0.3, 0.7, 0.1]));
     }
 
     #[test]
     fn feature_importance_finds_signal() {
         let (x, y) = noisy_plane(300, 20);
-        let mut rng = Rng64::new(21);
-        let f = Forest::fit(&x, &y, ForestConfig::random(30), &mut rng);
+        let f = Forest::fit(&x, &y, ForestConfig::random(30), &SeedStream::new(21));
         let imp = f.feature_importance(3);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // features 0 and 1 carry the plane; feature 2 is noise
@@ -213,8 +213,7 @@ mod tests {
     fn single_sample_forest() {
         let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
         let y = vec![7.0];
-        let mut rng = Rng64::new(12);
-        let f = Forest::fit(&x, &y, ForestConfig::random(5), &mut rng);
+        let f = Forest::fit(&x, &y, ForestConfig::random(5), &SeedStream::new(12));
         assert_eq!(f.predict(&[0.0, 0.0]), 7.0);
     }
 }

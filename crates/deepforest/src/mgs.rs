@@ -9,7 +9,7 @@
 //! shows in Figure 7c that shrinking windows 4x doubles error.
 
 use crate::forest::{Forest, ForestConfig};
-use stca_util::{Matrix, Rng64};
+use stca_util::{Matrix, SeedStream};
 use std::sync::{Arc, OnceLock};
 
 /// Global MGS metrics, resolved once (transform runs per sample).
@@ -108,8 +108,11 @@ pub struct MultiGrainScanner {
 }
 
 impl MultiGrainScanner {
-    /// Fit one forest per window size over all samples' traces.
-    pub fn fit(traces: &[Matrix], y: &[f64], config: &MgsConfig, rng: &mut Rng64) -> Self {
+    /// Fit one forest per window size over all samples' traces. Window
+    /// sizes train in parallel; each window's position subsampling and
+    /// forest draw from their own tagged streams, so the fitted scanner is
+    /// identical at any thread count.
+    pub fn fit(traces: &[Matrix], y: &[f64], config: &MgsConfig, stream: &SeedStream) -> Self {
         assert_eq!(traces.len(), y.len());
         assert!(!traces.is_empty());
         let rows = traces[0].rows();
@@ -119,22 +122,21 @@ impl MultiGrainScanner {
             "ragged traces"
         );
         let metrics = mgs_metrics();
-        let mut windows = Vec::new();
-        for (wi, &w) in config.window_sizes.iter().enumerate() {
+        let fitted = stca_exec::par_map_indexed(&config.window_sizes, |wi, &w| {
             let wr = w.min(rows);
             let wc = w.min(cols);
             let pos = positions(rows, cols, wr, wc, config.stride);
             if pos.is_empty() {
                 metrics.windows_skipped.inc();
                 stca_obs::debug!("mgs window {w}: no positions on a {rows}x{cols} trace, skipped");
-                continue;
+                return None;
             }
             let window_timer =
                 stca_obs::StageTimer::with_histogram(metrics.window_fit_seconds.clone());
             let mut x = Matrix::zeros(0, 0);
             let mut labels = Vec::new();
             let mut buf = Vec::with_capacity(wr * wc);
-            let mut sub_rng = rng.derive_stream(0x3C5 + wi as u64);
+            let mut sub_rng = stream.rng(0x3C5 + wi as u64);
             for (ti, trace) in traces.iter().enumerate() {
                 let chosen: Vec<(usize, usize)> = if pos.len() > config.max_positions_per_sample {
                     sub_rng
@@ -151,7 +153,7 @@ impl MultiGrainScanner {
                     labels.push(y[ti]);
                 }
             }
-            let mut forest_rng = rng.derive_stream(0xF0123 + wi as u64);
+            let forest_stream = stream.derive(0xF0123 + wi as u64);
             let forest = Forest::fit(
                 &x,
                 &labels,
@@ -159,9 +161,8 @@ impl MultiGrainScanner {
                     max_depth: 24,
                     ..ForestConfig::random(config.trees_per_window)
                 },
-                &mut forest_rng,
+                &forest_stream,
             );
-            windows.push((wr, wc, forest));
             metrics.windows_fitted.inc();
             metrics.training_positions.add(x.rows() as u64);
             let elapsed = window_timer.stop();
@@ -169,7 +170,9 @@ impl MultiGrainScanner {
                 "mgs window {w} ({wr}x{wc}): forest over {} positions in {elapsed:.3}s",
                 x.rows()
             );
-        }
+            Some((wr, wc, forest))
+        });
+        let windows: Vec<(usize, usize, Forest)> = fitted.into_iter().flatten().collect();
         metrics.fits.inc();
         MultiGrainScanner {
             windows,
@@ -221,6 +224,7 @@ impl MultiGrainScanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stca_util::Rng64;
 
     /// Synthetic traces: class-A traces carry a bright patch in the top-left
     /// corner, class-B ones in the bottom-right. EA differs by class.
@@ -269,8 +273,7 @@ mod tests {
     #[test]
     fn transform_length_matches_feature_count() {
         let (traces, y) = patch_traces(30, 1);
-        let mut rng = Rng64::new(2);
-        let mgs = MultiGrainScanner::fit(&traces, &y, &small_config(), &mut rng);
+        let mgs = MultiGrainScanner::fit(&traces, &y, &small_config(), &SeedStream::new(2));
         let f = mgs.transform(&traces[0]);
         assert_eq!(f.len(), mgs.feature_count());
         assert!(f.len() > 10);
@@ -279,8 +282,7 @@ mod tests {
     #[test]
     fn kernel_features_separate_classes() {
         let (traces, y) = patch_traces(60, 3);
-        let mut rng = Rng64::new(4);
-        let mgs = MultiGrainScanner::fit(&traces, &y, &small_config(), &mut rng);
+        let mgs = MultiGrainScanner::fit(&traces, &y, &small_config(), &SeedStream::new(4));
         // mean transformed feature should differ between classes
         let fa = mgs.transform(&traces[0]); // hot (y=0.9)
         let fb = mgs.transform(&traces[1]); // cold (y=0.3)
@@ -295,12 +297,11 @@ mod tests {
     #[test]
     fn oversized_windows_clamp() {
         let (traces, y) = patch_traces(10, 5);
-        let mut rng = Rng64::new(6);
         let cfg = MgsConfig {
             window_sizes: vec![35],
             ..small_config()
         };
-        let mgs = MultiGrainScanner::fit(&traces, &y, &cfg, &mut rng);
+        let mgs = MultiGrainScanner::fit(&traces, &y, &cfg, &SeedStream::new(6));
         assert_eq!(mgs.window_shapes(), vec![(12, 10)]);
         assert_eq!(mgs.feature_count(), 1, "single clamped full-matrix window");
     }
@@ -309,8 +310,7 @@ mod tests {
     #[should_panic(expected = "shape must match")]
     fn mismatched_trace_shape_panics() {
         let (traces, y) = patch_traces(10, 7);
-        let mut rng = Rng64::new(8);
-        let mgs = MultiGrainScanner::fit(&traces, &y, &small_config(), &mut rng);
+        let mgs = MultiGrainScanner::fit(&traces, &y, &small_config(), &SeedStream::new(8));
         mgs.transform(&Matrix::zeros(5, 5));
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::cascade::{Cascade, CascadeConfig};
 use crate::mgs::{MgsConfig, MultiGrainScanner};
-use stca_util::{Matrix, Rng64};
+use stca_util::{Matrix, SeedStream};
 
 /// One model input: scalar features + counter trace.
 #[derive(Debug, Clone)]
@@ -81,12 +81,17 @@ impl DeepForest {
     pub fn fit(samples: &[Sample], y: &[f64], config: &DeepForestConfig) -> Self {
         assert_eq!(samples.len(), y.len());
         assert!(!samples.is_empty());
-        let mut rng = Rng64::new(config.seed);
+        let stream = SeedStream::new(config.seed);
         let has_trace = samples[0].trace.rows() > 0 && samples[0].trace.cols() > 0;
         let mgs = match (&config.mgs, has_trace) {
             (Some(mc), true) => {
                 let traces: Vec<Matrix> = samples.iter().map(|s| s.trace.clone()).collect();
-                Some(MultiGrainScanner::fit(&traces, y, mc, &mut rng))
+                Some(MultiGrainScanner::fit(
+                    &traces,
+                    y,
+                    mc,
+                    &stream.derive(0x365),
+                ))
             }
             _ => None,
         };
@@ -94,7 +99,7 @@ impl DeepForest {
         for s in samples {
             x.push_row(&assemble_features(s, &mgs, config.include_raw_trace));
         }
-        let cascade = Cascade::fit(&x, y, config.cascade, &mut rng);
+        let cascade = Cascade::fit(&x, y, config.cascade, &stream.derive(0xCA5));
         DeepForest {
             mgs,
             cascade,
@@ -145,6 +150,7 @@ fn assemble_features(
 mod tests {
     use super::*;
     use crate::mgs::MgsConfig;
+    use stca_util::Rng64;
 
     /// Synthetic task mimicking the EA structure: the label depends on a
     /// scalar (timeout) *and* on where activity sits in the trace.

@@ -6,7 +6,7 @@
 //! validation split, and returns trials sorted by validation MSE.
 
 use crate::net::{ConvNet, NetConfig, NnSample};
-use stca_util::Rng64;
+use stca_util::{Rng64, SeedStream};
 
 /// Ranges to sample hyperparameters from.
 #[derive(Debug, Clone)]
@@ -66,17 +66,21 @@ pub struct TrialResult {
 
 /// Run `trials` random configurations; returns results sorted by validation
 /// MSE (best first).
+///
+/// Each trial's configuration is drawn from its own tagged stream, so the
+/// trials are independent and can be trained in parallel with results
+/// identical at any thread count. Ties in validation MSE keep draw order
+/// (stable sort), which keeps the winner deterministic too.
 pub fn random_search(
     train: (&[NnSample], &[f64]),
     val: (&[NnSample], &[f64]),
     space: &SearchSpace,
     trials: usize,
-    rng: &mut Rng64,
+    stream: &SeedStream,
 ) -> Vec<TrialResult> {
     assert!(trials >= 1);
-    let mut results = Vec::with_capacity(trials);
-    for _ in 0..trials {
-        let config = space.sample(rng);
+    let mut results = stca_exec::par_map_range(trials, |t| {
+        let config = space.sample(&mut stream.rng(t as u64));
         let net = ConvNet::fit(train.0, train.1, config);
         let pred = net.predict_all(val.0);
         let val_mse = pred
@@ -85,12 +89,12 @@ pub fn random_search(
             .map(|(p, t)| (p - t) * (p - t))
             .sum::<f64>()
             / val.1.len() as f64;
-        results.push(TrialResult {
+        TrialResult {
             config,
             val_mse,
             train_mse: net.final_loss(),
-        });
-    }
+        }
+    });
     results.sort_by(|a, b| a.val_mse.partial_cmp(&b.val_mse).expect("finite MSE"));
     results
 }
@@ -120,12 +124,17 @@ mod tests {
     fn search_returns_sorted_trials() {
         let (tr_s, tr_y) = data(80, 1);
         let (va_s, va_y) = data(30, 2);
-        let mut rng = Rng64::new(3);
         let space = SearchSpace {
             epochs: (5, 15),
             ..Default::default()
         };
-        let results = random_search((&tr_s, &tr_y), (&va_s, &va_y), &space, 4, &mut rng);
+        let results = random_search(
+            (&tr_s, &tr_y),
+            (&va_s, &va_y),
+            &space,
+            4,
+            &SeedStream::new(3),
+        );
         assert_eq!(results.len(), 4);
         for w in results.windows(2) {
             assert!(w[0].val_mse <= w[1].val_mse);

@@ -8,37 +8,35 @@ use stca_obs::{LogConfig, Registry};
 #[test]
 fn counters_and_gauges_correct_under_concurrent_updates() {
     let registry = Registry::new();
-    let threads = 8;
-    let per_thread = 50_000u64;
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let counter = registry.counter("conc.updates_total");
-            let gauge = registry.gauge("conc.last_thread");
-            let histogram = registry.histogram("conc.values");
-            scope.spawn(move || {
-                for i in 0..per_thread {
-                    counter.inc();
-                    histogram.record((i % 100) as f64 + 1.0);
-                }
-                gauge.set(t as f64);
-            });
+    let tasks = 8u64;
+    let per_task = 50_000u64;
+    // run the updates through the stca-exec pool (forced to 8 workers so
+    // the tasks genuinely race even on a single-core machine)
+    stca_exec::set_threads(8);
+    stca_exec::par_map_range(tasks as usize, |t| {
+        let counter = registry.counter("conc.updates_total");
+        let histogram = registry.histogram("conc.values");
+        for i in 0..per_task {
+            counter.inc();
+            histogram.record((i % 100) as f64 + 1.0);
         }
+        registry.gauge("conc.last_thread").set(t as f64);
     });
     assert_eq!(
         registry.counter("conc.updates_total").get(),
-        threads * per_thread
+        tasks * per_task
     );
     let h = registry.histogram("conc.values");
-    assert_eq!(h.count(), threads * per_thread);
-    // exact sum: threads * sum_{i=0..per_thread-1} ((i % 100) + 1)
-    let per_thread_sum: f64 = (0..per_thread).map(|i| (i % 100) as f64 + 1.0).sum();
-    assert!((h.sum() - threads as f64 * per_thread_sum).abs() < 1e-6);
+    assert_eq!(h.count(), tasks * per_task);
+    // exact sum: tasks * sum_{i=0..per_task-1} ((i % 100) + 1)
+    let per_task_sum: f64 = (0..per_task).map(|i| (i % 100) as f64 + 1.0).sum();
+    assert!((h.sum() - tasks as f64 * per_task_sum).abs() < 1e-6);
     assert_eq!(h.min(), 1.0);
     assert_eq!(h.max(), 100.0);
     let g = registry.gauge("conc.last_thread").get();
     assert!(
-        g >= 0.0 && g < threads as f64,
-        "gauge holds one thread's value, got {g}"
+        g >= 0.0 && g < tasks as f64,
+        "gauge holds one task's value, got {g}"
     );
 }
 

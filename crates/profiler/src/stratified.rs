@@ -53,13 +53,16 @@ impl Default for StratifiedConfig {
     }
 }
 
-/// One evaluated condition.
+/// One evaluated condition, optionally carrying whatever extra data the
+/// evaluator produced alongside the EA (e.g. dataset rows).
 #[derive(Debug, Clone)]
-pub struct EvaluatedCondition {
+pub struct EvaluatedCondition<T = ()> {
     /// The condition that was run.
     pub condition: RuntimeCondition,
     /// Measured effective allocation of the target workload.
     pub ea: f64,
+    /// Evaluator payload (`()` when only the EA matters).
+    pub payload: T,
 }
 
 fn jittered_near(c: &RuntimeCondition, jitter: f64, rng: &mut Rng64) -> RuntimeCondition {
@@ -78,12 +81,32 @@ fn jittered_near(c: &RuntimeCondition, jitter: f64, rng: &mut Rng64) -> RuntimeC
 /// Run the stratified sampling procedure for a collocation pair. The
 /// returned list contains every evaluated condition (seeds + refinements),
 /// which becomes the profiling dataset.
+///
+/// Thin wrapper over [`stratified_sample_with`] for evaluators that only
+/// return the measured EA.
 pub fn stratified_sample(
     pair: (BenchmarkId, BenchmarkId),
     config: StratifiedConfig,
     rng: &mut Rng64,
-    mut evaluate: impl FnMut(&RuntimeCondition) -> f64,
+    evaluate: impl Fn(&RuntimeCondition) -> f64 + Sync,
 ) -> Vec<EvaluatedCondition> {
+    stratified_sample_with(pair, config, rng, |c| (evaluate(c), ()))
+}
+
+/// Stratified sampling with an evaluator that returns `(ea, payload)`.
+///
+/// Conditions are drawn serially from `rng` (the procedure is inherently
+/// sequential: each round clusters everything evaluated so far), but each
+/// batch of drawn conditions is *evaluated* in parallel. The evaluator must
+/// therefore be `Fn + Sync`; any internal randomness should be derived from
+/// the condition itself or a per-condition seed, not shared mutable state.
+/// Results are returned in draw order at any thread count.
+pub fn stratified_sample_with<T: Send>(
+    pair: (BenchmarkId, BenchmarkId),
+    config: StratifiedConfig,
+    rng: &mut Rng64,
+    evaluate: impl Fn(&RuntimeCondition) -> (f64, T) + Sync,
+) -> Vec<EvaluatedCondition<T>> {
     assert!(
         config.seeds >= config.clusters,
         "need at least one seed per cluster"
@@ -98,15 +121,28 @@ pub fn stratified_sample(
         config.per_cluster,
         config.rounds
     );
-    let mut evaluated: Vec<EvaluatedCondition> = Vec::new();
+    let eval_batch =
+        |conditions: Vec<RuntimeCondition>, phase_counter: &str| -> Vec<EvaluatedCondition<T>> {
+            let results = stca_exec::par_map_indexed(&conditions, |_, c| evaluate(c));
+            conditions
+                .into_iter()
+                .zip(results)
+                .map(|(condition, (ea, payload))| {
+                    record_sample(phase_counter, ea);
+                    EvaluatedCondition {
+                        condition,
+                        ea,
+                        payload,
+                    }
+                })
+                .collect()
+        };
 
     // seed phase
-    for _ in 0..config.seeds {
-        let c = RuntimeCondition::random_pair(pair.0, pair.1, rng);
-        let ea = evaluate(&c);
-        record_sample("profiler.stratified.seed_samples_total", ea);
-        evaluated.push(EvaluatedCondition { condition: c, ea });
-    }
+    let seeds: Vec<RuntimeCondition> = (0..config.seeds)
+        .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, rng))
+        .collect();
+    let mut evaluated = eval_batch(seeds, "profiler.stratified.seed_samples_total");
 
     for _ in 0..config.rounds {
         // cluster by EA (1-D)
@@ -114,9 +150,10 @@ pub fn stratified_sample(
         let km = kmeans(&points, config.clusters, 50, rng);
         // per cluster: find the member closest to the centroid and generate
         // neighbours around its *condition* (settings near the centroid
-        // setting, per §4). New evaluations are staged and appended after
-        // the cluster loop so cluster assignments stay index-aligned.
-        let mut staged: Vec<EvaluatedCondition> = Vec::new();
+        // setting, per §4). The whole round's neighbours are drawn first,
+        // then evaluated as one parallel batch and appended after the
+        // cluster loop so cluster assignments stay index-aligned.
+        let mut staged: Vec<RuntimeCondition> = Vec::new();
         for c in 0..km.centroids.len() {
             let centroid_ea = km.centroids[c][0];
             let representative = evaluated
@@ -132,13 +169,13 @@ pub fn stratified_sample(
                 .map(|(_, e)| e.condition.clone());
             let Some(rep) = representative else { continue };
             for _ in 0..config.per_cluster {
-                let c = jittered_near(&rep, config.jitter, rng);
-                let ea = evaluate(&c);
-                record_sample("profiler.stratified.refine_samples_total", ea);
-                staged.push(EvaluatedCondition { condition: c, ea });
+                staged.push(jittered_near(&rep, config.jitter, rng));
             }
         }
-        evaluated.extend(staged);
+        evaluated.extend(eval_batch(
+            staged,
+            "profiler.stratified.refine_samples_total",
+        ));
     }
     stca_obs::debug!(
         "stratified sampling done: {} conditions evaluated",
@@ -148,19 +185,28 @@ pub fn stratified_sample(
 }
 
 /// Plain uniform sampling of `n` conditions (the comparison point the paper
-/// abandoned for over-sampling).
+/// abandoned for over-sampling). Conditions are drawn serially, evaluated
+/// in parallel, and returned in draw order.
 pub fn uniform_sample(
     pair: (BenchmarkId, BenchmarkId),
     n: usize,
     rng: &mut Rng64,
-    mut evaluate: impl FnMut(&RuntimeCondition) -> f64,
+    evaluate: impl Fn(&RuntimeCondition) -> f64 + Sync,
 ) -> Vec<EvaluatedCondition> {
-    (0..n)
-        .map(|_| {
-            let c = RuntimeCondition::random_pair(pair.0, pair.1, rng);
-            let ea = evaluate(&c);
+    let conditions: Vec<RuntimeCondition> = (0..n)
+        .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, rng))
+        .collect();
+    let eas = stca_exec::par_map_indexed(&conditions, |_, c| evaluate(c));
+    conditions
+        .into_iter()
+        .zip(eas)
+        .map(|(condition, ea)| {
             record_sample("profiler.uniform.samples_total", ea);
-            EvaluatedCondition { condition: c, ea }
+            EvaluatedCondition {
+                condition,
+                ea,
+                payload: (),
+            }
         })
         .collect()
 }
@@ -235,18 +281,40 @@ mod tests {
 
     #[test]
     fn evaluation_called_once_per_condition() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let mut rng = Rng64::new(4);
-        let mut calls = 0;
+        let calls = AtomicUsize::new(0);
         let cfg = StratifiedConfig::default();
         let out = stratified_sample(
             (BenchmarkId::Jacobi, BenchmarkId::Spstream),
             cfg,
             &mut rng,
             |c| {
-                calls += 1;
+                calls.fetch_add(1, Ordering::Relaxed);
                 surface(c)
             },
         );
-        assert_eq!(calls, out.len());
+        assert_eq!(calls.load(Ordering::Relaxed), out.len());
+    }
+
+    #[test]
+    fn payload_rides_along_in_draw_order() {
+        let mut rng = Rng64::new(5);
+        let cfg = StratifiedConfig {
+            seeds: 8,
+            clusters: 2,
+            per_cluster: 2,
+            rounds: 1,
+            jitter: 0.1,
+        };
+        let out =
+            stratified_sample_with((BenchmarkId::Knn, BenchmarkId::Bfs), cfg, &mut rng, |c| {
+                let ea = surface(c);
+                (ea, format!("{ea:.6}"))
+            });
+        assert_eq!(out.len(), 8 + 2 * 2);
+        for e in &out {
+            assert_eq!(e.payload, format!("{:.6}", e.ea), "payload matches its row");
+        }
     }
 }

@@ -30,5 +30,5 @@ pub mod simulator;
 pub mod slo;
 
 pub use metrics::SimResult;
-pub use simulator::{QueueSim, StationConfig};
+pub use simulator::{run_replications, QueueSim, StationConfig};
 pub use slo::SloSpec;

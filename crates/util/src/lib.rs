@@ -18,7 +18,7 @@ pub mod stats;
 
 pub use dist::Distribution;
 pub use matrix::Matrix;
-pub use rng::Rng64;
+pub use rng::{Rng64, SeedStream};
 pub use stats::{OnlineStats, Percentiles};
 
 /// Simulated time, in seconds. All simulators in the workspace use seconds as

@@ -1,0 +1,126 @@
+//! Thread-count invariance: every parallel code path must produce
+//! bit-identical results at any worker count. The contract (see
+//! `crates/exec`) is that parallelism only changes *when* a task runs,
+//! never *what* it computes: all randomness comes from per-task tagged
+//! [`stca_util::SeedStream`] streams and results are assembled in input
+//! order.
+//!
+//! Each test runs the same computation with the pool forced to 1 worker
+//! and to 8 workers and compares outputs via `f64::to_bits` — exact
+//! equality, not tolerance. Run with `STCA_THREADS=1` and `STCA_THREADS=8`
+//! in CI for extra coverage; the explicit `set_threads` calls below win
+//! over the environment, so the tests are self-contained either way.
+
+use stca_bench::dataset::build_pair_dataset;
+use stca_bench::Scale;
+use stca_core::{ModelConfig, PolicyExplorer, Predictor};
+use stca_deepforest::forest::{Forest, ForestConfig};
+use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_profiler::profile::{ProfileRow, ProfileSet};
+use stca_profiler::sampler::CounterOrdering;
+use stca_util::{Matrix, Rng64, SeedStream};
+use stca_workloads::{BenchmarkId, RuntimeCondition};
+
+/// `set_threads` is process-global and the tests in this binary run on
+/// parallel test threads, so thread-count flips are serialized.
+fn exec_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` once with 1 worker and once with 8, returning both results.
+fn at_1_and_8<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    stca_exec::set_threads(1);
+    let serial = f();
+    stca_exec::set_threads(8);
+    let parallel = f();
+    (serial, parallel)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn forest_fit_is_thread_count_invariant() {
+    let _guard = exec_lock();
+    let mut rng = Rng64::new(41);
+    let mut x = Matrix::zeros(0, 0);
+    let mut y = Vec::new();
+    for _ in 0..150 {
+        let a = rng.next_f64();
+        let b = rng.next_f64();
+        x.push_row(&[a, b, rng.next_f64()]);
+        y.push(3.0 * a - b);
+    }
+    let probes: Vec<Vec<f64>> = (0..20)
+        .map(|_| (0..3).map(|_| rng.next_f64()).collect())
+        .collect();
+    let (serial, parallel) = at_1_and_8(|| {
+        let forest = Forest::fit(&x, &y, ForestConfig::random(24), &SeedStream::new(7));
+        probes
+            .iter()
+            .map(|p| forest.predict(p))
+            .collect::<Vec<f64>>()
+    });
+    assert_eq!(bits(&serial), bits(&parallel));
+}
+
+#[test]
+fn dataset_build_is_thread_count_invariant() {
+    let _guard = exec_lock();
+    let pair = (BenchmarkId::Knn, BenchmarkId::Bfs);
+    let (serial, parallel) =
+        at_1_and_8(|| build_pair_dataset(pair, 4, Scale::Quick, CounterOrdering::Grouped, 13));
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.pair, b.pair);
+        assert_eq!(a.row.ea.to_bits(), b.row.ea.to_bits());
+        assert_eq!(
+            a.row.mean_response_norm.to_bits(),
+            b.row.mean_response_norm.to_bits()
+        );
+        assert_eq!(bits(&a.row.static_features), bits(&b.row.static_features));
+    }
+}
+
+#[test]
+fn policy_exploration_is_thread_count_invariant() {
+    let _guard = exec_lock();
+    // small profile fixture (serial: conditions drawn from one rng chain)
+    let mut rng = Rng64::new(77);
+    let mut profiles = ProfileSet::new();
+    for i in 0..6 {
+        let cond = RuntimeCondition::random_pair(BenchmarkId::Redis, BenchmarkId::Social, &mut rng);
+        let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), 500 + i)).run();
+        for (j, w) in out.workloads.iter().enumerate() {
+            profiles.push(ProfileRow::from_outcome(
+                &cond,
+                j,
+                w,
+                CounterOrdering::Grouped,
+            ));
+        }
+    }
+    let (serial, parallel) = at_1_and_8(|| {
+        let predictor = Predictor::train(&profiles, &ModelConfig::quick(5));
+        let explorer = PolicyExplorer::new(
+            &predictor,
+            &profiles,
+            BenchmarkId::Redis,
+            BenchmarkId::Social,
+            0.9,
+        );
+        explorer.explore()
+    });
+    assert_eq!(serial.timeout_a.to_bits(), parallel.timeout_a.to_bits());
+    assert_eq!(serial.timeout_b.to_bits(), parallel.timeout_b.to_bits());
+    assert_eq!(serial.intersected, parallel.intersected);
+    for (ra, rb) in serial.grid.iter().zip(&parallel.grid) {
+        for ((a1, b1), (a2, b2)) in ra.iter().zip(rb) {
+            assert_eq!(a1.to_bits(), a2.to_bits());
+            assert_eq!(b1.to_bits(), b2.to_bits());
+        }
+    }
+}
