@@ -7,11 +7,14 @@
 //! own deterministic seed, so `stca_exec::par_map_indexed` runs them on the
 //! shared pool and returns rows in condition order at any thread count.
 
-use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_fault::{Checkpoint, FaultPlan, RetryPolicy, StcaError};
+use stca_profiler::executor::{run_experiment_checked, ExperimentSpec, TestEnvironment};
 use stca_profiler::profile::{ProfileRow, ProfileSet};
 use stca_profiler::sampler::CounterOrdering;
+use stca_profiler::storage;
 use stca_util::Rng64;
 use stca_workloads::{BenchmarkId, RuntimeCondition};
+use std::path::Path;
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +136,49 @@ impl Dataset {
     }
 }
 
+/// Validate a freshly built row before it enters a dataset: every feature,
+/// target, and trace value must be finite and the EA non-negative.
+/// Corrupted measurements (fault injection, stuck sensors) would otherwise
+/// poison training; rejected rows tick `fault.rows_rejected_total`.
+fn validate_row(row: &ProfileRow) -> Result<(), String> {
+    if !row.ea.is_finite() || row.ea < 0.0 {
+        return Err(format!("EA {} out of range", row.ea));
+    }
+    for (name, v) in [
+        ("base_service_norm", row.base_service_norm),
+        ("mean_response_norm", row.mean_response_norm),
+        ("p95_response_norm", row.p95_response_norm),
+        ("allocation_ratio", row.allocation_ratio),
+    ] {
+        if !v.is_finite() {
+            return Err(format!("{name} is {v}"));
+        }
+    }
+    if !row.static_features.iter().all(|v| v.is_finite()) {
+        return Err("non-finite static feature".into());
+    }
+    if !row.trace.as_slice().iter().all(|v| v.is_finite()) {
+        return Err("non-finite trace value".into());
+    }
+    Ok(())
+}
+
+/// Apply [`validate_row`] to each built row, dropping invalid ones.
+fn keep_valid_rows(rows: Vec<LabeledRow>) -> Vec<LabeledRow> {
+    rows.into_iter()
+        .filter(|r| match validate_row(&r.row) {
+            Ok(()) => true,
+            Err(reason) => {
+                stca_fault::sanitize::reject_row(
+                    &format!("dataset row ({})", r.benchmark),
+                    &reason,
+                );
+                false
+            }
+        })
+        .collect()
+}
+
 /// Build a dataset for one collocation pair: `n_conditions` random Table-2
 /// conditions, each run through the test environment with a deterministic
 /// per-condition seed, in parallel.
@@ -196,8 +242,129 @@ pub fn run_conditions_customized(
         rows
     });
     Dataset {
-        rows: per_condition.into_iter().flatten().collect(),
+        rows: keep_valid_rows(per_condition.into_iter().flatten().collect()),
     }
+}
+
+/// Fault-tolerant [`build_pair_dataset`]: experiments run under `plan` with
+/// retry, conditions that exhaust their retries are skipped (counted in
+/// `fault.conditions_failed_total`), rows are validated before entering the
+/// dataset, and — when `checkpoint` is given — each finished condition is
+/// persisted so a killed build resumes bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub fn build_pair_dataset_checked(
+    pair: (BenchmarkId, BenchmarkId),
+    n_conditions: usize,
+    scale: Scale,
+    ordering: CounterOrdering,
+    seed: u64,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    checkpoint: Option<&Path>,
+) -> Result<Dataset, StcaError> {
+    stca_obs::time_scope!("bench.dataset.build_seconds");
+    let mut rng = Rng64::new(seed);
+    let conditions: Vec<RuntimeCondition> = (0..n_conditions)
+        .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, &mut rng))
+        .collect();
+    let meta = format!(
+        "dataset/{}-{}/n{n_conditions}/seed{seed}/plan{:016x}",
+        pair.0, pair.1, plan.seed
+    );
+    let mut ckpt = match checkpoint {
+        Some(path) => Some(Checkpoint::load_or_new(path, &meta)?),
+        None => None,
+    };
+    // decode resumed conditions up front: Some(rows) = finished (possibly
+    // a recorded failure, which stays failed — same plan seed, same faults)
+    let cached: Vec<Option<Vec<ProfileRow>>> = (0..n_conditions)
+        .map(|i| {
+            let ck = ckpt.as_ref()?;
+            match ck.get(&format!("cond.{i}")) {
+                Some(stca_obs::json::Value::Array(rows)) => rows
+                    .iter()
+                    .map(|v| storage::row_from_json(v).ok())
+                    .collect(),
+                Some(stca_obs::json::Value::String(s)) if s.starts_with("failed") => {
+                    Some(Vec::new())
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    let conditions_run = stca_obs::counter("bench.dataset.conditions_total");
+    let results = stca_exec::par_map_indexed_caught(&conditions, |i, cond| {
+        if let Some(rows) = &cached[i] {
+            return Ok(rows.clone());
+        }
+        let spec = scale.experiment_spec(cond.clone(), seed ^ ((i as u64) << 20));
+        run_experiment_checked(spec, plan, retry).map(|out| {
+            conditions_run.inc();
+            out.workloads
+                .iter()
+                .enumerate()
+                .map(|(j, w)| ProfileRow::from_outcome(cond, j, w, ordering))
+                .collect::<Vec<ProfileRow>>()
+        })
+    });
+    let failed_counter = stca_obs::counter("fault.conditions_failed_total");
+    let mut dataset = Dataset::default();
+    for (i, (cond, result)) in conditions.iter().zip(results).enumerate() {
+        let flattened = match result {
+            Ok(inner) => inner.map_err(|e| e.to_string()),
+            Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
+        };
+        match flattened {
+            Ok(rows) => {
+                if let Some(ck) = ckpt.as_mut() {
+                    if cached[i].is_none() {
+                        ck.put(
+                            format!("cond.{i}"),
+                            stca_obs::json::Value::Array(
+                                rows.iter().map(storage::row_to_json).collect(),
+                            ),
+                        );
+                    }
+                }
+                let n = rows.len();
+                let labeled: Vec<LabeledRow> = rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, row)| {
+                        let bench = cond.workloads[j].benchmark;
+                        let partner = cond.workloads[(j + 1) % n.max(1)].benchmark;
+                        LabeledRow {
+                            benchmark: bench,
+                            pair: (bench, partner),
+                            row,
+                        }
+                    })
+                    .collect();
+                dataset.rows.extend(keep_valid_rows(labeled));
+            }
+            Err(reason) => {
+                failed_counter.inc();
+                stca_obs::warn!("dataset condition {i} failed, skipping: {reason}");
+                if let Some(ck) = ckpt.as_mut() {
+                    if cached[i].is_none() {
+                        ck.put(
+                            format!("cond.{i}"),
+                            stca_obs::json::Value::String(format!("failed: {reason}")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some(ck) = ckpt.as_mut() {
+        ck.save()?;
+    }
+    if dataset.is_empty() {
+        return Err(StcaError::invalid_input(format!(
+            "all {n_conditions} dataset conditions failed under the fault plan"
+        )));
+    }
+    Ok(dataset)
 }
 
 #[cfg(test)]
@@ -219,6 +386,100 @@ mod tests {
         assert_eq!(a.rows[0].pair, (BenchmarkId::Knn, BenchmarkId::Bfs));
         assert_eq!(a.rows[1].pair, (BenchmarkId::Bfs, BenchmarkId::Knn));
         assert_eq!(a.rows[0].benchmark, BenchmarkId::Knn);
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected() {
+        let pair = (BenchmarkId::Knn, BenchmarkId::Bfs);
+        let d = build_pair_dataset(pair, 1, Scale::Quick, CounterOrdering::Grouped, 3);
+        let mut rows = d.rows.clone();
+        rows[0].row.ea = f64::NAN;
+        rows[1].row.trace.as_mut_slice()[0] = f64::INFINITY;
+        let before = stca_fault::sanitize::rows_rejected_total();
+        let kept = keep_valid_rows(rows);
+        assert!(kept.is_empty(), "both damaged rows rejected");
+        assert_eq!(stca_fault::sanitize::rows_rejected_total(), before + 2);
+        // negative EA also rejected
+        let mut rows = d.rows.clone();
+        rows[0].row.ea = -0.5;
+        assert_eq!(keep_valid_rows(rows).len(), 1);
+    }
+
+    #[test]
+    fn checked_build_without_faults_matches_plain() {
+        let pair = (BenchmarkId::Knn, BenchmarkId::Bfs);
+        let plain = build_pair_dataset(pair, 2, Scale::Quick, CounterOrdering::Grouped, 5);
+        let checked = build_pair_dataset_checked(
+            pair,
+            2,
+            Scale::Quick,
+            CounterOrdering::Grouped,
+            5,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            None,
+        )
+        .expect("no faults");
+        assert_eq!(plain.len(), checked.len());
+        for (a, b) in plain.rows.iter().zip(&checked.rows) {
+            assert_eq!(a.row.ea.to_bits(), b.row.ea.to_bits());
+            assert_eq!(a.pair, b.pair);
+        }
+    }
+
+    #[test]
+    fn checked_build_resumes_from_checkpoint_bit_identically() {
+        let pair = (BenchmarkId::Knn, BenchmarkId::Bfs);
+        let path =
+            std::env::temp_dir().join(format!("stca-dataset-ckpt-{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let build = |ckpt: Option<&std::path::Path>| {
+            build_pair_dataset_checked(
+                pair,
+                3,
+                Scale::Quick,
+                CounterOrdering::Grouped,
+                17,
+                &FaultPlan::ci_default(),
+                &RetryPolicy::default(),
+                ckpt,
+            )
+            .expect("survivable plan")
+        };
+        let uninterrupted = build(None);
+        let full = build(Some(&path));
+        assert_eq!(uninterrupted.len(), full.len());
+
+        // simulate a mid-run kill: keep only the first condition's entry
+        let text = std::fs::read_to_string(&path).expect("checkpoint written");
+        let mut doc = stca_obs::json::Value::parse(&text).expect("valid json");
+        if let stca_obs::json::Value::Object(ref mut top) = doc {
+            if let Some(stca_obs::json::Value::Object(entries)) = top.get_mut("entries") {
+                entries.retain(|k, _| k == "cond.0");
+                assert_eq!(entries.len(), 1);
+            }
+        }
+        std::fs::write(&path, doc.to_string()).expect("write partial");
+        let resumed = build(Some(&path));
+        assert_eq!(uninterrupted.len(), resumed.len());
+        for (a, b) in uninterrupted.rows.iter().zip(&resumed.rows) {
+            assert_eq!(a.row.ea.to_bits(), b.row.ea.to_bits());
+            assert_eq!(
+                a.row
+                    .trace
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                b.row
+                    .trace
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -8,18 +8,24 @@
 //! stca explore --profiles p.stca --pair redis,social --util 0.9
 //! ```
 //!
-//! Every subcommand is deterministic given `--seed`.
+//! Every subcommand is deterministic given `--seed` — including under an
+//! injected fault plan (`--fault-plan` / `STCA_FAULT_PLAN`).
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error.
+
+#![warn(clippy::unwrap_used)]
 
 use stca_cachesim::{Counter, Hierarchy, HierarchyConfig};
 use stca_cat::AllocationSetting;
 use stca_core::{ModelConfig, PolicyExplorer, Predictor};
-use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
+use stca_fault::{FaultPlan, RetryPolicy, StcaError};
+use stca_profiler::executor::{run_experiment_checked, ExperimentSpec};
 use stca_profiler::profile::{ProfileRow, ProfileSet};
 use stca_profiler::sampler::CounterOrdering;
 use stca_profiler::storage;
 use stca_util::Rng64;
 use stca_workloads::{AccessGenerator, BenchmarkId, RuntimeCondition, WorkloadSpec};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,23 +43,33 @@ Parallelism (any subcommand):
   --threads N           worker threads (default: STCA_THREADS, else all cores);
                         results are identical at any thread count
 
+Fault tolerance (profile/explore):
+  --fault-plan SPEC     inject deterministic faults (presets: none, ci-default,
+                        heavy; overrides: seed=, crash=, timeout=, dropout=,
+                        corrupt=, stuck=, noise=, latency=); default:
+                        STCA_FAULT_PLAN, else none
+  --max-retries N       retry budget per experiment (default 3)
+  --checkpoint FILE     persist finished work units (profile conditions,
+                        explore grid cells); a re-run resumes from FILE and
+                        produces bit-identical output
+
 Observability (any subcommand):
   --metrics-out FILE    write a JSON metrics report and print a summary table
   STCA_LOG=info         enable logging (e.g. STCA_LOG=info,queuesim=trace)
 ";
 
-fn parse_benchmark(s: &str) -> Result<BenchmarkId, String> {
+fn parse_benchmark(s: &str) -> Result<BenchmarkId, StcaError> {
     BenchmarkId::ALL
         .iter()
         .copied()
         .find(|b| b.short_name() == s)
-        .ok_or_else(|| format!("unknown benchmark {s:?}"))
+        .ok_or_else(|| StcaError::usage(format!("unknown benchmark {s:?}")))
 }
 
-fn parse_pair(s: &str) -> Result<(BenchmarkId, BenchmarkId), String> {
+fn parse_pair(s: &str) -> Result<(BenchmarkId, BenchmarkId), StcaError> {
     let (a, b) = s
         .split_once(',')
-        .ok_or_else(|| format!("expected A,B pair, got {s:?}"))?;
+        .ok_or_else(|| StcaError::usage(format!("expected A,B pair, got {s:?}")))?;
     Ok((parse_benchmark(a.trim())?, parse_benchmark(b.trim())?))
 }
 
@@ -64,17 +80,17 @@ struct Args {
 }
 
 impl Args {
-    fn parse(argv: &[String]) -> Result<Args, String> {
+    fn parse(argv: &[String]) -> Result<Args, StcaError> {
         let mut flags = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i]
                 .strip_prefix("--")
                 .or_else(|| argv[i].strip_prefix('-'))
-                .ok_or_else(|| format!("expected flag, got {:?}", argv[i]))?;
+                .ok_or_else(|| StcaError::usage(format!("expected flag, got {:?}", argv[i])))?;
             let value = argv
                 .get(i + 1)
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                .ok_or_else(|| StcaError::usage(format!("flag --{key} needs a value")))?;
             flags.push((key.to_string(), value.clone()));
             i += 2;
         }
@@ -88,23 +104,44 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
-    fn require(&self, name: &str) -> Result<&str, String> {
+    fn require(&self, name: &str) -> Result<&str, StcaError> {
         self.get(name)
-            .ok_or_else(|| format!("missing required flag --{name}"))
+            .ok_or_else(|| StcaError::usage(format!("missing required flag --{name}")))
     }
 
-    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, StcaError>
     where
         T::Err: std::fmt::Display,
     {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+            Some(v) => v
+                .parse()
+                .map_err(|e| StcaError::usage(format!("bad --{name}: {e}"))),
         }
+    }
+
+    /// Resolve the fault plan: `--fault-plan` wins, else `STCA_FAULT_PLAN`,
+    /// else no injection.
+    fn fault_plan(&self) -> Result<FaultPlan, StcaError> {
+        match self.get("fault-plan") {
+            Some(spec) => FaultPlan::parse(spec),
+            None => FaultPlan::from_env(),
+        }
+    }
+
+    fn retry_policy(&self) -> Result<RetryPolicy, StcaError> {
+        Ok(RetryPolicy::with_max_retries(
+            self.get_parsed("max-retries", 3u32)?,
+        ))
+    }
+
+    fn checkpoint_path(&self) -> Option<PathBuf> {
+        self.get("checkpoint").map(PathBuf::from)
     }
 }
 
-fn cmd_characterize(args: &Args) -> Result<(), String> {
+fn cmd_characterize(args: &Args) -> Result<(), StcaError> {
     let n: u64 = args.get_parsed("accesses", 100_000u64)?;
     let config = HierarchyConfig::experiment_default();
     let ways = config.llc.ways;
@@ -114,9 +151,12 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     );
     for id in BenchmarkId::ALL {
         let spec = WorkloadSpec::for_benchmark(id);
-        let run = |alloc: AllocationSetting| -> (f64, f64) {
+        let run = |alloc: AllocationSetting| -> Result<(f64, f64), StcaError> {
             let mut hier = Hierarchy::new(config, 42);
-            hier.set_llc_mask(0, alloc.to_cbm(ways).expect("valid"));
+            let cbm = alloc.to_cbm(ways).map_err(|e| StcaError::InvalidInput {
+                what: format!("allocation does not fit the LLC: {e}"),
+            })?;
+            hier.set_llc_mask(0, cbm);
             let mut gen =
                 AccessGenerator::new(spec.pattern_for(&config), 0, spec.store_fraction, 42);
             for _ in 0..n / 2 {
@@ -129,13 +169,13 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
                 hier.access(0, a, k);
             }
             let c = hier.counters_of(0).delta(&before);
-            (
+            Ok((
                 c.get(Counter::LlcMisses) as f64 * 1000.0 / n as f64,
                 c.get(Counter::Cycles) as f64 / n as f64,
-            )
+            ))
         };
-        let (mpka, cpa_private) = run(AllocationSetting::new(0, 2));
-        let (_, cpa_full) = run(AllocationSetting::new(0, ways));
+        let (mpka, cpa_private) = run(AllocationSetting::new(0, 2))?;
+        let (_, cpa_full) = run(AllocationSetting::new(0, ways))?;
         println!(
             "{:>10} {:>16.2} {:>14.1} {:>19.2}x",
             id.short_name(),
@@ -147,14 +187,51 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn profile_conditions(pair: (BenchmarkId, BenchmarkId), n: usize, seed: u64) -> ProfileSet {
+/// Profile `n` conditions of a pair under a fault plan, skipping conditions
+/// that exhaust their retries and checkpointing finished ones when asked.
+fn profile_conditions(
+    pair: (BenchmarkId, BenchmarkId),
+    n: usize,
+    seed: u64,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    checkpoint: Option<&Path>,
+) -> Result<ProfileSet, StcaError> {
     let mut rng = Rng64::new(seed);
     // conditions are drawn serially; the experiments (the expensive part)
     // run in parallel, each with its original per-condition seed
     let conditions: Vec<RuntimeCondition> = (0..n)
         .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, &mut rng))
         .collect();
-    let outcomes = stca_exec::par_map_indexed(&conditions, |i, condition| {
+    let meta = format!(
+        "profile/{}-{}/n{n}/seed{seed}/plan{:016x}",
+        pair.0, pair.1, plan.seed
+    );
+    let mut ckpt = match checkpoint {
+        Some(path) => Some(stca_fault::Checkpoint::load_or_new(path, &meta)?),
+        None => None,
+    };
+    let cached: Vec<Option<Vec<ProfileRow>>> = (0..n)
+        .map(|i| {
+            let ck = ckpt.as_ref()?;
+            match ck.get(&format!("cond.{i}")) {
+                Some(stca_obs::json::Value::Array(rows)) => rows
+                    .iter()
+                    .map(|v| storage::row_from_json(v).ok())
+                    .collect(),
+                Some(stca_obs::json::Value::String(s)) if s.starts_with("failed") => {
+                    // a condition that failed in the previous run stays
+                    // failed on resume (same plan seed ⇒ same faults)
+                    Some(Vec::new())
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    let results = stca_exec::par_map_indexed_caught(&conditions, |i, condition| {
+        if let Some(rows) = &cached[i] {
+            return Ok(rows.clone());
+        }
         stca_obs::info!(
             "[{}/{}] util=({:.2},{:.2}) T=({:.2},{:.2})",
             i + 1,
@@ -170,39 +247,92 @@ fn profile_conditions(pair: (BenchmarkId, BenchmarkId), n: usize, seed: u64) -> 
             accesses_per_query: Some(1500),
             ..ExperimentSpec::standard(condition.clone(), seed ^ ((i as u64) << 16))
         };
-        TestEnvironment::new(spec).run()
+        run_experiment_checked(spec, plan, retry).map(|out| {
+            out.workloads
+                .iter()
+                .enumerate()
+                .map(|(j, w)| ProfileRow::from_outcome(condition, j, w, CounterOrdering::Grouped))
+                .collect::<Vec<ProfileRow>>()
+        })
     });
     let mut set = ProfileSet::new();
-    for (condition, out) in conditions.iter().zip(&outcomes) {
-        for (j, w) in out.workloads.iter().enumerate() {
-            set.push(ProfileRow::from_outcome(
-                condition,
-                j,
-                w,
-                CounterOrdering::Grouped,
-            ));
+    let mut failed = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        let flattened = match result {
+            Ok(inner) => inner.map_err(|e| e.to_string()),
+            Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
+        };
+        match flattened {
+            Ok(rows) => {
+                if rows.is_empty() {
+                    failed += 1; // resumed failure marker
+                } else if let Some(ck) = ckpt.as_mut() {
+                    if cached[i].is_none() {
+                        ck.put(
+                            format!("cond.{i}"),
+                            stca_obs::json::Value::Array(
+                                rows.iter().map(storage::row_to_json).collect(),
+                            ),
+                        );
+                    }
+                }
+                for row in rows {
+                    set.push(row);
+                }
+            }
+            Err(reason) => {
+                failed += 1;
+                stca_obs::counter("fault.conditions_failed_total").inc();
+                stca_obs::warn!("condition {i} failed, skipping: {reason}");
+                if let Some(ck) = ckpt.as_mut() {
+                    ck.put(
+                        format!("cond.{i}"),
+                        stca_obs::json::Value::String(format!("failed: {reason}")),
+                    );
+                }
+            }
         }
     }
-    set
+    if let Some(ck) = ckpt.as_mut() {
+        ck.save()?;
+    }
+    if failed > 0 {
+        stca_obs::warn!("{failed}/{n} conditions failed under the fault plan");
+    }
+    if set.is_empty() {
+        return Err(StcaError::invalid_input(format!(
+            "all {n} profiling conditions failed under the fault plan"
+        )));
+    }
+    Ok(set)
 }
 
-fn cmd_profile(args: &Args) -> Result<(), String> {
+fn cmd_profile(args: &Args) -> Result<(), StcaError> {
     let pair = parse_pair(args.require("pair")?)?;
     let n: usize = args.get_parsed("n", 10usize)?;
     let seed: u64 = args.get_parsed("seed", 2022u64)?;
     let out: PathBuf = PathBuf::from(args.get("o").or(args.get("out")).unwrap_or("profiles.stca"));
+    let plan = args.fault_plan()?;
+    let retry = args.retry_policy()?;
     stca_obs::info!("profiling {}({}) over {n} conditions", pair.0, pair.1);
-    let set = profile_conditions(pair, n, seed);
-    storage::save(&set, &out).map_err(|e| e.to_string())?;
+    let set = profile_conditions(
+        pair,
+        n,
+        seed,
+        &plan,
+        &retry,
+        args.checkpoint_path().as_deref(),
+    )?;
+    storage::save(&set, &out)?;
     println!("wrote {} profile rows to {}", set.len(), out.display());
     Ok(())
 }
 
-fn load_profiles(args: &Args) -> Result<ProfileSet, String> {
+fn load_profiles(args: &Args) -> Result<ProfileSet, StcaError> {
     let path = PathBuf::from(args.require("profiles")?);
-    let set = storage::load(&path).map_err(|e| e.to_string())?;
+    let set = storage::load(&path)?;
     if set.is_empty() {
-        return Err("profile file holds no rows".into());
+        return Err(StcaError::invalid_input("profile file holds no rows"));
     }
     stca_obs::info!("loaded {} profile rows from {}", set.len(), path.display());
     Ok(set)
@@ -217,19 +347,21 @@ fn train(set: &ProfileSet, seed: u64) -> Predictor {
     Predictor::train(set, &config)
 }
 
-fn cmd_predict(args: &Args) -> Result<(), String> {
+fn cmd_predict(args: &Args) -> Result<(), StcaError> {
     let pair = parse_pair(args.require("pair")?)?;
     let util: f64 = args
         .require("util")?
         .parse()
-        .map_err(|e| format!("bad --util: {e}"))?;
+        .map_err(|e| StcaError::usage(format!("bad --util: {e}")))?;
     let timeouts = args.require("timeouts")?;
     let (ta, tb) = timeouts
         .split_once(',')
-        .ok_or_else(|| format!("expected TA,TB, got {timeouts:?}"))?;
+        .ok_or_else(|| StcaError::usage(format!("expected TA,TB, got {timeouts:?}")))?;
     let (ta, tb): (f64, f64) = (
-        ta.parse().map_err(|e| format!("bad timeout: {e}"))?,
-        tb.parse().map_err(|e| format!("bad timeout: {e}"))?,
+        ta.parse()
+            .map_err(|e| StcaError::usage(format!("bad timeout: {e}")))?,
+        tb.parse()
+            .map_err(|e| StcaError::usage(format!("bad timeout: {e}")))?,
     );
     let seed: u64 = args.get_parsed("seed", 7u64)?;
     let profiles = load_profiles(args)?;
@@ -255,14 +387,19 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explore(args: &Args) -> Result<(), String> {
+fn cmd_explore(args: &Args) -> Result<(), StcaError> {
     let pair = parse_pair(args.require("pair")?)?;
     let util: f64 = args.get_parsed("util", 0.9f64)?;
     let seed: u64 = args.get_parsed("seed", 7u64)?;
     let profiles = load_profiles(args)?;
     let predictor = train(&profiles, seed);
     let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, util);
-    let result = explorer.explore();
+    let result = match args.checkpoint_path() {
+        Some(path) => {
+            explorer.explore_with_grid_checkpointed(&stca_core::explorer::TIMEOUT_GRID, &path)?
+        }
+        None => explorer.explore(),
+    };
     println!(
         "predicted normalized p95 grid (rows: T_{}, cols: T_{}):",
         pair.0, pair.1
@@ -286,22 +423,12 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    stca_obs::init_from_env();
-    stca_exec::init_from_env_and_args();
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn real_main(argv: &[String]) -> Result<(), StcaError> {
     let Some(cmd) = argv.first() else {
-        eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+        return Err(StcaError::usage("missing subcommand"));
     };
-    let args = match Args::parse(&argv[1..]) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match cmd.as_str() {
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
         "characterize" => cmd_characterize(&args),
         "profile" => cmd_profile(&args),
         "predict" => cmd_predict(&args),
@@ -310,14 +437,24 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
-    };
+        other => Err(StcaError::usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    stca_obs::init_from_env();
+    stca_exec::init_from_env_and_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = real_main(&argv);
     stca_obs::emit_run_report();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            ExitCode::FAILURE
+            eprintln!("error: {e}");
+            if e.exit_code() == 2 {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

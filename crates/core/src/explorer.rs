@@ -18,8 +18,11 @@
 
 use crate::predictor::Predictor;
 use stca_cat::{PairLayout, ShortTermPolicy};
+use stca_fault::checkpoint::{f64s_to_value, fingerprint_f64s, value_to_f64s, Checkpoint};
+use stca_fault::StcaError;
 use stca_profiler::profile::{ProfileRow, ProfileSet};
 use stca_workloads::BenchmarkId;
+use std::path::Path;
 
 /// Default timeout grid (5 settings per workload).
 pub const TIMEOUT_GRID: [f64; 5] = [0.25, 0.75, 1.5, 3.0, 6.0];
@@ -151,8 +154,94 @@ impl<'a> PolicyExplorer<'a> {
         let cells = stca_exec::par_map_range(n * n, |k| {
             self.predict_point(grid_points[k / n], grid_points[k % n])
         });
-        let grid: Vec<Vec<(f64, f64)>> = cells.chunks(n).map(|row| row.to_vec()).collect();
         stca_obs::counter("core.explorer.candidates_evaluated_total").add((n * n) as u64);
+        self.select_from_cells(grid_points, cells)
+    }
+
+    /// [`explore_with_grid`] with crash recovery: each grid cell's
+    /// prediction is persisted to a [`Checkpoint`] at `path` as soon as its
+    /// batch (one grid row) completes. A re-run after a kill reloads the
+    /// finished cells and computes only the remainder, yielding a result
+    /// bit-identical to an uninterrupted run. The checkpoint meta
+    /// fingerprints the pair, utilization, grid, and profile set, so a
+    /// checkpoint from different inputs is discarded rather than mixed in.
+    ///
+    /// [`explore_with_grid`]: PolicyExplorer::explore_with_grid
+    pub fn explore_with_grid_checkpointed(
+        &self,
+        grid_points: &[f64],
+        path: &Path,
+    ) -> Result<ExplorationResult, StcaError> {
+        if grid_points.is_empty() {
+            return Err(StcaError::invalid_input("empty timeout grid"));
+        }
+        stca_obs::time_scope!("core.explorer.explore_seconds");
+        let n = grid_points.len();
+        let meta = self.checkpoint_meta(grid_points);
+        let mut ckpt = Checkpoint::load_or_new(path, &meta)?;
+        let mut cells: Vec<Option<(f64, f64)>> = (0..n * n)
+            .map(|k| {
+                let pair = value_to_f64s(ckpt.get(&format!("cell.{k}"))?)?;
+                (pair.len() == 2).then(|| (pair[0], pair[1]))
+            })
+            .collect();
+        let resumed = cells.iter().filter(|c| c.is_some()).count();
+        if resumed > 0 {
+            stca_obs::info!(
+                "explorer resuming: {resumed}/{} grid cells from {}",
+                n * n,
+                path.display()
+            );
+        }
+        // compute the missing cells one grid row at a time, checkpointing
+        // after each row so a kill loses at most one row of predictions
+        for i in 0..n {
+            let missing: Vec<usize> = (i * n..(i + 1) * n)
+                .filter(|&k| cells[k].is_none())
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let computed = stca_exec::par_map_indexed(&missing, |_, &k| {
+                self.predict_point(grid_points[k / n], grid_points[k % n])
+            });
+            stca_obs::counter("core.explorer.candidates_evaluated_total").add(missing.len() as u64);
+            for (&k, cell) in missing.iter().zip(computed) {
+                ckpt.put(format!("cell.{k}"), f64s_to_value(&[cell.0, cell.1]));
+                cells[k] = Some(cell);
+            }
+            ckpt.save()?;
+        }
+        let cells: Vec<(f64, f64)> = cells
+            .into_iter()
+            .map(|c| c.expect("every cell computed or resumed"))
+            .collect();
+        Ok(self.select_from_cells(grid_points, cells))
+    }
+
+    /// Meta string tying a checkpoint to its exact inputs.
+    fn checkpoint_meta(&self, grid_points: &[f64]) -> String {
+        let mut words: Vec<f64> = vec![self.utilization];
+        words.extend_from_slice(grid_points);
+        for row in &self.profiles.rows {
+            words.push(row.ea);
+            words.extend_from_slice(&row.static_features);
+        }
+        format!(
+            "explore/{}-{}/u{:.4}/g{}/p{}/{:016x}",
+            self.benchmark_a,
+            self.benchmark_b,
+            self.utilization,
+            grid_points.len(),
+            self.profiles.len(),
+            fingerprint_f64s(&words)
+        )
+    }
+
+    /// SLO matching (step 1 + step 2) over a fully evaluated grid.
+    fn select_from_cells(&self, grid_points: &[f64], cells: Vec<(f64, f64)>) -> ExplorationResult {
+        let n = grid_points.len();
+        let grid: Vec<Vec<(f64, f64)>> = cells.chunks(n).map(|row| row.to_vec()).collect();
         // step 1: per-workload near-best sets
         let best_a = grid
             .iter()
@@ -285,6 +374,64 @@ mod tests {
             .position(|&t| t == result.timeout_b)
             .expect("on grid");
         assert_eq!(result.grid[i][j], (result.predicted_a, result.predicted_b));
+    }
+
+    #[test]
+    fn checkpointed_explore_is_bit_identical_and_resumable() {
+        let (profiles, predictor) = build_explorer_fixture();
+        let explorer = PolicyExplorer::new(
+            &predictor,
+            &profiles,
+            BenchmarkId::Redis,
+            BenchmarkId::Social,
+            0.9,
+        );
+        let plain = explorer.explore_with_grid(&TIMEOUT_GRID);
+        let path =
+            std::env::temp_dir().join(format!("stca-explore-ckpt-{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let grids_match = |a: &ExplorationResult, b: &ExplorationResult| {
+            assert_eq!(a.timeout_a, b.timeout_a);
+            assert_eq!(a.timeout_b, b.timeout_b);
+            for (ra, rb) in a.grid.iter().zip(&b.grid) {
+                for (ca, cb) in ra.iter().zip(rb) {
+                    assert_eq!(ca.0.to_bits(), cb.0.to_bits());
+                    assert_eq!(ca.1.to_bits(), cb.1.to_bits());
+                }
+            }
+        };
+
+        // fresh checkpointed run matches the plain path bit-for-bit
+        let full = explorer
+            .explore_with_grid_checkpointed(&TIMEOUT_GRID, &path)
+            .expect("fresh run");
+        grids_match(&plain, &full);
+
+        // simulate a mid-run kill: drop half the persisted cells, resume
+        let text = std::fs::read_to_string(&path).expect("checkpoint exists");
+        let mut doc = stca_obs::json::Value::parse(&text).expect("valid json");
+        if let stca_obs::json::Value::Object(ref mut top) = doc {
+            if let Some(stca_obs::json::Value::Object(entries)) = top.get_mut("entries") {
+                let keys: Vec<String> = entries.keys().skip(12).cloned().collect();
+                for k in keys {
+                    entries.remove(&k);
+                }
+                assert_eq!(entries.len(), 12, "partial checkpoint");
+            }
+        }
+        std::fs::write(&path, doc.to_string()).expect("write partial");
+        let resumed = explorer
+            .explore_with_grid_checkpointed(&TIMEOUT_GRID, &path)
+            .expect("resumed run");
+        grids_match(&plain, &resumed);
+
+        // a third run resumes everything without recomputation
+        let again = explorer
+            .explore_with_grid_checkpointed(&TIMEOUT_GRID, &path)
+            .expect("fully resumed run");
+        grids_match(&plain, &again);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   service-time / timeout interaction that clustering raw counters does
 //!   not.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod explorer;
 pub mod insight;
 pub mod predictor;

@@ -17,7 +17,22 @@
 //! As in the paper's evaluation, the *inputs* at prediction time are the
 //! observable profile features of the target condition (runtime conditions
 //! and sampled counters); its measured response times are never seen.
+//!
+//! ## Degraded modes
+//!
+//! Prediction inputs can be damaged (fault-injected traces, sensors stuck
+//! at NaN). Rather than poisoning the policy search, [`Predictor::predict_ea`]
+//! degrades through a fixed fallback chain, counting each tier in
+//! `fault.predictor_fallbacks_total`:
+//!
+//! 1. **deep forest** — scalars and trace all finite (the normal path);
+//! 2. **scalar tabular model** — trace damaged but scalars finite: a plain
+//!    random forest trained on the scalar features alone at [`Predictor::train`] time;
+//! 3. **analytic queue model** — even the scalars are damaged: EA falls back
+//!    to `1/allocation_ratio` (a boost that buys nothing, the conservative
+//!    Eq.-3 floor), and base service to the workload's expected service.
 
+use stca_baselines::{TabularKind, TabularModel};
 use stca_deepforest::{DeepForest, DeepForestConfig, Sample};
 use stca_profiler::profile::{ProfileRow, ProfileSet, Target};
 use stca_queuesim::{QueueSim, StationConfig};
@@ -175,6 +190,9 @@ pub struct ResponsePrediction {
 pub struct Predictor {
     ea_model: DeepForest,
     service_model: DeepForest,
+    /// Scalar-only fallback models for rows with damaged traces.
+    ea_scalar: TabularModel,
+    service_scalar: TabularModel,
     config: ModelConfig,
 }
 
@@ -183,6 +201,25 @@ fn to_sample(row: &ProfileRow) -> Sample {
         scalars: row.scalar_features(),
         trace: row.trace.clone(),
     }
+}
+
+/// Analytic EA floor used when no model can run: a grant assumed to buy no
+/// speedup at all yields `EA = 1/ratio` (Eq. 3 with unchanged service time).
+fn analytic_ea(allocation_ratio: f64) -> f64 {
+    if allocation_ratio.is_finite() && allocation_ratio >= 1.0 {
+        (1.0 / allocation_ratio).clamp(0.01, 2.0)
+    } else {
+        0.5
+    }
+}
+
+fn all_finite(xs: &[f64]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}
+
+fn fallback(tier: &str) {
+    stca_obs::counter("fault.predictor_fallbacks_total").inc();
+    stca_obs::counter(&format!("fault.predictor_fallback_{tier}_total")).inc();
 }
 
 impl Predictor {
@@ -199,23 +236,74 @@ impl Predictor {
             .iter()
             .map(|r| Target::BaseService.of(r))
             .collect();
+        // scalar-only design matrix for the degraded-trace fallback models
+        let k = profiles.rows[0].scalar_features().len();
+        let mut scalars = stca_util::Matrix::zeros(profiles.len(), k);
+        for (i, row) in profiles.rows.iter().enumerate() {
+            scalars.row_mut(i).copy_from_slice(&row.scalar_features());
+        }
+        let tabular = TabularKind::RandomForest { trees: 30 };
         Predictor {
             ea_model: DeepForest::fit(&samples, &ea, &config.ea_forest),
             service_model: DeepForest::fit(&samples, &service, &config.service_forest),
+            ea_scalar: TabularModel::fit(tabular, &scalars, &ea, config.seed ^ 0xFA11BACC),
+            service_scalar: TabularModel::fit(
+                tabular,
+                &scalars,
+                &service,
+                config.seed ^ 0xFA11_5E41,
+            ),
             config: config.clone(),
         }
     }
 
-    /// Predict effective cache allocation for a profile row.
+    /// Predict effective cache allocation for a profile row, degrading
+    /// through the fallback chain (deep forest → scalar forest → analytic)
+    /// when the row's features are damaged. Always returns a finite value
+    /// in `[0.01, 2.0]`.
     pub fn predict_ea(&self, row: &ProfileRow) -> f64 {
-        self.ea_model.predict(&to_sample(row)).clamp(0.01, 2.0)
+        let scalars_ok = all_finite(&row.scalar_features());
+        let trace_ok = all_finite(row.trace.as_slice());
+        let raw = if scalars_ok && trace_ok {
+            self.ea_model.predict(&to_sample(row))
+        } else if scalars_ok {
+            fallback("scalar");
+            self.ea_scalar.predict(&row.scalar_features())
+        } else {
+            fallback("analytic");
+            analytic_ea(row.allocation_ratio)
+        };
+        if raw.is_finite() {
+            raw.clamp(0.01, 2.0)
+        } else {
+            fallback("analytic");
+            analytic_ea(row.allocation_ratio)
+        }
     }
 
-    /// Predict normalized base service time for a profile row.
+    /// Predict normalized base service time for a profile row, with the
+    /// same degradation chain as [`predict_ea`]; the analytic tier is the
+    /// workload's expected service (norm 1.0).
+    ///
+    /// [`predict_ea`]: Predictor::predict_ea
     pub fn predict_base_service_norm(&self, row: &ProfileRow) -> f64 {
-        self.service_model
-            .predict(&to_sample(row))
-            .clamp(0.05, 20.0)
+        let scalars_ok = all_finite(&row.scalar_features());
+        let trace_ok = all_finite(row.trace.as_slice());
+        let raw = if scalars_ok && trace_ok {
+            self.service_model.predict(&to_sample(row))
+        } else if scalars_ok {
+            fallback("scalar");
+            self.service_scalar.predict(&row.scalar_features())
+        } else {
+            fallback("analytic");
+            1.0
+        };
+        if raw.is_finite() {
+            raw.clamp(0.05, 20.0)
+        } else {
+            fallback("analytic");
+            1.0
+        }
     }
 
     /// Full Stage-3 prediction of the response-time distribution for the
@@ -228,9 +316,26 @@ impl Predictor {
         let ea = self.predict_ea(row);
         let base_norm = self.predict_base_service_norm(row);
         let base_service = base_norm * spec.mean_service_time;
-        let utilization = row.static_features[0];
-        let timeout_ratio = row.static_features[1];
-        let boost_rate = stca_profiler::ea::boost_rate_from_ea(ea, row.allocation_ratio);
+        // damaged condition features would hand the simulator NaN rates;
+        // substitute neutral values (moderate load, never-boost timeout)
+        let utilization = if row.static_features[0].is_finite() {
+            row.static_features[0].clamp(0.05, 0.98)
+        } else {
+            stca_obs::counter("fault.predictor_invalid_conditions_total").inc();
+            0.5
+        };
+        let timeout_ratio = if row.static_features[1].is_finite() {
+            row.static_features[1].max(0.0)
+        } else {
+            stca_obs::counter("fault.predictor_invalid_conditions_total").inc();
+            6.0
+        };
+        let ratio = if row.allocation_ratio.is_finite() {
+            row.allocation_ratio.max(1.0)
+        } else {
+            2.0
+        };
+        let boost_rate = stca_profiler::ea::boost_rate_from_ea(ea, ratio);
         let servers = 2;
         let station = StationConfig {
             inter_arrival: stca_util::Distribution::Exponential {
@@ -325,6 +430,57 @@ mod tests {
         }
         let mean_err = err / profiles.rows.len() as f64;
         assert!(mean_err < 0.3, "mean in-sample EA error {mean_err}");
+    }
+
+    #[test]
+    fn fallback_chain_survives_damaged_rows() {
+        let (profiles, benchmarks) = small_profiles(4, 11);
+        let predictor = Predictor::train(&profiles, &ModelConfig::quick(4));
+
+        // tier 2: all-NaN trace, finite scalars → scalar model
+        let mut damaged = profiles.rows[0].clone();
+        for v in damaged.trace.as_mut_slice() {
+            *v = f64::NAN;
+        }
+        let ea = predictor.predict_ea(&damaged);
+        assert!(
+            ea.is_finite() && (0.01..=2.0).contains(&ea),
+            "scalar tier EA {ea}"
+        );
+        let svc = predictor.predict_base_service_norm(&damaged);
+        assert!(svc.is_finite() && svc > 0.0);
+
+        // tier 3: scalars damaged too → analytic queue model
+        let mut wrecked = damaged.clone();
+        for v in &mut wrecked.static_features {
+            *v = f64::NAN;
+        }
+        let ea = predictor.predict_ea(&wrecked);
+        assert!(
+            ea.is_finite() && (0.01..=2.0).contains(&ea),
+            "analytic tier EA {ea}"
+        );
+        assert!(
+            (ea - 1.0 / wrecked.allocation_ratio).abs() < 1e-12,
+            "analytic tier is the EA floor"
+        );
+
+        // even a full response prediction stays finite on wrecked inputs
+        let pred = predictor.predict_response(&wrecked, benchmarks[0]);
+        assert!(pred.mean_response.is_finite() && pred.mean_response > 0.0);
+        assert!(pred.p95_response.is_finite());
+    }
+
+    #[test]
+    fn fallbacks_are_counted() {
+        let (profiles, _) = small_profiles(3, 13);
+        let predictor = Predictor::train(&profiles, &ModelConfig::quick(5));
+        let before = stca_obs::counter("fault.predictor_fallbacks_total").get();
+        let mut damaged = profiles.rows[0].clone();
+        damaged.trace.as_mut_slice()[0] = f64::INFINITY;
+        predictor.predict_ea(&damaged);
+        let after = stca_obs::counter("fault.predictor_fallbacks_total").get();
+        assert!(after > before);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 struct PoolMetrics {
     par_maps: Arc<stca_obs::Counter>,
     tasks: Arc<stca_obs::Counter>,
+    task_panics: Arc<stca_obs::Counter>,
     queue_depth: Arc<stca_obs::Gauge>,
     wall_seconds: Arc<stca_obs::Histogram>,
 }
@@ -24,9 +25,21 @@ fn pool_metrics() -> &'static PoolMetrics {
     METRICS.get_or_init(|| PoolMetrics {
         par_maps: stca_obs::counter("exec.par_maps_total"),
         tasks: stca_obs::counter("exec.tasks_total"),
+        task_panics: stca_obs::counter("exec.task_panics_total"),
         queue_depth: stca_obs::gauge("exec.queue_depth"),
         wall_seconds: stca_obs::histogram("exec.pool.wall_seconds"),
     })
+}
+
+/// Best-effort human-readable message out of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 thread_local! {
@@ -109,6 +122,38 @@ where
     par_map_range(items.len(), |i| f(i, &items[i]))
 }
 
+/// [`par_map_range`] with panic isolation: a panicking task yields
+/// `Err(panic message)` for its own slot instead of tearing down the whole
+/// map, and ticks `exec.task_panics_total`. Fault-tolerant pipelines use
+/// this so one poisoned experiment fails one item, not the run.
+pub fn par_map_range_caught<R, F>(n: usize, f: F) -> Vec<Result<R, String>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_range(n, |i| {
+        // AssertUnwindSafe: `f` is &-called and any broken invariants die
+        // with the Err slot — the value is never observed half-built.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                pool_metrics().task_panics.inc();
+                Err(panic_message(payload))
+            }
+        }
+    })
+}
+
+/// [`par_map_indexed`] with panic isolation; see [`par_map_range_caught`].
+pub fn par_map_indexed_caught<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_range_caught(items.len(), |i| f(i, &items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +225,32 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn caught_variant_isolates_panics() {
+        let _guard = crate::config::test_lock();
+        for threads in [1, 4] {
+            crate::set_threads(threads);
+            let before = stca_obs::counter("exec.task_panics_total").get();
+            let out = par_map_range_caught(16, |i| {
+                if i % 5 == 3 {
+                    panic!("task {i} poisoned");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let msg = r.as_ref().expect_err("should have panicked");
+                    assert!(msg.contains("poisoned"), "{msg}");
+                } else {
+                    assert_eq!(*r.as_ref().expect("ok"), i * 2);
+                }
+            }
+            let after = stca_obs::counter("exec.task_panics_total").get();
+            assert!(after >= before + 3, "threads={threads}");
+        }
     }
 
     #[test]

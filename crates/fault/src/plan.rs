@@ -1,0 +1,423 @@
+//! The fault plan: a seeded, declarative description of what goes wrong.
+//!
+//! A [`FaultPlan`] holds per-fault probabilities plus its own seed; a
+//! [`FaultInjector`] is the plan specialised to one experiment attempt
+//! (`plan.injector(run_key, attempt)`). Every decision the injector makes
+//! is a pure function of `(plan seed, run key, attempt, sample tag)` via
+//! tagged [`SeedStream`]s — no shared mutable RNG — so the same plan
+//! produces bit-identical faults whether the run executes on 1 worker or 8,
+//! and each retry attempt re-rolls independently.
+
+use crate::error::StcaError;
+use crate::sanitize::COUNTER_PLAUSIBLE_MAX;
+use stca_util::{Rng64, SeedStream};
+use std::sync::{Arc, OnceLock};
+
+// Tag space for the per-attempt stream; unique within one injector.
+const TAG_CRASH: u64 = 0x11;
+const TAG_TIMEOUT: u64 = 0x22;
+const TAG_LATENCY: u64 = 0x33;
+const TAG_SAMPLE: u64 = 0x44;
+const TAG_NOISE: u64 = 0x55;
+const TAG_CORRUPT: u64 = 0x66;
+
+/// Injection-side metric handles, resolved once.
+struct InjectMetrics {
+    crashes: Arc<stca_obs::Counter>,
+    timeouts: Arc<stca_obs::Counter>,
+    drops: Arc<stca_obs::Counter>,
+    corruptions: Arc<stca_obs::Counter>,
+    stucks: Arc<stca_obs::Counter>,
+    latency_s: Arc<stca_obs::Histogram>,
+}
+
+fn inject_metrics() -> &'static InjectMetrics {
+    static METRICS: OnceLock<InjectMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| InjectMetrics {
+        crashes: stca_obs::counter("fault.injected_crashes_total"),
+        timeouts: stca_obs::counter("fault.injected_timeouts_total"),
+        drops: stca_obs::counter("fault.injected_sample_drops_total"),
+        corruptions: stca_obs::counter("fault.injected_sample_corruptions_total"),
+        stucks: stca_obs::counter("fault.injected_sample_stucks_total"),
+        latency_s: stca_obs::histogram("fault.injected_latency_seconds"),
+    })
+}
+
+/// What the plan does to one counter sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleFault {
+    /// Sample is delivered intact (measurement noise may still apply).
+    None,
+    /// Sample was dropped by the collector: the row is lost.
+    Drop,
+    /// Collector returned garbage: counters become implausible values.
+    Corrupt,
+    /// Sensor is stuck: the previous row is reported again.
+    Stuck,
+}
+
+/// A deterministic description of fault rates for a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed for every injection decision.
+    pub seed: u64,
+    /// Probability an experiment attempt crashes outright.
+    pub crash_prob: f64,
+    /// Probability an experiment attempt times out.
+    pub timeout_prob: f64,
+    /// Per-sample probability the collector drops the row.
+    pub dropout_prob: f64,
+    /// Per-sample probability the collector returns garbage counters.
+    pub corrupt_prob: f64,
+    /// Per-sample probability the sensor repeats the previous row.
+    pub stuck_prob: f64,
+    /// Relative std-dev of multiplicative measurement noise (0 = clean).
+    pub noise_rel: f64,
+    /// Mean injected collection latency per attempt, virtual seconds.
+    pub latency_mean_s: f64,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: every probability zero. Checked code paths run
+    /// byte-identically to the unchecked ones under this plan.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            crash_prob: 0.0,
+            timeout_prob: 0.0,
+            dropout_prob: 0.0,
+            corrupt_prob: 0.0,
+            stuck_prob: 0.0,
+            noise_rel: 0.0,
+            latency_mean_s: 0.0,
+        }
+    }
+
+    /// Mild preset used by the CI fault job: a few percent of everything.
+    pub fn ci_default() -> Self {
+        FaultPlan {
+            seed: 0xC1DE,
+            crash_prob: 0.05,
+            timeout_prob: 0.02,
+            dropout_prob: 0.05,
+            corrupt_prob: 0.02,
+            stuck_prob: 0.02,
+            noise_rel: 0.01,
+            latency_mean_s: 0.05,
+        }
+    }
+
+    /// Hostile preset: ≥10% run crashes, ≥5% sample dropout.
+    pub fn heavy() -> Self {
+        FaultPlan {
+            seed: 0xFA11,
+            crash_prob: 0.15,
+            timeout_prob: 0.05,
+            dropout_prob: 0.10,
+            corrupt_prob: 0.05,
+            stuck_prob: 0.05,
+            noise_rel: 0.05,
+            latency_mean_s: 0.2,
+        }
+    }
+
+    /// Whether any fault has non-zero probability.
+    pub fn is_active(&self) -> bool {
+        self.crash_prob > 0.0
+            || self.timeout_prob > 0.0
+            || self.dropout_prob > 0.0
+            || self.corrupt_prob > 0.0
+            || self.stuck_prob > 0.0
+            || self.noise_rel > 0.0
+            || self.latency_mean_s > 0.0
+    }
+
+    /// Parse a plan spec: a preset name (`none`, `ci-default`, `heavy`),
+    /// `key=value` pairs, or a preset followed by overrides — all
+    /// comma-separated. Keys: `seed`, `crash`, `timeout`, `dropout`,
+    /// `corrupt`, `stuck`, `noise`, `latency`.
+    ///
+    /// ```
+    /// use stca_fault::FaultPlan;
+    /// let plan = FaultPlan::parse("heavy,crash=0.3,seed=7").unwrap();
+    /// assert_eq!(plan.crash_prob, 0.3);
+    /// assert_eq!(plan.seed, 7);
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, StcaError> {
+        let mut plan = FaultPlan::none();
+        for (i, token) in spec.split(',').map(str::trim).enumerate() {
+            if token.is_empty() {
+                continue;
+            }
+            match token {
+                "none" => plan = FaultPlan::none(),
+                "ci-default" => plan = FaultPlan::ci_default(),
+                "heavy" => plan = FaultPlan::heavy(),
+                _ => {
+                    let (key, value) = token.split_once('=').ok_or_else(|| {
+                        StcaError::usage(format!(
+                            "fault plan token {token:?} (position {i}): expected a preset \
+                             (none, ci-default, heavy) or key=value"
+                        ))
+                    })?;
+                    if key == "seed" {
+                        plan.seed = value.parse().map_err(|_| {
+                            StcaError::usage(format!("fault plan seed {value:?}: want a u64"))
+                        })?;
+                        continue;
+                    }
+                    let num: f64 = value.parse().map_err(|_| {
+                        StcaError::usage(format!("fault plan {key}={value:?}: want a number"))
+                    })?;
+                    let field = match key {
+                        "crash" => &mut plan.crash_prob,
+                        "timeout" => &mut plan.timeout_prob,
+                        "dropout" => &mut plan.dropout_prob,
+                        "corrupt" => &mut plan.corrupt_prob,
+                        "stuck" => &mut plan.stuck_prob,
+                        "noise" => &mut plan.noise_rel,
+                        "latency" => &mut plan.latency_mean_s,
+                        _ => {
+                            return Err(StcaError::usage(format!(
+                                "unknown fault plan key {key:?} (known: seed, crash, timeout, \
+                                 dropout, corrupt, stuck, noise, latency)"
+                            )))
+                        }
+                    };
+                    let is_prob = !matches!(key, "noise" | "latency");
+                    if !num.is_finite() || num < 0.0 || (is_prob && num > 1.0) {
+                        return Err(StcaError::usage(format!(
+                            "fault plan {key}={value}: out of range"
+                        )));
+                    }
+                    *field = num;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Plan from the `STCA_FAULT_PLAN` environment variable; unset or empty
+    /// means [`FaultPlan::none`].
+    pub fn from_env() -> Result<Self, StcaError> {
+        match std::env::var("STCA_FAULT_PLAN") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec),
+            _ => Ok(FaultPlan::none()),
+        }
+    }
+
+    /// Specialise the plan to one experiment attempt. `run_key` should
+    /// identify the experiment (its spec seed); `attempt` is the 0-based
+    /// retry attempt, so each retry re-rolls every fault independently.
+    pub fn injector(&self, run_key: u64, attempt: u32) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            run_key,
+            attempt,
+            stream: SeedStream::new(self.seed)
+                .derive(run_key)
+                .derive(attempt as u64),
+        }
+    }
+}
+
+/// A [`FaultPlan`] bound to one `(run, attempt)` pair.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    run_key: u64,
+    attempt: u32,
+    stream: SeedStream,
+}
+
+impl FaultInjector {
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether this injector can alter anything at all.
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Roll run-level faults: does this attempt crash or time out?
+    pub fn attempt_outcome(&self) -> Result<(), StcaError> {
+        if self.plan.crash_prob > 0.0 && self.stream.rng(TAG_CRASH).next_bool(self.plan.crash_prob)
+        {
+            inject_metrics().crashes.inc();
+            return Err(StcaError::InjectedCrash {
+                run_key: self.run_key,
+                attempt: self.attempt,
+            });
+        }
+        if self.plan.timeout_prob > 0.0 {
+            let mut rng = self.stream.rng(TAG_TIMEOUT);
+            if rng.next_bool(self.plan.timeout_prob) {
+                inject_metrics().timeouts.inc();
+                let budget = self.plan.latency_mean_s.max(0.1) * 100.0;
+                return Err(StcaError::InjectedTimeout {
+                    run_key: self.run_key,
+                    attempt: self.attempt,
+                    waited_s: budget * (0.5 + rng.next_f64()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Virtual seconds of injected collection latency for this attempt
+    /// (0 when the plan has none). Recorded to
+    /// `fault.injected_latency_seconds`.
+    pub fn injected_latency_s(&self) -> f64 {
+        if self.plan.latency_mean_s <= 0.0 {
+            return 0.0;
+        }
+        let s = self
+            .stream
+            .rng(TAG_LATENCY)
+            .next_exp(1.0 / self.plan.latency_mean_s);
+        inject_metrics().latency_s.record(s);
+        s
+    }
+
+    /// Roll the fault affecting one sample. `tag` must uniquely identify
+    /// the sample within the attempt (callers compose station and sample
+    /// indices). A single uniform draw is split across the three fault
+    /// kinds so their probabilities stay independent of roll order.
+    pub fn sample_fault(&self, tag: u64) -> SampleFault {
+        let p = &self.plan;
+        if p.dropout_prob <= 0.0 && p.corrupt_prob <= 0.0 && p.stuck_prob <= 0.0 {
+            return SampleFault::None;
+        }
+        let u = self.sample_rng(TAG_SAMPLE, tag).next_f64();
+        if u < p.dropout_prob {
+            inject_metrics().drops.inc();
+            SampleFault::Drop
+        } else if u < p.dropout_prob + p.corrupt_prob {
+            inject_metrics().corruptions.inc();
+            SampleFault::Corrupt
+        } else if u < p.dropout_prob + p.corrupt_prob + p.stuck_prob {
+            inject_metrics().stucks.inc();
+            SampleFault::Stuck
+        } else {
+            SampleFault::None
+        }
+    }
+
+    /// Garbage counter values for a corrupted sample: `n` values, each far
+    /// above [`COUNTER_PLAUSIBLE_MAX`] so sanitization can detect them.
+    pub fn corrupt_row(&self, tag: u64, n: usize) -> Vec<u64> {
+        let mut rng = self.sample_rng(TAG_CORRUPT, tag);
+        (0..n)
+            .map(|_| COUNTER_PLAUSIBLE_MAX.wrapping_mul(4) | rng.next_u64())
+            .collect()
+    }
+
+    /// Multiplicative noise factors for one sample's `n` counters
+    /// (all `1.0` when the plan is noiseless).
+    pub fn noise_factors(&self, tag: u64, n: usize) -> Vec<f64> {
+        if self.plan.noise_rel <= 0.0 {
+            return vec![1.0; n];
+        }
+        let mut rng = self.sample_rng(TAG_NOISE, tag);
+        (0..n)
+            .map(|_| (1.0 + self.plan.noise_rel * rng.next_gaussian()).max(0.0))
+            .collect()
+    }
+
+    fn sample_rng(&self, component: u64, tag: u64) -> Rng64 {
+        self.stream.derive(component).rng(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_presets_and_overrides() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse("none").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse("heavy").unwrap(), FaultPlan::heavy());
+        let p = FaultPlan::parse("ci-default,crash=0.5,seed=99").unwrap();
+        assert_eq!(p.crash_prob, 0.5);
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.dropout_prob, FaultPlan::ci_default().dropout_prob);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("crash=two").is_err());
+        assert!(FaultPlan::parse("crash=1.5").is_err());
+        assert!(FaultPlan::parse("crash=-0.1").is_err());
+        assert!(FaultPlan::parse("wat=0.1").is_err());
+        assert!(matches!(
+            FaultPlan::parse("bogus"),
+            Err(StcaError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_attempt() {
+        let plan = FaultPlan::heavy();
+        let a = plan.injector(0xAB, 0);
+        let b = plan.injector(0xAB, 0);
+        for tag in 0..64 {
+            assert_eq!(a.sample_fault(tag), b.sample_fault(tag));
+            assert_eq!(a.noise_factors(tag, 5), b.noise_factors(tag, 5));
+        }
+        assert_eq!(a.attempt_outcome().is_err(), b.attempt_outcome().is_err());
+    }
+
+    #[test]
+    fn attempts_reroll_independently() {
+        // With crash=0.5, 16 attempts virtually never agree on all rolls.
+        let plan = FaultPlan::parse("crash=0.5,seed=3").unwrap();
+        let outcomes: Vec<bool> = (0..16)
+            .map(|a| plan.injector(1, a).attempt_outcome().is_err())
+            .collect();
+        assert!(outcomes.iter().any(|&c| c));
+        assert!(outcomes.iter().any(|&c| !c));
+    }
+
+    #[test]
+    fn sample_fault_rates_roughly_match() {
+        let plan = FaultPlan::parse("dropout=0.2,corrupt=0.1,stuck=0.1,seed=5").unwrap();
+        let inj = plan.injector(9, 0);
+        let n = 20_000;
+        let mut counts = [0usize; 4];
+        for tag in 0..n {
+            let idx = match inj.sample_fault(tag) {
+                SampleFault::None => 0,
+                SampleFault::Drop => 1,
+                SampleFault::Corrupt => 2,
+                SampleFault::Stuck => 3,
+            };
+            counts[idx] += 1;
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[1]) - 0.2).abs() < 0.02, "drop {counts:?}");
+        assert!((frac(counts[2]) - 0.1).abs() < 0.02, "corrupt {counts:?}");
+        assert!((frac(counts[3]) - 0.1).abs() < 0.02, "stuck {counts:?}");
+    }
+
+    #[test]
+    fn corrupt_rows_exceed_plausibility_bound() {
+        let inj = FaultPlan::heavy().injector(2, 0);
+        for v in inj.corrupt_row(7, 29) {
+            assert!(v > COUNTER_PLAUSIBLE_MAX);
+        }
+    }
+
+    #[test]
+    fn inactive_plan_is_a_no_op() {
+        let inj = FaultPlan::none().injector(1, 0);
+        assert!(!inj.is_active());
+        assert!(inj.attempt_outcome().is_ok());
+        assert_eq!(inj.injected_latency_s(), 0.0);
+        assert_eq!(inj.sample_fault(3), SampleFault::None);
+        assert_eq!(inj.noise_factors(3, 4), vec![1.0; 4]);
+    }
+}

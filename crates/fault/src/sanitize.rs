@@ -1,0 +1,81 @@
+//! Scrubbing helpers for feature values headed into model training.
+//!
+//! Counter-trace sanitization (stuck rows, implausible u64 counters) lives
+//! next to the trace types in `stca-profiler`; this module holds the
+//! crate-neutral f64 layer — non-finite detection and repair — plus the
+//! plausibility bound both layers share, and the `fault.rows_rejected_total`
+//! metric used everywhere a training row is refused.
+
+use std::sync::{Arc, OnceLock};
+
+/// Upper bound on a believable raw counter value per sampling window.
+///
+/// A 0.2–1 Hz window on the simulated machine moves well under 2⁴⁰ events;
+/// injected corruption writes values above `4 ×` this bound so detection
+/// has margin on both sides.
+pub const COUNTER_PLAUSIBLE_MAX: u64 = 1 << 48;
+
+fn rows_rejected() -> &'static Arc<stca_obs::Counter> {
+    static C: OnceLock<Arc<stca_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| stca_obs::counter("fault.rows_rejected_total"))
+}
+
+fn values_scrubbed() -> &'static Arc<stca_obs::Counter> {
+    static C: OnceLock<Arc<stca_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| stca_obs::counter("fault.values_scrubbed_total"))
+}
+
+/// True when every value is finite (no NaN, no ±Inf).
+pub fn all_finite(values: &[f64]) -> bool {
+    values.iter().all(|v| v.is_finite())
+}
+
+/// Replace non-finite values with 0.0 in place; returns how many were
+/// repaired (also counted on `fault.values_scrubbed_total`).
+pub fn scrub_non_finite(values: &mut [f64]) -> usize {
+    let mut repaired = 0;
+    for v in values.iter_mut() {
+        if !v.is_finite() {
+            *v = 0.0;
+            repaired += 1;
+        }
+    }
+    if repaired > 0 {
+        values_scrubbed().add(repaired as u64);
+    }
+    repaired
+}
+
+/// Record that a training/dataset row was rejected, with the reason logged
+/// at warn level. Counted on `fault.rows_rejected_total`.
+pub fn reject_row(context: &str, reason: &str) {
+    rows_rejected().inc();
+    stca_obs::warn!("rejecting row ({context}): {reason}");
+}
+
+/// How many rows have been rejected so far (for tests and reports).
+pub fn rows_rejected_total() -> u64 {
+    rows_rejected().get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_repairs_only_non_finite() {
+        let mut v = [1.0, f64::NAN, -2.5, f64::INFINITY, f64::NEG_INFINITY];
+        assert!(!all_finite(&v));
+        assert_eq!(scrub_non_finite(&mut v), 3);
+        assert_eq!(v, [1.0, 0.0, -2.5, 0.0, 0.0]);
+        assert!(all_finite(&v));
+        assert_eq!(scrub_non_finite(&mut v), 0);
+    }
+
+    #[test]
+    fn reject_row_counts() {
+        let before = rows_rejected_total();
+        reject_row("test", "ea is NaN");
+        assert_eq!(rows_rejected_total(), before + 1);
+    }
+}

@@ -15,9 +15,9 @@
 //! (≤ ~19%), which is plenty for p50/p95/p99 stage timings.
 
 use crate::json::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Sub-buckets per octave (power of two) in histograms.
 const SUB_BUCKETS_PER_OCTAVE: usize = 4;
@@ -263,9 +263,17 @@ pub enum Metric {
 
 /// The metric store. One global instance lives behind [`registry`];
 /// separate instances are for tests.
+///
+/// Registering a name twice with different kinds is a bug in the caller,
+/// but not one worth aborting a multi-hour profiling run over: the first
+/// registration keeps the name, the mismatched caller gets a *detached*
+/// handle of the kind it asked for (updates to it are simply invisible in
+/// reports), and a warning is logged once per name.
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: RwLock<BTreeMap<String, Metric>>,
+    /// Names already warned about for kind conflicts (one-shot warnings).
+    kind_conflicts: Mutex<BTreeSet<String>>,
 }
 
 impl Registry {
@@ -274,41 +282,74 @@ impl Registry {
         Registry::default()
     }
 
-    /// Get or create the named counter. Panics if the name is already
-    /// registered as a different kind.
+    // Must be called with no registry lock held: it takes its own lock and
+    // logging may itself touch metrics.
+    fn warn_kind_conflict(&self, name: &str, requested: &str, existing: &str) {
+        let first_time = self
+            .kind_conflicts
+            .lock()
+            .expect("conflict lock")
+            .insert(name.to_string());
+        if first_time {
+            crate::warn!(
+                "metric {name:?} is already registered as a {existing}; returning a \
+                 detached {requested} whose updates will not appear in reports"
+            );
+        }
+    }
+
+    /// Get or create the named counter. If the name is already registered
+    /// as a different kind, warns once and returns a detached counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.metrics.write().expect("registry lock");
-        match map
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
-        {
-            Metric::Counter(c) => c.clone(),
-            other => panic!("metric {name:?} already registered as {other:?}"),
-        }
+        let existing = {
+            let mut map = self.metrics.write().expect("registry lock");
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+            {
+                Metric::Counter(c) => return c.clone(),
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            }
+        };
+        self.warn_kind_conflict(name, "counter", existing);
+        Arc::new(Counter::default())
     }
 
-    /// Get or create the named gauge.
+    /// Get or create the named gauge. If the name is already registered as
+    /// a different kind, warns once and returns a detached gauge.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.metrics.write().expect("registry lock");
-        match map
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
-        {
-            Metric::Gauge(g) => g.clone(),
-            other => panic!("metric {name:?} already registered as {other:?}"),
-        }
+        let existing = {
+            let mut map = self.metrics.write().expect("registry lock");
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+            {
+                Metric::Gauge(g) => return g.clone(),
+                Metric::Counter(_) => "counter",
+                Metric::Histogram(_) => "histogram",
+            }
+        };
+        self.warn_kind_conflict(name, "gauge", existing);
+        Arc::new(Gauge::default())
     }
 
-    /// Get or create the named histogram.
+    /// Get or create the named histogram. If the name is already registered
+    /// as a different kind, warns once and returns a detached histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.metrics.write().expect("registry lock");
-        match map
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
-        {
-            Metric::Histogram(h) => h.clone(),
-            other => panic!("metric {name:?} already registered as {other:?}"),
-        }
+        let existing = {
+            let mut map = self.metrics.write().expect("registry lock");
+            match map
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+            {
+                Metric::Histogram(h) => return h.clone(),
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+            }
+        };
+        self.warn_kind_conflict(name, "histogram", existing);
+        Arc::new(Histogram::default())
     }
 
     /// Sorted snapshot of all metrics.
@@ -483,11 +524,23 @@ mod tests {
     }
 
     #[test]
-    fn registry_kind_conflict_panics() {
+    fn registry_kind_conflict_returns_detached_handle() {
         let r = Registry::new();
-        r.counter("x_total");
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.gauge("x_total")));
-        assert!(err.is_err());
+        r.counter("x_total").add(3);
+        // Mismatched kind must not abort: the caller gets a usable gauge…
+        let g = r.gauge("x_total");
+        g.set(7.5);
+        assert_eq!(g.get(), 7.5);
+        // …while the original registration keeps the name.
+        let snap = r.snapshot();
+        let (_, metric) = snap.iter().find(|(n, _)| n == "x_total").expect("present");
+        match metric {
+            Metric::Counter(c) => assert_eq!(c.get(), 3),
+            other => panic!("original counter replaced by {other:?}"),
+        }
+        // Repeat offenders get fresh detached handles, not a panic.
+        r.histogram("x_total").record(0.1);
+        assert_eq!(r.snapshot().len(), 1);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub fn effective_allocation(
     policy_service: f64,
     allocation_ratio: f64,
 ) -> f64 {
+    // NaN/Inf inputs (corrupted measurements) clamp to 0 like other
+    // degenerate inputs rather than poisoning every downstream label.
+    if !baseline_service.is_finite() || !policy_service.is_finite() || !allocation_ratio.is_finite()
+    {
+        stca_obs::counter("fault.ea_invalid_inputs_total").inc();
+        return 0.0;
+    }
     assert!(
         allocation_ratio >= 1.0,
         "boost cannot shrink the allocation"
@@ -90,5 +97,15 @@ mod tests {
     #[should_panic]
     fn ratio_below_one_rejected() {
         effective_allocation(1.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn non_finite_inputs_clamp_and_count() {
+        let before = stca_obs::counter("fault.ea_invalid_inputs_total").get();
+        assert_eq!(effective_allocation(f64::NAN, 1.0, 2.0), 0.0);
+        assert_eq!(effective_allocation(1.0, f64::INFINITY, 2.0), 0.0);
+        assert_eq!(effective_allocation(1.0, 1.0, f64::NAN), 0.0);
+        let after = stca_obs::counter("fault.ea_invalid_inputs_total").get();
+        assert_eq!(after, before + 3);
     }
 }

@@ -21,6 +21,7 @@ use crate::proxy::ProxyService;
 use stca_cachesim::{Counter, CounterSet, Hierarchy, HierarchyConfig, MaskMode};
 use stca_cat::layout::ExperimentLayout;
 use stca_cat::ShortTermPolicy;
+use stca_fault::{with_retry, FaultPlan, RetryPolicy, StcaError};
 use stca_util::{Distribution, Percentiles, Rng64, Seconds};
 use stca_workloads::{AccessGenerator, RuntimeCondition, WorkloadSpec};
 use std::collections::VecDeque;
@@ -273,18 +274,87 @@ pub struct TestEnvironment {
 impl TestEnvironment {
     /// Create an environment for a spec. The layout must host exactly the
     /// condition's workload count and fit in the configured LLC.
+    ///
+    /// Panics on an invalid spec; fault-tolerant callers use [`try_new`].
+    ///
+    /// [`try_new`]: TestEnvironment::try_new
     pub fn new(spec: ExperimentSpec) -> Self {
-        assert!(
-            spec.condition.workloads.len() >= 2,
-            "collocation needs at least two workloads"
-        );
-        assert_eq!(
-            spec.layout.workloads(),
-            spec.condition.workloads.len(),
-            "layout must host one region per collocated workload"
-        );
-        assert!(spec.layout.total_ways() <= spec.config.llc.ways);
-        TestEnvironment { spec }
+        match Self::try_new(spec) {
+            Ok(env) => env,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`new`](TestEnvironment::new) with spec validation surfaced as a
+    /// [`StcaError::InvalidInput`] instead of a panic.
+    pub fn try_new(spec: ExperimentSpec) -> Result<Self, StcaError> {
+        if spec.condition.workloads.len() < 2 {
+            return Err(StcaError::invalid_input(format!(
+                "collocation needs at least two workloads, got {}",
+                spec.condition.workloads.len()
+            )));
+        }
+        if spec.layout.workloads() != spec.condition.workloads.len() {
+            return Err(StcaError::invalid_input(format!(
+                "layout must host the condition's {1} workloads, but has {0} regions",
+                spec.layout.workloads(),
+                spec.condition.workloads.len()
+            )));
+        }
+        if spec.layout.total_ways() > spec.config.llc.ways {
+            return Err(StcaError::invalid_input(format!(
+                "layout needs {} ways but the LLC has {}",
+                spec.layout.total_ways(),
+                spec.config.llc.ways
+            )));
+        }
+        Ok(TestEnvironment { spec })
+    }
+
+    /// Run one fault-injected attempt: roll run-level faults (crash,
+    /// timeout) keyed to `(plan seed, spec seed, attempt)`, execute the
+    /// experiment, mangle each station's trace per the plan, and sanitize
+    /// the result. Under [`FaultPlan::none`] this is exactly [`run`].
+    ///
+    /// [`run`]: TestEnvironment::run
+    pub fn run_attempt(
+        &self,
+        plan: &FaultPlan,
+        attempt: u32,
+    ) -> Result<ExperimentOutcome, StcaError> {
+        let injector = plan.injector(self.spec.seed, attempt);
+        if !injector.is_active() {
+            return Ok(self.run());
+        }
+        // roll the cheap run-level faults before paying for the run
+        injector.attempt_outcome()?;
+        let _latency = injector.injected_latency_s();
+        let mut out = self.run();
+        for (station, w) in out.workloads.iter_mut().enumerate() {
+            crate::sampler::apply_faults(&injector, station as u64, &mut w.trace);
+            let report = crate::sampler::sanitize_trace(&mut w.trace);
+            if report.rejected() {
+                return Err(StcaError::InvalidTrace {
+                    reason: format!("station {station}: {report}"),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`run_attempt`] under a retry policy: transient failures (injected
+    /// crashes/timeouts, rejected traces) re-roll with a fresh attempt
+    /// number until success or [`StcaError::RetriesExhausted`].
+    ///
+    /// [`run_attempt`]: TestEnvironment::run_attempt
+    pub fn run_with_retry(
+        &self,
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+    ) -> Result<ExperimentOutcome, StcaError> {
+        with_retry(retry, self.spec.seed, |attempt| {
+            self.run_attempt(plan, attempt)
+        })
     }
 
     /// Calibrate one benchmark's cycles→seconds factor: run it solo on its
@@ -655,6 +725,17 @@ impl TestEnvironment {
     }
 }
 
+/// One-shot checked experiment: validate the spec, then run it under the
+/// fault plan and retry policy. This is the entry point the CLI and the
+/// bench dataset builder use on the fault-tolerant path.
+pub fn run_experiment_checked(
+    spec: ExperimentSpec,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+) -> Result<ExperimentOutcome, StcaError> {
+    TestEnvironment::try_new(spec)?.run_with_retry(plan, retry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -815,6 +896,86 @@ mod tests {
                 assert!(r + 1e-9 >= d + s, "response {r} >= delay {d} + service {s}");
             }
         }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_specs() {
+        let cond = RuntimeCondition::pair(BenchmarkId::Knn, 0.7, 1.0, BenchmarkId::Bfs, 0.7, 1.0);
+        let mut spec = ExperimentSpec::quick(cond, 1);
+        spec.condition.workloads.truncate(1);
+        assert!(matches!(
+            TestEnvironment::try_new(spec.clone()),
+            Err(StcaError::InvalidInput { .. })
+        ));
+        let cond = RuntimeCondition::pair(BenchmarkId::Knn, 0.7, 1.0, BenchmarkId::Bfs, 0.7, 1.0);
+        let mut spec = ExperimentSpec::quick(cond, 1);
+        spec.layout = ExperimentLayout::pair_symmetric(64, 64);
+        assert!(matches!(
+            TestEnvironment::try_new(spec),
+            Err(StcaError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_run_without_faults_matches_unchecked() {
+        let cond = RuntimeCondition::pair(BenchmarkId::Knn, 0.7, 1.0, BenchmarkId::Bfs, 0.7, 1.0);
+        let spec = ExperimentSpec::quick(cond, 11);
+        let plain = TestEnvironment::new(spec.clone()).run();
+        let checked = run_experiment_checked(spec, &FaultPlan::none(), &RetryPolicy::default())
+            .expect("no faults injected");
+        assert_eq!(
+            plain.workloads[0].response_times,
+            checked.workloads[0].response_times
+        );
+        assert_eq!(plain.workloads[1].trace, checked.workloads[1].trace);
+    }
+
+    #[test]
+    fn certain_crash_exhausts_retries() {
+        let cond = RuntimeCondition::pair(BenchmarkId::Knn, 0.7, 1.0, BenchmarkId::Bfs, 0.7, 1.0);
+        let spec = ExperimentSpec::quick(cond, 12);
+        let mut plan = FaultPlan::none();
+        plan.seed = 7;
+        plan.crash_prob = 1.0;
+        let err = run_experiment_checked(spec, &plan, &RetryPolicy::with_max_retries(2))
+            .expect_err("every attempt crashes");
+        match err {
+            StcaError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, StcaError::InjectedCrash { .. }));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_probabilistic_crashes() {
+        // moderate crash probability: with enough retries some seed recovers
+        let cond = RuntimeCondition::pair(BenchmarkId::Knn, 0.7, 1.0, BenchmarkId::Bfs, 0.7, 1.0);
+        let spec = ExperimentSpec::quick(cond, 13);
+        let mut plan = FaultPlan::none();
+        plan.seed = 3;
+        plan.crash_prob = 0.5;
+        let out = run_experiment_checked(spec, &plan, &RetryPolicy::with_max_retries(16))
+            .expect("recovers within 16 retries");
+        assert_eq!(out.workloads.len(), 2);
+        assert_eq!(out.workloads[0].response_times.len(), 60);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let run_once = || {
+            let cond =
+                RuntimeCondition::pair(BenchmarkId::Knn, 0.7, 1.0, BenchmarkId::Bfs, 0.7, 1.0);
+            let spec = ExperimentSpec::quick(cond, 21);
+            run_experiment_checked(spec, &FaultPlan::ci_default(), &RetryPolicy::default())
+                .expect("ci-default plan is survivable")
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.workloads[0].trace, b.workloads[0].trace);
+        assert_eq!(a.workloads[1].trace, b.workloads[1].trace);
+        assert_eq!(a.workloads[0].response_times, b.workloads[0].response_times);
     }
 
     #[test]

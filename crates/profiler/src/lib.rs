@@ -24,6 +24,14 @@
 //! * [`profile`] — Eq.-2 profile vectors and train/test dataset assembly;
 //! * [`stratified`] — the stratified condition-sampling procedure of §4
 //!   (seed experiments → cluster by EA → refine near centroids).
+//!
+//! The profiler is the first stage of the fault-tolerant path (`stca-fault`):
+//! [`executor::run_experiment_checked`] runs experiments under a
+//! [`stca_fault::FaultPlan`] with retry, [`sampler::sanitize_trace`] repairs
+//! or rejects damaged traces, and [`stratified::stratified_sample_checked`]
+//! skips failed conditions instead of aborting the sweep.
+
+#![warn(clippy::unwrap_used)]
 
 pub mod ea;
 pub mod executor;
@@ -34,6 +42,10 @@ pub mod storage;
 pub mod stratified;
 
 pub use ea::effective_allocation;
-pub use executor::{ExperimentOutcome, ExperimentSpec, TestEnvironment, WorkloadOutcome};
+pub use executor::{
+    run_experiment_checked, ExperimentOutcome, ExperimentSpec, TestEnvironment, WorkloadOutcome,
+};
 pub use profile::{ProfileRow, ProfileSet};
 pub use proxy::ProxyService;
+pub use sampler::{apply_faults, sanitize_trace, TraceSanitizeReport};
+pub use stratified::{stratified_sample_checked, EvaluatedCondition};

@@ -1,5 +1,6 @@
 //! Profile persistence — save/load profile sets as a versioned,
-//! line-oriented text format.
+//! line-oriented text format, plus the JSON row encoding shared by the
+//! checkpoint files.
 //!
 //! Profiling is the expensive stage (the paper budgets 30 minutes per
 //! collocation); persisting profiles lets the modeling stages iterate
@@ -18,42 +19,31 @@
 //! trace <rows> <cols>
 //! <cols floats per line, one line per trace row>
 //! ```
+//!
+//! Checkpoint entries instead store rows as [`stca_obs::json::Value`]
+//! objects with every float bit-encoded as 16 hex chars (see
+//! [`row_to_json`] / [`row_from_json`]), because JSON `Number` cannot
+//! represent NaN and loses low bits; checkpoint resume must be bit-exact.
 
 use crate::profile::{ProfileRow, ProfileSet};
+use stca_fault::checkpoint::{f64s_to_value, value_to_f64s};
+use stca_fault::StcaError;
+use stca_obs::json::Value;
 use stca_util::Matrix;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Errors from loading a profile file.
-#[derive(Debug)]
-pub enum StorageError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// Structural problem with the file contents.
-    Format(String),
-}
-
-impl std::fmt::Display for StorageError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StorageError::Io(e) => write!(f, "io error: {e}"),
-            StorageError::Format(msg) => write!(f, "format error: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for StorageError {}
-
-impl From<std::io::Error> for StorageError {
-    fn from(e: std::io::Error) -> Self {
-        StorageError::Io(e)
+fn format_err(context: impl Into<String>) -> StcaError {
+    StcaError::Format {
+        context: context.into(),
     }
 }
 
 fn fmt_floats(out: &mut String, values: &[f64]) {
     for v in values {
         out.push(' ');
-        write!(out, "{v}").expect("string write");
+        let _ = write!(out, "{v}"); // writing to a String cannot fail
     }
     out.push('\n');
 }
@@ -62,14 +52,14 @@ fn fmt_floats(out: &mut String, values: &[f64]) {
 pub fn to_string(set: &ProfileSet) -> String {
     let mut out = String::new();
     out.push_str("STCA-PROFILES v1\n");
-    writeln!(out, "rows {}", set.len()).expect("string write");
+    let _ = writeln!(out, "rows {}", set.len());
     for r in &set.rows {
         out.push_str("row\n");
-        write!(out, "static {}", r.static_features.len()).expect("string write");
+        let _ = write!(out, "static {}", r.static_features.len());
         fmt_floats(&mut out, &r.static_features);
-        write!(out, "dynamic {}", r.dynamic_features.len()).expect("string write");
+        let _ = write!(out, "dynamic {}", r.dynamic_features.len());
         fmt_floats(&mut out, &r.dynamic_features);
-        write!(out, "targets").expect("string write");
+        out.push_str("targets");
         fmt_floats(
             &mut out,
             &[
@@ -80,7 +70,7 @@ pub fn to_string(set: &ProfileSet) -> String {
                 r.allocation_ratio,
             ],
         );
-        writeln!(out, "trace {} {}", r.trace.rows(), r.trace.cols()).expect("string write");
+        let _ = writeln!(out, "trace {} {}", r.trace.rows(), r.trace.cols());
         for row in 0..r.trace.rows() {
             let mut line = String::new();
             fmt_floats(&mut line, r.trace.row(row));
@@ -91,9 +81,8 @@ pub fn to_string(set: &ProfileSet) -> String {
 }
 
 /// Save a profile set to a file.
-pub fn save(set: &ProfileSet, path: &Path) -> Result<(), StorageError> {
-    std::fs::write(path, to_string(set))?;
-    Ok(())
+pub fn save(set: &ProfileSet, path: &Path) -> Result<(), StcaError> {
+    std::fs::write(path, to_string(set)).map_err(|e| StcaError::io(path.display().to_string(), e))
 }
 
 struct Lines<'a> {
@@ -102,21 +91,20 @@ struct Lines<'a> {
 }
 
 impl<'a> Lines<'a> {
-    fn next(&mut self) -> Result<&'a str, StorageError> {
+    fn next(&mut self) -> Result<&'a str, StcaError> {
         self.line_no += 1;
         self.inner
             .next()
-            .ok_or_else(|| StorageError::Format(format!("unexpected EOF at line {}", self.line_no)))
+            .ok_or_else(|| format_err(format!("unexpected EOF at line {}", self.line_no)))
     }
 }
 
-fn parse_floats(s: &str, expect: Option<usize>, line_no: usize) -> Result<Vec<f64>, StorageError> {
+fn parse_floats(s: &str, expect: Option<usize>, line_no: usize) -> Result<Vec<f64>, StcaError> {
     let vals: Result<Vec<f64>, _> = s.split_whitespace().map(|t| t.parse::<f64>()).collect();
-    let vals =
-        vals.map_err(|e| StorageError::Format(format!("bad float at line {line_no}: {e}")))?;
+    let vals = vals.map_err(|e| format_err(format!("bad float at line {line_no}: {e}")))?;
     if let Some(n) = expect {
         if vals.len() != n {
-            return Err(StorageError::Format(format!(
+            return Err(format_err(format!(
                 "expected {n} values at line {line_no}, got {}",
                 vals.len()
             )));
@@ -125,10 +113,10 @@ fn parse_floats(s: &str, expect: Option<usize>, line_no: usize) -> Result<Vec<f6
     Ok(vals)
 }
 
-fn expect_tagged<'a>(lines: &mut Lines<'a>, tag: &str) -> Result<(&'a str, usize), StorageError> {
+fn expect_tagged<'a>(lines: &mut Lines<'a>, tag: &str) -> Result<(&'a str, usize), StcaError> {
     let line = lines.next()?;
     let rest = line.strip_prefix(tag).ok_or_else(|| {
-        StorageError::Format(format!(
+        format_err(format!(
             "expected '{tag}' at line {}, got {line:?}",
             lines.line_no
         ))
@@ -137,25 +125,25 @@ fn expect_tagged<'a>(lines: &mut Lines<'a>, tag: &str) -> Result<(&'a str, usize
 }
 
 /// Parse a profile set from a string.
-pub fn from_string(text: &str) -> Result<ProfileSet, StorageError> {
+pub fn from_string(text: &str) -> Result<ProfileSet, StcaError> {
     let mut lines = Lines {
         inner: text.lines(),
         line_no: 0,
     };
     let header = lines.next()?;
     if header != "STCA-PROFILES v1" {
-        return Err(StorageError::Format(format!("bad header {header:?}")));
+        return Err(format_err(format!("bad header {header:?}")));
     }
     let (rest, ln) = expect_tagged(&mut lines, "rows ")?;
     let n: usize = rest
         .trim()
         .parse()
-        .map_err(|e| StorageError::Format(format!("bad row count at line {ln}: {e}")))?;
+        .map_err(|e| format_err(format!("bad row count at line {ln}: {e}")))?;
     let mut set = ProfileSet::new();
     for _ in 0..n {
         let marker = lines.next()?;
         if marker != "row" {
-            return Err(StorageError::Format(format!(
+            return Err(format_err(format!(
                 "expected 'row' at line {}, got {marker:?}",
                 lines.line_no
             )));
@@ -164,18 +152,18 @@ pub fn from_string(text: &str) -> Result<ProfileSet, StorageError> {
         let mut parts = rest.split_whitespace();
         let k: usize = parts
             .next()
-            .ok_or_else(|| StorageError::Format(format!("missing count at line {ln}")))?
+            .ok_or_else(|| format_err(format!("missing count at line {ln}")))?
             .parse()
-            .map_err(|e| StorageError::Format(format!("bad count at line {ln}: {e}")))?;
+            .map_err(|e| format_err(format!("bad count at line {ln}: {e}")))?;
         let static_features = parse_floats(&parts.collect::<Vec<_>>().join(" "), Some(k), ln)?;
 
         let (rest, ln) = expect_tagged(&mut lines, "dynamic ")?;
         let mut parts = rest.split_whitespace();
         let k: usize = parts
             .next()
-            .ok_or_else(|| StorageError::Format(format!("missing count at line {ln}")))?
+            .ok_or_else(|| format_err(format!("missing count at line {ln}")))?
             .parse()
-            .map_err(|e| StorageError::Format(format!("bad count at line {ln}: {e}")))?;
+            .map_err(|e| format_err(format!("bad count at line {ln}: {e}")))?;
         let dynamic_features = parse_floats(&parts.collect::<Vec<_>>().join(" "), Some(k), ln)?;
 
         let (rest, ln) = expect_tagged(&mut lines, "targets")?;
@@ -205,8 +193,94 @@ pub fn from_string(text: &str) -> Result<ProfileSet, StorageError> {
 }
 
 /// Load a profile set from a file.
-pub fn load(path: &Path) -> Result<ProfileSet, StorageError> {
-    from_string(&std::fs::read_to_string(path)?)
+pub fn load(path: &Path) -> Result<ProfileSet, StcaError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| StcaError::io(path.display().to_string(), e))?;
+    from_string(&text)
+}
+
+/// Encode a profile row as a checkpoint-safe JSON value. Floats are stored
+/// as bit strings so resume reproduces the row bit-for-bit (including NaN
+/// payloads, which JSON numbers cannot carry).
+pub fn row_to_json(row: &ProfileRow) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("static".to_string(), f64s_to_value(&row.static_features));
+    obj.insert("dynamic".to_string(), f64s_to_value(&row.dynamic_features));
+    obj.insert(
+        "targets".to_string(),
+        f64s_to_value(&[
+            row.ea,
+            row.base_service_norm,
+            row.mean_response_norm,
+            row.p95_response_norm,
+            row.allocation_ratio,
+        ]),
+    );
+    obj.insert(
+        "trace_dims".to_string(),
+        Value::Array(vec![
+            Value::Number(row.trace.rows() as f64),
+            Value::Number(row.trace.cols() as f64),
+        ]),
+    );
+    obj.insert("trace".to_string(), f64s_to_value(row.trace.as_slice()));
+    Value::Object(obj)
+}
+
+/// Decode a profile row written by [`row_to_json`].
+pub fn row_from_json(value: &Value) -> Result<ProfileRow, StcaError> {
+    let field = |name: &str| -> Result<&Value, StcaError> {
+        value
+            .get(name)
+            .ok_or_else(|| format_err(format!("checkpoint row missing field {name:?}")))
+    };
+    let floats = |name: &str| -> Result<Vec<f64>, StcaError> {
+        value_to_f64s(field(name)?)
+            .ok_or_else(|| format_err(format!("checkpoint row field {name:?} malformed")))
+    };
+    let static_features = floats("static")?;
+    let dynamic_features = floats("dynamic")?;
+    let targets = floats("targets")?;
+    if targets.len() != 5 {
+        return Err(format_err(format!(
+            "checkpoint row has {} targets, expected 5",
+            targets.len()
+        )));
+    }
+    let dims = match field("trace_dims")? {
+        Value::Array(a) if a.len() == 2 => a,
+        other => {
+            return Err(format_err(format!(
+                "checkpoint row trace_dims malformed: {other}"
+            )))
+        }
+    };
+    let rows = dims[0]
+        .as_f64()
+        .ok_or_else(|| format_err("trace_dims[0] not a number"))? as usize;
+    let cols = dims[1]
+        .as_f64()
+        .ok_or_else(|| format_err("trace_dims[1] not a number"))? as usize;
+    let flat = value_to_f64s(field("trace")?)
+        .ok_or_else(|| format_err("checkpoint row field \"trace\" malformed"))?;
+    if flat.len() != rows * cols {
+        return Err(format_err(format!(
+            "checkpoint row trace has {} values for {rows}x{cols}",
+            flat.len()
+        )));
+    }
+    let mut trace = Matrix::zeros(rows, cols);
+    trace.as_mut_slice().copy_from_slice(&flat);
+    Ok(ProfileRow {
+        static_features,
+        dynamic_features,
+        trace,
+        ea: targets[0],
+        base_service_norm: targets[1],
+        mean_response_norm: targets[2],
+        p95_response_norm: targets[3],
+        allocation_ratio: targets[4],
+    })
 }
 
 #[cfg(test)]
@@ -279,7 +353,7 @@ mod tests {
     fn rejects_bad_header() {
         assert!(matches!(
             from_string("NOT-A-PROFILE v9\n"),
-            Err(StorageError::Format(_))
+            Err(StcaError::Format { .. })
         ));
     }
 
@@ -295,6 +369,12 @@ mod tests {
         let good = to_string(&sample_set());
         let bad = good.replacen("static 5", "static 7", 1);
         assert!(from_string(&bad).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load(Path::new("/definitely/not/here.stca")).expect_err("missing");
+        assert!(matches!(err, StcaError::Io { .. }));
     }
 
     #[test]
@@ -316,5 +396,32 @@ mod tests {
             back.rows[0].p95_response_norm,
             set.rows[0].p95_response_norm
         );
+    }
+
+    #[test]
+    fn json_row_roundtrip_is_bit_exact() {
+        let set = sample_set();
+        for row in &set.rows {
+            let encoded = row_to_json(row);
+            // force a full serialize/parse cycle like a real checkpoint file
+            let text = encoded.to_string();
+            let parsed = Value::parse(&text).expect("valid json");
+            let back = row_from_json(&parsed).expect("decodes");
+            assert_eq!(back.static_features, row.static_features);
+            assert_eq!(back.trace.as_slice(), row.trace.as_slice());
+            assert_eq!(back.ea.to_bits(), row.ea.to_bits());
+            assert_eq!(
+                back.allocation_ratio.to_bits(),
+                row.allocation_ratio.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn json_row_rejects_malformed_values() {
+        assert!(row_from_json(&Value::Null).is_err());
+        let mut obj = BTreeMap::new();
+        obj.insert("static".to_string(), f64s_to_value(&[1.0]));
+        assert!(row_from_json(&Value::Object(obj)).is_err());
     }
 }

@@ -11,6 +11,7 @@
 //! closure running one profiling experiment and returning measured EA, so
 //! tests can exercise the sampling logic against synthetic surfaces.
 
+use stca_fault::StcaError;
 use stca_util::kmeans::kmeans;
 use stca_util::Rng64;
 use stca_workloads::conditions::bounds;
@@ -184,6 +185,118 @@ pub fn stratified_sample_with<T: Send>(
     evaluated
 }
 
+/// Fault-tolerant stratified sampling.
+///
+/// Like [`stratified_sample_with`], but the evaluator is fallible and may
+/// panic: conditions whose evaluation fails (or panics — isolated via the
+/// exec pool's catch-unwind path) are *skipped* with a warning and counted
+/// in `fault.conditions_failed_total`, and clustering proceeds over the
+/// survivors. The evaluator also receives the condition's global draw index
+/// so per-condition seeds can be derived deterministically.
+///
+/// Errors only when the procedure cannot continue: fewer seeds than
+/// clusters requested, or every seed condition failed.
+pub fn stratified_sample_checked<T: Send>(
+    pair: (BenchmarkId, BenchmarkId),
+    config: StratifiedConfig,
+    rng: &mut Rng64,
+    evaluate: impl Fn(usize, &RuntimeCondition) -> Result<(f64, T), StcaError> + Sync,
+) -> Result<Vec<EvaluatedCondition<T>>, StcaError> {
+    if config.seeds < config.clusters {
+        return Err(StcaError::invalid_input(format!(
+            "need at least one seed per cluster: {} seeds, {} clusters",
+            config.seeds, config.clusters
+        )));
+    }
+    stca_obs::time_scope!("profiler.stratified.run_seconds");
+    let failed = stca_obs::counter("fault.conditions_failed_total");
+    // `drawn` is the global draw index offset for the current batch, so the
+    // evaluator sees a stable per-condition index regardless of how many
+    // earlier conditions failed.
+    let mut drawn = 0usize;
+    let mut eval_batch = |conditions: Vec<RuntimeCondition>,
+                          phase_counter: &str|
+     -> Vec<EvaluatedCondition<T>> {
+        let base = drawn;
+        drawn += conditions.len();
+        let results = stca_exec::par_map_indexed_caught(&conditions, |i, c| evaluate(base + i, c));
+        conditions
+            .into_iter()
+            .zip(results)
+            .enumerate()
+            .filter_map(|(i, (condition, result))| {
+                let flattened = match result {
+                    Ok(inner) => inner.map_err(|e| e.to_string()),
+                    Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
+                };
+                match flattened {
+                    Ok((ea, payload)) => {
+                        record_sample(phase_counter, ea);
+                        Some(EvaluatedCondition {
+                            condition,
+                            ea,
+                            payload,
+                        })
+                    }
+                    Err(reason) => {
+                        failed.inc();
+                        stca_obs::warn!(
+                            "stratified: condition {} failed, skipping: {reason}",
+                            base + i
+                        );
+                        None
+                    }
+                }
+            })
+            .collect()
+    };
+
+    let seeds: Vec<RuntimeCondition> = (0..config.seeds)
+        .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, rng))
+        .collect();
+    let mut evaluated = eval_batch(seeds, "profiler.stratified.seed_samples_total");
+    if evaluated.is_empty() {
+        return Err(StcaError::invalid_input(format!(
+            "all {} seed conditions failed to evaluate",
+            config.seeds
+        )));
+    }
+
+    for _ in 0..config.rounds {
+        let points: Vec<Vec<f64>> = evaluated.iter().map(|e| vec![e.ea]).collect();
+        // survivors may number fewer than the requested clusters
+        let k = config.clusters.min(points.len());
+        let km = kmeans(&points, k, 50, rng);
+        let mut staged: Vec<RuntimeCondition> = Vec::new();
+        for c in 0..km.centroids.len() {
+            let centroid_ea = km.centroids[c][0];
+            let representative = evaluated
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| km.assignment[*i] == c)
+                .min_by(|(_, a), (_, b)| {
+                    (a.ea - centroid_ea)
+                        .abs()
+                        .partial_cmp(&(b.ea - centroid_ea).abs())
+                        .expect("finite EA")
+                })
+                .map(|(_, e)| e.condition.clone());
+            let Some(rep) = representative else { continue };
+            for _ in 0..config.per_cluster {
+                staged.push(jittered_near(&rep, config.jitter, rng));
+            }
+        }
+        let refined = eval_batch(staged, "profiler.stratified.refine_samples_total");
+        evaluated.extend(refined);
+    }
+    stca_obs::debug!(
+        "stratified (checked) done: {} of {} drawn conditions evaluated",
+        evaluated.len(),
+        drawn
+    );
+    Ok(evaluated)
+}
+
 /// Plain uniform sampling of `n` conditions (the comparison point the paper
 /// abandoned for over-sampling). Conditions are drawn serially, evaluated
 /// in parallel, and returned in draw order.
@@ -295,6 +408,109 @@ mod tests {
             },
         );
         assert_eq!(calls.load(Ordering::Relaxed), out.len());
+    }
+
+    #[test]
+    fn checked_sampler_skips_failed_conditions() {
+        let mut rng = Rng64::new(6);
+        let cfg = StratifiedConfig {
+            seeds: 10,
+            clusters: 3,
+            per_cluster: 2,
+            rounds: 1,
+            jitter: 0.1,
+        };
+        let out = stratified_sample_checked(
+            (BenchmarkId::Knn, BenchmarkId::Bfs),
+            cfg,
+            &mut rng,
+            |i, c| {
+                if i % 3 == 0 {
+                    Err(StcaError::InjectedCrash {
+                        run_key: i as u64,
+                        attempt: 0,
+                    })
+                } else {
+                    Ok((surface(c), ()))
+                }
+            },
+        )
+        .expect("survivors remain");
+        // 10 seeds + 3x2 refinements drawn = 16, every 3rd fails
+        assert!(!out.is_empty());
+        assert!(out.len() < 16, "failed conditions are dropped");
+        assert!(out.iter().all(|e| e.ea.is_finite()));
+    }
+
+    #[test]
+    fn checked_sampler_isolates_panics() {
+        let mut rng = Rng64::new(7);
+        let cfg = StratifiedConfig {
+            seeds: 6,
+            clusters: 2,
+            per_cluster: 1,
+            rounds: 1,
+            jitter: 0.1,
+        };
+        let out = stratified_sample_checked(
+            (BenchmarkId::Knn, BenchmarkId::Bfs),
+            cfg,
+            &mut rng,
+            |i, c| {
+                if i == 2 {
+                    panic!("synthetic evaluator panic");
+                }
+                Ok((surface(c), ()))
+            },
+        )
+        .expect("panics are contained");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn checked_sampler_errors_when_everything_fails() {
+        let mut rng = Rng64::new(8);
+        let cfg = StratifiedConfig {
+            seeds: 4,
+            clusters: 2,
+            per_cluster: 1,
+            rounds: 1,
+            jitter: 0.1,
+        };
+        let err = stratified_sample_checked::<()>(
+            (BenchmarkId::Knn, BenchmarkId::Bfs),
+            cfg,
+            &mut rng,
+            |i, _| {
+                Err(StcaError::InjectedCrash {
+                    run_key: i as u64,
+                    attempt: 0,
+                })
+            },
+        )
+        .expect_err("no survivors");
+        assert!(matches!(err, StcaError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn checked_sampler_rejects_bad_config() {
+        let mut rng = Rng64::new(9);
+        let cfg = StratifiedConfig {
+            seeds: 2,
+            clusters: 5,
+            per_cluster: 1,
+            rounds: 1,
+            jitter: 0.1,
+        };
+        assert!(matches!(
+            stratified_sample_checked(
+                (BenchmarkId::Knn, BenchmarkId::Bfs),
+                cfg,
+                &mut rng,
+                |_, c| Ok((surface(c), ())),
+            ),
+            Err(StcaError::InvalidInput { .. })
+        ));
     }
 
     #[test]

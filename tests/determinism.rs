@@ -86,6 +86,36 @@ fn dataset_build_is_thread_count_invariant() {
 }
 
 #[test]
+fn fault_injected_dataset_build_is_thread_count_invariant() {
+    let _guard = exec_lock();
+    // fault decisions are keyed to (plan seed, run seed, attempt), never to
+    // scheduling, so an injected plan must stay bit-identical across thread
+    // counts too — including which conditions crash and retry
+    let pair = (BenchmarkId::Knn, BenchmarkId::Bfs);
+    let (serial, parallel) = at_1_and_8(|| {
+        stca_bench::dataset::build_pair_dataset_checked(
+            pair,
+            4,
+            Scale::Quick,
+            CounterOrdering::Grouped,
+            23,
+            &stca_fault::FaultPlan::heavy(),
+            &stca_fault::RetryPolicy::with_max_retries(8),
+            None,
+        )
+        .expect("heavy plan survivable with retries")
+    });
+    assert_eq!(serial.len(), parallel.len());
+    assert!(!serial.is_empty());
+    for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.row.ea.to_bits(), b.row.ea.to_bits());
+        assert_eq!(bits(a.row.trace.as_slice()), bits(b.row.trace.as_slice()));
+        assert_eq!(bits(&a.row.static_features), bits(&b.row.static_features));
+    }
+}
+
+#[test]
 fn policy_exploration_is_thread_count_invariant() {
     let _guard = exec_lock();
     // small profile fixture (serial: conditions drawn from one rng chain)
