@@ -42,6 +42,7 @@ impl TabularModel {
                         strategy: SplitStrategy::BestOfAll,
                         min_samples_leaf: 3,
                         max_depth: 24,
+                        ..TreeConfig::default()
                     },
                     &mut rng,
                 ))

@@ -188,6 +188,7 @@ fn bench_deepforest() {
                     stride: 3,
                     trees_per_window: 8,
                     max_positions_per_sample: 16,
+                    ..MgsConfig::default()
                 },
                 &SeedStream::new(4),
             );

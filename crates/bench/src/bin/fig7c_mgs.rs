@@ -74,6 +74,7 @@ fn main() {
         stride: 2,
         trees_per_window: 25,
         max_positions_per_sample: 40,
+        ..MgsConfig::default()
     };
     stca_obs::info!("fig7c: building datasets (grouped/shuffled x 2s/5s sampling)");
     let grouped_2s = build(pair, scale, CounterOrdering::Grouped, 2.0, 0xA1);

@@ -80,12 +80,14 @@ impl ModelConfig {
             forests_per_level: 4,
             trees_per_forest: 40,
             folds: 3,
+            ..CascadeConfig::default()
         };
         let mgs = MgsConfig {
             window_sizes: vec![5, 10, 15],
             stride: 2,
             trees_per_window: 25,
             max_positions_per_sample: 40,
+            ..MgsConfig::default()
         };
         ModelConfig {
             ea_forest: DeepForestConfig {
@@ -116,6 +118,7 @@ impl ModelConfig {
             forests_per_level: 2,
             trees_per_forest: 40,
             folds: 3,
+            ..CascadeConfig::default()
         };
         ModelConfig {
             ea_forest: DeepForestConfig {
@@ -143,12 +146,14 @@ impl ModelConfig {
             forests_per_level: 2,
             trees_per_forest: 12,
             folds: 3,
+            ..CascadeConfig::default()
         };
         let mgs = MgsConfig {
             window_sizes: vec![5, 10],
             stride: 3,
             trees_per_window: 10,
             max_positions_per_sample: 24,
+            ..MgsConfig::default()
         };
         ModelConfig {
             ea_forest: DeepForestConfig {
@@ -262,13 +267,15 @@ impl Predictor {
     /// when the row's features are damaged. Always returns a finite value
     /// in `[0.01, 2.0]`.
     pub fn predict_ea(&self, row: &ProfileRow) -> f64 {
-        let scalars_ok = all_finite(&row.scalar_features());
+        let scalars_ok = all_finite(&row.static_features);
         let trace_ok = all_finite(row.trace.as_slice());
         let raw = if scalars_ok && trace_ok {
-            self.ea_model.predict(&to_sample(row))
+            // borrow the row's parts directly: no Sample, no trace clone
+            self.ea_model
+                .predict_parts(&row.static_features, &row.trace)
         } else if scalars_ok {
             fallback("scalar");
-            self.ea_scalar.predict(&row.scalar_features())
+            self.ea_scalar.predict(&row.static_features)
         } else {
             fallback("analytic");
             analytic_ea(row.allocation_ratio)
@@ -287,13 +294,14 @@ impl Predictor {
     ///
     /// [`predict_ea`]: Predictor::predict_ea
     pub fn predict_base_service_norm(&self, row: &ProfileRow) -> f64 {
-        let scalars_ok = all_finite(&row.scalar_features());
+        let scalars_ok = all_finite(&row.static_features);
         let trace_ok = all_finite(row.trace.as_slice());
         let raw = if scalars_ok && trace_ok {
-            self.service_model.predict(&to_sample(row))
+            self.service_model
+                .predict_parts(&row.static_features, &row.trace)
         } else if scalars_ok {
             fallback("scalar");
-            self.service_scalar.predict(&row.scalar_features())
+            self.service_scalar.predict(&row.static_features)
         } else {
             fallback("analytic");
             1.0

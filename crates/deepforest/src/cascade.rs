@@ -45,6 +45,13 @@ pub struct CascadeConfig {
     pub trees_per_forest: usize,
     /// Folds for out-of-fold concept generation.
     pub folds: usize,
+    /// Opt-in histogram split finding for the random forests (see
+    /// [`TreeConfig::bins`](crate::TreeConfig)); completely-random forests
+    /// ignore it.
+    pub bins: Option<usize>,
+    /// Use the reference split finder (see
+    /// [`TreeConfig::reference`](crate::TreeConfig)).
+    pub reference: bool,
 }
 
 impl Default for CascadeConfig {
@@ -54,6 +61,8 @@ impl Default for CascadeConfig {
             forests_per_level: 4,
             trees_per_forest: 40,
             folds: 3,
+            bins: None,
+            reference: false,
         }
     }
 }
@@ -66,6 +75,7 @@ impl CascadeConfig {
             forests_per_level: 4,
             trees_per_forest: 100,
             folds: 3,
+            ..Default::default()
         }
     }
 }
@@ -77,11 +87,24 @@ pub struct Cascade {
 }
 
 fn forest_config(slot: usize, config: &CascadeConfig) -> ForestConfig {
-    if slot.is_multiple_of(2) {
+    let base = if slot.is_multiple_of(2) {
         ForestConfig::random(config.trees_per_forest)
     } else {
         ForestConfig::completely_random(config.trees_per_forest)
+    };
+    ForestConfig {
+        bins: config.bins,
+        reference: config.reference,
+        ..base
     }
+}
+
+/// Reusable buffers for allocation-free cascade prediction
+/// ([`Cascade::predict_with`]).
+#[derive(Debug, Default, Clone)]
+pub struct CascadeScratch {
+    augmented: Vec<f64>,
+    concepts: Vec<f64>,
 }
 
 /// One unit of per-level training work: either a fold forest's out-of-fold
@@ -180,12 +203,39 @@ impl Cascade {
         Cascade { levels }
     }
 
-    /// Predict one feature vector.
+    /// Predict one feature vector. Convenience wrapper over
+    /// [`Cascade::predict_with`] using a thread-local scratch, so repeated
+    /// calls allocate nothing after the first.
     pub fn predict(&self, features: &[f64]) -> f64 {
+        thread_local! {
+            // own scratch, NOT shared with callers' PredictScratch: predict
+            // may run while a caller-level scratch borrow is live
+            static SCRATCH: std::cell::RefCell<CascadeScratch> =
+                std::cell::RefCell::new(CascadeScratch::default());
+        }
+        SCRATCH.with(|s| self.predict_with(features, &mut s.borrow_mut()))
+    }
+
+    /// Predict one feature vector using caller-owned scratch buffers — the
+    /// allocation-free hot path. Same arithmetic (and bit-identical result)
+    /// as [`Cascade::predict`]: concepts accumulate per level in slot order
+    /// and the prediction is the mean of the last level's concepts.
+    pub fn predict_with(&self, features: &[f64], scratch: &mut CascadeScratch) -> f64 {
         cascade_metrics().predicts.inc();
-        let concepts = self.concept_trajectory(features);
-        let last = concepts.last().expect("cascade has at least one level");
-        last.iter().sum::<f64>() / last.len() as f64
+        let augmented = &mut scratch.augmented;
+        let concepts = &mut scratch.concepts;
+        augmented.clear();
+        augmented.extend_from_slice(features);
+        let mut last_mean = None;
+        for level in &self.levels {
+            concepts.clear();
+            for f in level {
+                concepts.push(f.predict(augmented));
+            }
+            last_mean = Some(concepts.iter().sum::<f64>() / concepts.len() as f64);
+            augmented.extend_from_slice(concepts);
+        }
+        last_mean.expect("cascade has at least one level")
     }
 
     /// Per-level concept vectors for one input — the learned abstractions
@@ -240,6 +290,7 @@ mod tests {
             forests_per_level: 4,
             trees_per_forest: 15,
             folds: 3,
+            ..Default::default()
         }
     }
 
@@ -281,6 +332,40 @@ mod tests {
         let c1 = Cascade::fit(&x, &y, small(), &SeedStream::new(8));
         let c2 = Cascade::fit(&x, &y, small(), &SeedStream::new(8));
         assert_eq!(c1.predict(x.row(3)), c2.predict(x.row(3)));
+    }
+
+    #[test]
+    fn presorted_cascade_is_bit_identical_to_reference() {
+        let (x, y) = xor_data(90, 10);
+        let fast = Cascade::fit(&x, &y, small(), &SeedStream::new(11));
+        let reference = Cascade::fit(
+            &x,
+            &y,
+            CascadeConfig {
+                reference: true,
+                ..small()
+            },
+            &SeedStream::new(11),
+        );
+        for r in 0..x.rows() {
+            assert_eq!(
+                fast.predict(x.row(r)).to_bits(),
+                reference.predict(x.row(r)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn predict_with_matches_predict() {
+        let (x, y) = xor_data(80, 12);
+        let c = Cascade::fit(&x, &y, small(), &SeedStream::new(13));
+        let mut scratch = CascadeScratch::default();
+        for r in 0..x.rows() {
+            assert_eq!(
+                c.predict(x.row(r)).to_bits(),
+                c.predict_with(x.row(r), &mut scratch).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -4,8 +4,29 @@
 //! samples) and *completely-random forests* (random-split trees grown to
 //! purity). Cascade levels mix both kinds to keep the ensemble diverse.
 
+use crate::binned::BinnedMatrix;
 use crate::tree::{RegressionTree, SplitStrategy, TreeConfig};
 use stca_util::{Matrix, SeedStream};
+use std::sync::{Arc, OnceLock};
+
+/// Global training metrics, resolved once (forests fit in hot loops —
+/// cascades and MGS windows fit many per model).
+struct TrainMetrics {
+    forest_fits: Arc<stca_obs::Counter>,
+    trees_fitted: Arc<stca_obs::Counter>,
+    forest_fit_seconds: Arc<stca_obs::Histogram>,
+    bin_build_seconds: Arc<stca_obs::Histogram>,
+}
+
+fn train_metrics() -> &'static TrainMetrics {
+    static METRICS: OnceLock<TrainMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TrainMetrics {
+        forest_fits: stca_obs::counter("deepforest.train.forest_fits_total"),
+        trees_fitted: stca_obs::counter("deepforest.train.trees_fitted_total"),
+        forest_fit_seconds: stca_obs::histogram("deepforest.train.forest_fit_seconds"),
+        bin_build_seconds: stca_obs::histogram("deepforest.train.bin_build_seconds"),
+    })
+}
 
 /// Which forest flavour to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +50,12 @@ pub struct ForestConfig {
     pub max_depth: u32,
     /// Bootstrap-sample each tree's training set.
     pub bootstrap: bool,
+    /// Opt-in histogram split finding (see [`TreeConfig::bins`]). The
+    /// quantized matrix is built **once per forest** and shared by every
+    /// tree. Ignored by completely-random forests.
+    pub bins: Option<usize>,
+    /// Use the reference split finder (see [`TreeConfig::reference`]).
+    pub reference: bool,
 }
 
 impl ForestConfig {
@@ -40,6 +67,8 @@ impl ForestConfig {
             min_samples_leaf: 2,
             max_depth: 32,
             bootstrap: true,
+            bins: None,
+            reference: false,
         }
     }
 
@@ -51,6 +80,8 @@ impl ForestConfig {
             min_samples_leaf: 2,
             max_depth: 48,
             bootstrap: true,
+            bins: None,
+            reference: false,
         }
     }
 
@@ -62,6 +93,8 @@ impl ForestConfig {
             },
             min_samples_leaf: self.min_samples_leaf,
             max_depth: self.max_depth,
+            bins: self.bins,
+            reference: self.reference,
         }
     }
 }
@@ -80,8 +113,21 @@ impl Forest {
         assert!(config.trees >= 1);
         assert_eq!(x.rows(), y.len());
         assert!(x.rows() > 0, "empty training set");
+        let metrics = train_metrics();
+        let _timer = stca_obs::StageTimer::with_histogram(metrics.forest_fit_seconds.clone());
         let n = x.rows();
         let tree_config = config.tree_config();
+        // histogram mode quantizes once per forest; every tree shares the codes
+        let binned: Option<BinnedMatrix> = match (config.kind, config.reference, config.bins) {
+            (ForestKind::Random, false, Some(bins)) => {
+                let bin_timer =
+                    stca_obs::StageTimer::with_histogram(metrics.bin_build_seconds.clone());
+                let bm = BinnedMatrix::new(x, bins);
+                bin_timer.stop();
+                Some(bm)
+            }
+            _ => None,
+        };
         let trees = stca_exec::par_map_range(config.trees, |t| {
             let mut tree_rng = stream.rng(0xF0 + t as u64);
             let idx: Vec<usize> = if config.bootstrap {
@@ -89,8 +135,20 @@ impl Forest {
             } else {
                 (0..n).collect()
             };
-            RegressionTree::fit_indices(x, y, &idx, tree_config, &mut tree_rng)
+            match &binned {
+                Some(bm) => RegressionTree::fit_indices_prebinned(
+                    x,
+                    bm,
+                    y,
+                    &idx,
+                    tree_config,
+                    &mut tree_rng,
+                ),
+                None => RegressionTree::fit_indices(x, y, &idx, tree_config, &mut tree_rng),
+            }
         });
+        metrics.forest_fits.inc();
+        metrics.trees_fitted.add(config.trees as u64);
         Forest { trees }
     }
 
@@ -207,6 +265,44 @@ mod tests {
         // features 0 and 1 carry the plane; feature 2 is noise
         assert!(imp[0] > imp[2], "{imp:?}");
         assert!(imp[1] > imp[2], "{imp:?}");
+    }
+
+    #[test]
+    fn presorted_forest_is_bit_identical_to_reference() {
+        let (x, y) = noisy_plane(150, 30);
+        let fast = Forest::fit(&x, &y, ForestConfig::random(12), &SeedStream::new(31));
+        let reference = Forest::fit(
+            &x,
+            &y,
+            ForestConfig {
+                reference: true,
+                ..ForestConfig::random(12)
+            },
+            &SeedStream::new(31),
+        );
+        for r in 0..x.rows() {
+            assert_eq!(
+                fast.predict(x.row(r)).to_bits(),
+                reference.predict(x.row(r)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_forest_stays_accurate() {
+        let (x, y) = noisy_plane(400, 32);
+        let (xt, yt) = noisy_plane(100, 33);
+        let f = Forest::fit(
+            &x,
+            &y,
+            ForestConfig {
+                bins: Some(32),
+                ..ForestConfig::random(40)
+            },
+            &SeedStream::new(34),
+        );
+        let err = mse(&f, &xt, &yt);
+        assert!(err < 0.06, "test MSE {err}");
     }
 
     #[test]

@@ -22,15 +22,21 @@
 //! and independent of the profiling substrate: inputs are [`Sample`]s
 //! (scalar features + an optional trace matrix).
 
+pub mod binned;
 pub mod cascade;
 pub mod forest;
 pub mod metrics;
 pub mod mgs;
 pub mod model;
+pub mod presort;
+pub mod scratch;
 pub mod tree;
 
-pub use cascade::{Cascade, CascadeConfig};
+pub use binned::BinnedMatrix;
+pub use cascade::{Cascade, CascadeConfig, CascadeScratch};
 pub use forest::{Forest, ForestConfig, ForestKind};
 pub use mgs::{MgsConfig, MultiGrainScanner};
 pub use model::{DeepForest, DeepForestConfig, Sample};
+pub use presort::SortedColumns;
+pub use scratch::PredictScratch;
 pub use tree::{RegressionTree, TreeConfig};

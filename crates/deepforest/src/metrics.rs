@@ -96,6 +96,7 @@ mod tests {
                 forests_per_level: 2,
                 trees_per_forest: 10,
                 folds: 2,
+                ..CascadeConfig::default()
             },
             include_raw_trace: false,
             seed: 2,

@@ -48,6 +48,11 @@ pub struct MgsConfig {
     /// Cap on training instances taken per sample per window (cost control;
     /// positions are subsampled deterministically when they exceed it).
     pub max_positions_per_sample: usize,
+    /// Opt-in histogram split finding for the window forests (see
+    /// [`TreeConfig::bins`](crate::TreeConfig)). Window design matrices are
+    /// the widest in the pipeline (`wr * wc` features), so this is where
+    /// binning pays off the most.
+    pub bins: Option<usize>,
 }
 
 impl Default for MgsConfig {
@@ -57,6 +62,7 @@ impl Default for MgsConfig {
             stride: 2,
             trees_per_window: 30,
             max_positions_per_sample: 48,
+            bins: None,
         }
     }
 }
@@ -70,6 +76,7 @@ impl MgsConfig {
             stride: 1,
             trees_per_window: 50,
             max_positions_per_sample: usize::MAX,
+            bins: None,
         }
     }
 }
@@ -88,6 +95,14 @@ fn positions(rows: usize, cols: usize, wr: usize, wc: usize, stride: usize) -> V
         r += stride;
     }
     out
+}
+
+/// How many positions [`positions`] yields, without materializing them.
+fn position_count(rows: usize, cols: usize, wr: usize, wc: usize, stride: usize) -> usize {
+    if wr > rows || wc > cols {
+        return 0;
+    }
+    ((rows - wr) / stride + 1) * ((cols - wc) / stride + 1)
 }
 
 fn window_vector(trace: &Matrix, r0: usize, c0: usize, wr: usize, wc: usize, buf: &mut Vec<f64>) {
@@ -159,6 +174,7 @@ impl MultiGrainScanner {
                 &labels,
                 ForestConfig {
                     max_depth: 24,
+                    bins: config.bins,
                     ..ForestConfig::random(config.trees_per_window)
                 },
                 &forest_stream,
@@ -187,7 +203,7 @@ impl MultiGrainScanner {
         self.windows
             .iter()
             .map(|(wr, wc, _)| {
-                positions(self.trace_rows, self.trace_cols, *wr, *wc, self.stride).len()
+                position_count(self.trace_rows, self.trace_cols, *wr, *wc, self.stride)
             })
             .sum()
     }
@@ -195,6 +211,19 @@ impl MultiGrainScanner {
     /// Transform one trace into representational features (per-position
     /// kernel predictions, window sizes concatenated).
     pub fn transform(&self, trace: &Matrix) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.feature_count());
+        let mut buf = Vec::new();
+        self.transform_extend(trace, &mut out, &mut buf);
+        out
+    }
+
+    /// Append the representational features for one trace to `out`,
+    /// reusing `window_buf` for window gathers — the allocation-free
+    /// counterpart of [`MultiGrainScanner::transform`] (`out` is *not*
+    /// cleared, so callers can assemble a full feature vector in place).
+    /// Positions are enumerated arithmetically; nothing is allocated once
+    /// the two buffers have grown to steady-state capacity.
+    pub fn transform_extend(&self, trace: &Matrix, out: &mut Vec<f64>, window_buf: &mut Vec<f64>) {
         assert_eq!(
             trace.rows(),
             self.trace_rows,
@@ -204,15 +233,18 @@ impl MultiGrainScanner {
         let metrics = mgs_metrics();
         metrics.transforms.inc();
         let _timer = stca_obs::StageTimer::with_histogram(metrics.transform_seconds.clone());
-        let mut out = Vec::with_capacity(self.feature_count());
-        let mut buf = Vec::new();
         for (wr, wc, forest) in &self.windows {
-            for (r0, c0) in positions(self.trace_rows, self.trace_cols, *wr, *wc, self.stride) {
-                window_vector(trace, r0, c0, *wr, *wc, &mut buf);
-                out.push(forest.predict(&buf));
+            let mut r0 = 0;
+            while r0 + wr <= self.trace_rows {
+                let mut c0 = 0;
+                while c0 + wc <= self.trace_cols {
+                    window_vector(trace, r0, c0, *wr, *wc, window_buf);
+                    out.push(forest.predict(window_buf));
+                    c0 += self.stride;
+                }
+                r0 += self.stride;
             }
         }
-        out
     }
 
     /// Window shapes actually in use after clamping.
@@ -258,6 +290,7 @@ mod tests {
             stride: 2,
             trees_per_window: 15,
             max_positions_per_sample: 32,
+            ..MgsConfig::default()
         }
     }
 
@@ -292,6 +325,36 @@ mod tests {
             (ma - mb).abs() > 0.05,
             "window kernels should respond to the patch location: {ma} vs {mb}"
         );
+    }
+
+    #[test]
+    fn transform_extend_appends_and_matches_transform() {
+        let (traces, y) = patch_traces(30, 9);
+        let mgs = MultiGrainScanner::fit(&traces, &y, &small_config(), &SeedStream::new(10));
+        let expected = mgs.transform(&traces[3]);
+        let mut out = vec![7.0, 8.0]; // pre-existing content must survive
+        let mut buf = Vec::new();
+        mgs.transform_extend(&traces[3], &mut out, &mut buf);
+        assert_eq!(&out[..2], &[7.0, 8.0]);
+        assert_eq!(out.len(), 2 + expected.len());
+        for (a, b) in out[2..].iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn binned_mgs_still_separates_classes() {
+        let (traces, y) = patch_traces(60, 11);
+        let cfg = MgsConfig {
+            bins: Some(32),
+            ..small_config()
+        };
+        let mgs = MultiGrainScanner::fit(&traces, &y, &cfg, &SeedStream::new(12));
+        let fa = mgs.transform(&traces[0]);
+        let fb = mgs.transform(&traces[1]);
+        let ma: f64 = fa.iter().sum::<f64>() / fa.len() as f64;
+        let mb: f64 = fb.iter().sum::<f64>() / fb.len() as f64;
+        assert!((ma - mb).abs() > 0.05, "{ma} vs {mb}");
     }
 
     #[test]

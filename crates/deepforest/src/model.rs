@@ -8,7 +8,28 @@
 
 use crate::cascade::{Cascade, CascadeConfig};
 use crate::mgs::{MgsConfig, MultiGrainScanner};
+use crate::scratch::PredictScratch;
 use stca_util::{Matrix, SeedStream};
+use std::sync::{Arc, OnceLock};
+
+/// Global model metrics, resolved once (predict runs in policy-search hot
+/// loops).
+struct ModelMetrics {
+    fits: Arc<stca_obs::Counter>,
+    predicts: Arc<stca_obs::Counter>,
+    fit_seconds: Arc<stca_obs::Histogram>,
+    predict_seconds: Arc<stca_obs::Histogram>,
+}
+
+fn model_metrics() -> &'static ModelMetrics {
+    static METRICS: OnceLock<ModelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ModelMetrics {
+        fits: stca_obs::counter("deepforest.train.fits_total"),
+        predicts: stca_obs::counter("deepforest.predict.predicts_total"),
+        fit_seconds: stca_obs::histogram("deepforest.train.fit_seconds"),
+        predict_seconds: stca_obs::histogram("deepforest.predict.seconds"),
+    })
+}
 
 /// One model input: scalar features + counter trace.
 #[derive(Debug, Clone)]
@@ -81,6 +102,8 @@ impl DeepForest {
     pub fn fit(samples: &[Sample], y: &[f64], config: &DeepForestConfig) -> Self {
         assert_eq!(samples.len(), y.len());
         assert!(!samples.is_empty());
+        let metrics = model_metrics();
+        let _timer = stca_obs::StageTimer::with_histogram(metrics.fit_seconds.clone());
         let stream = SeedStream::new(config.seed);
         let has_trace = samples[0].trace.rows() > 0 && samples[0].trace.cols() > 0;
         let mgs = match (&config.mgs, has_trace) {
@@ -100,6 +123,7 @@ impl DeepForest {
             x.push_row(&assemble_features(s, &mgs, config.include_raw_trace));
         }
         let cascade = Cascade::fit(&x, y, config.cascade, &stream.derive(0xCA5));
+        metrics.fits.inc();
         DeepForest {
             mgs,
             cascade,
@@ -107,15 +131,65 @@ impl DeepForest {
         }
     }
 
-    /// Predict one sample.
+    /// Predict one sample. Convenience wrapper over
+    /// [`DeepForest::predict_parts_with`] using a thread-local scratch, so
+    /// repeated calls allocate nothing after the first.
     pub fn predict(&self, sample: &Sample) -> f64 {
-        let f = assemble_features(sample, &self.mgs, self.include_raw_trace);
-        self.cascade.predict(&f)
+        self.predict_parts(&sample.scalars, &sample.trace)
+    }
+
+    /// Predict one sample using caller-owned scratch buffers.
+    pub fn predict_with(&self, sample: &Sample, scratch: &mut PredictScratch) -> f64 {
+        self.predict_parts_with(&sample.scalars, &sample.trace, scratch)
+    }
+
+    /// Predict from borrowed feature parts without building a [`Sample`] —
+    /// callers that already hold scalars and a trace (the predictor hot
+    /// path) avoid cloning either.
+    pub fn predict_parts(&self, scalars: &[f64], trace: &Matrix) -> f64 {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<PredictScratch> =
+                std::cell::RefCell::new(PredictScratch::default());
+        }
+        SCRATCH.with(|s| self.predict_parts_with(scalars, trace, &mut s.borrow_mut()))
+    }
+
+    /// The allocation-free prediction path: assemble features into the
+    /// scratch's buffer (scalars ++ raw trace ++ MGS features, the Eq.-2
+    /// layout) and run the cascade over reused buffers. Bit-identical to
+    /// [`DeepForest::predict`].
+    pub fn predict_parts_with(
+        &self,
+        scalars: &[f64],
+        trace: &Matrix,
+        scratch: &mut PredictScratch,
+    ) -> f64 {
+        let metrics = model_metrics();
+        metrics.predicts.inc();
+        let _timer = stca_obs::StageTimer::with_histogram(metrics.predict_seconds.clone());
+        let PredictScratch {
+            features,
+            window,
+            cascade,
+        } = scratch;
+        features.clear();
+        features.extend_from_slice(scalars);
+        if self.include_raw_trace {
+            features.extend_from_slice(trace.as_slice());
+        }
+        if let Some(m) = &self.mgs {
+            m.transform_extend(trace, features, window);
+        }
+        self.cascade.predict_with(features, cascade)
     }
 
     /// Predict many samples.
     pub fn predict_all(&self, samples: &[Sample]) -> Vec<f64> {
-        samples.iter().map(|s| self.predict(s)).collect()
+        let mut scratch = PredictScratch::default();
+        samples
+            .iter()
+            .map(|s| self.predict_with(s, &mut scratch))
+            .collect()
     }
 
     /// The learned concept vector for a sample (cascade-level outputs) —
@@ -191,12 +265,14 @@ mod tests {
                 stride: 2,
                 trees_per_window: 10,
                 max_positions_per_sample: 16,
+                ..MgsConfig::default()
             }),
             cascade: CascadeConfig {
                 levels: 2,
                 forests_per_level: 2,
                 trees_per_forest: 12,
                 folds: 3,
+                ..CascadeConfig::default()
             },
             include_raw_trace: true,
             seed,
@@ -253,5 +329,40 @@ mod tests {
         let m1 = DeepForest::fit(&s, &y, &quick_config(11));
         let m2 = DeepForest::fit(&s, &y, &quick_config(11));
         assert_eq!(m1.predict(&s[5]), m2.predict(&s[5]));
+    }
+
+    #[test]
+    fn scratch_paths_match_predict() {
+        let (s, y) = make_data(50, 12);
+        let model = DeepForest::fit(&s, &y, &quick_config(13));
+        let mut scratch = PredictScratch::default();
+        for sample in s.iter().take(10) {
+            let plain = model.predict(sample);
+            assert_eq!(
+                plain.to_bits(),
+                model.predict_with(sample, &mut scratch).to_bits()
+            );
+            assert_eq!(
+                plain.to_bits(),
+                model
+                    .predict_parts_with(&sample.scalars, &sample.trace, &mut scratch)
+                    .to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn binned_training_stays_accurate() {
+        let (train_s, train_y) = make_data(120, 14);
+        let (test_s, test_y) = make_data(40, 15);
+        let mut cfg = quick_config(16);
+        cfg.cascade.bins = Some(32);
+        if let Some(m) = &mut cfg.mgs {
+            m.bins = Some(32);
+        }
+        let model = DeepForest::fit(&train_s, &train_y, &cfg);
+        let pred = model.predict_all(&test_s);
+        let mape = stca_util::median_ape(&pred, &test_y);
+        assert!(mape < 30.0, "median APE {mape}%");
     }
 }

@@ -5,8 +5,37 @@
 //! one random feature and a random threshold between that feature's min and
 //! max at the node, splitting until leaves are pure (or a sample floor is
 //! hit) — the diversity source §4.1 describes.
+//!
+//! ## Split-finding engines
+//!
+//! Best-split trees choose among three engines:
+//!
+//! * **Presorted exact**: every feature column is sorted once per tree
+//!   ([`SortedColumns`](crate::presort::SortedColumns)) and the per-node
+//!   views are maintained by stable in-place partitioning — the
+//!   CART/XGBoost-exact device. Produces **bit-identical** trees to the
+//!   reference engine (the ordering argument lives in [`crate::presort`]),
+//!   while removing the per-node re-sort entirely. Selected automatically
+//!   whenever its cost model wins (see `presort_pays_off`): always for
+//!   [`SplitStrategy::BestOfAll`], and for [`SplitStrategy::BestOfSqrt`]
+//!   when the matrix is narrow or deep enough that maintaining every
+//!   column beats re-sorting the √f sampled ones.
+//! * **Histogram** (opt-in via [`TreeConfig::bins`]): features are
+//!   quantized to at most 256 quantile buckets
+//!   ([`BinnedMatrix`](crate::binned::BinnedMatrix)) and splits scan
+//!   cumulative bucket statistics — approximate but O(n + bins) per feature
+//!   per node, the LightGBM device for the large MGS window forests.
+//! * **Reference** ([`TreeConfig::reference`]): the original implementation
+//!   that re-collects and re-sorts `(feature, target)` pairs at every node.
+//!   Kept as the golden baseline for bit-identity tests and for
+//!   before/after training benchmarks (`microbench_train`).
+//!
+//! All engines share one sample-index array partitioned in place as the
+//! tree grows; no per-node index vectors are allocated.
 
-use stca_util::{Matrix, Rng64};
+use crate::binned::BinnedMatrix;
+use crate::presort::SortedColumns;
+use stca_util::{stable_partition_in_place, Matrix, Rng64};
 
 /// How a tree chooses its splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,7 +50,7 @@ pub enum SplitStrategy {
     CompletelyRandom,
 }
 
-/// Tree growth limits.
+/// Tree growth limits and split-finding engine selection.
 #[derive(Debug, Clone, Copy)]
 pub struct TreeConfig {
     /// Split strategy.
@@ -30,6 +59,20 @@ pub struct TreeConfig {
     pub min_samples_leaf: usize,
     /// Maximum depth (u32::MAX = grow to purity).
     pub max_depth: u32,
+    /// Opt-in histogram split finding: quantize every feature into at most
+    /// this many quantile buckets (clamped to `[2, 256]`) and scan bucket
+    /// statistics instead of sorted samples. Approximate — thresholds land
+    /// on bucket boundaries — but much faster on wide feature matrices.
+    /// `None` (the default) keeps the exact presorted engine. Ignored by
+    /// completely-random trees, which never scan thresholds.
+    pub bins: Option<usize>,
+    /// Use the unoptimized reference split finder (per-node re-sorting, as
+    /// the original implementation did). Exists so golden tests can assert
+    /// the presorted engine is bit-identical and so training benchmarks can
+    /// report before/after timings; takes precedence over [`bins`].
+    ///
+    /// [`bins`]: TreeConfig::bins
+    pub reference: bool,
 }
 
 impl Default for TreeConfig {
@@ -38,6 +81,8 @@ impl Default for TreeConfig {
             strategy: SplitStrategy::BestOfSqrt,
             min_samples_leaf: 2,
             max_depth: 32,
+            bins: None,
+            reference: false,
         }
     }
 }
@@ -61,32 +106,116 @@ pub struct RegressionTree {
     nodes: Vec<Node>,
 }
 
+/// The split-finding machinery a builder carries. Only best-split
+/// strategies consult it; completely-random trees sample thresholds from
+/// per-node min/max and need no column structure.
+enum Engine<'a> {
+    /// Per-node collect + sort (the seed implementation, golden baseline).
+    Reference,
+    /// Presorted columns, partitioned in place at each split (exact).
+    Presorted(SortedColumns),
+    /// Quantized bucket scan (approximate).
+    Binned(&'a BinnedMatrix),
+}
+
+/// Which engine to dispatch to (copyable tag, so dispatch does not hold a
+/// borrow of the engine across `&mut self` calls).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EngineKind {
+    Reference,
+    Presorted,
+    Binned,
+}
+
+/// Cost model: does maintaining presorted columns beat per-node re-sorting?
+///
+/// Presorting partitions **every** column at every split — O(F·n) per tree
+/// level — while the reference engine sorts only the `k` features a node
+/// actually tries — O(k·n·log n) per level. Presort therefore wins exactly
+/// when `k·log2(n)` comfortably exceeds `F`: always for [`BestOfAll`]
+/// (`k = F`), but for [`BestOfSqrt`] only on narrow or deep data (wide
+/// matrices consult too few of the columns being maintained). Both engines
+/// produce bit-identical trees, so this is purely a cost decision; the
+/// constant is calibrated with `microbench_train`.
+///
+/// [`BestOfAll`]: SplitStrategy::BestOfAll
+/// [`BestOfSqrt`]: SplitStrategy::BestOfSqrt
+fn presort_pays_off(strategy: SplitStrategy, features: usize, n: usize) -> bool {
+    match strategy {
+        SplitStrategy::BestOfAll => true,
+        SplitStrategy::CompletelyRandom => false,
+        SplitStrategy::BestOfSqrt => {
+            let k = (features as f64).sqrt().ceil() as u64;
+            let log_n = (usize::BITS - n.max(2).leading_zeros()) as u64;
+            k * log_n >= 3 * features as u64
+        }
+    }
+}
+
+/// Reusable per-bucket accumulators for the histogram engine.
+struct HistScratch {
+    count: Vec<u32>,
+    sum: Vec<f64>,
+    sumsq: Vec<f64>,
+}
+
+impl HistScratch {
+    fn new(buckets: usize) -> Self {
+        HistScratch {
+            count: vec![0; buckets],
+            sum: vec![0.0; buckets],
+            sumsq: vec![0.0; buckets],
+        }
+    }
+}
+
 struct Builder<'a> {
     x: &'a Matrix,
     y: &'a [f64],
     config: TreeConfig,
     nodes: Vec<Node>,
     rng: Rng64,
+    /// The tree's sample rows (bootstrap order at the root). Every node
+    /// owns a contiguous range; splits partition it stably in place.
+    order: Vec<u32>,
+    /// Spill buffer for the stable partition.
+    scratch: Vec<u32>,
+    engine: Engine<'a>,
+    /// Per-row go-left marks (presorted engine only; indexed by row id).
+    marks: Vec<u8>,
+    /// Bucket accumulators (histogram engine only).
+    hist: HistScratch,
 }
 
 impl<'a> Builder<'a> {
-    fn leaf_value(&self, idx: &[usize]) -> f64 {
-        idx.iter().map(|&i| self.y[i]).sum::<f64>() / idx.len() as f64
+    fn leaf_value(&self, lo: usize, hi: usize) -> f64 {
+        let sum: f64 = self.order[lo..hi].iter().map(|&i| self.y[i as usize]).sum();
+        sum / (hi - lo) as f64
     }
 
-    fn is_pure(&self, idx: &[usize]) -> bool {
-        let first = self.y[idx[0]];
-        idx.iter().all(|&i| (self.y[i] - first).abs() < 1e-12)
-    }
-
-    /// Best (threshold, sse) for one feature over the node's samples, or
-    /// None when the feature is constant.
-    fn best_threshold(&self, feature: usize, idx: &[usize]) -> Option<(f64, f64)> {
-        let mut pairs: Vec<(f64, f64)> = idx
+    fn is_pure(&self, lo: usize, hi: usize) -> bool {
+        let first = self.y[self.order[lo] as usize];
+        self.order[lo..hi]
             .iter()
-            .map(|&i| (self.x[(i, feature)], self.y[i]))
+            .all(|&i| (self.y[i as usize] - first).abs() < 1e-12)
+    }
+
+    /// Best (threshold, sse) for one feature, reference engine: collect the
+    /// node's `(feature, target)` pairs and sort them — O(n log n) per
+    /// feature per node. Total order comparison: a stray NaN feature value
+    /// (e.g. injected by a fault plan that bypasses sanitization) sorts
+    /// deterministically to the end instead of panicking mid-training.
+    fn best_threshold_reference(
+        &mut self,
+        feature: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Option<(f64, f64)> {
+        let mut pairs: Vec<(f64, f64)> = self.order[lo..hi]
+            .iter()
+            .map(|&i| (self.x[(i as usize, feature)], self.y[i as usize]))
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         if pairs[0].0 == pairs[pairs.len() - 1].0 {
             return None;
         }
@@ -122,24 +251,169 @@ impl<'a> Builder<'a> {
         best
     }
 
-    fn completely_random_split(&mut self, idx: &[usize]) -> Option<(usize, f64)> {
+    /// Best (threshold, sse) for one feature, presorted engine: the node's
+    /// column view is already sorted, so this is a single sequential scan —
+    /// the same prefix-sum arithmetic as the reference engine over the same
+    /// value sequence, hence bit-identical results.
+    fn best_threshold_presorted(
+        &mut self,
+        feature: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Option<(f64, f64)> {
+        let Engine::Presorted(columns) = &self.engine else {
+            unreachable!("presorted dispatch without presorted engine");
+        };
+        let (ids, vals) = columns.col(feature, lo, hi);
+        let n = ids.len();
+        if vals[0] == vals[n - 1] {
+            return None;
+        }
+        let total_sum: f64 = ids.iter().map(|&i| self.y[i as usize]).sum();
+        let total_sq: f64 = ids
+            .iter()
+            .map(|&i| {
+                let v = self.y[i as usize];
+                v * v
+            })
+            .sum();
+        let min_leaf = self.config.min_samples_leaf;
+        let mut best: Option<(f64, f64)> = None;
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for i in 0..n - 1 {
+            let yi = self.y[ids[i] as usize];
+            left_sum += yi;
+            left_sq += yi * yi;
+            if vals[i] == vals[i + 1] {
+                continue;
+            }
+            let nl = i + 1;
+            let nr = n - nl;
+            if nl < min_leaf || nr < min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl as f64)
+                + (right_sq - right_sum * right_sum / nr as f64);
+            let threshold = 0.5 * (vals[i] + vals[i + 1]);
+            match best {
+                Some((_, b)) if b <= sse => {}
+                _ => best = Some((threshold, sse)),
+            }
+        }
+        best
+    }
+
+    /// Best (threshold, sse) for one feature, histogram engine: accumulate
+    /// per-bucket target statistics over the node's samples and scan bucket
+    /// boundaries cumulatively. Thresholds are bucket edges, so the split
+    /// is approximate; candidate count is bounded by `bins`.
+    fn best_threshold_binned(
+        &mut self,
+        feature: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Option<(f64, f64)> {
+        let Engine::Binned(binned) = &self.engine else {
+            unreachable!("binned dispatch without binned engine");
+        };
+        let edges = binned.thresholds(feature);
+        if edges.is_empty() {
+            return None;
+        }
+        let buckets = edges.len() + 1;
+        let hist = &mut self.hist;
+        hist.count[..buckets].fill(0);
+        hist.sum[..buckets].fill(0.0);
+        hist.sumsq[..buckets].fill(0.0);
+        for &i in &self.order[lo..hi] {
+            let c = binned.code(i as usize, feature) as usize;
+            let yi = self.y[i as usize];
+            hist.count[c] += 1;
+            hist.sum[c] += yi;
+            hist.sumsq[c] += yi * yi;
+        }
+        let n = hi - lo;
+        let total_sum: f64 = hist.sum[..buckets].iter().sum();
+        let total_sq: f64 = hist.sumsq[..buckets].iter().sum();
+        let min_leaf = self.config.min_samples_leaf.max(1);
+        let mut best: Option<(f64, f64)> = None;
+        let mut left_n = 0usize;
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (b, &threshold) in edges.iter().enumerate() {
+            left_n += hist.count[b] as usize;
+            left_sum += hist.sum[b];
+            left_sq += hist.sumsq[b];
+            let right_n = n - left_n;
+            if left_n < min_leaf || right_n < min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / left_n as f64)
+                + (right_sq - right_sum * right_sum / right_n as f64);
+            match best {
+                Some((_, b)) if b <= sse => {}
+                _ => best = Some((threshold, sse)),
+            }
+        }
+        best
+    }
+
+    /// Best (feature, threshold) across the strategy's candidate features.
+    fn best_split(&mut self, lo: usize, hi: usize) -> Option<(usize, f64)> {
+        let f = self.x.cols();
+        let sampled: Option<Vec<usize>> = if self.config.strategy == SplitStrategy::BestOfAll {
+            None
+        } else {
+            let k = (f as f64).sqrt().ceil() as usize;
+            Some(self.rng.sample_indices(f, k.clamp(1, f)))
+        };
+        let kind = match self.engine {
+            Engine::Reference => EngineKind::Reference,
+            Engine::Presorted(_) => EngineKind::Presorted,
+            Engine::Binned(_) => EngineKind::Binned,
+        };
+        let tried = sampled.as_ref().map_or(f, |s| s.len());
+        let mut best: Option<(usize, f64, f64)> = None;
+        for t in 0..tried {
+            let feat = sampled.as_ref().map_or(t, |s| s[t]);
+            let cand = match kind {
+                EngineKind::Reference => self.best_threshold_reference(feat, lo, hi),
+                EngineKind::Presorted => self.best_threshold_presorted(feat, lo, hi),
+                EngineKind::Binned => self.best_threshold_binned(feat, lo, hi),
+            };
+            if let Some((threshold, sse)) = cand {
+                match best {
+                    Some((_, _, b)) if b <= sse => {}
+                    _ => best = Some((feat, threshold, sse)),
+                }
+            }
+        }
+        best.map(|(feat, t, _)| (feat, t))
+    }
+
+    fn completely_random_split(&mut self, lo: usize, hi: usize) -> Option<(usize, f64)> {
         let f = self.x.cols();
         // try a handful of random features before giving up on constants
         for _ in 0..8 {
             let feature = self.rng.next_index(f);
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for &i in idx {
-                let v = self.x[(i, feature)];
-                lo = lo.min(v);
-                hi = hi.max(v);
+            let mut lo_v = f64::INFINITY;
+            let mut hi_v = f64::NEG_INFINITY;
+            for &i in &self.order[lo..hi] {
+                let v = self.x[(i as usize, feature)];
+                lo_v = lo_v.min(v);
+                hi_v = hi_v.max(v);
             }
-            if hi > lo {
-                let t = self.rng.next_range(lo, hi);
+            if hi_v > lo_v {
+                let t = self.rng.next_range(lo_v, hi_v);
                 // guarantee a non-degenerate partition
                 let (mut nl, mut nr) = (0, 0);
-                for &i in idx {
-                    if self.x[(i, feature)] <= t {
+                for &i in &self.order[lo..hi] {
+                    if self.x[(i as usize, feature)] <= t {
                         nl += 1;
                     } else {
                         nr += 1;
@@ -153,56 +427,69 @@ impl<'a> Builder<'a> {
         None
     }
 
-    fn build(&mut self, idx: &mut Vec<usize>, depth: u32) -> u32 {
+    fn build(&mut self, lo: usize, hi: usize, depth: u32) -> u32 {
         let node_id = self.nodes.len() as u32;
         self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
-        if idx.len() < 2 * self.config.min_samples_leaf
+        let n = hi - lo;
+        if n < 2 * self.config.min_samples_leaf
             || depth >= self.config.max_depth
-            || self.is_pure(idx)
+            || self.is_pure(lo, hi)
         {
-            let v = self.leaf_value(idx);
+            let v = self.leaf_value(lo, hi);
             self.nodes[node_id as usize] = Node::Leaf { value: v };
             return node_id;
         }
         let split = match self.config.strategy {
-            SplitStrategy::CompletelyRandom => self.completely_random_split(idx),
-            SplitStrategy::BestOfSqrt | SplitStrategy::BestOfAll => {
-                let f = self.x.cols();
-                let tried: Vec<usize> = if self.config.strategy == SplitStrategy::BestOfAll {
-                    (0..f).collect()
-                } else {
-                    let k = (f as f64).sqrt().ceil() as usize;
-                    self.rng.sample_indices(f, k.clamp(1, f))
-                };
-                let mut best: Option<(usize, f64, f64)> = None;
-                for feat in tried {
-                    if let Some((t, sse)) = self.best_threshold(feat, idx) {
-                        match best {
-                            Some((_, _, b)) if b <= sse => {}
-                            _ => best = Some((feat, t, sse)),
-                        }
-                    }
-                }
-                best.map(|(feat, t, _)| (feat, t))
-            }
+            SplitStrategy::CompletelyRandom => self.completely_random_split(lo, hi),
+            SplitStrategy::BestOfSqrt | SplitStrategy::BestOfAll => self.best_split(lo, hi),
         };
         let Some((feature, threshold)) = split else {
-            let v = self.leaf_value(idx);
+            let v = self.leaf_value(lo, hi);
             self.nodes[node_id as usize] = Node::Leaf { value: v };
             return node_id;
         };
-        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) = idx
-            .iter()
-            .partition(|&&i| self.x[(i, feature)] <= threshold);
-        if left_idx.is_empty() || right_idx.is_empty() {
-            let v = self.leaf_value(idx);
+        // count the left group (same predicate as the partition below); a
+        // degenerate side — possible when midpoint rounding collapses onto a
+        // neighbour value, or when a NaN threshold sends everything right —
+        // falls back to a leaf exactly as the reference implementation did.
+        let nl = if let Engine::Presorted(_) = self.engine {
+            let mut nl = 0usize;
+            for &i in &self.order[lo..hi] {
+                let left = (self.x[(i as usize, feature)] <= threshold) as u8;
+                self.marks[i as usize] = left;
+                nl += left as usize;
+            }
+            nl
+        } else {
+            self.order[lo..hi]
+                .iter()
+                .filter(|&&i| self.x[(i as usize, feature)] <= threshold)
+                .count()
+        };
+        if nl == 0 || nl == n {
+            let v = self.leaf_value(lo, hi);
             self.nodes[node_id as usize] = Node::Leaf { value: v };
             return node_id;
         }
-        idx.clear();
-        idx.shrink_to_fit();
-        let left = self.build(&mut left_idx, depth + 1);
-        let right = self.build(&mut right_idx, depth + 1);
+        // stable in-place partition of the node's sample range — and, for
+        // the presorted engine, of every feature column's matching range
+        match &mut self.engine {
+            Engine::Presorted(columns) => {
+                columns.partition(lo, hi, nl, &self.marks);
+                let marks = &self.marks;
+                stable_partition_in_place(&mut self.order[lo..hi], &mut self.scratch, |i| {
+                    marks[i as usize] != 0
+                });
+            }
+            _ => {
+                let x = self.x;
+                stable_partition_in_place(&mut self.order[lo..hi], &mut self.scratch, |i| {
+                    x[(i as usize, feature)] <= threshold
+                });
+            }
+        }
+        let left = self.build(lo, lo + nl, depth + 1);
+        let right = self.build(lo + nl, hi, depth + 1);
         self.nodes[node_id as usize] = Node::Split {
             feature: feature as u32,
             threshold,
@@ -222,17 +509,78 @@ impl RegressionTree {
         config: TreeConfig,
         rng: &mut Rng64,
     ) -> Self {
+        if let (Some(bins), false, false) = (
+            config.bins,
+            config.reference,
+            config.strategy == SplitStrategy::CompletelyRandom,
+        ) {
+            let binned = BinnedMatrix::new(x, bins);
+            return Self::fit_with_engine(x, y, idx, config, rng, Some(&binned));
+        }
+        Self::fit_with_engine(x, y, idx, config, rng, None)
+    }
+
+    /// Fit a tree against a pre-quantized feature matrix (histogram mode).
+    /// Forests build the [`BinnedMatrix`] once and share it across trees so
+    /// the quantization cost is amortized; `binned` must have been built
+    /// from `x`. Completely-random and reference configurations fall back
+    /// to their usual engines.
+    pub fn fit_indices_prebinned(
+        x: &Matrix,
+        binned: &BinnedMatrix,
+        y: &[f64],
+        idx: &[usize],
+        config: TreeConfig,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert_eq!(binned.rows(), x.rows(), "binned matrix shape mismatch");
+        assert_eq!(binned.cols(), x.cols(), "binned matrix shape mismatch");
+        let use_hist = !config.reference && config.strategy != SplitStrategy::CompletelyRandom;
+        Self::fit_with_engine(x, y, idx, config, rng, use_hist.then_some(binned))
+    }
+
+    fn fit_with_engine(
+        x: &Matrix,
+        y: &[f64],
+        idx: &[usize],
+        config: TreeConfig,
+        rng: &mut Rng64,
+        binned: Option<&BinnedMatrix>,
+    ) -> Self {
         assert_eq!(x.rows(), y.len());
         assert!(!idx.is_empty(), "cannot fit a tree on no samples");
+        assert!(x.rows() <= u32::MAX as usize, "row ids are u32");
+        let order: Vec<u32> = idx.iter().map(|&i| i as u32).collect();
+        let best_split = config.strategy != SplitStrategy::CompletelyRandom;
+        let engine = if config.reference || !best_split {
+            // completely-random trees never consult the engine
+            Engine::Reference
+        } else if let Some(bm) = binned {
+            Engine::Binned(bm)
+        } else if presort_pays_off(config.strategy, x.cols(), order.len()) {
+            Engine::Presorted(SortedColumns::new(x, &order))
+        } else {
+            Engine::Reference
+        };
+        let presorted = matches!(engine, Engine::Presorted(_));
+        let hist_buckets = match &engine {
+            Engine::Binned(_) => crate::binned::MAX_BINS,
+            _ => 0,
+        };
+        let n = order.len();
         let mut b = Builder {
             x,
             y,
             config,
             nodes: Vec::new(),
             rng: rng.derive_stream(0x7EE),
+            order,
+            scratch: Vec::with_capacity(n),
+            engine,
+            marks: vec![0; if presorted { x.rows() } else { 0 }],
+            hist: HistScratch::new(hist_buckets),
         };
-        let mut root_idx = idx.to_vec();
-        b.build(&mut root_idx, 0);
+        b.build(0, n, 0);
         RegressionTree { nodes: b.nodes }
     }
 
@@ -311,6 +659,22 @@ mod tests {
         (x, y)
     }
 
+    /// Data with heavy feature-value ties, the case where stable ordering
+    /// (and therefore prefix-sum order) actually matters.
+    fn tied_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = (rng.next_f64() * 8.0).floor() / 8.0; // quantized: many ties
+            let b = (rng.next_f64() * 4.0).floor() / 4.0;
+            let c = rng.next_f64();
+            x.push_row(&[a, b, c]);
+            y.push(2.0 * a - b + 0.1 * rng.next_gaussian());
+        }
+        (x, y)
+    }
+
     #[test]
     fn learns_step_function() {
         let (x, y) = step_data(200);
@@ -326,6 +690,140 @@ mod tests {
         );
         assert!(tree.predict(&[0.9, 0.5]) > 0.9);
         assert!(tree.predict(&[0.1, 0.5]) < 0.1);
+    }
+
+    #[test]
+    fn presorted_is_bit_identical_to_reference() {
+        let (x, y) = tied_data(160, 11);
+        for strategy in [SplitStrategy::BestOfAll, SplitStrategy::BestOfSqrt] {
+            let fast = RegressionTree::fit(
+                &x,
+                &y,
+                TreeConfig {
+                    strategy,
+                    ..Default::default()
+                },
+                &mut Rng64::new(3),
+            );
+            let reference = RegressionTree::fit(
+                &x,
+                &y,
+                TreeConfig {
+                    strategy,
+                    reference: true,
+                    ..Default::default()
+                },
+                &mut Rng64::new(3),
+            );
+            assert_eq!(fast.node_count(), reference.node_count());
+            let mut probe_rng = Rng64::new(4);
+            for _ in 0..50 {
+                let p: Vec<f64> = (0..3).map(|_| probe_rng.next_f64()).collect();
+                assert_eq!(
+                    fast.predict(&p).to_bits(),
+                    reference.predict(&p).to_bits(),
+                    "presorted trees must match the reference bit for bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn presorted_matches_reference_on_bootstrap_duplicates() {
+        let (x, y) = tied_data(80, 17);
+        let mut rng = Rng64::new(5);
+        let idx: Vec<usize> = (0..120).map(|_| rng.next_index(80)).collect();
+        let fast =
+            RegressionTree::fit_indices(&x, &y, &idx, TreeConfig::default(), &mut Rng64::new(6));
+        let reference = RegressionTree::fit_indices(
+            &x,
+            &y,
+            &idx,
+            TreeConfig {
+                reference: true,
+                ..Default::default()
+            },
+            &mut Rng64::new(6),
+        );
+        for r in 0..x.rows() {
+            assert_eq!(
+                fast.predict(x.row(r)).to_bits(),
+                reference.predict(x.row(r)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn nan_feature_value_yields_finite_tree() {
+        // a stray NaN (e.g. injected by a fault plan that bypasses
+        // sanitization) must not panic mid-training, and every leaf the
+        // tree can reach must stay finite
+        let (mut x, y) = step_data(100);
+        x[(7, 1)] = f64::NAN;
+        x[(42, 0)] = f64::NAN;
+        for strategy in [
+            SplitStrategy::BestOfAll,
+            SplitStrategy::BestOfSqrt,
+            SplitStrategy::CompletelyRandom,
+        ] {
+            let mut rng = Rng64::new(8);
+            let tree = RegressionTree::fit(
+                &x,
+                &y,
+                TreeConfig {
+                    strategy,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            for r in 0..x.rows() {
+                let p = tree.predict(x.row(r));
+                assert!(p.is_finite(), "{strategy:?}: prediction {p} for row {r}");
+            }
+            assert!(tree.predict(&[0.5, 0.5]).is_finite());
+        }
+    }
+
+    #[test]
+    fn histogram_mode_learns_step_function() {
+        let (x, y) = step_data(300);
+        let mut rng = Rng64::new(9);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeConfig {
+                strategy: SplitStrategy::BestOfAll,
+                bins: Some(16),
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(tree.predict(&[0.9, 0.5]) > 0.85);
+        assert!(tree.predict(&[0.1, 0.5]) < 0.15);
+    }
+
+    #[test]
+    fn histogram_thresholds_are_bucket_edges() {
+        let (x, y) = step_data(200);
+        let binned = BinnedMatrix::new(&x, 8);
+        let mut rng = Rng64::new(10);
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let tree = RegressionTree::fit_indices_prebinned(
+            &x,
+            &binned,
+            &y,
+            &idx,
+            TreeConfig {
+                strategy: SplitStrategy::BestOfAll,
+                bins: Some(8),
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(tree.node_count() > 1);
+        // fewer candidate thresholds than exact mode, but the signal at
+        // x0 ~ 0.5 is coarse enough to survive quantization
+        assert!(tree.predict(&[0.95, 0.5]) > 0.8);
     }
 
     #[test]
@@ -403,6 +901,7 @@ mod tests {
                 strategy: SplitStrategy::CompletelyRandom,
                 min_samples_leaf: 2,
                 max_depth: u32::MAX,
+                ..Default::default()
             },
             &mut rng,
         );

@@ -14,11 +14,13 @@ pub mod dist;
 pub mod kmeans;
 pub mod matrix;
 pub mod rng;
+pub mod sort;
 pub mod stats;
 
 pub use dist::Distribution;
 pub use matrix::Matrix;
 pub use rng::{Rng64, SeedStream};
+pub use sort::{argsort_f64, stable_partition_in_place};
 pub use stats::{OnlineStats, Percentiles};
 
 /// Simulated time, in seconds. All simulators in the workspace use seconds as

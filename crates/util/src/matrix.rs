@@ -78,6 +78,15 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
+    /// Copy a column into a reusable buffer (cleared first). The
+    /// allocation-free counterpart of [`Matrix::col`] for per-tree loops
+    /// that gather every feature column.
+    pub fn col_into(&self, c: usize, out: &mut Vec<f64>) {
+        assert!(c < self.cols);
+        out.clear();
+        out.extend((0..self.rows).map(|r| self[(r, c)]));
+    }
+
     /// Flat row-major view.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
@@ -256,6 +265,14 @@ mod tests {
         let s = m.col_stds();
         assert!((s[0] - 1.0).abs() < 1e-12);
         assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    fn col_into_matches_col() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut buf = vec![9.0; 8];
+        m.col_into(1, &mut buf);
+        assert_eq!(buf, m.col(1));
     }
 
     #[test]

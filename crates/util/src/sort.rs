@@ -1,0 +1,109 @@
+//! Ordering helpers for the training hot paths.
+//!
+//! The deep-forest split finder presorts every feature column once per tree
+//! and then keeps the per-node index arrays sorted by *stable in-place
+//! partitioning* instead of re-sorting at every node. The two primitives it
+//! needs — a stable argsort under IEEE total order and a stable partition
+//! that reuses a caller-owned scratch buffer — live here so other crates
+//! (baselines, profiler) can share them.
+
+/// Stable argsort of `values` under [`f64::total_cmp`].
+///
+/// Returns the permutation `perm` such that `values[perm[0]] <=
+/// values[perm[1]] <= ...`; ties keep their original relative order, and
+/// NaNs sort to a deterministic position (after `+inf` for positive NaN)
+/// instead of panicking or producing an unspecified order.
+///
+/// Indices are `u32` — the training sets this supports are bounded far
+/// below `u32::MAX` rows, and halving the index width keeps the per-tree
+/// sorted-column structure cache-resident.
+pub fn argsort_f64(values: &[f64]) -> Vec<u32> {
+    assert!(
+        values.len() <= u32::MAX as usize,
+        "argsort_f64 indexes with u32"
+    );
+    let mut perm: Vec<u32> = (0..values.len() as u32).collect();
+    // `sort_by` is stable: equal values keep ascending-position order.
+    perm.sort_by(|&a, &b| values[a as usize].total_cmp(&values[b as usize]));
+    perm
+}
+
+/// Stable in-place partition of `items` by `pred`, using `scratch` as the
+/// spill buffer (cleared on entry; capacity is reused across calls).
+///
+/// Elements satisfying `pred` move to the front, the rest to the back, both
+/// groups in their original relative order — the same ordering contract as
+/// `Iterator::partition` into two fresh `Vec`s, without the two
+/// allocations. Returns the number of elements in the `true` group.
+pub fn stable_partition_in_place<T: Copy>(
+    items: &mut [T],
+    scratch: &mut Vec<T>,
+    mut pred: impl FnMut(T) -> bool,
+) -> usize {
+    scratch.clear();
+    let mut write = 0;
+    for read in 0..items.len() {
+        let v = items[read];
+        if pred(v) {
+            items[write] = v;
+            write += 1;
+        } else {
+            scratch.push(v);
+        }
+    }
+    items[write..].copy_from_slice(scratch);
+    write
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_orders_and_is_stable() {
+        let v = [3.0, 1.0, 2.0, 1.0, 3.0];
+        let p = argsort_f64(&v);
+        assert_eq!(p, vec![1, 3, 2, 0, 4], "ties keep original order");
+    }
+
+    #[test]
+    fn argsort_handles_nan_without_panic() {
+        let v = [f64::NAN, 1.0, f64::INFINITY, -1.0, f64::NAN];
+        let p = argsort_f64(&v);
+        assert_eq!(&p[..3], &[3, 1, 2], "finite values first");
+        assert_eq!(&p[3..], &[0, 4], "NaNs last, stable among themselves");
+    }
+
+    #[test]
+    fn argsort_empty() {
+        assert!(argsort_f64(&[]).is_empty());
+    }
+
+    #[test]
+    fn stable_partition_matches_vec_partition() {
+        let src: Vec<u32> = vec![5, 2, 9, 4, 7, 0, 3, 8];
+        let (evens, odds): (Vec<u32>, Vec<u32>) = src.iter().partition(|&&v| v % 2 == 0);
+        let mut items = src.clone();
+        let mut scratch = Vec::new();
+        let nl = stable_partition_in_place(&mut items, &mut scratch, |v| v % 2 == 0);
+        assert_eq!(nl, evens.len());
+        assert_eq!(&items[..nl], &evens[..]);
+        assert_eq!(&items[nl..], &odds[..]);
+    }
+
+    #[test]
+    fn stable_partition_degenerate_groups() {
+        let mut all = vec![1, 2, 3];
+        let mut scratch = Vec::new();
+        assert_eq!(
+            stable_partition_in_place(&mut all, &mut scratch, |_| true),
+            3
+        );
+        assert_eq!(all, vec![1, 2, 3]);
+        assert_eq!(
+            stable_partition_in_place(&mut all, &mut scratch, |_| false),
+            0
+        );
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+}
