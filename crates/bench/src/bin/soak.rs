@@ -1,0 +1,229 @@
+//! Soak test for the serving loop: replay a large request stream under an
+//! injected fault plan and assert the robustness contract holds.
+//!
+//! Four runs, same seed:
+//!
+//! 1. **baseline** — no faults, 1 thread: the healthy p99;
+//! 2. **faulted @ 1 thread** — the fault plan on;
+//! 3. **faulted @ 8 threads** — must be *bit-identical* to run 2
+//!    (decision hash, accounting, response percentiles);
+//! 4. **logged audit** — a capped logged replay proving every admitted
+//!    request appears in the decision log exactly once (nothing lost,
+//!    nothing duplicated).
+//!
+//! Asserted invariants:
+//!
+//! * exact accounting on every run: `admitted = completed + shed + drained`;
+//! * determinism: run 2 and run 3 agree bit-for-bit;
+//! * bounded degradation: faulted p99 stays under the structural ceiling
+//!   `deadline + 4 x watchdog budget` (a completed request starts within
+//!   its deadline and each of its two stages costs at most two watchdog
+//!   budgets);
+//! * under a plan with predictor faults, the breaker both trips and
+//!   recovers.
+//!
+//! Usage:
+//!   cargo run --release -p stca-bench --bin soak --
+//!       [--requests N] [--rate R] [--deadline S] [--fault-plan SPEC]
+//!       [--seed N] [--audit N] [--metrics-out FILE]
+//!
+//! Defaults replay 2M requests under the `heavy` preset. CI runs a short
+//! smoke (`--requests 60000 --fault-plan ci-default`).
+
+use stca_fault::{FaultPlan, StcaError};
+use stca_serve::{serve, AnalyticEa, ServeConfig, ServeReport, SyntheticStream};
+use std::process::ExitCode;
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse() -> Result<Flags, StcaError> {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| StcaError::usage(format!("expected --flag, got {:?}", argv[i])))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| StcaError::usage(format!("flag --{key} needs a value")))?;
+            flags.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Flags(flags))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, StcaError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| StcaError::usage(format!("bad --{name}: {e}"))),
+        }
+    }
+}
+
+fn check(ok: bool, what: &str) -> Result<(), StcaError> {
+    if ok {
+        println!("  ok: {what}");
+        Ok(())
+    } else {
+        Err(StcaError::invalid_input(format!("soak FAILED: {what}")))
+    }
+}
+
+fn run_once(
+    cfg: &ServeConfig,
+    plan: &FaultPlan,
+    stream: &SyntheticStream,
+    n: u64,
+    threads: usize,
+    label: &str,
+) -> Result<ServeReport, StcaError> {
+    stca_exec::set_threads(threads);
+    let t0 = std::time::Instant::now();
+    let r = serve(cfg, &AnalyticEa::default(), plan, stream, n)?;
+    let a = &r.accounting;
+    println!(
+        "{label}: {n} reqs in {:.2}s wall / {:.0}s virtual | completed {} shed {} drained {} | p99 {:.4}s | hash {:016x}",
+        t0.elapsed().as_secs_f64(),
+        r.virtual_end_s,
+        a.completed,
+        a.shed(),
+        a.drained,
+        r.p99_response_s,
+        r.decision_hash
+    );
+    check(a.balanced(), &format!("{label}: accounting balances"))?;
+    check(
+        a.admitted == n,
+        &format!("{label}: all {n} offered requests were accounted"),
+    )?;
+    Ok(r)
+}
+
+fn real_main() -> Result<(), StcaError> {
+    let flags = Flags::parse()?;
+    let n: u64 = flags.parsed("requests", 2_000_000u64)?;
+    let rate: f64 = flags.parsed("rate", 250.0f64)?;
+    let deadline: f64 = flags.parsed("deadline", 0.5f64)?;
+    let seed: u64 = flags.parsed("seed", 2022u64)?;
+    let audit: u64 = flags.parsed("audit", 200_000u64)?.min(n);
+    let plan = match flags.get("fault-plan") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::heavy(),
+    };
+    // a twitchy breaker (2 consecutive failures) so even the ci-default
+    // plan's 2% fault rate trips it within a short smoke run
+    let cfg = ServeConfig {
+        breaker: stca_serve::BreakerConfig {
+            failure_threshold: 2,
+            ..stca_serve::BreakerConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let stream = SyntheticStream {
+        seed,
+        rate,
+        deadline_s: deadline,
+        n_features: 6,
+    };
+
+    // 1: healthy baseline
+    let baseline = run_once(&cfg, &FaultPlan::none(), &stream, n, 1, "baseline")?;
+
+    // 2 + 3: faulted, 1 vs 8 threads
+    let faulted_1 = run_once(&cfg, &plan, &stream, n, 1, "faulted@1t")?;
+    let faulted_8 = run_once(&cfg, &plan, &stream, n, 8, "faulted@8t")?;
+    check(
+        faulted_1.decision_hash == faulted_8.decision_hash,
+        "decision log is bit-identical at 1 vs 8 threads",
+    )?;
+    check(
+        faulted_1.accounting == faulted_8.accounting,
+        "accounting is identical at 1 vs 8 threads",
+    )?;
+    check(
+        faulted_1.p99_response_s.to_bits() == faulted_8.p99_response_s.to_bits()
+            && faulted_1.mean_response_s.to_bits() == faulted_8.mean_response_s.to_bits(),
+        "response percentiles are bit-identical at 1 vs 8 threads",
+    )?;
+
+    // bounded degradation: a completed request starts within its deadline
+    // and pays at most 2 watchdog budgets per stage
+    let ceiling = deadline + 4.0 * cfg.watchdog_budget_s;
+    check(
+        faulted_1.p99_response_s.is_finite() && faulted_1.p99_response_s <= ceiling,
+        &format!(
+            "faulted p99 {:.4}s within the structural ceiling {:.4}s (baseline {:.4}s)",
+            faulted_1.p99_response_s, ceiling, baseline.p99_response_s
+        ),
+    )?;
+    if plan.predict_fail_prob > 0.0 {
+        check(
+            faulted_1.breaker_opens > 0,
+            &format!("breaker tripped ({} opens)", faulted_1.breaker_opens),
+        )?;
+        check(
+            faulted_1.breaker_closes > 0,
+            &format!("breaker recovered ({} closes)", faulted_1.breaker_closes),
+        )?;
+    }
+
+    // 4: logged audit — every admitted request gets exactly one disposition
+    let audit_cfg = ServeConfig {
+        keep_decision_log: true,
+        ..cfg.clone()
+    };
+    let audited = run_once(&audit_cfg, &plan, &stream, audit, 8, "audit")?;
+    let mut seen = vec![0u8; audit as usize];
+    for line in &audited.decision_log {
+        let seq: u64 = line
+            .strip_prefix("seq=")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|tok| tok.parse().ok())
+            .ok_or_else(|| StcaError::invalid_input(format!("unparseable log line {line:?}")))?;
+        let slot = seen
+            .get_mut(seq as usize)
+            .ok_or_else(|| StcaError::invalid_input(format!("log names unknown seq {seq}")))?;
+        *slot += 1;
+    }
+    check(
+        seen.iter().all(|&c| c == 1),
+        &format!(
+            "every one of {audit} audited requests logged exactly once ({} lines)",
+            audited.decision_log.len()
+        ),
+    )?;
+
+    if let Some(path) = flags.get("metrics-out") {
+        let path = std::path::PathBuf::from(path);
+        stca_obs::write_metrics(stca_obs::registry(), &path)
+            .map_err(|e| StcaError::io(path.display().to_string(), e))?;
+        println!("wrote metrics to {}", path.display());
+    }
+    println!("soak passed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    stca_obs::init_from_env();
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}

@@ -66,9 +66,19 @@ impl CapacityBitmask {
         })
     }
 
-    /// Mask covering every way of the cache.
+    /// Mask covering every way of the cache. Way counts are clamped into the
+    /// hardware's 1..=64 range, so construction cannot fail.
     pub fn full(ways: usize) -> Self {
-        CapacityBitmask::from_span(0, ways, ways).expect("full mask is always valid")
+        let ways = ways.clamp(1, 64);
+        let bits = if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        };
+        CapacityBitmask {
+            bits,
+            ways: ways as u8,
+        }
     }
 
     /// Raw bit pattern.

@@ -16,6 +16,7 @@
 
 use crate::allocation::AllocationSetting;
 use crate::stap::ShortTermPolicy;
+use crate::CatError;
 
 /// Pairwise layout: `[A private][shared][B private]` starting at `base_way`.
 ///
@@ -190,43 +191,70 @@ impl ExperimentLayout {
         }
     }
 
-    /// Default (private-only) setting for workload `i`.
-    pub fn default_of(&self, i: usize) -> AllocationSetting {
+    /// Default (private-only) setting for workload `i`, or a typed error for
+    /// an out-of-range index (a pair layout hosts exactly two workloads).
+    pub fn default_of(&self, i: usize) -> Result<AllocationSetting, CatError> {
         match self {
             ExperimentLayout::Pair(p) => match i {
-                0 => p.default_a(),
-                1 => p.default_b(),
-                _ => panic!("pair layout has two workloads"),
+                0 => Ok(p.default_a()),
+                1 => Ok(p.default_b()),
+                _ => Err(CatError::WorkloadIndex {
+                    index: i,
+                    workloads: 2,
+                }),
             },
-            ExperimentLayout::Chain(c) => c.default_of(i),
+            ExperimentLayout::Chain(c) if i < c.n => Ok(c.default_of(i)),
+            ExperimentLayout::Chain(c) => Err(CatError::WorkloadIndex {
+                index: i,
+                workloads: c.n,
+            }),
         }
     }
 
-    /// Boosted setting for workload `i`.
-    pub fn boosted_of(&self, i: usize) -> AllocationSetting {
+    /// Boosted setting for workload `i`, or a typed error out of range.
+    pub fn boosted_of(&self, i: usize) -> Result<AllocationSetting, CatError> {
         match self {
             ExperimentLayout::Pair(p) => match i {
-                0 => p.boosted_a(),
-                1 => p.boosted_b(),
-                _ => panic!("pair layout has two workloads"),
+                0 => Ok(p.boosted_a()),
+                1 => Ok(p.boosted_b()),
+                _ => Err(CatError::WorkloadIndex {
+                    index: i,
+                    workloads: 2,
+                }),
             },
-            ExperimentLayout::Chain(c) => c.boosted_of(i),
+            ExperimentLayout::Chain(c) if i < c.n => Ok(c.boosted_of(i)),
+            ExperimentLayout::Chain(c) => Err(CatError::WorkloadIndex {
+                index: i,
+                workloads: c.n,
+            }),
         }
     }
 
     /// STAPs for all workloads with the given per-workload timeouts.
     pub fn policies(&self, timeouts: &[f64]) -> Vec<ShortTermPolicy> {
         assert_eq!(timeouts.len(), self.workloads(), "one timeout per workload");
-        (0..self.workloads())
-            .map(|i| ShortTermPolicy::new(self.default_of(i), self.boosted_of(i), timeouts[i]))
-            .collect()
+        match self {
+            ExperimentLayout::Pair(p) => {
+                let (a, b) = p.policies(timeouts[0], timeouts[1]);
+                vec![a, b]
+            }
+            ExperimentLayout::Chain(c) => (0..c.n)
+                .map(|i| ShortTermPolicy::new(c.default_of(i), c.boosted_of(i), timeouts[i]))
+                .collect(),
+        }
     }
 
     /// Static (never-boost) policies for all workloads.
     pub fn static_policies(&self) -> Vec<ShortTermPolicy> {
-        (0..self.workloads())
-            .map(|i| ShortTermPolicy::static_only(self.default_of(i)))
-            .collect()
+        match self {
+            ExperimentLayout::Pair(p) => vec![
+                ShortTermPolicy::static_only(p.default_a()),
+                ShortTermPolicy::static_only(p.default_b()),
+            ],
+            ExperimentLayout::Chain(c) => (0..c.n)
+                .map(|i| ShortTermPolicy::static_only(c.default_of(i)))
+                .collect(),
+        }
     }
 }
 
@@ -404,7 +432,18 @@ mod tests {
         let pair = ExperimentLayout::pair_symmetric(2, 2);
         assert_eq!(pair.workloads(), 2);
         assert_eq!(pair.total_ways(), 6);
-        assert_eq!(pair.default_of(1), AllocationSetting::new(4, 2));
+        assert_eq!(pair.default_of(1).unwrap(), AllocationSetting::new(4, 2));
+        assert!(matches!(
+            pair.default_of(2),
+            Err(CatError::WorkloadIndex {
+                index: 2,
+                workloads: 2
+            })
+        ));
+        assert!(matches!(
+            pair.boosted_of(9),
+            Err(CatError::WorkloadIndex { index: 9, .. })
+        ));
         let ps = pair.policies(&[1.0, 2.0]);
         assert_eq!(ps[0].timeout_ratio, 1.0);
         assert_eq!(ps[1].timeout_ratio, 2.0);

@@ -20,6 +20,8 @@
 //! * [`resctrl`] — a simulated `resctrl` filesystem binding (schemata strings)
 //!   so tooling written against the kernel interface can be tested offline.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod allocation;
 pub mod cbm;
 pub mod cos;
@@ -50,6 +52,8 @@ pub enum CatError {
     CosOutOfRange { max: u16, requested: u16 },
     /// A schemata string failed to parse.
     Parse(String),
+    /// A workload index beyond the layout's workload count.
+    WorkloadIndex { index: usize, workloads: usize },
 }
 
 impl std::fmt::Display for CatError {
@@ -65,6 +69,12 @@ impl std::fmt::Display for CatError {
                 write!(f, "COS {requested} exceeds supported classes ({max})")
             }
             CatError::Parse(msg) => write!(f, "schemata parse error: {msg}"),
+            CatError::WorkloadIndex { index, workloads } => {
+                write!(
+                    f,
+                    "workload index {index} out of range for {workloads}-workload layout"
+                )
+            }
         }
     }
 }

@@ -36,8 +36,29 @@ USAGE:
   stca profile --pair A,B [-n CONDITIONS] [-o FILE] [--seed N]
   stca predict --profiles FILE --pair A,B --util U --timeouts TA,TB [--seed N]
   stca explore --profiles FILE --pair A,B [--util U] [--seed N]
+  stca serve [--requests N] [--rate R] [--deadline S] [--seed N]
 
 Benchmarks: jac knn kmeans spkmeans spstream bfs social redis
+
+Serving (stca serve): replay a seeded arrival stream through the online
+control loop (admission queue -> predict -> STAP decide -> drain):
+  --requests N          requests to replay (default 100000)
+  --rate R              mean arrival rate, requests per virtual second (200)
+  --deadline S          per-request deadline budget, virtual seconds (0.5)
+  --servers K           control-loop workers (2)
+  --queue-cap N         admission queue capacity (64)
+  --overload P          full-queue policy: shed-newest | shed-oldest | block
+  --hysteresis K        consecutive agreeing decisions before a policy
+                        change is applied (4)
+  --breaker-threshold N consecutive primary-predictor failures that open
+                        the circuit breaker (5)
+  --breaker-cooldown S  open-state cooldown before half-open probes (1.0)
+  --drain-grace S       drain window after the last arrival (5.0)
+  --profiles FILE       serve with a predictor trained on FILE (default:
+                        the analytic EA tier, no training required)
+  --pair A,B            required with --profiles (training pair)
+  --decision-log FILE   write the per-request decision log
+  --health-out FILE     write a JSON health snapshot (report + serve.*)
 
 Parallelism (any subcommand):
   --threads N           worker threads (default: STCA_THREADS, else all cores);
@@ -423,6 +444,101 @@ fn cmd_explore(args: &Args) -> Result<(), StcaError> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), StcaError> {
+    use stca_serve::{BreakerConfig, OverloadPolicy, ServeConfig, SyntheticStream};
+    let n: u64 = args.get_parsed("requests", 100_000u64)?;
+    let rate: f64 = args.get_parsed("rate", 200.0f64)?;
+    let deadline: f64 = args.get_parsed("deadline", 0.5f64)?;
+    let seed: u64 = args.get_parsed("seed", 2022u64)?;
+    let decision_log = args.get("decision-log").map(PathBuf::from);
+    let cfg = ServeConfig {
+        servers: args.get_parsed("servers", 2usize)?,
+        queue_capacity: args.get_parsed("queue-cap", 64usize)?,
+        overload: OverloadPolicy::parse(args.get("overload").unwrap_or("shed-newest"))?,
+        hysteresis_k: args.get_parsed("hysteresis", 4u32)?,
+        breaker: BreakerConfig {
+            failure_threshold: args.get_parsed("breaker-threshold", 5u32)?,
+            cooldown_s: args.get_parsed("breaker-cooldown", 1.0f64)?,
+            seed: seed ^ 0xB4EA,
+            ..BreakerConfig::default()
+        },
+        drain_grace_s: args.get_parsed("drain-grace", 5.0f64)?,
+        keep_decision_log: decision_log.is_some(),
+        ..ServeConfig::default()
+    };
+    let stream = SyntheticStream {
+        seed,
+        rate,
+        deadline_s: deadline,
+        n_features: 6,
+    };
+    let plan = args.fault_plan()?;
+    stca_obs::info!("serving {n} requests at {rate}/s (deadline {deadline}s)");
+    let report = match args.get("profiles") {
+        Some(_) => {
+            let profiles = load_profiles(args)?;
+            // --pair is parsed for interface symmetry with predict/explore
+            // (training data already fixes the pair); require it so the
+            // trained path has a stable CLI shape
+            parse_pair(args.require("pair")?)?;
+            let template = profiles.rows[0].clone();
+            let model = stca_core::ServingPredictor::new(train(&profiles, seed), template);
+            stca_serve::serve(&cfg, &model, &plan, &stream, n)?
+        }
+        None => stca_serve::serve(&cfg, &stca_serve::AnalyticEa::default(), &plan, &stream, n)?,
+    };
+    let a = &report.accounting;
+    println!(
+        "served {} requests in {:.1} virtual seconds",
+        n, report.virtual_end_s
+    );
+    println!(
+        "  completed {}  shed {} (overload {} / deadline {} / failed {})  drained {}",
+        a.completed,
+        a.shed(),
+        a.shed_overload,
+        a.shed_deadline,
+        a.shed_failed,
+        a.drained
+    );
+    println!(
+        "  deadline-exceeded {}  degraded {}  watchdog trips {}  retries {}",
+        a.deadline_exceeded, report.degraded, report.watchdog_trips, report.retries
+    );
+    println!(
+        "  breaker: opens {} closes {} probes {} rejects {}",
+        report.breaker_opens, report.breaker_closes, report.breaker_probes, report.breaker_rejects
+    );
+    println!(
+        "  policy: applies {} suppressed {} (final timeout ratio {:.2})",
+        report.policy_applies,
+        report.policy_suppressed,
+        stca_serve::TIMEOUT_GRID[report.final_timeout_idx]
+    );
+    println!(
+        "  response: mean {:.4}s p50 {:.4}s p99 {:.4}s",
+        report.mean_response_s, report.p50_response_s, report.p99_response_s
+    );
+    println!("  decision hash {:016x}", report.decision_hash);
+    if !a.balanced() {
+        return Err(StcaError::invalid_input(format!(
+            "accounting invariant violated: {a:?}"
+        )));
+    }
+    if let Some(path) = decision_log {
+        let mut text = report.decision_log.join("\n");
+        text.push('\n');
+        std::fs::write(&path, text).map_err(|e| StcaError::io(path.display().to_string(), e))?;
+        println!("wrote decision log to {}", path.display());
+    }
+    if let Some(path) = args.get("health-out") {
+        let path = PathBuf::from(path);
+        stca_serve::write_health(&path, &report)?;
+        println!("wrote health snapshot to {}", path.display());
+    }
+    Ok(())
+}
+
 fn real_main(argv: &[String]) -> Result<(), StcaError> {
     let Some(cmd) = argv.first() else {
         return Err(StcaError::usage("missing subcommand"));
@@ -433,6 +549,7 @@ fn real_main(argv: &[String]) -> Result<(), StcaError> {
         "profile" => cmd_profile(&args),
         "predict" => cmd_predict(&args),
         "explore" => cmd_explore(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

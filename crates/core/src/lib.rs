@@ -22,6 +22,8 @@
 pub mod explorer;
 pub mod insight;
 pub mod predictor;
+pub mod serving;
 
 pub use explorer::{ExplorationResult, PolicyExplorer};
 pub use predictor::{ModelConfig, Predictor, ResponsePrediction};
+pub use serving::ServingPredictor;

@@ -288,6 +288,45 @@ impl Predictor {
         }
     }
 
+    /// Forest-only EA prediction with **no fallback**: errors on damaged
+    /// features or a non-finite forest output instead of degrading.
+    ///
+    /// This is the primary tier the serving loop's circuit breaker wraps —
+    /// the breaker needs failures *surfaced* so it can count them and trip,
+    /// where [`predict_ea`] would silently absorb them into the chain.
+    ///
+    /// [`predict_ea`]: Predictor::predict_ea
+    pub fn predict_ea_strict(&self, row: &ProfileRow) -> Result<f64, stca_fault::StcaError> {
+        if !all_finite(&row.static_features) || !all_finite(row.trace.as_slice()) {
+            return Err(stca_fault::StcaError::invalid_input(
+                "predict_ea_strict: non-finite features",
+            ));
+        }
+        let raw = self
+            .ea_model
+            .predict_parts(&row.static_features, &row.trace);
+        if raw.is_finite() {
+            Ok(raw.clamp(0.01, 2.0))
+        } else {
+            Err(stca_fault::StcaError::invalid_input(
+                "predict_ea_strict: non-finite forest output",
+            ))
+        }
+    }
+
+    /// The degraded tail of the fallback chain, skipping the deep forest:
+    /// the scalar tabular model when the scalars are finite (tier 1), else
+    /// the analytic EA floor (tier 2). Always finite in `[0.01, 2.0]`.
+    pub fn predict_ea_degraded(&self, row: &ProfileRow) -> (f64, u8) {
+        if all_finite(&row.static_features) {
+            let raw = self.ea_scalar.predict(&row.static_features);
+            if raw.is_finite() {
+                return (raw.clamp(0.01, 2.0), 1);
+            }
+        }
+        (analytic_ea(row.allocation_ratio), 2)
+    }
+
     /// Predict normalized base service time for a profile row, with the
     /// same degradation chain as [`predict_ea`]; the analytic tier is the
     /// workload's expected service (norm 1.0).

@@ -1,0 +1,135 @@
+//! Serving-side adapter: the trained [`Predictor`] as an
+//! [`stca_serve::EaModel`].
+//!
+//! The serving loop speaks flat feature rows (seeded synthetic streams,
+//! `features[0]` = allocation ratio in `(0, 1]`); the predictor speaks
+//! [`ProfileRow`]s (Eq.-2 scalars plus a counter trace). The adapter
+//! bridges them with a *template row* taken from the training set: each
+//! request clones the template and overwrites its leading static features
+//! with the request's, so the deep forest sees inputs shaped exactly like
+//! its training data while the request still controls the EA-relevant
+//! conditions.
+//!
+//! The tier split mirrors the breaker contract:
+//!
+//! - [`EaModel::predict_primary`] → [`Predictor::predict_ea_strict`], the
+//!   forest with failures *surfaced* (the breaker counts them and trips);
+//! - [`EaModel::predict_degraded`] → [`Predictor::predict_ea_degraded`],
+//!   the scalar-model → analytic tail that always answers.
+
+use crate::predictor::Predictor;
+use stca_fault::StcaError;
+use stca_profiler::profile::ProfileRow;
+use stca_serve::EaModel;
+
+/// A trained predictor bound to a template profile row, serving flat
+/// feature vectors.
+pub struct ServingPredictor {
+    predictor: Predictor,
+    template: ProfileRow,
+}
+
+impl ServingPredictor {
+    /// Bind `predictor` to `template` (typically the first row of the
+    /// training set — any row with the right feature shape works).
+    pub fn new(predictor: Predictor, template: ProfileRow) -> ServingPredictor {
+        ServingPredictor {
+            predictor,
+            template,
+        }
+    }
+
+    /// Build a profile row for one request: template conditions with the
+    /// request's features written over the leading static slots, and the
+    /// serving allocation ratio (`l_a / l_a'` in `(0, 1]`) converted to
+    /// the profiler's `l_a' / l_a >= 1` convention.
+    fn fill_row(&self, features: &[f64]) -> ProfileRow {
+        let mut row = self.template.clone();
+        if let Some(&ratio) = features.first() {
+            if ratio.is_finite() && ratio > 0.0 {
+                row.allocation_ratio = (1.0 / ratio).max(1.0);
+            }
+        }
+        let n = row.static_features.len();
+        for (slot, &v) in row.static_features.iter_mut().zip(features.iter().take(n)) {
+            *slot = v;
+        }
+        row
+    }
+}
+
+impl EaModel for ServingPredictor {
+    fn predict_primary(&self, features: &[f64]) -> Result<f64, StcaError> {
+        self.predictor.predict_ea_strict(&self.fill_row(features))
+    }
+
+    fn predict_degraded(&self, features: &[f64]) -> (f64, u8) {
+        self.predictor.predict_ea_degraded(&self.fill_row(features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::ModelConfig;
+    use stca_profiler::executor::{ExperimentSpec, TestEnvironment};
+    use stca_profiler::profile::ProfileSet;
+    use stca_profiler::sampler::CounterOrdering;
+    use stca_serve::{serve, ServeConfig, SyntheticStream};
+    use stca_util::Rng64;
+    use stca_workloads::{BenchmarkId, RuntimeCondition};
+
+    fn trained() -> ServingPredictor {
+        let mut rng = Rng64::new(5);
+        let mut set = ProfileSet::new();
+        for i in 0..4 {
+            let cond =
+                RuntimeCondition::random_pair(BenchmarkId::Kmeans, BenchmarkId::Bfs, &mut rng);
+            let out = TestEnvironment::new(ExperimentSpec::quick(cond.clone(), 5 ^ i)).run();
+            for (j, w) in out.workloads.iter().enumerate() {
+                set.push(ProfileRow::from_outcome(
+                    &cond,
+                    j,
+                    w,
+                    CounterOrdering::Grouped,
+                ));
+            }
+        }
+        let template = set.rows[0].clone();
+        let predictor = Predictor::train(&set, &ModelConfig::quick(1));
+        ServingPredictor::new(predictor, template)
+    }
+
+    #[test]
+    fn trained_model_serves_finite_predictions() {
+        let m = trained();
+        let ea = m.predict_primary(&[0.5, 0.7, 1.5]).expect("finite row");
+        assert!((0.01..=2.0).contains(&ea));
+        let (dea, tier) = m.predict_degraded(&[0.5, 0.7, 1.5]);
+        assert!((0.01..=2.0).contains(&dea));
+        assert!(tier == 1 || tier == 2);
+    }
+
+    #[test]
+    fn nan_features_error_the_primary_but_not_the_degraded_tier() {
+        let m = trained();
+        assert!(m.predict_primary(&[f64::NAN, 0.5]).is_err());
+        let (dea, _) = m.predict_degraded(&[f64::NAN, 0.5]);
+        assert!(dea.is_finite());
+    }
+
+    #[test]
+    fn serving_loop_runs_on_the_trained_predictor() {
+        let m = trained();
+        let stream = SyntheticStream {
+            seed: 9,
+            rate: 40.0,
+            deadline_s: 2.0,
+            n_features: 3,
+        };
+        let cfg = ServeConfig::default();
+        let r = serve(&cfg, &m, &stca_fault::FaultPlan::none(), &stream, 300).expect("serves");
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert!(r.accounting.completed > 0);
+    }
+}

@@ -36,4 +36,6 @@ mod config;
 mod pool;
 
 pub use config::{init_from_env_and_args, set_threads, threads, threads_from_args};
-pub use pool::{par_map_indexed, par_map_indexed_caught, par_map_range, par_map_range_caught};
+pub use pool::{
+    par_map_indexed, par_map_indexed_caught, par_map_range, par_map_range_caught, run_caught,
+};

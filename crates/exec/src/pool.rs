@@ -144,6 +144,24 @@ where
     })
 }
 
+/// Run one closure with panic isolation on the current thread: a panic in
+/// `f` becomes `Err(panic message)` and ticks `exec.task_panics_total`.
+/// The serving loop's stage watchdog uses this to turn a panicking pipeline
+/// stage into a typed failure it can retry or shed instead of unwinding the
+/// whole control loop.
+pub fn run_caught<R, F>(f: F) -> Result<R, String>
+where
+    F: FnOnce() -> R,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            pool_metrics().task_panics.inc();
+            Err(panic_message(payload))
+        }
+    }
+}
+
 /// [`par_map_indexed`] with panic isolation; see [`par_map_range_caught`].
 pub fn par_map_indexed_caught<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
 where
@@ -251,6 +269,15 @@ mod tests {
             let after = stca_obs::counter("exec.task_panics_total").get();
             assert!(after >= before + 3, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn run_caught_isolates_a_single_closure() {
+        assert_eq!(run_caught(|| 41 + 1), Ok(42));
+        let before = stca_obs::counter("exec.task_panics_total").get();
+        let err = run_caught(|| -> u32 { panic!("stage wedged") }).expect_err("panicked");
+        assert!(err.contains("wedged"), "{err}");
+        assert!(stca_obs::counter("exec.task_panics_total").get() > before);
     }
 
     #[test]

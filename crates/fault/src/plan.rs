@@ -20,6 +20,8 @@ const TAG_LATENCY: u64 = 0x33;
 const TAG_SAMPLE: u64 = 0x44;
 const TAG_NOISE: u64 = 0x55;
 const TAG_CORRUPT: u64 = 0x66;
+const TAG_PREDICT: u64 = 0x77;
+const TAG_STALL: u64 = 0x88;
 
 /// Injection-side metric handles, resolved once.
 struct InjectMetrics {
@@ -28,6 +30,8 @@ struct InjectMetrics {
     drops: Arc<stca_obs::Counter>,
     corruptions: Arc<stca_obs::Counter>,
     stucks: Arc<stca_obs::Counter>,
+    predict_failures: Arc<stca_obs::Counter>,
+    stalls: Arc<stca_obs::Counter>,
     latency_s: Arc<stca_obs::Histogram>,
 }
 
@@ -39,6 +43,8 @@ fn inject_metrics() -> &'static InjectMetrics {
         drops: stca_obs::counter("fault.injected_sample_drops_total"),
         corruptions: stca_obs::counter("fault.injected_sample_corruptions_total"),
         stucks: stca_obs::counter("fault.injected_sample_stucks_total"),
+        predict_failures: stca_obs::counter("fault.injected_predict_failures_total"),
+        stalls: stca_obs::counter("fault.injected_stalls_total"),
         latency_s: stca_obs::histogram("fault.injected_latency_seconds"),
     })
 }
@@ -75,6 +81,11 @@ pub struct FaultPlan {
     pub noise_rel: f64,
     /// Mean injected collection latency per attempt, virtual seconds.
     pub latency_mean_s: f64,
+    /// Per-call probability the primary (deep-forest) predictor fails.
+    pub predict_fail_prob: f64,
+    /// Per-stage probability a pipeline stage stalls past its watchdog
+    /// budget (the serving loop fails it into the retry path).
+    pub stall_prob: f64,
 }
 
 impl FaultPlan {
@@ -90,6 +101,8 @@ impl FaultPlan {
             stuck_prob: 0.0,
             noise_rel: 0.0,
             latency_mean_s: 0.0,
+            predict_fail_prob: 0.0,
+            stall_prob: 0.0,
         }
     }
 
@@ -104,6 +117,8 @@ impl FaultPlan {
             stuck_prob: 0.02,
             noise_rel: 0.01,
             latency_mean_s: 0.05,
+            predict_fail_prob: 0.02,
+            stall_prob: 0.01,
         }
     }
 
@@ -118,6 +133,8 @@ impl FaultPlan {
             stuck_prob: 0.05,
             noise_rel: 0.05,
             latency_mean_s: 0.2,
+            predict_fail_prob: 0.2,
+            stall_prob: 0.05,
         }
     }
 
@@ -130,12 +147,14 @@ impl FaultPlan {
             || self.stuck_prob > 0.0
             || self.noise_rel > 0.0
             || self.latency_mean_s > 0.0
+            || self.predict_fail_prob > 0.0
+            || self.stall_prob > 0.0
     }
 
     /// Parse a plan spec: a preset name (`none`, `ci-default`, `heavy`),
     /// `key=value` pairs, or a preset followed by overrides — all
     /// comma-separated. Keys: `seed`, `crash`, `timeout`, `dropout`,
-    /// `corrupt`, `stuck`, `noise`, `latency`.
+    /// `corrupt`, `stuck`, `noise`, `latency`, `predict_fail`, `stall`.
     ///
     /// ```
     /// use stca_fault::FaultPlan;
@@ -177,10 +196,12 @@ impl FaultPlan {
                         "stuck" => &mut plan.stuck_prob,
                         "noise" => &mut plan.noise_rel,
                         "latency" => &mut plan.latency_mean_s,
+                        "predict_fail" => &mut plan.predict_fail_prob,
+                        "stall" => &mut plan.stall_prob,
                         _ => {
                             return Err(StcaError::usage(format!(
                                 "unknown fault plan key {key:?} (known: seed, crash, timeout, \
-                                 dropout, corrupt, stuck, noise, latency)"
+                                 dropout, corrupt, stuck, noise, latency, predict_fail, stall)"
                             )))
                         }
                     };
@@ -326,6 +347,40 @@ impl FaultInjector {
             .collect()
     }
 
+    /// Whether the primary predictor fails for the call identified by
+    /// `tag` (callers use the request sequence number). A `true` roll is
+    /// counted in `fault.injected_predict_failures_total`; the serving
+    /// layer is expected to fall through the degraded predictor chain.
+    pub fn predict_fault(&self, tag: u64) -> bool {
+        if self.plan.predict_fail_prob <= 0.0 {
+            return false;
+        }
+        let hit = self
+            .sample_rng(TAG_PREDICT, tag)
+            .next_bool(self.plan.predict_fail_prob);
+        if hit {
+            inject_metrics().predict_failures.inc();
+        }
+        hit
+    }
+
+    /// Virtual seconds of injected stage stall for the stage identified by
+    /// `tag`, or `0.0` when the stage proceeds normally. Stalled stages
+    /// overshoot the watchdog budget by 2–12x its latency scale so the
+    /// watchdog reliably classifies them as stuck.
+    pub fn stage_stall_s(&self, tag: u64) -> f64 {
+        if self.plan.stall_prob <= 0.0 {
+            return 0.0;
+        }
+        let mut rng = self.sample_rng(TAG_STALL, tag);
+        if !rng.next_bool(self.plan.stall_prob) {
+            return 0.0;
+        }
+        inject_metrics().stalls.inc();
+        let scale = self.plan.latency_mean_s.max(0.1);
+        scale * (2.0 + 10.0 * rng.next_f64())
+    }
+
     fn sample_rng(&self, component: u64, tag: u64) -> Rng64 {
         self.stream.derive(component).rng(tag)
     }
@@ -412,6 +467,32 @@ mod tests {
     }
 
     #[test]
+    fn predict_and_stall_hooks_are_deterministic_and_rate_matched() {
+        let plan = FaultPlan::parse("predict_fail=0.25,stall=0.1,latency=0.2,seed=13").unwrap();
+        let a = plan.injector(4, 0);
+        let b = plan.injector(4, 0);
+        let n = 20_000u64;
+        let mut fails = 0usize;
+        let mut stalls = 0usize;
+        for tag in 0..n {
+            assert_eq!(a.predict_fault(tag), b.predict_fault(tag));
+            let s = a.stage_stall_s(tag);
+            assert_eq!(s.to_bits(), b.stage_stall_s(tag).to_bits());
+            if a.predict_fault(tag) {
+                fails += 1;
+            }
+            if s > 0.0 {
+                // stalls overshoot the watchdog latency scale
+                assert!(s >= 2.0 * 0.2, "stall {s} too small to trip watchdog");
+                stalls += 1;
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(fails) - 0.25).abs() < 0.02, "predict_fail {fails}");
+        assert!((frac(stalls) - 0.1).abs() < 0.02, "stall {stalls}");
+    }
+
+    #[test]
     fn inactive_plan_is_a_no_op() {
         let inj = FaultPlan::none().injector(1, 0);
         assert!(!inj.is_active());
@@ -419,5 +500,7 @@ mod tests {
         assert_eq!(inj.injected_latency_s(), 0.0);
         assert_eq!(inj.sample_fault(3), SampleFault::None);
         assert_eq!(inj.noise_factors(3, 4), vec![1.0; 4]);
+        assert!(!inj.predict_fault(3));
+        assert_eq!(inj.stage_stall_s(3), 0.0);
     }
 }

@@ -362,6 +362,18 @@ impl Registry {
             .collect()
     }
 
+    /// Sorted snapshot of the metrics whose names start with `prefix`
+    /// (e.g. `"serve."` for a health snapshot of the serving loop alone).
+    pub fn snapshot_prefixed(&self, prefix: &str) -> Vec<(String, Metric)> {
+        self.metrics
+            .read()
+            .expect("registry lock")
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Remove every metric (test isolation between runs).
     pub fn clear(&self) {
         self.metrics.write().expect("registry lock").clear();
@@ -541,6 +553,29 @@ mod tests {
         // Repeat offenders get fresh detached handles, not a panic.
         r.histogram("x_total").record(0.1);
         assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn prefixed_snapshot_filters_names() {
+        let r = Registry::new();
+        r.counter("serve.admitted_total").add(2);
+        r.counter("serve.shed_total").add(1);
+        r.counter("exec.tasks_total").add(9);
+        r.gauge("serve.queue_depth").set(4.0);
+        let names: Vec<String> = r
+            .snapshot_prefixed("serve.")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "serve.admitted_total",
+                "serve.queue_depth",
+                "serve.shed_total"
+            ]
+        );
+        assert!(r.snapshot_prefixed("nope.").is_empty());
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! A generic circuit breaker over the primary predictor.
+//!
+//! Classic closed / open / half-open semantics, adapted to the virtual
+//! clock and the determinism contract:
+//!
+//! * **Closed** — calls are admitted; `failure_threshold` *consecutive*
+//!   failures trip the breaker open.
+//! * **Open** — calls are rejected outright until `cooldown_s` of virtual
+//!   time has passed; the serving loop routes rejected calls straight to
+//!   the degraded predictor chain without touching the primary.
+//! * **Half-open** — once the cooldown expires, a seeded fraction of calls
+//!   is admitted as probes. Probe selection is a pure function of
+//!   `(breaker seed, open epoch, call tag)`, so the same calls probe no
+//!   matter how many worker threads ran the prediction batch.
+//!   `success_to_close` probe successes close the breaker; one probe
+//!   failure restarts the cooldown under a fresh epoch (fresh probe
+//!   lottery).
+//!
+//! [`CircuitBreaker::allow`] is a pure read — state only changes in
+//! [`CircuitBreaker::record_success`] / [`CircuitBreaker::record_failure`].
+//! The serving loop freezes verdicts serially in request order, which keeps
+//! faulted runs bit-identical at any thread count.
+
+use stca_util::rng::splitmix64;
+
+/// Tunables for one breaker instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Virtual seconds the breaker stays fully open after tripping.
+    pub cooldown_s: f64,
+    /// Fraction of calls admitted as probes once the cooldown expires.
+    pub probe_fraction: f64,
+    /// Probe successes needed to close the breaker again.
+    pub success_to_close: u32,
+    /// Seed for the probe lottery.
+    pub seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_s: 1.0,
+            probe_fraction: 0.2,
+            success_to_close: 3,
+            seed: 0x0B4E_A4E4,
+        }
+    }
+}
+
+/// Breaker state. "Half-open" is the open state past its cooldown — probe
+/// bookkeeping lives in the `Open` variant rather than a third state so a
+/// clock read can never be stale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Admitting all calls; counts consecutive failures.
+    Closed {
+        /// Consecutive failures observed so far.
+        consec_failures: u32,
+    },
+    /// Rejecting (or probing, once `now >= until`).
+    Open {
+        /// Virtual time when the cooldown expires and probing starts.
+        until: f64,
+        /// Monotonic epoch; bumped on every trip so each open period
+        /// draws a fresh probe lottery.
+        epoch: u64,
+        /// Probe successes accumulated in the current half-open period.
+        probe_successes: u32,
+    },
+}
+
+/// What the breaker says about one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Closed: call the primary.
+    Admit,
+    /// Half-open probe: call the primary, outcome decides recovery.
+    Probe,
+    /// Open: skip the primary, go straight to the degraded chain.
+    Reject,
+}
+
+/// The breaker itself plus its transition counters.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Times the breaker tripped open (including failed-probe re-opens).
+    pub opens: u64,
+    /// Times the breaker recovered to closed.
+    pub closes: u64,
+    /// Probe calls admitted while half-open.
+    pub probes: u64,
+    /// Calls rejected while open.
+    pub rejects: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed { consec_failures: 0 },
+            opens: 0,
+            closes: 0,
+            probes: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Current state (for health snapshots and tests).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the primary is currently bypassed (open, cooldown running).
+    pub fn is_open_at(&self, now: f64) -> bool {
+        matches!(self.state, BreakerState::Open { until, .. } if now < until)
+    }
+
+    /// Pure verdict for the call identified by `tag` at virtual `now`.
+    /// Does not change state or counters.
+    pub fn allow(&self, now: f64, tag: u64) -> Verdict {
+        match self.state {
+            BreakerState::Closed { .. } => Verdict::Admit,
+            BreakerState::Open { until, epoch, .. } => {
+                if now < until {
+                    Verdict::Reject
+                } else if probe_roll(self.cfg.seed, epoch, tag) < self.cfg.probe_fraction {
+                    Verdict::Probe
+                } else {
+                    Verdict::Reject
+                }
+            }
+        }
+    }
+
+    /// [`allow`](Self::allow) plus probe/reject accounting. The serving
+    /// loop calls this once per request, in request order.
+    pub fn decide(&mut self, now: f64, tag: u64) -> Verdict {
+        let v = self.allow(now, tag);
+        match v {
+            Verdict::Probe => self.probes += 1,
+            Verdict::Reject => self.rejects += 1,
+            Verdict::Admit => {}
+        }
+        v
+    }
+
+    /// Record a successful primary call (admitted or probe).
+    pub fn record_success(&mut self, _now: f64) {
+        match &mut self.state {
+            BreakerState::Closed { consec_failures } => *consec_failures = 0,
+            BreakerState::Open {
+                probe_successes, ..
+            } => {
+                *probe_successes += 1;
+                if *probe_successes >= self.cfg.success_to_close {
+                    self.state = BreakerState::Closed { consec_failures: 0 };
+                    self.closes += 1;
+                }
+            }
+        }
+    }
+
+    /// Record a failed primary call (admitted or probe).
+    pub fn record_failure(&mut self, now: f64) {
+        let cooldown = self.cfg.cooldown_s;
+        match &mut self.state {
+            BreakerState::Closed { consec_failures } => {
+                *consec_failures += 1;
+                if *consec_failures >= self.cfg.failure_threshold {
+                    self.opens += 1;
+                    self.state = BreakerState::Open {
+                        until: now + cooldown,
+                        epoch: self.opens,
+                        probe_successes: 0,
+                    };
+                }
+            }
+            BreakerState::Open {
+                until,
+                epoch,
+                probe_successes,
+            } => {
+                // failed probe: restart the cooldown under a fresh epoch
+                self.opens += 1;
+                *until = now + cooldown;
+                *epoch += 1;
+                *probe_successes = 0;
+            }
+        }
+    }
+}
+
+/// Uniform `[0, 1)` draw that is a pure function of its inputs.
+fn probe_roll(seed: u64, epoch: u64, tag: u64) -> f64 {
+    let mut s =
+        seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_s: 1.0,
+            probe_fraction: 0.5,
+            success_to_close: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_failure(0.0);
+        b.record_failure(0.1);
+        b.record_success(0.2); // resets the streak
+        b.record_failure(0.3);
+        b.record_failure(0.4);
+        assert_eq!(b.opens, 0);
+        b.record_failure(0.5);
+        assert_eq!(b.opens, 1);
+        assert!(b.is_open_at(1.0));
+        assert_eq!(b.allow(1.0, 0), Verdict::Reject);
+    }
+
+    #[test]
+    fn probes_start_after_cooldown_and_close_on_success() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        // past the cooldown, roughly half of tags probe
+        let probing: Vec<u64> = (0..100)
+            .filter(|&t| b.allow(2.0, t) == Verdict::Probe)
+            .collect();
+        assert!(
+            probing.len() > 20 && probing.len() < 80,
+            "{}",
+            probing.len()
+        );
+        b.record_success(2.0);
+        assert_eq!(b.closes, 0);
+        b.record_success(2.1);
+        assert_eq!(b.closes, 1);
+        assert_eq!(b.allow(2.2, 0), Verdict::Admit);
+    }
+
+    #[test]
+    fn failed_probe_restarts_cooldown_with_fresh_lottery() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        let before: Vec<Verdict> = (0..64).map(|t| b.allow(5.0, t)).collect();
+        b.record_failure(5.0);
+        assert_eq!(b.opens, 2);
+        assert_eq!(b.allow(5.5, 0), Verdict::Reject, "cooldown restarted");
+        let after: Vec<Verdict> = (0..64).map(|t| b.allow(6.5, t)).collect();
+        assert_ne!(before, after, "new epoch draws a different probe set");
+    }
+
+    #[test]
+    fn allow_is_pure_and_deterministic() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        for tag in 0..32 {
+            let v1 = b.allow(2.0, tag);
+            let v2 = b.allow(2.0, tag);
+            assert_eq!(v1, v2);
+        }
+        assert_eq!(b.probes, 0, "allow never counts");
+        assert_eq!(b.rejects, 0);
+    }
+}

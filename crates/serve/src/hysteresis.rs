@@ -1,0 +1,110 @@
+//! Hysteresis on the STAP timeout decision.
+//!
+//! Per-request EA predictions are noisy (feature noise, degraded tiers,
+//! injected faults), so raw per-request decide output flaps between
+//! adjacent grid points. The controller only re-programs the station's
+//! timeout after `k` *consecutive* decisions agree on the same new value —
+//! the serving-loop analogue of requiring a persistent regime change
+//! before paying the re-allocation cost.
+
+/// Debounces decide output into applied policy changes.
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    k: u32,
+    applied: usize,
+    candidate: usize,
+    streak: u32,
+    /// Policy changes actually applied.
+    pub applies: u64,
+    /// Decisions that differed from the applied policy but were held back.
+    pub suppressed: u64,
+}
+
+impl Hysteresis {
+    /// Controller starting at `initial` with agreement threshold `k`
+    /// (clamped to >= 1; `k = 1` applies every change immediately).
+    pub fn new(k: u32, initial: usize) -> Self {
+        Hysteresis {
+            k: k.max(1),
+            applied: initial,
+            candidate: initial,
+            streak: 0,
+            applies: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Currently applied decision.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Feed one decision; returns `Some(new)` when the policy flips.
+    pub fn observe(&mut self, decision: usize) -> Option<usize> {
+        if decision == self.applied {
+            self.candidate = decision;
+            self.streak = 0;
+            return None;
+        }
+        if decision == self.candidate {
+            self.streak += 1;
+        } else {
+            self.candidate = decision;
+            self.streak = 1;
+        }
+        if self.streak >= self.k {
+            self.applied = decision;
+            self.streak = 0;
+            self.applies += 1;
+            Some(decision)
+        } else {
+            self.suppressed += 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_only_after_k_consecutive_agreements() {
+        let mut h = Hysteresis::new(3, 0);
+        assert_eq!(h.observe(1), None);
+        assert_eq!(h.observe(1), None);
+        assert_eq!(h.observe(1), Some(1));
+        assert_eq!(h.applied(), 1);
+        assert_eq!(h.applies, 1);
+        assert_eq!(h.suppressed, 2);
+    }
+
+    #[test]
+    fn flapping_never_applies() {
+        let mut h = Hysteresis::new(3, 0);
+        for _ in 0..50 {
+            assert_eq!(h.observe(1), None);
+            assert_eq!(h.observe(2), None);
+        }
+        assert_eq!(h.applied(), 0);
+        assert_eq!(h.applies, 0);
+        assert_eq!(h.suppressed, 100);
+    }
+
+    #[test]
+    fn agreeing_with_applied_resets_the_streak() {
+        let mut h = Hysteresis::new(2, 0);
+        assert_eq!(h.observe(1), None);
+        assert_eq!(h.observe(0), None); // back to applied: streak resets
+        assert_eq!(h.observe(1), None);
+        assert_eq!(h.observe(1), Some(1));
+    }
+
+    #[test]
+    fn k_one_applies_immediately() {
+        let mut h = Hysteresis::new(1, 0);
+        assert_eq!(h.observe(4), Some(4));
+        assert_eq!(h.observe(2), Some(2));
+        assert_eq!(h.suppressed, 0);
+    }
+}

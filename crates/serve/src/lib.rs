@@ -1,0 +1,49 @@
+//! # stca-serve — resilient online serving/control loop
+//!
+//! The offline pipeline (profiler → deep forest → policy explorer) answers
+//! "what timeout should this station run?" once, from a batch. This crate
+//! answers it *continuously*: a deterministic, virtual-clock serving loop
+//! that admits EA-prediction + STAP-decision requests from a replayed
+//! arrival stream and keeps making sane decisions while the predictor
+//! fails, stages stall, and the queue overflows.
+//!
+//! Robustness pieces, each its own module:
+//!
+//! - [`server`] — the loop: bounded admission queue with a configurable
+//!   overload policy ([`OverloadPolicy`]), per-request deadline budgets
+//!   propagated through predict → decide, graceful drain, and the exact
+//!   accounting invariant `admitted = completed + shed + drained`
+//!   ([`Accounting::balanced`]).
+//! - [`breaker`] — a generic circuit breaker (closed / open / half-open
+//!   with seeded probe lotteries) wrapping the primary predictor; trips to
+//!   the degraded fallback chain and recovers deterministically.
+//! - [`hysteresis`] — the policy controller: a new timeout is applied only
+//!   after `k` consecutive agreeing decisions.
+//! - [`watchdog`] — virtual-time stage watchdog failing stuck stages into
+//!   the retry path.
+//! - [`model`] — the [`EaModel`] boundary (implemented by `stca-core`'s
+//!   `Predictor`) and the closed-form decide stage.
+//! - [`request`] — the seeded, chunkable arrival stream.
+//!
+//! Everything is deterministic at any thread count: parallel work is pure
+//! per-request compute via `stca_exec::par_map_indexed`, all stateful
+//! decisions replay serially in arrival order, and fault injection is
+//! keyed by request sequence number. The soak bench asserts bit-identical
+//! decision logs at `--threads 1` vs `8` under the heavy fault plan.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod breaker;
+pub mod hysteresis;
+pub mod model;
+pub mod request;
+pub mod server;
+pub mod watchdog;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Verdict};
+pub use hysteresis::Hysteresis;
+pub use model::{decide, AnalyticEa, EaModel, StationModel, TIMEOUT_GRID};
+pub use request::{Request, SyntheticStream};
+pub use server::{serve, write_health, Accounting, OverloadPolicy, ServeConfig, ServeReport};
+pub use watchdog::{StageRun, Watchdog};

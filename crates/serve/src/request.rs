@@ -1,0 +1,126 @@
+//! Requests and the deterministic replay stream that feeds the loop.
+//!
+//! A serving request asks the control loop for one EA prediction plus a
+//! STAP timeout decision for the workload the features describe. Requests
+//! carry a virtual arrival time and a deadline budget; the loop propagates
+//! the budget through admission, the predict stage, and the decide stage.
+//!
+//! [`SyntheticStream`] replays a seeded arrival process: exponential
+//! inter-arrivals at a configured rate, and per-request feature rows drawn
+//! from tagged streams keyed by the request sequence number — so any chunk
+//! of the stream can be regenerated independently and the whole replay is
+//! bit-identical at any thread count.
+
+use stca_util::SeedStream;
+
+const TAG_ARRIVAL: u64 = 0xA1;
+const TAG_FEATURES: u64 = 0xF2;
+
+/// One EA-prediction + STAP-decision request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Sequence number: unique, dense, assigned at generation.
+    pub seq: u64,
+    /// Virtual arrival time in seconds.
+    pub arrival_s: f64,
+    /// End-to-end deadline budget (arrival → decision), virtual seconds.
+    pub deadline_s: f64,
+    /// Feature row handed to the EA model. By convention `features[0]`
+    /// is the allocation ratio `l_a / l_a'` in `(0, 1]`, which is what the
+    /// analytic fallback tier keys on.
+    pub features: Vec<f64>,
+}
+
+/// Seeded replay stream of serving requests.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    /// Root seed: arrivals and features derive from it.
+    pub seed: u64,
+    /// Mean arrival rate, requests per virtual second.
+    pub rate: f64,
+    /// Deadline budget stamped on every request.
+    pub deadline_s: f64,
+    /// Feature-row width (>= 1; `features[0]` is the allocation ratio).
+    pub n_features: usize,
+}
+
+impl SyntheticStream {
+    /// Generate requests `start_seq .. start_seq + count`, with the first
+    /// inter-arrival added to `start_time_s`. Returns the chunk and the
+    /// arrival time of its last request (feed it back as the next chunk's
+    /// `start_time_s`).
+    pub fn chunk(&self, start_seq: u64, count: usize, start_time_s: f64) -> (Vec<Request>, f64) {
+        let stream = SeedStream::new(self.seed);
+        let arrivals = stream.derive(TAG_ARRIVAL);
+        let features = stream.derive(TAG_FEATURES);
+        let mut t = start_time_s;
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let seq = start_seq + i as u64;
+            t += arrivals.rng(seq).next_exp(self.rate);
+            let mut rng = features.rng(seq);
+            let mut row = Vec::with_capacity(self.n_features.max(1));
+            // allocation ratio in (0.3, 1.0]: EA-relevant and always valid
+            row.push(0.3 + 0.7 * rng.next_f64());
+            for _ in 1..self.n_features.max(1) {
+                row.push(rng.next_f64());
+            }
+            out.push(Request {
+                seq,
+                arrival_s: t,
+                deadline_s: self.deadline_s,
+                features: row,
+            });
+        }
+        (out, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> SyntheticStream {
+        SyntheticStream {
+            seed: 42,
+            rate: 100.0,
+            deadline_s: 0.5,
+            n_features: 6,
+        }
+    }
+
+    #[test]
+    fn chunks_compose_into_the_same_stream() {
+        let s = stream();
+        let (all, _) = s.chunk(0, 100, 0.0);
+        let (a, t) = s.chunk(0, 60, 0.0);
+        let (b, _) = s.chunk(60, 40, t);
+        let recomposed: Vec<Request> = a.into_iter().chain(b).collect();
+        assert_eq!(all.len(), recomposed.len());
+        for (x, y) in all.iter().zip(&recomposed) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.arrival_s.to_bits(), y.arrival_s.to_bits());
+            assert_eq!(x.features, y.features);
+        }
+    }
+
+    #[test]
+    fn arrivals_increase_and_rate_roughly_matches() {
+        let s = stream();
+        let (reqs, end) = s.chunk(0, 20_000, 0.0);
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival_s > w[0].arrival_s);
+        }
+        let rate = reqs.len() as f64 / end;
+        assert!((rate - 100.0).abs() / 100.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn features_are_valid_ratios() {
+        let (reqs, _) = stream().chunk(0, 1000, 0.0);
+        for r in &reqs {
+            assert_eq!(r.features.len(), 6);
+            assert!(r.features[0] > 0.3 && r.features[0] <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,1013 @@
+//! The serving loop: admission → predict → decide → drain, on a virtual
+//! clock, deterministic at any thread count.
+//!
+//! ## Execution model
+//!
+//! The replayed arrival stream is processed in fixed-size chunks. Each
+//! chunk runs two phases:
+//!
+//! 1. **Parallel compute** — for every request in the chunk, the pure
+//!    per-request work is computed on the worker pool: the primary model
+//!    call, the degraded fallback, the injected predictor fault, and the
+//!    injected stage stalls. All of it is a pure function of the request
+//!    (seed, features, sequence number), so input-order results are
+//!    bit-identical at any `--threads`.
+//! 2. **Serial replay** — requests are admitted, queued, dispatched to
+//!    virtual servers, and completed in arrival order. Everything
+//!    stateful lives here: queue occupancy, overload shedding, deadline
+//!    budgets, the circuit breaker (verdicts frozen in request order),
+//!    hysteresis, the watchdog retry path, and the decision log.
+//!
+//! The split means the expensive model calls parallelise while every
+//! stateful decision happens in one deterministic order — the same design
+//! as the training pipeline's tagged seed streams, applied to serving.
+//!
+//! ## Accounting invariant
+//!
+//! Every request offered to the loop ends in exactly one disposition:
+//!
+//! ```text
+//! admitted = completed + shed_overload + shed_deadline + shed_failed + drained
+//! ```
+//!
+//! [`Accounting::balanced`] checks it; the soak bench and the property
+//! tests assert it after every run, faulted or not.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Verdict};
+use crate::hysteresis::Hysteresis;
+use crate::model::{decide, EaModel, StationModel, TIMEOUT_GRID};
+use crate::request::{Request, SyntheticStream};
+use crate::watchdog::{StageRun, Watchdog};
+use stca_fault::{FaultInjector, FaultPlan, StcaError};
+use stca_obs::json::Value;
+use stca_queuesim::{QueueSim, RunBudget, StationConfig};
+use stca_util::Distribution;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+
+/// What the loop does when a request arrives to a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Shed the arriving request (default: protects queued work).
+    ShedNewest,
+    /// Shed the oldest queued request and admit the new one.
+    ShedOldest,
+    /// Admit anyway; the overflow is counted as blocked back-pressure.
+    Block,
+}
+
+impl OverloadPolicy {
+    /// Parse a CLI token: `shed-newest`, `shed-oldest`, or `block`.
+    pub fn parse(s: &str) -> Result<Self, StcaError> {
+        match s {
+            "shed-newest" => Ok(OverloadPolicy::ShedNewest),
+            "shed-oldest" => Ok(OverloadPolicy::ShedOldest),
+            "block" => Ok(OverloadPolicy::Block),
+            _ => Err(StcaError::usage(format!(
+                "overload policy {s:?}: want shed-newest, shed-oldest, or block"
+            ))),
+        }
+    }
+
+    /// The CLI token for this policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OverloadPolicy::ShedNewest => "shed-newest",
+            OverloadPolicy::ShedOldest => "shed-oldest",
+            OverloadPolicy::Block => "block",
+        }
+    }
+}
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Virtual control-loop workers executing predict/decide stages.
+    pub servers: usize,
+    /// Bounded admission queue capacity (waiting requests).
+    pub queue_capacity: usize,
+    /// What happens when the queue is full.
+    pub overload: OverloadPolicy,
+    /// Hysteresis threshold: consecutive agreeing decisions before a new
+    /// timeout is applied.
+    pub hysteresis_k: u32,
+    /// Circuit breaker tunables for the primary predictor.
+    pub breaker: BreakerConfig,
+    /// Per-stage watchdog budget, virtual seconds.
+    pub watchdog_budget_s: f64,
+    /// Drain grace after the last arrival, virtual seconds: queued work
+    /// that cannot start within the grace is dropped as drained.
+    pub drain_grace_s: f64,
+    /// Base virtual cost of the predict stage, seconds.
+    pub predict_cost_s: f64,
+    /// Base virtual cost of the decide stage, seconds.
+    pub decide_cost_s: f64,
+    /// The station the STAP decision targets.
+    pub station: StationModel,
+    /// Event budget for the budgeted validation simulation run when a new
+    /// policy is applied; 0 disables validation sims.
+    pub sim_budget_events: u64,
+    /// Requests per parallel compute chunk.
+    pub chunk: usize,
+    /// Keep the full decision log in the report (the rolling hash is
+    /// always computed; the log itself costs memory on big replays).
+    pub keep_decision_log: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            servers: 2,
+            queue_capacity: 64,
+            overload: OverloadPolicy::ShedNewest,
+            hysteresis_k: 4,
+            breaker: BreakerConfig::default(),
+            watchdog_budget_s: 0.25,
+            drain_grace_s: 5.0,
+            predict_cost_s: 0.004,
+            decide_cost_s: 0.002,
+            station: StationModel::default(),
+            sim_budget_events: 4000,
+            chunk: 4096,
+            keep_decision_log: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), StcaError> {
+        if self.servers == 0 {
+            return Err(StcaError::invalid_input("serve: servers must be >= 1"));
+        }
+        if self.chunk == 0 {
+            return Err(StcaError::invalid_input("serve: chunk must be >= 1"));
+        }
+        for (name, v) in [
+            ("watchdog_budget_s", self.watchdog_budget_s),
+            ("drain_grace_s", self.drain_grace_s),
+            ("predict_cost_s", self.predict_cost_s),
+            ("decide_cost_s", self.decide_cost_s),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(StcaError::invalid_input(format!(
+                    "serve: {name} = {v} must be finite and >= 0"
+                )));
+            }
+        }
+        if self.watchdog_budget_s < self.predict_cost_s.max(self.decide_cost_s) {
+            return Err(StcaError::invalid_input(
+                "serve: watchdog budget below base stage cost would kill every stage",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.station.utilization) {
+            return Err(StcaError::invalid_input(
+                "serve: station utilization must be in [0, 1)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Exact request accounting for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Requests offered to the loop (every generated arrival).
+    pub admitted: u64,
+    /// Requests that produced a decision (possibly past deadline).
+    pub completed: u64,
+    /// Requests shed by the overload policy at admission.
+    pub shed_overload: u64,
+    /// Requests shed because the deadline budget ran out before or
+    /// during service.
+    pub shed_deadline: u64,
+    /// Requests shed because a stage stayed stuck after its retry.
+    pub shed_failed: u64,
+    /// Requests dropped at drain because they could not start within the
+    /// grace period.
+    pub drained: u64,
+    /// Overflow admissions under [`OverloadPolicy::Block`] (informational;
+    /// these requests are still in `admitted` and end in a disposition).
+    pub blocked: u64,
+    /// Completed requests whose response exceeded the deadline.
+    pub deadline_exceeded: u64,
+}
+
+impl Accounting {
+    /// Total shed, all causes.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_deadline + self.shed_failed
+    }
+
+    /// The invariant: every offered request has exactly one disposition.
+    pub fn balanced(&self) -> bool {
+        self.admitted == self.completed + self.shed() + self.drained
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Exact request accounting.
+    pub accounting: Accounting,
+    /// Breaker trips (closed → open and failed-probe re-opens).
+    pub breaker_opens: u64,
+    /// Breaker recoveries (half-open → closed).
+    pub breaker_closes: u64,
+    /// Probe calls admitted while half-open.
+    pub breaker_probes: u64,
+    /// Calls short-circuited to the degraded chain while open.
+    pub breaker_rejects: u64,
+    /// Requests answered by the degraded predictor chain.
+    pub degraded: u64,
+    /// Watchdog interventions (stage cut off at its budget).
+    pub watchdog_trips: u64,
+    /// Stage retries after a watchdog trip.
+    pub retries: u64,
+    /// Policy changes applied by the hysteresis controller.
+    pub policy_applies: u64,
+    /// Decisions suppressed by hysteresis.
+    pub policy_suppressed: u64,
+    /// Budgeted validation simulations run on policy application.
+    pub policy_validations: u64,
+    /// Validation sims that hit their event budget.
+    pub sim_budget_exhausted: u64,
+    /// Timeout-grid index applied when the run ended.
+    pub final_timeout_idx: usize,
+    /// Mean response of completed requests, seconds.
+    pub mean_response_s: f64,
+    /// Median response, seconds.
+    pub p50_response_s: f64,
+    /// 99th-percentile response, seconds.
+    pub p99_response_s: f64,
+    /// Rolling FNV-1a hash over every decision-log entry.
+    pub decision_hash: u64,
+    /// Full decision log (empty unless `keep_decision_log`).
+    pub decision_log: Vec<String>,
+    /// Virtual time when the drain finished.
+    pub virtual_end_s: f64,
+}
+
+impl ServeReport {
+    /// The report as a JSON tree (health snapshots, CLI output).
+    pub fn to_json_value(&self) -> Value {
+        let num = |v: f64| Value::Number(v);
+        let int = |v: u64| Value::Number(v as f64);
+        let mut acct = BTreeMap::new();
+        let a = &self.accounting;
+        acct.insert("admitted".into(), int(a.admitted));
+        acct.insert("completed".into(), int(a.completed));
+        acct.insert("shed_overload".into(), int(a.shed_overload));
+        acct.insert("shed_deadline".into(), int(a.shed_deadline));
+        acct.insert("shed_failed".into(), int(a.shed_failed));
+        acct.insert("drained".into(), int(a.drained));
+        acct.insert("blocked".into(), int(a.blocked));
+        acct.insert("deadline_exceeded".into(), int(a.deadline_exceeded));
+        acct.insert("balanced".into(), Value::Bool(a.balanced()));
+        let mut breaker = BTreeMap::new();
+        breaker.insert("opens".into(), int(self.breaker_opens));
+        breaker.insert("closes".into(), int(self.breaker_closes));
+        breaker.insert("probes".into(), int(self.breaker_probes));
+        breaker.insert("rejects".into(), int(self.breaker_rejects));
+        let mut policy = BTreeMap::new();
+        policy.insert("applies".into(), int(self.policy_applies));
+        policy.insert("suppressed".into(), int(self.policy_suppressed));
+        policy.insert("validations".into(), int(self.policy_validations));
+        policy.insert(
+            "sim_budget_exhausted".into(),
+            int(self.sim_budget_exhausted),
+        );
+        policy.insert(
+            "applied_timeout_ratio".into(),
+            num(TIMEOUT_GRID[self.final_timeout_idx]),
+        );
+        let mut resp = BTreeMap::new();
+        resp.insert("mean_s".into(), num(self.mean_response_s));
+        resp.insert("p50_s".into(), num(self.p50_response_s));
+        resp.insert("p99_s".into(), num(self.p99_response_s));
+        let mut root = BTreeMap::new();
+        root.insert("accounting".into(), Value::Object(acct));
+        root.insert("breaker".into(), Value::Object(breaker));
+        root.insert("policy".into(), Value::Object(policy));
+        root.insert("response".into(), Value::Object(resp));
+        root.insert("degraded".into(), int(self.degraded));
+        root.insert("watchdog_trips".into(), int(self.watchdog_trips));
+        root.insert("retries".into(), int(self.retries));
+        root.insert(
+            "decision_hash".into(),
+            Value::String(format!("{:016x}", self.decision_hash)),
+        );
+        root.insert("virtual_end_s".into(), num(self.virtual_end_s));
+        Value::Object(root)
+    }
+}
+
+/// Write a JSON health snapshot: the report plus every `serve.*` metric
+/// currently in the global registry.
+pub fn write_health(path: &Path, report: &ServeReport) -> Result<(), StcaError> {
+    let mut root = match report.to_json_value() {
+        Value::Object(m) => m,
+        _ => unreachable!("report serialises to an object"),
+    };
+    let mut metrics = BTreeMap::new();
+    for (name, metric) in stca_obs::registry().snapshot_prefixed("serve.") {
+        match metric {
+            stca_obs::metrics::Metric::Counter(c) => {
+                metrics.insert(name, Value::Number(c.get() as f64));
+            }
+            stca_obs::metrics::Metric::Gauge(g) => {
+                metrics.insert(name, Value::Number(g.get()));
+            }
+            stca_obs::metrics::Metric::Histogram(h) => {
+                metrics.insert(name, Value::Number(h.mean()));
+            }
+        }
+    }
+    root.insert("metrics".into(), Value::Object(metrics));
+    let json = Value::Object(root).to_string();
+    std::fs::write(path, json).map_err(|e| StcaError::io(path.display().to_string(), e))
+}
+
+/// Pure per-request compute: everything the parallel phase produces.
+#[derive(Debug, Clone)]
+struct Computed {
+    /// Injected primary-predictor fault for this request.
+    fault: bool,
+    /// Primary EA, if the model returned one.
+    primary: Option<f64>,
+    /// Degraded EA and its tier.
+    degraded_ea: f64,
+    degraded_tier: u8,
+    /// Injected stall per stage (0 = predict, 1 = decide) and attempt.
+    stall: [[f64; 2]; 2],
+}
+
+/// A request waiting in (or entering) the admission queue.
+#[derive(Debug, Clone)]
+struct Pending {
+    seq: u64,
+    arrival_s: f64,
+    deadline_s: f64,
+    comp: Computed,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Serial replay state (phase 2 of each chunk).
+struct LoopState<'a> {
+    cfg: &'a ServeConfig,
+    breaker: CircuitBreaker,
+    hyst: Hysteresis,
+    watchdog: Watchdog,
+    acct: Accounting,
+    /// Per-server virtual free-at times.
+    servers: Vec<f64>,
+    waiting: VecDeque<Pending>,
+    responses: Vec<f64>,
+    degraded: u64,
+    watchdog_trips: u64,
+    retries: u64,
+    policy_validations: u64,
+    sim_budget_exhausted: u64,
+    last_ea: f64,
+    seed: u64,
+    hash: u64,
+    log: Vec<String>,
+    resp_hist: std::sync::Arc<stca_obs::Histogram>,
+}
+
+impl<'a> LoopState<'a> {
+    fn new(cfg: &'a ServeConfig, seed: u64) -> Self {
+        let initial = decide(&cfg.station, 1.0);
+        LoopState {
+            cfg,
+            breaker: CircuitBreaker::new(cfg.breaker),
+            hyst: Hysteresis::new(cfg.hysteresis_k, initial),
+            watchdog: Watchdog {
+                budget_s: cfg.watchdog_budget_s,
+            },
+            acct: Accounting::default(),
+            servers: vec![0.0; cfg.servers],
+            waiting: VecDeque::new(),
+            responses: Vec::new(),
+            degraded: 0,
+            watchdog_trips: 0,
+            retries: 0,
+            policy_validations: 0,
+            sim_budget_exhausted: 0,
+            last_ea: 1.0,
+            seed,
+            hash: FNV_OFFSET,
+            log: Vec::new(),
+            resp_hist: stca_obs::histogram("serve.response_seconds"),
+        }
+    }
+
+    fn log_entry(&mut self, entry: String) {
+        for b in entry.as_bytes() {
+            self.hash ^= u64::from(*b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.hash ^= u64::from(b'\n');
+        self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        if self.cfg.keep_decision_log {
+            self.log.push(entry);
+        }
+    }
+
+    /// Earliest-free server (lowest index breaks ties).
+    fn next_server(&self) -> (usize, f64) {
+        let mut best = 0;
+        let mut best_free = self.servers[0];
+        for (i, &f) in self.servers.iter().enumerate().skip(1) {
+            if f < best_free {
+                best = i;
+                best_free = f;
+            }
+        }
+        (best, best_free)
+    }
+
+    /// Try to move the queue head into service, if it can start by
+    /// `now_limit`. Returns false when the head must keep waiting (or the
+    /// queue is empty).
+    fn dispatch_one(&mut self, now_limit: f64) -> bool {
+        let Some(head) = self.waiting.front() else {
+            return false;
+        };
+        let (si, free) = self.next_server();
+        let start = free.max(head.arrival_s);
+        if start > now_limit {
+            return false;
+        }
+        let p = self.waiting.pop_front().expect("front checked above");
+        // deadline check at dispatch: queueing alone may have eaten the
+        // whole budget
+        if start - p.arrival_s >= p.deadline_s {
+            self.acct.shed_deadline += 1;
+            self.log_entry(format!("seq={} disp=shed_deadline stage=queue", p.seq));
+            return true;
+        }
+        self.service(p, start, si);
+        true
+    }
+
+    fn dispatch_ready(&mut self, now: f64) {
+        while self.dispatch_one(now) {}
+    }
+
+    /// Run one stage under the watchdog with its retry path. Returns the
+    /// virtual cost charged and whether the stage ultimately succeeded.
+    fn run_stage(&mut self, base_cost_s: f64, stalls: [f64; 2]) -> (f64, bool) {
+        match self.watchdog.supervise(base_cost_s, stalls[0]) {
+            StageRun::Ok { cost_s } => (cost_s, true),
+            StageRun::Stuck { wasted_s } => {
+                self.watchdog_trips += 1;
+                self.retries += 1;
+                match self.watchdog.supervise(base_cost_s, stalls[1]) {
+                    StageRun::Ok { cost_s } => (wasted_s + cost_s, true),
+                    StageRun::Stuck { wasted_s: w2 } => {
+                        self.watchdog_trips += 1;
+                        (wasted_s + w2, false)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute predict → decide for one dispatched request.
+    fn service(&mut self, p: Pending, start: f64, si: usize) {
+        // ---- predict stage (primary behind the breaker) ----
+        let (predict_cost, predict_ok) = self.run_stage(self.cfg.predict_cost_s, p.comp.stall[0]);
+        if !predict_ok {
+            self.servers[si] = start + predict_cost;
+            self.acct.shed_failed += 1;
+            self.log_entry(format!("seq={} disp=failed stage=predict", p.seq));
+            return;
+        }
+        let verdict = self.breaker.decide(start, p.seq);
+        let (ea, tier) = match verdict {
+            Verdict::Admit | Verdict::Probe => match (p.comp.fault, p.comp.primary) {
+                (false, Some(ea)) => {
+                    self.breaker.record_success(start);
+                    (ea, 0u8)
+                }
+                _ => {
+                    self.breaker.record_failure(start);
+                    self.degraded += 1;
+                    (p.comp.degraded_ea, p.comp.degraded_tier)
+                }
+            },
+            Verdict::Reject => {
+                self.degraded += 1;
+                (p.comp.degraded_ea, p.comp.degraded_tier)
+            }
+        };
+        self.last_ea = ea;
+        // deadline propagation: no point deciding for a request whose
+        // budget died in the predict stage
+        if (start + predict_cost) - p.arrival_s >= p.deadline_s {
+            self.servers[si] = start + predict_cost;
+            self.acct.shed_deadline += 1;
+            self.log_entry(format!("seq={} disp=shed_deadline stage=predict", p.seq));
+            return;
+        }
+        // ---- decide stage ----
+        let (decide_cost, decide_ok) = self.run_stage(self.cfg.decide_cost_s, p.comp.stall[1]);
+        let total = predict_cost + decide_cost;
+        if !decide_ok {
+            self.servers[si] = start + total;
+            self.acct.shed_failed += 1;
+            self.log_entry(format!("seq={} disp=failed stage=decide", p.seq));
+            return;
+        }
+        let idx = decide(&self.cfg.station, ea);
+        if let Some(new_idx) = self.hyst.observe(idx) {
+            self.validate_policy(new_idx);
+        }
+        let completion = start + total;
+        self.servers[si] = completion;
+        let resp = completion - p.arrival_s;
+        self.acct.completed += 1;
+        if resp > p.deadline_s {
+            self.acct.deadline_exceeded += 1;
+        }
+        self.responses.push(resp);
+        self.resp_hist.record(resp);
+        self.log_entry(format!(
+            "seq={} disp=ok tier={} ea={:016x} t={} applied={} resp={:016x}",
+            p.seq,
+            tier,
+            ea.to_bits(),
+            idx,
+            self.hyst.applied(),
+            resp.to_bits(),
+        ));
+    }
+
+    /// Budgeted validation sim for a freshly applied timeout: replays the
+    /// station under the new policy with a hard event budget, so a policy
+    /// flip can never stall the control loop.
+    fn validate_policy(&mut self, new_idx: usize) {
+        if self.cfg.sim_budget_events == 0 {
+            return;
+        }
+        let st = &self.cfg.station;
+        let gain = (self.last_ea * (st.alloc_boost - 1.0)).max(0.0);
+        let sim_cfg = StationConfig {
+            inter_arrival: Distribution::Exponential {
+                mean: 1.0 / st.lambda(),
+            },
+            service: Distribution::Exponential { mean: st.service_s },
+            expected_service: st.service_s,
+            timeout_ratio: TIMEOUT_GRID[new_idx],
+            boost_rate: (1.0 + gain).max(1.0),
+            servers: st.servers,
+            shared_boost: true,
+            measured_queries: 2000,
+            warmup_queries: 200,
+        };
+        let seed = self.seed ^ self.hyst.applies.wrapping_mul(0x9E37_79B9);
+        if let Ok(mut sim) = QueueSim::try_new(sim_cfg, seed) {
+            let run = sim.run_budgeted(RunBudget::events(self.cfg.sim_budget_events));
+            self.policy_validations += 1;
+            if run.exhausted {
+                self.sim_budget_exhausted += 1;
+            }
+            if run.result.completed() > 0 {
+                stca_obs::gauge("serve.policy_validation_mean_response_s")
+                    .set(run.result.mean_response());
+            }
+        }
+    }
+
+    /// Admit one arrival (phase-2 entry point, in arrival order).
+    fn arrive(&mut self, p: Pending) {
+        self.acct.admitted += 1;
+        let now = p.arrival_s;
+        self.dispatch_ready(now);
+        if self.waiting.len() >= self.cfg.queue_capacity {
+            match self.cfg.overload {
+                OverloadPolicy::ShedNewest => {
+                    self.acct.shed_overload += 1;
+                    self.log_entry(format!("seq={} disp=shed_overload", p.seq));
+                    return;
+                }
+                OverloadPolicy::ShedOldest => {
+                    if let Some(old) = self.waiting.pop_front() {
+                        self.acct.shed_overload += 1;
+                        self.log_entry(format!("seq={} disp=shed_overload", old.seq));
+                    }
+                }
+                OverloadPolicy::Block => {
+                    self.acct.blocked += 1;
+                }
+            }
+        }
+        self.waiting.push_back(p);
+    }
+
+    /// Graceful drain: finish work that can start within the grace
+    /// window, count the rest as drained.
+    fn drain(&mut self, last_arrival_s: f64) -> f64 {
+        let deadline = last_arrival_s + self.cfg.drain_grace_s;
+        loop {
+            if self.dispatch_one(deadline) {
+                continue;
+            }
+            match self.waiting.pop_front() {
+                Some(p) => {
+                    self.acct.drained += 1;
+                    self.log_entry(format!("seq={} disp=drained", p.seq));
+                }
+                None => break,
+            }
+        }
+        self.servers
+            .iter()
+            .fold(last_arrival_s, |m, &f| if f > m { f } else { m })
+    }
+}
+
+/// Run the serving loop over `n_requests` replayed arrivals.
+///
+/// Deterministic: with the same config, stream, plan, and model, the
+/// decision hash and report are bit-identical at any thread count.
+pub fn serve(
+    cfg: &ServeConfig,
+    model: &dyn EaModel,
+    plan: &FaultPlan,
+    stream: &SyntheticStream,
+    n_requests: u64,
+) -> Result<ServeReport, StcaError> {
+    cfg.validate()?;
+    if !(stream.rate.is_finite() && stream.rate > 0.0) {
+        return Err(StcaError::invalid_input(format!(
+            "serve: arrival rate {} must be finite and positive",
+            stream.rate
+        )));
+    }
+    if !(stream.deadline_s.is_finite() && stream.deadline_s > 0.0) {
+        return Err(StcaError::invalid_input(format!(
+            "serve: deadline {} must be finite and positive",
+            stream.deadline_s
+        )));
+    }
+    let run_key = stream.seed ^ 0x5E4E;
+    let injectors: [FaultInjector; 2] = [plan.injector(run_key, 0), plan.injector(run_key, 1)];
+    let mut state = LoopState::new(cfg, stream.seed);
+    let timer = stca_obs::StageTimer::with_histogram(stca_obs::histogram("serve.run_seconds"));
+    let mut seq = 0u64;
+    let mut t_cursor = 0.0f64;
+    let mut last_arrival = 0.0f64;
+    while seq < n_requests {
+        let count = ((n_requests - seq).min(cfg.chunk as u64)) as usize;
+        let (reqs, new_t) = stream.chunk(seq, count, t_cursor);
+        t_cursor = new_t;
+        last_arrival = new_t;
+        // phase 1: pure per-request compute, input-order results
+        let computed: Vec<Computed> =
+            stca_exec::par_map_indexed(&reqs, |_, r| compute_request(model, &injectors, r));
+        // phase 2: serial replay in arrival order
+        for (r, comp) in reqs.into_iter().zip(computed) {
+            state.arrive(Pending {
+                seq: r.seq,
+                arrival_s: r.arrival_s,
+                deadline_s: r.deadline_s,
+                comp,
+            });
+        }
+        seq += count as u64;
+        stca_obs::gauge("serve.queue_depth").set(state.waiting.len() as f64);
+    }
+    let virtual_end = state.drain(last_arrival);
+    timer.stop();
+
+    // responses → percentiles
+    let mut responses = std::mem::take(&mut state.responses);
+    let mean = if responses.is_empty() {
+        0.0
+    } else {
+        responses.iter().sum::<f64>() / responses.len() as f64
+    };
+    let p50 = stca_util::stats::quantile_in_place(&mut responses, 0.50);
+    let p99 = stca_util::stats::quantile_in_place(&mut responses, 0.99);
+
+    let report = ServeReport {
+        accounting: state.acct,
+        breaker_opens: state.breaker.opens,
+        breaker_closes: state.breaker.closes,
+        breaker_probes: state.breaker.probes,
+        breaker_rejects: state.breaker.rejects,
+        degraded: state.degraded,
+        watchdog_trips: state.watchdog_trips,
+        retries: state.retries,
+        policy_applies: state.hyst.applies,
+        policy_suppressed: state.hyst.suppressed,
+        policy_validations: state.policy_validations,
+        sim_budget_exhausted: state.sim_budget_exhausted,
+        final_timeout_idx: state.hyst.applied(),
+        mean_response_s: mean,
+        p50_response_s: p50,
+        p99_response_s: p99,
+        decision_hash: state.hash,
+        decision_log: state.log,
+        virtual_end_s: virtual_end,
+    };
+    debug_assert!(matches!(
+        state.breaker.state(),
+        BreakerState::Closed { .. } | BreakerState::Open { .. }
+    ));
+    flush_metrics(&report);
+    Ok(report)
+}
+
+fn compute_request(model: &dyn EaModel, inj: &[FaultInjector; 2], r: &Request) -> Computed {
+    let fault = inj[0].predict_fault(r.seq);
+    // run the primary under panic isolation: a wedged model must become a
+    // breaker failure, not tear down the loop
+    let primary = match stca_exec::run_caught(|| model.predict_primary(&r.features)) {
+        Ok(Ok(ea)) if ea.is_finite() => Some(ea),
+        _ => None,
+    };
+    let (degraded_ea, degraded_tier) = model.predict_degraded(&r.features);
+    let degraded_ea = if degraded_ea.is_finite() {
+        degraded_ea
+    } else {
+        1.0
+    };
+    let stall = [
+        [
+            inj[0].stage_stall_s(r.seq * 2),
+            inj[1].stage_stall_s(r.seq * 2),
+        ],
+        [
+            inj[0].stage_stall_s(r.seq * 2 + 1),
+            inj[1].stage_stall_s(r.seq * 2 + 1),
+        ],
+    ];
+    Computed {
+        fault,
+        primary,
+        degraded_ea,
+        degraded_tier,
+        stall,
+    }
+}
+
+/// Flush run totals into the global `serve.*` metrics.
+fn flush_metrics(r: &ServeReport) {
+    let a = &r.accounting;
+    for (name, v) in [
+        ("serve.admitted_total", a.admitted),
+        ("serve.completed_total", a.completed),
+        ("serve.shed_total", a.shed()),
+        ("serve.shed_overload_total", a.shed_overload),
+        ("serve.shed_deadline_total", a.shed_deadline),
+        ("serve.shed_failed_total", a.shed_failed),
+        ("serve.drained_total", a.drained),
+        ("serve.blocked_total", a.blocked),
+        ("serve.deadline_exceeded_total", a.deadline_exceeded),
+        ("serve.degraded_total", r.degraded),
+        ("serve.breaker_opens_total", r.breaker_opens),
+        ("serve.breaker_closes_total", r.breaker_closes),
+        ("serve.breaker_probes_total", r.breaker_probes),
+        ("serve.breaker_rejects_total", r.breaker_rejects),
+        ("serve.watchdog_trips_total", r.watchdog_trips),
+        ("serve.retries_total", r.retries),
+        ("serve.policy_applies_total", r.policy_applies),
+        ("serve.policy_suppressed_total", r.policy_suppressed),
+        ("serve.policy_validations_total", r.policy_validations),
+        ("serve.sim_budget_exhausted_total", r.sim_budget_exhausted),
+    ] {
+        if v > 0 {
+            stca_obs::counter(name).add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AnalyticEa;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            servers: 2,
+            queue_capacity: 8,
+            sim_budget_events: 500,
+            keep_decision_log: true,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn stream(rate: f64, deadline: f64) -> SyntheticStream {
+        SyntheticStream {
+            seed: 7,
+            rate,
+            deadline_s: deadline,
+            n_features: 4,
+        }
+    }
+
+    fn run(cfg: &ServeConfig, plan: &FaultPlan, rate: f64, deadline: f64, n: u64) -> ServeReport {
+        serve(
+            cfg,
+            &AnalyticEa::default(),
+            plan,
+            &stream(rate, deadline),
+            n,
+        )
+        .expect("serve runs")
+    }
+
+    #[test]
+    fn accounting_balances_under_light_load() {
+        let r = run(&small_cfg(), &FaultPlan::none(), 50.0, 1.0, 2_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert_eq!(r.accounting.admitted, 2_000);
+        assert!(r.accounting.completed > 1_900, "{:?}", r.accounting);
+        assert_eq!(r.degraded, 0);
+        assert_eq!(r.breaker_opens, 0);
+    }
+
+    #[test]
+    fn overload_sheds_and_still_balances() {
+        // 2 servers x ~6ms of work per request supports ~330 req/s;
+        // offer 3x that
+        let r = run(&small_cfg(), &FaultPlan::none(), 1000.0, 1.0, 5_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert!(r.accounting.shed_overload > 0, "{:?}", r.accounting);
+        let log_entries = r.decision_log.len() as u64;
+        assert_eq!(
+            log_entries,
+            r.accounting.completed + r.accounting.shed() + r.accounting.drained,
+            "every disposition is logged exactly once"
+        );
+    }
+
+    #[test]
+    fn shed_oldest_keeps_fresh_work() {
+        let cfg = ServeConfig {
+            overload: OverloadPolicy::ShedOldest,
+            ..small_cfg()
+        };
+        let r = run(&cfg, &FaultPlan::none(), 1000.0, 1.0, 5_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert!(r.accounting.shed_overload > 0);
+    }
+
+    #[test]
+    fn block_policy_admits_overflow() {
+        let cfg = ServeConfig {
+            overload: OverloadPolicy::Block,
+            drain_grace_s: 1e9, // let the backlog finish
+            ..small_cfg()
+        };
+        let r = run(&cfg, &FaultPlan::none(), 600.0, 1e9, 3_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert_eq!(r.accounting.shed_overload, 0);
+        assert!(r.accounting.blocked > 0);
+        assert_eq!(
+            r.accounting.completed + r.accounting.shed_deadline,
+            3_000,
+            "block policy never drops at admission: {:?}",
+            r.accounting
+        );
+    }
+
+    #[test]
+    fn tight_deadlines_shed_instead_of_serving_stale_work() {
+        let r = run(&small_cfg(), &FaultPlan::none(), 1000.0, 0.02, 3_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert!(r.accounting.shed_deadline > 0, "{:?}", r.accounting);
+    }
+
+    #[test]
+    fn injected_predictor_faults_trip_and_recover_the_breaker() {
+        let plan = FaultPlan::parse("predict_fail=0.5,seed=3").expect("plan");
+        let cfg = ServeConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown_s: 0.5,
+                probe_fraction: 0.5,
+                success_to_close: 2,
+                seed: 11,
+            },
+            ..small_cfg()
+        };
+        let r = run(&cfg, &plan, 50.0, 1.0, 4_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert!(r.breaker_opens > 0, "breaker must trip under 50% faults");
+        assert!(r.breaker_closes > 0, "breaker must recover via probes");
+        assert!(r.breaker_rejects > 0, "open periods short-circuit calls");
+        assert!(r.degraded > 0);
+    }
+
+    #[test]
+    fn stalls_trip_the_watchdog_and_fail_double_stalls() {
+        let plan = FaultPlan::parse("stall=0.3,latency=0.2,seed=5").expect("plan");
+        let r = run(&small_cfg(), &plan, 20.0, 10.0, 2_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert!(r.watchdog_trips > 0);
+        assert!(r.retries > 0);
+        assert!(
+            r.accounting.shed_failed > 0,
+            "0.09% double-stall rate over 2000 requests: {:?}",
+            r.accounting
+        );
+    }
+
+    #[test]
+    fn heavy_plan_end_to_end_still_balances() {
+        let r = run(&small_cfg(), &FaultPlan::heavy(), 200.0, 0.5, 5_000);
+        assert!(r.accounting.balanced(), "{:?}", r.accounting);
+        assert!(r.degraded > 0);
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_runs() {
+        let plan = FaultPlan::heavy();
+        let a = run(&small_cfg(), &plan, 200.0, 0.5, 3_000);
+        let b = run(&small_cfg(), &plan, 200.0, 0.5, 3_000);
+        assert_eq!(a.decision_hash, b.decision_hash);
+        assert_eq!(a.accounting, b.accounting);
+        assert_eq!(a.p99_response_s.to_bits(), b.p99_response_s.to_bits());
+        assert_eq!(a.decision_log, b.decision_log);
+    }
+
+    #[test]
+    fn policy_applies_run_budgeted_validation_sims() {
+        let cfg = ServeConfig {
+            hysteresis_k: 2,
+            sim_budget_events: 50, // tiny budget: must exhaust
+            ..small_cfg()
+        };
+        let r = run(&cfg, &FaultPlan::none(), 50.0, 1.0, 2_000);
+        assert!(r.policy_applies > 0, "EA spread must flip the policy");
+        assert_eq!(r.policy_validations, r.policy_applies);
+        assert_eq!(r.sim_budget_exhausted, r.policy_validations);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_flapping_decisions() {
+        let low_k = ServeConfig {
+            hysteresis_k: 1,
+            ..small_cfg()
+        };
+        let high_k = ServeConfig {
+            hysteresis_k: 64,
+            ..small_cfg()
+        };
+        let a = run(&low_k, &FaultPlan::none(), 50.0, 1.0, 2_000);
+        let b = run(&high_k, &FaultPlan::none(), 50.0, 1.0, 2_000);
+        assert!(
+            b.policy_applies < a.policy_applies,
+            "k=64 ({}) must flap less than k=1 ({})",
+            b.policy_applies,
+            a.policy_applies
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let model = AnalyticEa::default();
+        let plan = FaultPlan::none();
+        let s = stream(10.0, 1.0);
+        let bad = ServeConfig {
+            servers: 0,
+            ..ServeConfig::default()
+        };
+        assert!(serve(&bad, &model, &plan, &s, 10).is_err());
+        let bad = ServeConfig {
+            watchdog_budget_s: 0.0001,
+            ..ServeConfig::default()
+        };
+        assert!(serve(&bad, &model, &plan, &s, 10).is_err());
+        let bad_stream = SyntheticStream {
+            rate: f64::NAN,
+            ..s.clone()
+        };
+        assert!(serve(&ServeConfig::default(), &model, &plan, &bad_stream, 10).is_err());
+    }
+
+    #[test]
+    fn health_snapshot_writes_valid_json() {
+        let r = run(&small_cfg(), &FaultPlan::ci_default(), 100.0, 1.0, 1_000);
+        let dir = std::env::temp_dir().join("stca_serve_health_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("health.json");
+        write_health(&path, &r).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let v = stca_obs::json::Value::parse(&text).expect("valid JSON");
+        match v {
+            Value::Object(m) => {
+                assert!(m.contains_key("accounting"));
+                assert!(m.contains_key("breaker"));
+                assert!(m.contains_key("metrics"));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

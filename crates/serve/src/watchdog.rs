@@ -1,0 +1,66 @@
+//! Stage watchdog: bounded patience for stuck pipeline stages.
+//!
+//! Every pipeline stage (predict, decide) runs under a virtual-time
+//! budget. A stage that would exceed the budget — in this model, because
+//! the fault plan injected a stall — is cut off at the budget and failed
+//! into the retry path: the loop charges the wasted budget, re-rolls the
+//! stage under attempt 1, and sheds the request as failed if the retry
+//! stalls too. This mirrors a wall-clock watchdog killing a wedged worker,
+//! but stays deterministic because "time spent" is computed, not measured.
+
+/// One stage execution as the watchdog saw it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StageRun {
+    /// Stage finished inside the budget; charge `cost_s`.
+    Ok {
+        /// Virtual seconds the stage took.
+        cost_s: f64,
+    },
+    /// Stage overran the budget; the watchdog killed it after `wasted_s`.
+    Stuck {
+        /// Virtual seconds burned before the watchdog fired (the budget).
+        wasted_s: f64,
+    },
+}
+
+/// The watchdog itself: just the per-stage budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    /// Per-stage virtual-time budget, seconds.
+    pub budget_s: f64,
+}
+
+impl Watchdog {
+    /// Supervise one stage whose base cost is `base_cost_s` with
+    /// `stall_s` of injected stall on top.
+    pub fn supervise(&self, base_cost_s: f64, stall_s: f64) -> StageRun {
+        let cost = base_cost_s + stall_s.max(0.0);
+        if cost > self.budget_s {
+            StageRun::Stuck {
+                wasted_s: self.budget_s,
+            }
+        } else {
+            StageRun::Ok { cost_s: cost }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_budget_passes_through() {
+        let w = Watchdog { budget_s: 0.5 };
+        assert_eq!(w.supervise(0.1, 0.0), StageRun::Ok { cost_s: 0.1 });
+        assert_eq!(w.supervise(0.1, 0.3), StageRun::Ok { cost_s: 0.4 });
+    }
+
+    #[test]
+    fn overrun_is_cut_at_the_budget() {
+        let w = Watchdog { budget_s: 0.5 };
+        assert_eq!(w.supervise(0.1, 2.0), StageRun::Stuck { wasted_s: 0.5 });
+        // negative stall cannot rescue an oversized base cost
+        assert_eq!(w.supervise(0.7, -1.0), StageRun::Stuck { wasted_s: 0.5 });
+    }
+}

@@ -290,11 +290,13 @@ impl AccessGenerator {
                     self.cursor
                 }
             }
-            AccessPattern::ZipfReuse { .. } => self
-                .zipf
-                .as_ref()
-                .expect("zipf built in new")
-                .sample(&mut self.rng),
+            AccessPattern::ZipfReuse {
+                footprint_lines, ..
+            } => match self.zipf.as_ref() {
+                Some(z) => z.sample(&mut self.rng),
+                // zipf is built in `new`; fall back to uniform if absent
+                None => self.rng.next_below((*footprint_lines).max(1)),
+            },
             AccessPattern::PointerChase { footprint_lines } => {
                 self.rng.next_below((*footprint_lines).max(1))
             }
@@ -308,11 +310,11 @@ impl AccessGenerator {
                 ..
             } => {
                 if self.region_budget == 0 {
-                    self.active_region = self
-                        .region_zipf
-                        .as_ref()
-                        .expect("built in new")
-                        .sample(&mut self.rng) as u32;
+                    // region_zipf is built in `new`; default to region 0 if absent
+                    self.active_region = match self.region_zipf.as_ref() {
+                        Some(z) => z.sample(&mut self.rng) as u32,
+                        None => 0,
+                    };
                     self.region_budget = 16 + self.rng.next_below(48) as u32;
                 }
                 self.region_budget -= 1;

@@ -9,9 +9,11 @@ pub use stca_cachesim as cachesim;
 pub use stca_cat as cat;
 pub use stca_core as core;
 pub use stca_deepforest as deepforest;
+pub use stca_fault as fault;
 pub use stca_neuralnet as neuralnet;
 pub use stca_obs as obs;
 pub use stca_profiler as profiler;
 pub use stca_queuesim as queuesim;
+pub use stca_serve as serve;
 pub use stca_util as util;
 pub use stca_workloads as workloads;

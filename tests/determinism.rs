@@ -154,3 +154,36 @@ fn policy_exploration_is_thread_count_invariant() {
         }
     }
 }
+
+#[test]
+fn serving_loop_is_thread_count_invariant() {
+    let _guard = exec_lock();
+    use stca_serve::{serve, AnalyticEa, ServeConfig, SyntheticStream};
+    let cfg = ServeConfig {
+        keep_decision_log: true,
+        ..ServeConfig::default()
+    };
+    let stream = SyntheticStream {
+        seed: 33,
+        rate: 300.0,
+        deadline_s: 0.5,
+        n_features: 6,
+    };
+    // healthy and heavily faulted: the decision log, accounting, and
+    // response distribution must be bit-identical at 1 vs 8 workers
+    for plan in [
+        stca_fault::FaultPlan::none(),
+        stca_fault::FaultPlan::heavy(),
+    ] {
+        let (a, b) = at_1_and_8(|| {
+            serve(&cfg, &AnalyticEa::default(), &plan, &stream, 30_000).expect("serves")
+        });
+        assert_eq!(a.decision_hash, b.decision_hash, "plan seed {}", plan.seed);
+        assert_eq!(a.decision_log, b.decision_log);
+        assert_eq!(a.accounting, b.accounting);
+        assert_eq!(a.mean_response_s.to_bits(), b.mean_response_s.to_bits());
+        assert_eq!(a.p99_response_s.to_bits(), b.p99_response_s.to_bits());
+        assert_eq!(a.breaker_opens, b.breaker_opens);
+        assert_eq!(a.policy_applies, b.policy_applies);
+    }
+}

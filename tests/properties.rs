@@ -311,3 +311,154 @@ fn static_policy_equals_never_boost() {
     );
     assert_eq!(mk(static_only), mk(never));
 }
+
+/// The circuit breaker never drops a request on the floor: every `decide`
+/// call yields exactly one verdict under arbitrary success/failure
+/// sequences, and the state machine honours its thresholds — `Closed`
+/// always admits, `Open` before its cooldown always rejects, and exactly
+/// `failure_threshold` consecutive failures trip it.
+#[test]
+fn breaker_state_machine_invariants() {
+    use stca_repro::serve::{BreakerConfig, BreakerState, CircuitBreaker, Verdict};
+    let mut rng = Rng64::new(0xB4EA);
+    for case in 0..64 {
+        let cfg = BreakerConfig {
+            failure_threshold: 1 + rng.next_below(6) as u32,
+            cooldown_s: 0.1 + rng.next_f64(),
+            probe_fraction: rng.next_f64(),
+            success_to_close: 1 + rng.next_below(4) as u32,
+            seed: 0x5EED ^ case,
+        };
+        let mut br = CircuitBreaker::new(cfg);
+        let mut now = 0.0;
+        let mut answered = 0u64;
+        let n = 2_000u64;
+        for i in 0..n {
+            now += rng.next_f64() * 0.2;
+            let state_before = br.state();
+            let v = br.decide(now, i);
+            // allow() is pure: same inputs, same verdict
+            assert_eq!(br.allow(now, i), v, "case {case} call {i}");
+            match state_before {
+                BreakerState::Closed { .. } => {
+                    assert_eq!(v, Verdict::Admit, "closed always admits")
+                }
+                BreakerState::Open { until, .. } if now < until => {
+                    assert_eq!(v, Verdict::Reject, "cooling open always rejects")
+                }
+                BreakerState::Open { .. } => {
+                    assert_ne!(v, Verdict::Admit, "expired open probes or rejects")
+                }
+            }
+            match v {
+                Verdict::Admit | Verdict::Probe => {
+                    if rng.next_bool(0.3) {
+                        br.record_failure(now);
+                    } else {
+                        br.record_success(now);
+                    }
+                    answered += 1;
+                }
+                // a rejected call short-circuits to the degraded tier:
+                // still answered, never lost
+                Verdict::Reject => answered += 1,
+            }
+        }
+        assert_eq!(answered, n, "case {case}: every call got one verdict");
+        assert!(
+            br.closes <= br.opens,
+            "case {case}: cannot close more than opened"
+        );
+        if br.opens == 0 {
+            assert_eq!(br.probes + br.rejects, 0, "case {case}");
+        }
+    }
+}
+
+/// Fresh failures from `Closed` trip the breaker after exactly
+/// `failure_threshold` consecutive failures — no sooner, regardless of
+/// interleaved successes.
+#[test]
+fn breaker_trips_on_exactly_k_consecutive_failures() {
+    use stca_repro::serve::{BreakerConfig, CircuitBreaker};
+    let mut rng = Rng64::new(0xB4EB);
+    for _ in 0..32 {
+        let k = 1 + rng.next_below(8) as u32;
+        let cfg = BreakerConfig {
+            failure_threshold: k,
+            ..BreakerConfig::default()
+        };
+        let mut br = CircuitBreaker::new(cfg);
+        let mut now = 0.0;
+        // interleave short failure bursts (below k) with successes: never trips
+        for _ in 0..20 {
+            for _ in 0..k - 1 {
+                now += 0.01;
+                br.record_failure(now);
+            }
+            now += 0.01;
+            br.record_success(now);
+        }
+        assert_eq!(br.opens, 0, "k-1 bursts must not trip (k={k})");
+        for _ in 0..k {
+            now += 0.01;
+            br.record_failure(now);
+        }
+        assert_eq!(br.opens, 1, "k consecutive failures trip (k={k})");
+        assert!(br.is_open_at(now));
+    }
+}
+
+/// The serving loop's accounting invariant holds for arbitrary
+/// configurations and fault plans: every offered request ends in exactly
+/// one disposition.
+#[test]
+fn serving_accounting_balances_for_arbitrary_configs() {
+    use stca_repro::serve::{serve, AnalyticEa, OverloadPolicy, ServeConfig, SyntheticStream};
+    let mut rng = Rng64::new(0x5E44E);
+    for case in 0..12 {
+        let overload = match rng.next_below(3) {
+            0 => OverloadPolicy::ShedNewest,
+            1 => OverloadPolicy::ShedOldest,
+            _ => OverloadPolicy::Block,
+        };
+        let cfg = ServeConfig {
+            servers: 1 + rng.next_below(4) as usize,
+            queue_capacity: 1 + rng.next_below(32) as usize,
+            overload,
+            hysteresis_k: 1 + rng.next_below(8) as u32,
+            drain_grace_s: rng.next_f64() * 5.0,
+            sim_budget_events: 200,
+            ..ServeConfig::default()
+        };
+        let plan = stca_repro::fault::FaultPlan::parse(&format!(
+            "predict_fail={:.2},stall={:.2},latency=0.15,seed={}",
+            rng.next_f64() * 0.5,
+            rng.next_f64() * 0.2,
+            case
+        ))
+        .expect("valid plan spec");
+        let stream = SyntheticStream {
+            seed: 0xA5 ^ case,
+            rate: 20.0 + rng.next_f64() * 800.0,
+            deadline_s: 0.05 + rng.next_f64(),
+            n_features: 4,
+        };
+        let n = 2_000;
+        let r = serve(&cfg, &AnalyticEa::default(), &plan, &stream, n)
+            .expect("arbitrary valid config serves");
+        assert!(
+            r.accounting.balanced(),
+            "case {case} ({:?}): {:?}",
+            overload,
+            r.accounting
+        );
+        assert_eq!(r.accounting.admitted, n, "case {case}");
+        if matches!(overload, OverloadPolicy::Block) {
+            assert_eq!(
+                r.accounting.shed_overload, 0,
+                "case {case}: block never sheds at admission"
+            );
+        }
+    }
+}
