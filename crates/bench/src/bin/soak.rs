@@ -1,20 +1,30 @@
 //! Soak test for the serving loop: replay a large request stream under an
 //! injected fault plan and assert the robustness contract holds.
 //!
-//! Four runs, same seed:
+//! Six runs, same seed:
 //!
 //! 1. **baseline** — no faults, 1 thread: the healthy p99;
 //! 2. **faulted @ 1 thread** — the fault plan on;
 //! 3. **faulted @ 8 threads** — must be *bit-identical* to run 2
 //!    (decision hash, accounting, response percentiles);
-//! 4. **logged audit** — a capped logged replay proving every admitted
-//!    request appears in the decision log exactly once (nothing lost,
-//!    nothing duplicated).
+//! 4. **traced @ 1 and 8 threads** — the flight recorder on at 1/64
+//!    sampling: retained traces must be bit-identical across thread
+//!    counts, the decision hash and virtual percentiles must match the
+//!    untraced run exactly (tracing observes, never perturbs), and the
+//!    wall-clock overhead is recorded;
+//! 5. **logged audit** — a capped logged+traced replay proving every
+//!    admitted request appears in the decision log exactly once (nothing
+//!    lost, nothing duplicated) and that the flight recorder retained an
+//!    agreeing trace for every shed / deadline-exceeded / drained
+//!    decision (the retention invariant).
 //!
 //! Asserted invariants:
 //!
 //! * exact accounting on every run: `admitted = completed + shed + drained`;
-//! * determinism: run 2 and run 3 agree bit-for-bit;
+//! * determinism: run 2 and run 3 agree bit-for-bit, and so do the two
+//!   traced runs' dumps;
+//! * tracing is free on the virtual clock: decision hash and p50/p99 are
+//!   bit-identical with the recorder on or off;
 //! * bounded degradation: faulted p99 stays under the structural ceiling
 //!   `deadline + 4 x watchdog budget` (a completed request starts within
 //!   its deadline and each of its two stages costs at most two watchdog
@@ -90,14 +100,15 @@ fn run_once(
     n: u64,
     threads: usize,
     label: &str,
-) -> Result<ServeReport, StcaError> {
+) -> Result<(ServeReport, f64), StcaError> {
     stca_exec::set_threads(threads);
     let t0 = std::time::Instant::now();
     let r = serve(cfg, &AnalyticEa::default(), plan, stream, n)?;
+    let wall_s = t0.elapsed().as_secs_f64();
     let a = &r.accounting;
     println!(
         "{label}: {n} reqs in {:.2}s wall / {:.0}s virtual | completed {} shed {} drained {} | p99 {:.4}s | hash {:016x}",
-        t0.elapsed().as_secs_f64(),
+        wall_s,
         r.virtual_end_s,
         a.completed,
         a.shed(),
@@ -110,7 +121,7 @@ fn run_once(
         a.admitted == n,
         &format!("{label}: all {n} offered requests were accounted"),
     )?;
-    Ok(r)
+    Ok((r, wall_s))
 }
 
 fn real_main() -> Result<(), StcaError> {
@@ -141,11 +152,11 @@ fn real_main() -> Result<(), StcaError> {
     };
 
     // 1: healthy baseline
-    let baseline = run_once(&cfg, &FaultPlan::none(), &stream, n, 1, "baseline")?;
+    let (baseline, _) = run_once(&cfg, &FaultPlan::none(), &stream, n, 1, "baseline")?;
 
     // 2 + 3: faulted, 1 vs 8 threads
-    let faulted_1 = run_once(&cfg, &plan, &stream, n, 1, "faulted@1t")?;
-    let faulted_8 = run_once(&cfg, &plan, &stream, n, 8, "faulted@8t")?;
+    let (faulted_1, faulted_1_wall) = run_once(&cfg, &plan, &stream, n, 1, "faulted@1t")?;
+    let (faulted_8, _) = run_once(&cfg, &plan, &stream, n, 8, "faulted@8t")?;
     check(
         faulted_1.decision_hash == faulted_8.decision_hash,
         "decision log is bit-identical at 1 vs 8 threads",
@@ -181,12 +192,50 @@ fn real_main() -> Result<(), StcaError> {
         )?;
     }
 
-    // 4: logged audit — every admitted request gets exactly one disposition
-    let audit_cfg = ServeConfig {
-        keep_decision_log: true,
+    // 4: traced runs — the flight recorder at its default 1/64 sampling
+    // must change nothing on the virtual clock and retain bit-identical
+    // trace sets at any thread count
+    let traced_cfg = ServeConfig {
+        trace: Some(stca_trace::TraceConfig {
+            seed: seed ^ 0x7ACE,
+            ..stca_trace::TraceConfig::default()
+        }),
         ..cfg.clone()
     };
-    let audited = run_once(&audit_cfg, &plan, &stream, audit, 8, "audit")?;
+    let (traced_1, traced_1_wall) = run_once(&traced_cfg, &plan, &stream, n, 1, "traced@1t")?;
+    let (traced_8, _) = run_once(&traced_cfg, &plan, &stream, n, 8, "traced@8t")?;
+    check(
+        traced_1.trace_dump == traced_8.trace_dump,
+        "retained traces are bit-identical at 1 vs 8 threads",
+    )?;
+    check(
+        traced_1.decision_hash == faulted_1.decision_hash,
+        "decision hash is unchanged by tracing",
+    )?;
+    check(
+        traced_1.p50_response_s.to_bits() == faulted_1.p50_response_s.to_bits()
+            && traced_1.p99_response_s.to_bits() == faulted_1.p99_response_s.to_bits()
+            && traced_1.virtual_end_s.to_bits() == faulted_1.virtual_end_s.to_bits(),
+        "virtual p50/p99/end are bit-identical with tracing on",
+    )?;
+    // wall overhead is machine-dependent, so it is recorded (stdout +
+    // soak.trace_overhead_frac gauge), not asserted
+    let overhead = (traced_1_wall - faulted_1_wall) / faulted_1_wall.max(1e-9);
+    stca_obs::gauge("soak.trace_overhead_frac").set(overhead);
+    println!(
+        "  trace overhead at 1/64 sampling: {:+.1}% wall ({:.2}s -> {:.2}s; virtual clock unchanged)",
+        overhead * 100.0,
+        faulted_1_wall,
+        traced_1_wall
+    );
+
+    // 5: logged audit — every admitted request gets exactly one
+    // disposition, and every error-class decision a retained trace
+    let audit_cfg = ServeConfig {
+        keep_decision_log: true,
+        ..traced_cfg
+    };
+    let (audited, _) = run_once(&audit_cfg, &plan, &stream, audit, 8, "audit")?;
     let mut seen = vec![0u8; audit as usize];
     for line in &audited.decision_log {
         let seq: u64 = line
@@ -204,6 +253,21 @@ fn real_main() -> Result<(), StcaError> {
         &format!(
             "every one of {audit} audited requests logged exactly once ({} lines)",
             audited.decision_log.len()
+        ),
+    )?;
+    let dump = audited
+        .trace_dump
+        .as_ref()
+        .ok_or_else(|| StcaError::invalid_input("audit run lost its trace dump"))?;
+    let cc = stca_trace::report::cross_check(dump, audited.decision_log.iter().map(String::as_str));
+    check(
+        cc.holds(),
+        &format!(
+            "flight recorder retained an agreeing trace for every error-class \
+             decision ({} matched; {} missing, {} disagreeing)",
+            cc.error_matched,
+            cc.missing.len(),
+            cc.mismatched.len()
         ),
     )?;
 

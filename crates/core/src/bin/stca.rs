@@ -37,6 +37,8 @@ USAGE:
   stca predict --profiles FILE --pair A,B --util U --timeouts TA,TB [--seed N]
   stca explore --profiles FILE --pair A,B [--util U] [--seed N]
   stca serve [--requests N] [--rate R] [--deadline S] [--seed N]
+  stca trace report FILE [--decision-log FILE]
+  stca trace check FILE...
 
 Benchmarks: jac knn kmeans spkmeans spstream bfs social redis
 
@@ -59,6 +61,23 @@ control loop (admission queue -> predict -> STAP decide -> drain):
   --pair A,B            required with --profiles (training pair)
   --decision-log FILE   write the per-request decision log
   --health-out FILE     write a JSON health snapshot (report + serve.*)
+
+Tracing (stca serve): any --trace-* flag enables the per-request flight
+recorder (error-class traces always retained, completions head-sampled;
+bit-identical at any --threads; the decision hash is unchanged):
+  --trace-out FILE      write Chrome trace_event JSON (open in Perfetto
+                        or about:tracing); also the error-dump target
+  --trace-svg FILE      write an SVG waterfall of the retained traces
+  --trace-sample N      head-sample 1 in N completed requests (64)
+  --trace-ring N        sampled-completion ring capacity (256)
+
+Trace artifacts (stca trace): consume dumps written by --trace-out:
+  report FILE           per-stage latency tables, disposition counts, and
+                        slowest retained requests; with --decision-log,
+                        cross-check the retention invariant (every shed /
+                        deadline-exceeded / drained decision has a trace)
+  check FILE...         schema-validate trace JSON (exit 1 on the first
+                        invalid file)
 
 Parallelism (any subcommand):
   --threads N           worker threads (default: STCA_THREADS, else all cores);
@@ -451,6 +470,43 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
     let deadline: f64 = args.get_parsed("deadline", 0.5f64)?;
     let seed: u64 = args.get_parsed("seed", 2022u64)?;
     let decision_log = args.get("decision-log").map(PathBuf::from);
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    let trace_svg = args.get("trace-svg").map(PathBuf::from);
+    let tracing_on = trace_out.is_some()
+        || trace_svg.is_some()
+        || args.get("trace-sample").is_some()
+        || args.get("trace-ring").is_some();
+    let trace_cfg = if tracing_on {
+        let sample_every: u64 = args.get_parsed("trace-sample", 64u64)?;
+        let ring: usize = args.get_parsed("trace-ring", 256usize)?;
+        Some(stca_trace::TraceConfig {
+            seed: seed ^ 0x7ACE,
+            sample_every,
+            ring_capacity: ring,
+            ..stca_trace::TraceConfig::default()
+        })
+    } else {
+        None
+    };
+    // if anything downstream exhausts its retries mid-run, persist the
+    // flight recorder before the error unwinds (the "dump on error" half
+    // of the recorder contract; `--trace-out` doubles as the dump target)
+    let _dump_hook = trace_cfg.map(|_| {
+        let path = trace_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("stca-trace-error.json"));
+        stca_fault::register_error_dump_hook(move |err| {
+            if let Some(dump) = stca_trace::active_dump() {
+                if stca_trace::write_chrome_json(&path, &dump).is_ok() {
+                    eprintln!(
+                        "fault: {err}; dumped {} in-flight traces to {}",
+                        dump.traces.len(),
+                        path.display()
+                    );
+                }
+            }
+        })
+    });
     let cfg = ServeConfig {
         servers: args.get_parsed("servers", 2usize)?,
         queue_capacity: args.get_parsed("queue-cap", 64usize)?,
@@ -464,6 +520,7 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
         },
         drain_grace_s: args.get_parsed("drain-grace", 5.0f64)?,
         keep_decision_log: decision_log.is_some(),
+        trace: trace_cfg,
         ..ServeConfig::default()
     };
     let stream = SyntheticStream {
@@ -520,6 +577,25 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
         report.mean_response_s, report.p50_response_s, report.p99_response_s
     );
     println!("  decision hash {:016x}", report.decision_hash);
+    if let Some(dump) = &report.trace_dump {
+        let s = &dump.stats;
+        println!(
+            "  trace: retained {} error-class + {} sampled traces \
+             (1/{} sampling, {} evicted, {} started)",
+            s.retained_error, s.retained_normal, dump.sample_every, s.evicted_normal, s.started
+        );
+        if let Some(path) = &trace_out {
+            stca_trace::write_chrome_json(path, dump)?;
+            println!(
+                "wrote Chrome trace to {} (load in Perfetto or about:tracing)",
+                path.display()
+            );
+        }
+        if let Some(path) = &trace_svg {
+            stca_trace::write_svg(path, dump)?;
+            println!("wrote trace waterfall to {}", path.display());
+        }
+    }
     if !a.balanced() {
         return Err(StcaError::invalid_input(format!(
             "accounting invariant violated: {a:?}"
@@ -539,10 +615,99 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
     Ok(())
 }
 
+/// Write to stdout, exiting 0 quietly if the reader went away — piping
+/// a report through `head` must not panic on the closed pipe.
+fn print_stdout(text: &str) -> Result<(), StcaError> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(StcaError::io("stdout".to_string(), e)),
+    }
+}
+
+/// `stca trace report|check`: positional trace files, then `--flag value`
+/// pairs (the only subcommand family with positional operands).
+fn cmd_trace(argv: &[String]) -> Result<(), StcaError> {
+    let Some(sub) = argv.first() else {
+        return Err(StcaError::usage("trace needs a subcommand: report | check"));
+    };
+    let rest = &argv[1..];
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with('-'))
+        .unwrap_or(rest.len());
+    let (files, flag_args) = rest.split_at(split);
+    let args = Args::parse(flag_args)?;
+    match sub.as_str() {
+        "report" => {
+            let [file] = files else {
+                return Err(StcaError::usage(
+                    "trace report takes exactly one trace file",
+                ));
+            };
+            let dump = stca_trace::read_chrome_json(Path::new(file))?;
+            print_stdout(&stca_trace::report::render(&dump))?;
+            if let Some(log_path) = args.get("decision-log") {
+                let log_path = PathBuf::from(log_path);
+                let text = std::fs::read_to_string(&log_path)
+                    .map_err(|e| StcaError::io(log_path.display().to_string(), e))?;
+                let cc = stca_trace::report::cross_check(&dump, text.lines());
+                print_stdout(&format!(
+                    "\ncross-check vs {}: {} log lines, {} error decisions matched\n",
+                    log_path.display(),
+                    cc.log_lines,
+                    cc.error_matched
+                ))?;
+                if cc.holds() {
+                    print_stdout("retention invariant HOLDS: every shed/deadline-exceeded/drained decision has an agreeing trace\n")?;
+                } else {
+                    return Err(StcaError::invalid_input(format!(
+                        "retention invariant VIOLATED: {} error decisions missing a trace \
+                         (first: {:?}), {} disagreeing (first: {:?})",
+                        cc.missing.len(),
+                        cc.missing.first(),
+                        cc.mismatched.len(),
+                        cc.mismatched.first()
+                    )));
+                }
+            }
+            Ok(())
+        }
+        "check" => {
+            if files.is_empty() {
+                return Err(StcaError::usage(
+                    "trace check needs at least one trace file",
+                ));
+            }
+            for file in files {
+                let dump = stca_trace::read_chrome_json(Path::new(file))?;
+                let spans: usize = dump.traces.iter().map(|t| t.spans.len()).sum();
+                print_stdout(&format!(
+                    "{file}: ok — {} traces ({} error-class), {} spans, seed {:#x}, 1/{} sampling\n",
+                    dump.traces.len(),
+                    dump.traces.iter().filter(|t| t.is_error_class()).count(),
+                    spans,
+                    dump.seed,
+                    dump.sample_every
+                ))?;
+            }
+            Ok(())
+        }
+        other => Err(StcaError::usage(format!(
+            "unknown trace subcommand {other:?} (expected report | check)"
+        ))),
+    }
+}
+
 fn real_main(argv: &[String]) -> Result<(), StcaError> {
     let Some(cmd) = argv.first() else {
         return Err(StcaError::usage("missing subcommand"));
     };
+    if cmd == "trace" {
+        return cmd_trace(&argv[1..]);
+    }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
         "characterize" => cmd_characterize(&args),
@@ -559,7 +724,12 @@ fn real_main(argv: &[String]) -> Result<(), StcaError> {
 }
 
 fn main() -> ExitCode {
-    stca_obs::init_from_env();
+    // malformed STCA_LOG / STCA_LOG_FORMAT is a usage error, not something
+    // to silently swallow into "logging off"
+    if let Err(e) = stca_obs::try_init_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     stca_exec::init_from_env_and_args();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = real_main(&argv);

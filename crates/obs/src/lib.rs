@@ -38,8 +38,14 @@ pub mod metrics;
 pub mod report;
 pub mod timer;
 
-pub use logger::{init_from_env, init_with, set_sink, Level, LevelFilter, LogConfig, LogFormat};
-pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Registry};
+pub use logger::{
+    clear_virtual_now, init_from_env, init_with, set_sink, set_virtual_now, try_init_from_env,
+    virtual_now, FilterError, Level, LevelFilter, LogConfig, LogFormat,
+};
+pub use metrics::{
+    counter, current_trace_id, gauge, histogram, registry, set_current_trace_id, Counter, Gauge,
+    Histogram, Registry,
+};
 pub use report::{emit_run_report, metrics_out_from_args, summary_table, write_metrics};
 pub use timer::StageTimer;
 

@@ -115,9 +115,86 @@ impl Default for LogConfig {
     }
 }
 
+/// One parsed filter directive.
+enum Directive {
+    /// A bare level: sets the default threshold.
+    Default(LevelFilter),
+    /// `target=level` (or a bare target, enabled fully).
+    Target(String, LevelFilter),
+}
+
+/// A malformed `STCA_LOG` filter spec, with the offending directive and
+/// why it was rejected. The CLI maps this to a usage error; `obs` cannot
+/// name `StcaError` itself (the fault crate depends on this one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    /// The directive that failed to parse, verbatim.
+    pub directive: String,
+    /// What is wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad STCA_LOG directive {:?}: {} (grammar: LEVEL or TARGET=LEVEL, \
+             comma-separated; levels: off error warn info debug trace)",
+            self.directive, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+fn parse_directive(part: &str) -> Result<Directive, FilterError> {
+    let err = |reason: &str| FilterError {
+        directive: part.to_string(),
+        reason: reason.to_string(),
+    };
+    match part.split_once('=') {
+        None => match LevelFilter::parse(part) {
+            Some(f) => Ok(Directive::Default(f)),
+            // bare target with no level: enable fully
+            None => Ok(Directive::Target(part.to_string(), LevelFilter::Trace)),
+        },
+        Some((target, level)) => {
+            let target = target.trim();
+            if target.is_empty() {
+                return Err(err("empty target before '='"));
+            }
+            if level.contains('=') {
+                return Err(err("more than one '='"));
+            }
+            match LevelFilter::parse(level) {
+                Some(f) => Ok(Directive::Target(target.to_string(), f)),
+                None => Err(err("unknown level after '='")),
+            }
+        }
+    }
+}
+
 impl LogConfig {
-    /// Parse an `STCA_LOG`-style filter spec. Malformed directives are
-    /// skipped; an empty spec leaves the default at `Off`.
+    /// Parse an `STCA_LOG`-style filter spec, rejecting malformed
+    /// directives with a typed [`FilterError`] instead of silently
+    /// dropping them. An empty spec leaves the default at `Off`.
+    pub fn try_parse(spec: &str) -> Result<LogConfig, FilterError> {
+        let mut config = LogConfig::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_directive(part)? {
+                Directive::Default(f) => config.default = f,
+                Directive::Target(t, f) => config.directives.push((t, f)),
+            }
+        }
+        Ok(config)
+    }
+
+    /// Lenient parse: malformed directives are skipped (legacy entry
+    /// points that must never fail). Prefer [`LogConfig::try_parse`].
     pub fn parse(spec: &str) -> LogConfig {
         let mut config = LogConfig::default();
         for part in spec.split(',') {
@@ -125,26 +202,10 @@ impl LogConfig {
             if part.is_empty() {
                 continue;
             }
-            match part.split_once('=') {
-                None => {
-                    if let Some(f) = LevelFilter::parse(part) {
-                        config.default = f;
-                    } else {
-                        // bare target with no level: enable fully
-                        config
-                            .directives
-                            .push((part.to_string(), LevelFilter::Trace));
-                    }
-                }
-                Some((target, level)) => {
-                    let target = target.trim();
-                    if target.is_empty() {
-                        continue;
-                    }
-                    if let Some(f) = LevelFilter::parse(level) {
-                        config.directives.push((target.to_string(), f));
-                    }
-                }
+            match parse_directive(part) {
+                Ok(Directive::Default(f)) => config.default = f,
+                Ok(Directive::Target(t, f)) => config.directives.push((t, f)),
+                Err(_) => {}
             }
         }
         config
@@ -227,6 +288,56 @@ pub fn init_from_env() {
         }
     }
     init_with(config);
+}
+
+/// Strict variant of [`init_from_env`]: a malformed `STCA_LOG` filter or
+/// an unknown `STCA_LOG_FORMAT` is a typed error the caller can turn
+/// into a usage failure, instead of silently defaulting.
+pub fn try_init_from_env() -> Result<(), FilterError> {
+    let mut config = match std::env::var("STCA_LOG") {
+        Ok(spec) => LogConfig::try_parse(&spec)?,
+        Err(_) => LogConfig::default(),
+    };
+    if let Ok(fmt) = std::env::var("STCA_LOG_FORMAT") {
+        if fmt.eq_ignore_ascii_case("json") {
+            config.format = LogFormat::Json;
+        } else if !fmt.eq_ignore_ascii_case("text") {
+            return Err(FilterError {
+                directive: format!("STCA_LOG_FORMAT={fmt}"),
+                reason: "unknown format (want text or json)".to_string(),
+            });
+        }
+    }
+    init_with(config);
+    Ok(())
+}
+
+/// Virtual-clock "now" as `f64` bits; `NaN` bits = unset. The serving
+/// loop advances this as its serial replay progresses so log lines can
+/// carry the virtual timestamp of the decision they describe.
+static VIRTUAL_NOW_BITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(u64::MAX);
+
+const VIRTUAL_UNSET: u64 = u64::MAX;
+
+/// Publish the current virtual-clock time (seconds). Log lines emitted
+/// while it is set include `vt=<seconds>s`.
+pub fn set_virtual_now(seconds: f64) {
+    VIRTUAL_NOW_BITS.store(seconds.to_bits(), Ordering::Relaxed);
+}
+
+/// Clear the virtual clock (back to wall-clock-only log lines).
+pub fn clear_virtual_now() {
+    VIRTUAL_NOW_BITS.store(VIRTUAL_UNSET, Ordering::Relaxed);
+}
+
+/// The published virtual-clock time, if one is set.
+pub fn virtual_now() -> Option<f64> {
+    let bits = VIRTUAL_NOW_BITS.load(Ordering::Relaxed);
+    if bits == VIRTUAL_UNSET {
+        None
+    } else {
+        Some(f64::from_bits(bits))
+    }
 }
 
 /// Redirect output into a shared buffer (tests). Pass `None` for stderr.
@@ -314,17 +425,26 @@ pub fn log_record(level: Level, target: &str, args: fmt::Arguments<'_>) {
     if !guard.config.filter_for(target).allows(level) {
         return;
     }
+    let vnow = virtual_now();
     let line = match guard.config.format {
-        LogFormat::Text => {
-            format!("{} {:5} {}: {}\n", timestamp(), level.name(), target, args)
-        }
+        LogFormat::Text => match vnow {
+            Some(vt) => format!(
+                "{} {:5} {} vt={vt:.6}s: {}\n",
+                timestamp(),
+                level.name(),
+                target,
+                args
+            ),
+            None => format!("{} {:5} {}: {}\n", timestamp(), level.name(), target, args),
+        },
         LogFormat::Json => {
             let mut msg = String::new();
             escape_json(&args.to_string(), &mut msg);
             let mut tgt = String::new();
             escape_json(target, &mut tgt);
+            let vt = vnow.map_or(String::new(), |v| format!("\"vt\":{v},"));
             format!(
-                "{{\"ts\":\"{}\",\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"}}\n",
+                "{{\"ts\":\"{}\",{vt}\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"}}\n",
                 timestamp(),
                 level.name(),
                 tgt,
@@ -395,6 +515,68 @@ mod tests {
         // unknown bare word becomes an enable-all directive, not a panic
         let c = LogConfig::parse("banana");
         assert_eq!(c.filter_for("banana::x"), LevelFilter::Trace);
+    }
+
+    #[test]
+    fn try_parse_accepts_per_target_filters() {
+        let c = LogConfig::try_parse("info,serve=debug").expect("valid spec");
+        assert_eq!(c.default, LevelFilter::Info);
+        assert_eq!(c.filter_for("stca_serve::server"), LevelFilter::Debug);
+        assert_eq!(c.filter_for("stca_queuesim::simulator"), LevelFilter::Info);
+        // agrees with the lenient parser on valid input
+        let lenient = LogConfig::parse("info,serve=debug");
+        assert_eq!(c.default, lenient.default);
+        assert_eq!(c.directives, lenient.directives);
+    }
+
+    #[test]
+    fn try_parse_rejects_malformed_directives_with_context() {
+        for (spec, bad) in [
+            ("=trace", "=trace"),
+            ("info,queuesim=", "queuesim="),
+            ("queuesim=banana", "queuesim=banana"),
+            ("a=b=c", "a=b=c"),
+            ("info,serve=debug,=warn", "=warn"),
+        ] {
+            let err = LogConfig::try_parse(spec).expect_err(spec);
+            assert_eq!(err.directive, bad, "spec {spec:?}");
+            assert!(err.to_string().contains("STCA_LOG"), "{err}");
+        }
+        // empties between commas and valid specs still pass
+        assert!(LogConfig::try_parse("").is_ok());
+        assert!(LogConfig::try_parse("info,,trace").is_ok());
+        assert!(LogConfig::try_parse("banana").is_ok(), "bare target ok");
+    }
+
+    #[test]
+    fn virtual_clock_appears_in_log_lines() {
+        // default Off + a directive for a target only this test uses, so
+        // concurrent tests' log calls cannot land in our capture buffer
+        let cfg = |format| LogConfig {
+            default: LevelFilter::Off,
+            directives: vec![("vttest".to_string(), LevelFilter::Info)],
+            format,
+        };
+        let buf = std::sync::Arc::new(Mutex::new(Vec::new()));
+        init_with(cfg(LogFormat::Text));
+        set_sink(Some(buf.clone()));
+        set_virtual_now(12.345678);
+        log_record(Level::Info, "vttest::server", format_args!("hello"));
+        clear_virtual_now();
+        log_record(Level::Info, "vttest::server", format_args!("later"));
+        // JSON format carries vt as a number
+        init_with(cfg(LogFormat::Json));
+        set_virtual_now(2.5);
+        log_record(Level::Info, "vttest::server", format_args!("json"));
+        clear_virtual_now();
+        set_sink(None);
+        init_with(LogConfig::default());
+        let text = String::from_utf8(buf.lock().expect("buf").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("vt=12.345678s: hello"), "{}", lines[0]);
+        assert!(!lines[1].contains("vt="), "{}", lines[1]);
+        assert!(lines[2].contains("\"vt\":2.5,"), "{}", lines[2]);
     }
 
     #[test]

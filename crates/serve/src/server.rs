@@ -41,6 +41,7 @@ use crate::watchdog::{StageRun, Watchdog};
 use stca_fault::{FaultInjector, FaultPlan, StcaError};
 use stca_obs::json::Value;
 use stca_queuesim::{QueueSim, RunBudget, StationConfig};
+use stca_trace::{AttrValue, Disposition, FlightRecorder, Stage, TraceConfig, TraceCtx, TraceDump};
 use stca_util::Distribution;
 use std::collections::{BTreeMap, VecDeque};
 use std::path::Path;
@@ -112,6 +113,10 @@ pub struct ServeConfig {
     /// Keep the full decision log in the report (the rolling hash is
     /// always computed; the log itself costs memory on big replays).
     pub keep_decision_log: bool,
+    /// Per-request span tracing: `Some` enables the flight recorder.
+    /// Tracing never perturbs decisions or virtual time — the decision
+    /// hash is identical with tracing on or off.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +135,7 @@ impl Default for ServeConfig {
             sim_budget_events: 4000,
             chunk: 4096,
             keep_decision_log: false,
+            trace: None,
         }
     }
 }
@@ -245,6 +251,8 @@ pub struct ServeReport {
     pub decision_log: Vec<String>,
     /// Virtual time when the drain finished.
     pub virtual_end_s: f64,
+    /// Flight-recorder dump (`Some` when tracing was enabled).
+    pub trace_dump: Option<TraceDump>,
 }
 
 impl ServeReport {
@@ -297,6 +305,16 @@ impl ServeReport {
             Value::String(format!("{:016x}", self.decision_hash)),
         );
         root.insert("virtual_end_s".into(), num(self.virtual_end_s));
+        if let Some(dump) = &self.trace_dump {
+            let st = &dump.stats;
+            let mut trace = BTreeMap::new();
+            trace.insert("retained_error".into(), int(st.retained_error));
+            trace.insert("retained_normal".into(), int(st.retained_normal));
+            trace.insert("evicted_normal".into(), int(st.evicted_normal));
+            trace.insert("dropped_error".into(), int(st.dropped_error));
+            trace.insert("sample_every".into(), int(dump.sample_every));
+            root.insert("trace".into(), Value::Object(trace));
+        }
         Value::Object(root)
     }
 }
@@ -348,6 +366,8 @@ struct Pending {
     arrival_s: f64,
     deadline_s: f64,
     comp: Computed,
+    /// In-flight trace (`Some` when tracing is enabled).
+    ctx: Option<TraceCtx>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -374,6 +394,12 @@ struct LoopState<'a> {
     hash: u64,
     log: Vec<String>,
     resp_hist: std::sync::Arc<stca_obs::Histogram>,
+    /// Flight recorder (`Some` when tracing is enabled). Written only by
+    /// the serial replay phase, so retention is thread-count-proof; the
+    /// mutex exists so the recorder can be published as the process-wide
+    /// active recorder for out-of-band dumps (error hooks), and is
+    /// uncontended otherwise.
+    recorder: Option<std::sync::Arc<std::sync::Mutex<FlightRecorder>>>,
 }
 
 impl<'a> LoopState<'a> {
@@ -400,6 +426,18 @@ impl<'a> LoopState<'a> {
             hash: FNV_OFFSET,
             log: Vec::new(),
             resp_hist: stca_obs::histogram("serve.response_seconds"),
+            recorder: cfg
+                .trace
+                .map(|tc| std::sync::Arc::new(std::sync::Mutex::new(FlightRecorder::new(tc)))),
+        }
+    }
+
+    /// File a finished trace (no-op when tracing is off).
+    fn record_trace(&mut self, ctx: Option<TraceCtx>, disposition: Disposition, end_s: f64) {
+        if let (Some(rec), Some(ctx)) = (self.recorder.as_ref(), ctx) {
+            if let Ok(mut rec) = rec.lock() {
+                rec.record(ctx.finish(disposition, end_s));
+            }
         }
     }
 
@@ -440,12 +478,19 @@ impl<'a> LoopState<'a> {
         if start > now_limit {
             return false;
         }
-        let p = self.waiting.pop_front().expect("front checked above");
+        let mut p = self.waiting.pop_front().expect("front checked above");
+        if let Some(ctx) = p.ctx.as_mut() {
+            let depth = self.waiting.len() as f64;
+            ctx.push_span(Stage::QueueWait, p.arrival_s, start)
+                .args
+                .push(("queue_depth", AttrValue::Num(depth)));
+        }
         // deadline check at dispatch: queueing alone may have eaten the
         // whole budget
         if start - p.arrival_s >= p.deadline_s {
             self.acct.shed_deadline += 1;
             self.log_entry(format!("seq={} disp=shed_deadline stage=queue", p.seq));
+            self.record_trace(p.ctx.take(), Disposition::ShedDeadline, start);
             return true;
         }
         self.service(p, start, si);
@@ -457,18 +502,19 @@ impl<'a> LoopState<'a> {
     }
 
     /// Run one stage under the watchdog with its retry path. Returns the
-    /// virtual cost charged and whether the stage ultimately succeeded.
-    fn run_stage(&mut self, base_cost_s: f64, stalls: [f64; 2]) -> (f64, bool) {
+    /// virtual cost charged, whether the stage ultimately succeeded, and
+    /// whether the watchdog had to retry it.
+    fn run_stage(&mut self, base_cost_s: f64, stalls: [f64; 2]) -> (f64, bool, bool) {
         match self.watchdog.supervise(base_cost_s, stalls[0]) {
-            StageRun::Ok { cost_s } => (cost_s, true),
+            StageRun::Ok { cost_s } => (cost_s, true, false),
             StageRun::Stuck { wasted_s } => {
                 self.watchdog_trips += 1;
                 self.retries += 1;
                 match self.watchdog.supervise(base_cost_s, stalls[1]) {
-                    StageRun::Ok { cost_s } => (wasted_s + cost_s, true),
+                    StageRun::Ok { cost_s } => (wasted_s + cost_s, true, true),
                     StageRun::Stuck { wasted_s: w2 } => {
                         self.watchdog_trips += 1;
-                        (wasted_s + w2, false)
+                        (wasted_s + w2, false, true)
                     }
                 }
             }
@@ -476,15 +522,32 @@ impl<'a> LoopState<'a> {
     }
 
     /// Execute predict → decide for one dispatched request.
-    fn service(&mut self, p: Pending, start: f64, si: usize) {
+    fn service(&mut self, mut p: Pending, start: f64, si: usize) {
+        if let Some(ctx) = p.ctx.as_mut() {
+            ctx.set_server(si);
+        }
+        stca_obs::set_virtual_now(start);
         // ---- predict stage (primary behind the breaker) ----
-        let (predict_cost, predict_ok) = self.run_stage(self.cfg.predict_cost_s, p.comp.stall[0]);
+        let (predict_cost, predict_ok, predict_retried) =
+            self.run_stage(self.cfg.predict_cost_s, p.comp.stall[0]);
+        if predict_retried {
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.flag_watchdog_retry();
+            }
+        }
         if !predict_ok {
             self.servers[si] = start + predict_cost;
             self.acct.shed_failed += 1;
             self.log_entry(format!("seq={} disp=failed stage=predict", p.seq));
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.push_span(Stage::Predict, start, start + predict_cost)
+                    .args
+                    .push(("retries", AttrValue::Num(2.0)));
+            }
+            self.record_trace(p.ctx.take(), Disposition::ShedFailed, start + predict_cost);
             return;
         }
+        let breaker_counters = (self.breaker.opens, self.breaker.closes);
         let verdict = self.breaker.decide(start, p.seq);
         let (ea, tier) = match verdict {
             Verdict::Admit | Verdict::Probe => match (p.comp.fault, p.comp.primary) {
@@ -504,36 +567,97 @@ impl<'a> LoopState<'a> {
             }
         };
         self.last_ea = ea;
+        if let Some(ctx) = p.ctx.as_mut() {
+            if (self.breaker.opens, self.breaker.closes) != breaker_counters {
+                ctx.flag_breaker_transition();
+            }
+            let span = ctx.push_span(Stage::Predict, start, start + predict_cost);
+            span.args.push((
+                "mode",
+                AttrValue::Text(if tier == 0 { "strict" } else { "degraded" }.to_string()),
+            ));
+            span.args.push(("tier", AttrValue::Num(f64::from(tier))));
+            span.args.push((
+                "verdict",
+                AttrValue::Text(
+                    match verdict {
+                        Verdict::Admit => "admit",
+                        Verdict::Probe => "probe",
+                        Verdict::Reject => "reject",
+                    }
+                    .to_string(),
+                ),
+            ));
+            span.args.push(("ea", AttrValue::Num(ea)));
+        }
         // deadline propagation: no point deciding for a request whose
         // budget died in the predict stage
         if (start + predict_cost) - p.arrival_s >= p.deadline_s {
             self.servers[si] = start + predict_cost;
             self.acct.shed_deadline += 1;
             self.log_entry(format!("seq={} disp=shed_deadline stage=predict", p.seq));
+            self.record_trace(
+                p.ctx.take(),
+                Disposition::ShedDeadline,
+                start + predict_cost,
+            );
             return;
         }
         // ---- decide stage ----
-        let (decide_cost, decide_ok) = self.run_stage(self.cfg.decide_cost_s, p.comp.stall[1]);
+        let (decide_cost, decide_ok, decide_retried) =
+            self.run_stage(self.cfg.decide_cost_s, p.comp.stall[1]);
+        if decide_retried {
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.flag_watchdog_retry();
+            }
+        }
         let total = predict_cost + decide_cost;
         if !decide_ok {
             self.servers[si] = start + total;
             self.acct.shed_failed += 1;
             self.log_entry(format!("seq={} disp=failed stage=decide", p.seq));
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.push_span(Stage::Decide, start + predict_cost, start + total)
+                    .args
+                    .push(("retries", AttrValue::Num(2.0)));
+            }
+            self.record_trace(p.ctx.take(), Disposition::ShedFailed, start + total);
             return;
         }
         let idx = decide(&self.cfg.station, ea);
+        let completion = start + total;
+        if let Some(ctx) = p.ctx.as_mut() {
+            let span = ctx.push_span(Stage::Decide, start + predict_cost, completion);
+            span.args.push(("timeout_idx", AttrValue::Num(idx as f64)));
+            span.args
+                .push(("timeout_s", AttrValue::Num(TIMEOUT_GRID[idx])));
+        }
         if let Some(new_idx) = self.hyst.observe(idx) {
             self.validate_policy(new_idx);
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.push_span(Stage::ValidatePolicy, completion, completion)
+                    .args
+                    .push(("applied", AttrValue::Num(new_idx as f64)));
+            }
         }
-        let completion = start + total;
         self.servers[si] = completion;
+        stca_obs::set_virtual_now(completion);
         let resp = completion - p.arrival_s;
         self.acct.completed += 1;
-        if resp > p.deadline_s {
+        let exceeded = resp > p.deadline_s;
+        if exceeded {
             self.acct.deadline_exceeded += 1;
         }
         self.responses.push(resp);
+        if let Some(ctx) = p.ctx.as_ref() {
+            // stamp the response sample with this request's trace id so
+            // the `serve.response_seconds` bucket gains an exemplar
+            stca_obs::set_current_trace_id(ctx.trace_id());
+        }
         self.resp_hist.record(resp);
+        if p.ctx.is_some() {
+            stca_obs::set_current_trace_id(0);
+        }
         self.log_entry(format!(
             "seq={} disp=ok tier={} ea={:016x} t={} applied={} resp={:016x}",
             p.seq,
@@ -543,6 +667,12 @@ impl<'a> LoopState<'a> {
             self.hyst.applied(),
             resp.to_bits(),
         ));
+        let disposition = if exceeded {
+            Disposition::DeadlineExceeded
+        } else {
+            Disposition::Completed
+        };
+        self.record_trace(p.ctx.take(), disposition, completion);
     }
 
     /// Budgeted validation sim for a freshly applied timeout: replays the
@@ -582,21 +712,27 @@ impl<'a> LoopState<'a> {
     }
 
     /// Admit one arrival (phase-2 entry point, in arrival order).
-    fn arrive(&mut self, p: Pending) {
+    fn arrive(&mut self, mut p: Pending) {
         self.acct.admitted += 1;
         let now = p.arrival_s;
+        stca_obs::set_virtual_now(now);
         self.dispatch_ready(now);
         if self.waiting.len() >= self.cfg.queue_capacity {
             match self.cfg.overload {
                 OverloadPolicy::ShedNewest => {
                     self.acct.shed_overload += 1;
                     self.log_entry(format!("seq={} disp=shed_overload", p.seq));
+                    self.record_trace(p.ctx.take(), Disposition::ShedOverload, now);
                     return;
                 }
                 OverloadPolicy::ShedOldest => {
-                    if let Some(old) = self.waiting.pop_front() {
+                    if let Some(mut old) = self.waiting.pop_front() {
                         self.acct.shed_overload += 1;
                         self.log_entry(format!("seq={} disp=shed_overload", old.seq));
+                        if let Some(ctx) = old.ctx.as_mut() {
+                            ctx.push_span(Stage::QueueWait, old.arrival_s, now);
+                        }
+                        self.record_trace(old.ctx.take(), Disposition::ShedOverload, now);
                     }
                 }
                 OverloadPolicy::Block => {
@@ -611,14 +747,20 @@ impl<'a> LoopState<'a> {
     /// window, count the rest as drained.
     fn drain(&mut self, last_arrival_s: f64) -> f64 {
         let deadline = last_arrival_s + self.cfg.drain_grace_s;
+        stca_obs::set_virtual_now(deadline);
         loop {
             if self.dispatch_one(deadline) {
                 continue;
             }
             match self.waiting.pop_front() {
-                Some(p) => {
+                Some(mut p) => {
                     self.acct.drained += 1;
                     self.log_entry(format!("seq={} disp=drained", p.seq));
+                    if let Some(ctx) = p.ctx.as_mut() {
+                        ctx.push_span(Stage::QueueWait, p.arrival_s, deadline);
+                        ctx.push_span(Stage::Drain, deadline, deadline);
+                    }
+                    self.record_trace(p.ctx.take(), Disposition::Drained, deadline);
                 }
                 None => break,
             }
@@ -656,6 +798,8 @@ pub fn serve(
     let run_key = stream.seed ^ 0x5E4E;
     let injectors: [FaultInjector; 2] = [plan.injector(run_key, 0), plan.injector(run_key, 1)];
     let mut state = LoopState::new(cfg, stream.seed);
+    // publish the recorder so error-dump hooks can snapshot it mid-run
+    let _active = state.recorder.clone().map(stca_trace::set_active);
     let timer = stca_obs::StageTimer::with_histogram(stca_obs::histogram("serve.run_seconds"));
     let mut seq = 0u64;
     let mut t_cursor = 0.0f64;
@@ -665,22 +809,41 @@ pub fn serve(
         let (reqs, new_t) = stream.chunk(seq, count, t_cursor);
         t_cursor = new_t;
         last_arrival = new_t;
-        // phase 1: pure per-request compute, input-order results
-        let computed: Vec<Computed> =
-            stca_exec::par_map_indexed(&reqs, |_, r| compute_request(model, &injectors, r));
+        // phase 1: pure per-request compute, input-order results. When
+        // tracing, each worker tags its thread with the request's trace
+        // id so histograms recorded inside the model call (e.g.
+        // `deepforest.predict.seconds`) pick up exemplars.
+        let trace_cfg = cfg.trace;
+        let computed: Vec<Computed> = stca_exec::par_map_indexed(&reqs, |_, r| {
+            if let Some(tc) = &trace_cfg {
+                stca_obs::set_current_trace_id(tc.trace_id(r.seq));
+            }
+            let comp = compute_request(model, &injectors, r);
+            if trace_cfg.is_some() {
+                stca_obs::set_current_trace_id(0);
+            }
+            comp
+        });
         // phase 2: serial replay in arrival order
         for (r, comp) in reqs.into_iter().zip(computed) {
+            let ctx = state
+                .recorder
+                .as_ref()
+                .and_then(|rec| rec.lock().ok())
+                .map(|mut rec| rec.begin(r.seq, r.arrival_s));
             state.arrive(Pending {
                 seq: r.seq,
                 arrival_s: r.arrival_s,
                 deadline_s: r.deadline_s,
                 comp,
+                ctx,
             });
         }
         seq += count as u64;
         stca_obs::gauge("serve.queue_depth").set(state.waiting.len() as f64);
     }
     let virtual_end = state.drain(last_arrival);
+    stca_obs::clear_virtual_now();
     timer.stop();
 
     // responses → percentiles
@@ -713,6 +876,11 @@ pub fn serve(
         decision_hash: state.hash,
         decision_log: state.log,
         virtual_end_s: virtual_end,
+        trace_dump: state
+            .recorder
+            .as_ref()
+            .and_then(|rec| rec.lock().ok())
+            .map(|rec| rec.dump()),
     };
     debug_assert!(matches!(
         state.breaker.state(),
