@@ -447,27 +447,21 @@ fn check(path: &str, scale_name: &str, benches: &BTreeMap<String, Stats>) -> i32
     }
 }
 
-fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
 fn main() {
     stca_obs::init_from_env();
     stca_exec::init_from_env_and_args();
+    let args = stca_util::Args::from_env().unwrap_or_default();
     let p = params(stca_bench::scale_from_args());
     println!(
         "training microbenchmarks, scale {} (median of {} samples)\n",
         p.name, p.samples
     );
     let (benches, speedups) = run(&p);
-    if let Some(path) = arg_value("--out") {
-        write_out(&path, p.name, scale_to_json(&benches, &speedups));
+    if let Some(path) = args.get("out") {
+        write_out(path, p.name, scale_to_json(&benches, &speedups));
     }
-    let code = match arg_value("--check") {
-        Some(path) => check(&path, p.name, &benches),
+    let code = match args.get("check") {
+        Some(path) => check(path, p.name, &benches),
         None => 0,
     };
     stca_obs::emit_run_report();

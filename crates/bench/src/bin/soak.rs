@@ -42,47 +42,8 @@
 
 use stca_fault::{FaultPlan, StcaError};
 use stca_serve::{serve, AnalyticEa, ServeConfig, ServeReport, SyntheticStream};
+use stca_util::Args;
 use std::process::ExitCode;
-
-struct Flags(Vec<(String, String)>);
-
-impl Flags {
-    fn parse() -> Result<Flags, StcaError> {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < argv.len() {
-            let key = argv[i]
-                .strip_prefix("--")
-                .ok_or_else(|| StcaError::usage(format!("expected --flag, got {:?}", argv[i])))?;
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| StcaError::usage(format!("flag --{key} needs a value")))?;
-            flags.push((key.to_string(), value.clone()));
-            i += 2;
-        }
-        Ok(Flags(flags))
-    }
-
-    fn get(&self, name: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, StcaError>
-    where
-        T::Err: std::fmt::Display,
-    {
-        match self.get(name) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| StcaError::usage(format!("bad --{name}: {e}"))),
-        }
-    }
-}
 
 fn check(ok: bool, what: &str) -> Result<(), StcaError> {
     if ok {
@@ -125,12 +86,12 @@ fn run_once(
 }
 
 fn real_main() -> Result<(), StcaError> {
-    let flags = Flags::parse()?;
-    let n: u64 = flags.parsed("requests", 2_000_000u64)?;
-    let rate: f64 = flags.parsed("rate", 250.0f64)?;
-    let deadline: f64 = flags.parsed("deadline", 0.5f64)?;
-    let seed: u64 = flags.parsed("seed", 2022u64)?;
-    let audit: u64 = flags.parsed("audit", 200_000u64)?.min(n);
+    let flags = Args::from_env()?;
+    let n: u64 = flags.get_parsed("requests", 2_000_000u64)?;
+    let rate: f64 = flags.get_parsed("rate", 250.0f64)?;
+    let deadline: f64 = flags.get_parsed("deadline", 0.5f64)?;
+    let seed: u64 = flags.get_parsed("seed", 2022u64)?;
+    let audit: u64 = flags.get_parsed("audit", 200_000u64)?.min(n);
     let plan = match flags.get("fault-plan") {
         Some(spec) => FaultPlan::parse(spec)?,
         None => FaultPlan::heavy(),

@@ -18,15 +18,10 @@ pub use dataset::{build_pair_dataset, build_pair_dataset_checked, Dataset, Label
 
 /// Parse the common `--scale` argument from a binary's argv.
 pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
-        if args[i] == "--scale" && i + 1 < args.len() {
-            return match args[i + 1].as_str() {
-                "quick" => Scale::Quick,
-                "full" => Scale::Full,
-                _ => Scale::Standard,
-            };
-        }
+    let args = stca_util::Args::from_env().unwrap_or_default();
+    match args.get("scale") {
+        Some("quick") => Scale::Quick,
+        Some("full") => Scale::Full,
+        _ => Scale::Standard,
     }
-    Scale::Standard
 }

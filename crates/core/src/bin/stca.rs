@@ -6,25 +6,33 @@
 //! stca profile --pair redis,social -n 10 -o p.stca   profile a collocation, save Eq.-2 rows
 //! stca predict --profiles p.stca --pair redis,social --util 0.9 --timeouts 1.5,1.5
 //! stca explore --profiles p.stca --pair redis,social --util 0.9
+//! stca scenario run examples/scenarios/serve-heavy.stca
 //! ```
 //!
-//! Every subcommand is deterministic given `--seed` — including under an
-//! injected fault plan (`--fault-plan` / `STCA_FAULT_PLAN`).
+//! Every subcommand builds its configuration through one spine: a
+//! [`stca_scenario::ScenarioSpec`] starts from defaults, an optional
+//! `--spec FILE` scenario file layers on top, and flags override last —
+//! *flag beats spec beats default*. `stca scenario run` executes a whole
+//! spec as a checkpointed profile → dataset → train → explore → serve
+//! pipeline.
+//!
+//! Every subcommand is deterministic given its seeds — including under an
+//! injected fault plan (`--fault-plan` / `STCA_FAULT_PLAN`) and at any
+//! `--threads`.
 //!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
 #![warn(clippy::unwrap_used)]
 
-use stca_cachesim::{Counter, Hierarchy, HierarchyConfig};
+use stca_cachesim::Counter;
 use stca_cat::AllocationSetting;
-use stca_core::{ModelConfig, PolicyExplorer, Predictor};
-use stca_fault::{FaultPlan, RetryPolicy, StcaError};
-use stca_profiler::executor::{run_experiment_checked, ExperimentSpec};
-use stca_profiler::profile::{ProfileRow, ProfileSet};
-use stca_profiler::sampler::CounterOrdering;
+use stca_core::pipeline;
+use stca_core::PolicyExplorer;
+use stca_fault::{FaultPlan, StcaError};
 use stca_profiler::storage;
-use stca_util::Rng64;
-use stca_workloads::{AccessGenerator, BenchmarkId, RuntimeCondition, WorkloadSpec};
+use stca_scenario::{ScenarioSpec, SpecValue, Stage};
+use stca_util::{Args, SpecError};
+use stca_workloads::{AccessGenerator, BenchmarkId, WorkloadSpec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -37,10 +45,27 @@ USAGE:
   stca predict --profiles FILE --pair A,B --util U --timeouts TA,TB [--seed N]
   stca explore --profiles FILE --pair A,B [--util U] [--seed N]
   stca serve [--requests N] [--rate R] [--deadline S] [--seed N]
+  stca scenario check FILE
+  stca scenario run FILE [--artifacts DIR] [--until STAGE]
   stca trace report FILE [--decision-log FILE]
   stca trace check FILE...
 
 Benchmarks: jac knn kmeans spkmeans spstream bfs social redis
+
+Scenario files (stca scenario): one declarative spec drives the whole
+profile -> dataset -> train -> explore -> serve pipeline (see the
+\"Scenario files\" section of the README for the format):
+  check FILE            parse + validate strictly (unknown keys exit 2)
+                        and print the canonical resolved form
+  run FILE              run the spec's pipeline; each stage checkpoints
+                        into the artifact dir, a re-run resumes, and the
+                        result is bit-identical at any --threads
+  --artifacts DIR       artifact dir (default [artifacts].dir, else runs/<name>)
+  --until STAGE         stop after STAGE (profile|dataset|train|explore|serve)
+
+Spec layering (any subcommand): --spec FILE starts from a scenario file
+instead of built-in defaults; flags override spec keys, spec keys
+override defaults.
 
 Serving (stca serve): replay a seeded arrival stream through the online
 control loop (admission queue -> predict -> STAP decide -> drain):
@@ -98,107 +123,101 @@ Observability (any subcommand):
   STCA_LOG=info         enable logging (e.g. STCA_LOG=info,queuesim=trace)
 ";
 
-fn parse_benchmark(s: &str) -> Result<BenchmarkId, StcaError> {
-    BenchmarkId::ALL
-        .iter()
-        .copied()
-        .find(|b| b.short_name() == s)
-        .ok_or_else(|| StcaError::usage(format!("unknown benchmark {s:?}")))
+/// Flags every subcommand understands but the spec layer does not own:
+/// they configure the process (threads, metrics, logging) or name files
+/// that feed the run rather than describe it.
+const CLI_ONLY_FLAGS: [&str; 4] = ["spec", "checkpoint", "threads", "metrics-out"];
+
+/// One subcommand's flag surface: `(flag, section, key)` mappings onto
+/// the spec. Flags are applied in table order after the optional `--spec`
+/// file, so they override it (and a later table entry overrides an
+/// earlier one, which keeps `-o` winning over `--out`).
+struct FlagMap {
+    map: &'static [(&'static str, &'static str, &'static str)],
+    /// Flags the subcommand handles itself after the table (e.g. the
+    /// compound `--timeouts TA,TB`).
+    extra: &'static [&'static str],
 }
 
-fn parse_pair(s: &str) -> Result<(BenchmarkId, BenchmarkId), StcaError> {
-    let (a, b) = s
-        .split_once(',')
-        .ok_or_else(|| StcaError::usage(format!("expected A,B pair, got {s:?}")))?;
-    Ok((parse_benchmark(a.trim())?, parse_benchmark(b.trim())?))
+impl FlagMap {
+    /// Build the subcommand's spec: defaults, then `--spec FILE`, then
+    /// flag overrides — the one precedence rule of the CLI.
+    fn build(&self, args: &Args) -> Result<ScenarioSpec, StcaError> {
+        let mut spec = match args.get("spec") {
+            Some(path) => stca_scenario::load_file(Path::new(path))?,
+            None => ScenarioSpec::default(),
+        };
+        for (flag, _) in args.iter() {
+            let known = self.map.iter().any(|(f, _, _)| *f == flag)
+                || self.extra.contains(&flag)
+                || CLI_ONLY_FLAGS.contains(&flag)
+                || flag == "fault-plan";
+            if !known {
+                return Err(StcaError::usage(format!("unknown flag --{flag}")));
+            }
+        }
+        for &(flag, section, key) in self.map {
+            if let Some(v) = args.get(flag) {
+                set_flag(&mut spec, flag, section, key, v)?;
+            }
+        }
+        // fault plan: flag beats spec beats STCA_FAULT_PLAN beats none
+        match args.get("fault-plan") {
+            Some(v) => set_flag(&mut spec, "fault-plan", "fault", "plan", v)?,
+            None => {
+                if spec.fault.plan == FaultPlan::none() {
+                    spec.fault.plan = FaultPlan::from_env()?;
+                }
+            }
+        }
+        Ok(spec)
+    }
 }
 
-/// Minimal flag parser: `--name value` and `-n value` pairs after the
-/// subcommand.
-struct Args {
-    flags: Vec<(String, String)>,
+fn set_flag(
+    spec: &mut ScenarioSpec,
+    flag: &str,
+    section: &str,
+    key: &str,
+    value: &str,
+) -> Result<(), StcaError> {
+    spec.set(section, key, &SpecValue::scalar(value))
+        .map_err(|kind| SpecError::new(format!("flag --{flag}"), kind))?;
+    Ok(())
 }
 
-impl Args {
-    fn parse(argv: &[String]) -> Result<Args, StcaError> {
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < argv.len() {
-            let key = argv[i]
-                .strip_prefix("--")
-                .or_else(|| argv[i].strip_prefix('-'))
-                .ok_or_else(|| StcaError::usage(format!("expected flag, got {:?}", argv[i])))?;
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| StcaError::usage(format!("flag --{key} needs a value")))?;
-            flags.push((key.to_string(), value.clone()));
-            i += 2;
-        }
-        Ok(Args { flags })
+/// Positional-free subcommands reject stray operands the old parser
+/// silently mis-paired.
+fn require_flag_unless_spec(args: &Args, flag: &str) -> Result<(), StcaError> {
+    if args.get("spec").is_none() {
+        args.require(flag)?;
     }
-
-    fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn require(&self, name: &str) -> Result<&str, StcaError> {
-        self.get(name)
-            .ok_or_else(|| StcaError::usage(format!("missing required flag --{name}")))
-    }
-
-    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, StcaError>
-    where
-        T::Err: std::fmt::Display,
-    {
-        match self.get(name) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| StcaError::usage(format!("bad --{name}: {e}"))),
-        }
-    }
-
-    /// Resolve the fault plan: `--fault-plan` wins, else `STCA_FAULT_PLAN`,
-    /// else no injection.
-    fn fault_plan(&self) -> Result<FaultPlan, StcaError> {
-        match self.get("fault-plan") {
-            Some(spec) => FaultPlan::parse(spec),
-            None => FaultPlan::from_env(),
-        }
-    }
-
-    fn retry_policy(&self) -> Result<RetryPolicy, StcaError> {
-        Ok(RetryPolicy::with_max_retries(
-            self.get_parsed("max-retries", 3u32)?,
-        ))
-    }
-
-    fn checkpoint_path(&self) -> Option<PathBuf> {
-        self.get("checkpoint").map(PathBuf::from)
-    }
+    Ok(())
 }
 
 fn cmd_characterize(args: &Args) -> Result<(), StcaError> {
-    let n: u64 = args.get_parsed("accesses", 100_000u64)?;
-    let config = HierarchyConfig::experiment_default();
+    let spec = FlagMap {
+        map: &[("accesses", "workloads", "accesses")],
+        extra: &[],
+    }
+    .build(args)?;
+    let n = spec.workloads.accesses;
+    let config = pipeline::hierarchy_config(&spec);
     let ways = config.llc.ways;
     println!(
         "{:>10} {:>16} {:>14} {:>20}",
         "benchmark", "footprint(ways)", "LLC MPKA(2w)", "full-cache speedup"
     );
     for id in BenchmarkId::ALL {
-        let spec = WorkloadSpec::for_benchmark(id);
+        let wspec = WorkloadSpec::for_benchmark(id);
         let run = |alloc: AllocationSetting| -> Result<(f64, f64), StcaError> {
-            let mut hier = Hierarchy::new(config, 42);
+            let mut hier = stca_cachesim::Hierarchy::new(config, 42);
             let cbm = alloc.to_cbm(ways).map_err(|e| StcaError::InvalidInput {
                 what: format!("allocation does not fit the LLC: {e}"),
             })?;
             hier.set_llc_mask(0, cbm);
             let mut gen =
-                AccessGenerator::new(spec.pattern_for(&config), 0, spec.store_fraction, 42);
+                AccessGenerator::new(wspec.pattern_for(&config), 0, wspec.store_fraction, 42);
             for _ in 0..n / 2 {
                 let (a, k) = gen.next_access();
                 hier.access(0, a, k);
@@ -219,7 +238,7 @@ fn cmd_characterize(args: &Args) -> Result<(), StcaError> {
         println!(
             "{:>10} {:>16.2} {:>14.1} {:>19.2}x",
             id.short_name(),
-            spec.footprint_ways(&config),
+            wspec.footprint_ways(&config),
             mpka,
             cpa_private / cpa_full
         );
@@ -227,185 +246,59 @@ fn cmd_characterize(args: &Args) -> Result<(), StcaError> {
     Ok(())
 }
 
-/// Profile `n` conditions of a pair under a fault plan, skipping conditions
-/// that exhaust their retries and checkpointing finished ones when asked.
-fn profile_conditions(
-    pair: (BenchmarkId, BenchmarkId),
-    n: usize,
-    seed: u64,
-    plan: &FaultPlan,
-    retry: &RetryPolicy,
-    checkpoint: Option<&Path>,
-) -> Result<ProfileSet, StcaError> {
-    let mut rng = Rng64::new(seed);
-    // conditions are drawn serially; the experiments (the expensive part)
-    // run in parallel, each with its original per-condition seed
-    let conditions: Vec<RuntimeCondition> = (0..n)
-        .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, &mut rng))
-        .collect();
-    let meta = format!(
-        "profile/{}-{}/n{n}/seed{seed}/plan{:016x}",
-        pair.0, pair.1, plan.seed
-    );
-    let mut ckpt = match checkpoint {
-        Some(path) => Some(stca_fault::Checkpoint::load_or_new(path, &meta)?),
-        None => None,
-    };
-    let cached: Vec<Option<Vec<ProfileRow>>> = (0..n)
-        .map(|i| {
-            let ck = ckpt.as_ref()?;
-            match ck.get(&format!("cond.{i}")) {
-                Some(stca_obs::json::Value::Array(rows)) => rows
-                    .iter()
-                    .map(|v| storage::row_from_json(v).ok())
-                    .collect(),
-                Some(stca_obs::json::Value::String(s)) if s.starts_with("failed") => {
-                    // a condition that failed in the previous run stays
-                    // failed on resume (same plan seed ⇒ same faults)
-                    Some(Vec::new())
-                }
-                _ => None,
-            }
-        })
-        .collect();
-    let results = stca_exec::par_map_indexed_caught(&conditions, |i, condition| {
-        if let Some(rows) = &cached[i] {
-            return Ok(rows.clone());
-        }
-        stca_obs::info!(
-            "[{}/{}] util=({:.2},{:.2}) T=({:.2},{:.2})",
-            i + 1,
-            n,
-            condition.workloads[0].utilization,
-            condition.workloads[1].utilization,
-            condition.workloads[0].timeout_ratio,
-            condition.workloads[1].timeout_ratio
-        );
-        let spec = ExperimentSpec {
-            measured_queries: 200,
-            warmup_queries: 30,
-            accesses_per_query: Some(1500),
-            ..ExperimentSpec::standard(condition.clone(), seed ^ ((i as u64) << 16))
-        };
-        run_experiment_checked(spec, plan, retry).map(|out| {
-            out.workloads
-                .iter()
-                .enumerate()
-                .map(|(j, w)| ProfileRow::from_outcome(condition, j, w, CounterOrdering::Grouped))
-                .collect::<Vec<ProfileRow>>()
-        })
-    });
-    let mut set = ProfileSet::new();
-    let mut failed = 0usize;
-    for (i, result) in results.into_iter().enumerate() {
-        let flattened = match result {
-            Ok(inner) => inner.map_err(|e| e.to_string()),
-            Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
-        };
-        match flattened {
-            Ok(rows) => {
-                if rows.is_empty() {
-                    failed += 1; // resumed failure marker
-                } else if let Some(ck) = ckpt.as_mut() {
-                    if cached[i].is_none() {
-                        ck.put(
-                            format!("cond.{i}"),
-                            stca_obs::json::Value::Array(
-                                rows.iter().map(storage::row_to_json).collect(),
-                            ),
-                        );
-                    }
-                }
-                for row in rows {
-                    set.push(row);
-                }
-            }
-            Err(reason) => {
-                failed += 1;
-                stca_obs::counter("fault.conditions_failed_total").inc();
-                stca_obs::warn!("condition {i} failed, skipping: {reason}");
-                if let Some(ck) = ckpt.as_mut() {
-                    ck.put(
-                        format!("cond.{i}"),
-                        stca_obs::json::Value::String(format!("failed: {reason}")),
-                    );
-                }
-            }
-        }
-    }
-    if let Some(ck) = ckpt.as_mut() {
-        ck.save()?;
-    }
-    if failed > 0 {
-        stca_obs::warn!("{failed}/{n} conditions failed under the fault plan");
-    }
-    if set.is_empty() {
-        return Err(StcaError::invalid_input(format!(
-            "all {n} profiling conditions failed under the fault plan"
-        )));
-    }
-    Ok(set)
-}
-
 fn cmd_profile(args: &Args) -> Result<(), StcaError> {
-    let pair = parse_pair(args.require("pair")?)?;
-    let n: usize = args.get_parsed("n", 10usize)?;
-    let seed: u64 = args.get_parsed("seed", 2022u64)?;
-    let out: PathBuf = PathBuf::from(args.get("o").or(args.get("out")).unwrap_or("profiles.stca"));
-    let plan = args.fault_plan()?;
-    let retry = args.retry_policy()?;
+    require_flag_unless_spec(args, "pair")?;
+    let spec = FlagMap {
+        map: &[
+            ("pair", "workloads", "pair"),
+            ("n", "profile", "conditions"),
+            ("out", "profile", "out"),
+            ("o", "profile", "out"),
+            ("seed", "profile", "seed"),
+            ("max-retries", "fault", "max_retries"),
+        ],
+        extra: &[],
+    }
+    .build(args)?;
+    let pair = spec.workloads.pair;
+    let n = spec.profile.conditions;
     stca_obs::info!("profiling {}({}) over {n} conditions", pair.0, pair.1);
-    let set = profile_conditions(
-        pair,
-        n,
-        seed,
-        &plan,
-        &retry,
-        args.checkpoint_path().as_deref(),
-    )?;
+    let set = pipeline::profile_conditions(&spec, args.path("checkpoint").as_deref())?;
+    let out = PathBuf::from(&spec.profile.out);
     storage::save(&set, &out)?;
     println!("wrote {} profile rows to {}", set.len(), out.display());
     Ok(())
 }
 
-fn load_profiles(args: &Args) -> Result<ProfileSet, StcaError> {
-    let path = PathBuf::from(args.require("profiles")?);
-    let set = storage::load(&path)?;
-    if set.is_empty() {
-        return Err(StcaError::invalid_input("profile file holds no rows"));
-    }
-    stca_obs::info!("loaded {} profile rows from {}", set.len(), path.display());
-    Ok(set)
-}
-
-fn train(set: &ProfileSet, seed: u64) -> Predictor {
-    let config = if set.len() >= 30 {
-        ModelConfig::standard(seed)
-    } else {
-        ModelConfig::quick(seed)
-    };
-    Predictor::train(set, &config)
-}
-
 fn cmd_predict(args: &Args) -> Result<(), StcaError> {
-    let pair = parse_pair(args.require("pair")?)?;
-    let util: f64 = args
-        .require("util")?
-        .parse()
-        .map_err(|e| StcaError::usage(format!("bad --util: {e}")))?;
-    let timeouts = args.require("timeouts")?;
-    let (ta, tb) = timeouts
-        .split_once(',')
-        .ok_or_else(|| StcaError::usage(format!("expected TA,TB, got {timeouts:?}")))?;
-    let (ta, tb): (f64, f64) = (
-        ta.parse()
-            .map_err(|e| StcaError::usage(format!("bad timeout: {e}")))?,
-        tb.parse()
-            .map_err(|e| StcaError::usage(format!("bad timeout: {e}")))?,
+    for flag in ["pair", "profiles", "util", "timeouts"] {
+        require_flag_unless_spec(args, flag)?;
+    }
+    let mut spec = FlagMap {
+        map: &[
+            ("pair", "workloads", "pair"),
+            ("profiles", "profile", "out"),
+            ("util", "predict", "utilization"),
+            ("seed", "train", "seed"),
+        ],
+        extra: &["timeouts"],
+    }
+    .build(args)?;
+    if let Some(timeouts) = args.get("timeouts") {
+        let (ta, tb) = timeouts
+            .split_once(',')
+            .ok_or_else(|| StcaError::usage(format!("expected TA,TB, got {timeouts:?}")))?;
+        set_flag(&mut spec, "timeouts", "predict", "timeout_a", ta.trim())?;
+        set_flag(&mut spec, "timeouts", "predict", "timeout_b", tb.trim())?;
+    }
+    let pair = spec.workloads.pair;
+    let (util, ta, tb) = (
+        spec.predict.utilization,
+        spec.predict.timeout_a,
+        spec.predict.timeout_b,
     );
-    let seed: u64 = args.get_parsed("seed", 7u64)?;
-    let profiles = load_profiles(args)?;
-    let predictor = train(&profiles, seed);
+    let profiles = pipeline::load_profiles(Path::new(&spec.profile.out))?;
+    let predictor = pipeline::train_predictor(&spec, &profiles);
     // ground the candidate on the nearest profiled condition via the explorer
     let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, util);
     let (pa, pb) = explorer.predict_point(ta, tb);
@@ -428,122 +321,86 @@ fn cmd_predict(args: &Args) -> Result<(), StcaError> {
 }
 
 fn cmd_explore(args: &Args) -> Result<(), StcaError> {
-    let pair = parse_pair(args.require("pair")?)?;
-    let util: f64 = args.get_parsed("util", 0.9f64)?;
-    let seed: u64 = args.get_parsed("seed", 7u64)?;
-    let profiles = load_profiles(args)?;
-    let predictor = train(&profiles, seed);
-    let explorer = PolicyExplorer::new(&predictor, &profiles, pair.0, pair.1, util);
-    let result = match args.checkpoint_path() {
-        Some(path) => {
-            explorer.explore_with_grid_checkpointed(&stca_core::explorer::TIMEOUT_GRID, &path)?
-        }
-        None => explorer.explore(),
+    for flag in ["pair", "profiles"] {
+        require_flag_unless_spec(args, flag)?;
+    }
+    let spec = FlagMap {
+        map: &[
+            ("pair", "workloads", "pair"),
+            ("profiles", "profile", "out"),
+            ("util", "explore", "utilization"),
+            ("seed", "train", "seed"),
+        ],
+        extra: &[],
+    }
+    .build(args)?;
+    let pair = spec.workloads.pair;
+    let profiles = pipeline::load_profiles(Path::new(&spec.profile.out))?;
+    let predictor = pipeline::train_predictor(&spec, &profiles);
+    let explorer = PolicyExplorer::new(
+        &predictor,
+        &profiles,
+        pair.0,
+        pair.1,
+        spec.explore.utilization,
+    );
+    let result = match args.path("checkpoint") {
+        Some(path) => explorer.explore_with_grid_checkpointed(&spec.explore.grid, &path)?,
+        None => explorer.explore_with_grid(&spec.explore.grid),
     };
-    println!(
-        "predicted normalized p95 grid (rows: T_{}, cols: T_{}):",
-        pair.0, pair.1
-    );
-    print!("{:>8}", "");
-    for t in stca_core::explorer::TIMEOUT_GRID {
-        print!("{t:>12.2}");
-    }
-    println!();
-    for (i, row) in result.grid.iter().enumerate() {
-        print!("{:>8.2}", stca_core::explorer::TIMEOUT_GRID[i]);
-        for (a, b) in row {
-            print!("{:>12}", format!("{a:.1}/{b:.1}"));
-        }
-        println!();
-    }
-    println!(
-        "\nchosen: T_{} = {:.2}, T_{} = {:.2} (SLO intersection: {})",
-        pair.0, result.timeout_a, pair.1, result.timeout_b, result.intersected
-    );
+    println!("{}", pipeline::render_explore(&spec, &result));
     Ok(())
 }
 
 fn cmd_serve(args: &Args) -> Result<(), StcaError> {
-    use stca_serve::{BreakerConfig, OverloadPolicy, ServeConfig, SyntheticStream};
-    let n: u64 = args.get_parsed("requests", 100_000u64)?;
-    let rate: f64 = args.get_parsed("rate", 200.0f64)?;
-    let deadline: f64 = args.get_parsed("deadline", 0.5f64)?;
-    let seed: u64 = args.get_parsed("seed", 2022u64)?;
-    let decision_log = args.get("decision-log").map(PathBuf::from);
-    let trace_out = args.get("trace-out").map(PathBuf::from);
-    let trace_svg = args.get("trace-svg").map(PathBuf::from);
-    let tracing_on = trace_out.is_some()
-        || trace_svg.is_some()
-        || args.get("trace-sample").is_some()
-        || args.get("trace-ring").is_some();
-    let trace_cfg = if tracing_on {
-        let sample_every: u64 = args.get_parsed("trace-sample", 64u64)?;
-        let ring: usize = args.get_parsed("trace-ring", 256usize)?;
-        Some(stca_trace::TraceConfig {
-            seed: seed ^ 0x7ACE,
-            sample_every,
-            ring_capacity: ring,
-            ..stca_trace::TraceConfig::default()
-        })
-    } else {
-        None
-    };
-    // if anything downstream exhausts its retries mid-run, persist the
-    // flight recorder before the error unwinds (the "dump on error" half
-    // of the recorder contract; `--trace-out` doubles as the dump target)
-    let _dump_hook = trace_cfg.map(|_| {
-        let path = trace_out
-            .clone()
-            .unwrap_or_else(|| PathBuf::from("stca-trace-error.json"));
-        stca_fault::register_error_dump_hook(move |err| {
-            if let Some(dump) = stca_trace::active_dump() {
-                if stca_trace::write_chrome_json(&path, &dump).is_ok() {
-                    eprintln!(
-                        "fault: {err}; dumped {} in-flight traces to {}",
-                        dump.traces.len(),
-                        path.display()
-                    );
-                }
-            }
-        })
-    });
-    let cfg = ServeConfig {
-        servers: args.get_parsed("servers", 2usize)?,
-        queue_capacity: args.get_parsed("queue-cap", 64usize)?,
-        overload: OverloadPolicy::parse(args.get("overload").unwrap_or("shed-newest"))?,
-        hysteresis_k: args.get_parsed("hysteresis", 4u32)?,
-        breaker: BreakerConfig {
-            failure_threshold: args.get_parsed("breaker-threshold", 5u32)?,
-            cooldown_s: args.get_parsed("breaker-cooldown", 1.0f64)?,
-            seed: seed ^ 0xB4EA,
-            ..BreakerConfig::default()
-        },
-        drain_grace_s: args.get_parsed("drain-grace", 5.0f64)?,
-        keep_decision_log: decision_log.is_some(),
-        trace: trace_cfg,
-        ..ServeConfig::default()
-    };
-    let stream = SyntheticStream {
-        seed,
-        rate,
-        deadline_s: deadline,
-        n_features: 6,
-    };
-    let plan = args.fault_plan()?;
-    stca_obs::info!("serving {n} requests at {rate}/s (deadline {deadline}s)");
-    let report = match args.get("profiles") {
-        Some(_) => {
-            let profiles = load_profiles(args)?;
-            // --pair is parsed for interface symmetry with predict/explore
-            // (training data already fixes the pair); require it so the
-            // trained path has a stable CLI shape
-            parse_pair(args.require("pair")?)?;
-            let template = profiles.rows[0].clone();
-            let model = stca_core::ServingPredictor::new(train(&profiles, seed), template);
-            stca_serve::serve(&cfg, &model, &plan, &stream, n)?
-        }
-        None => stca_serve::serve(&cfg, &stca_serve::AnalyticEa::default(), &plan, &stream, n)?,
-    };
+    if args.get("profiles").is_some() {
+        // --pair is parsed for interface symmetry with predict/explore
+        // (training data already fixes the pair); require it so the
+        // trained path has a stable CLI shape
+        require_flag_unless_spec(args, "pair")?;
+    }
+    let mut spec = FlagMap {
+        map: &[
+            ("pair", "workloads", "pair"),
+            ("profiles", "profile", "out"),
+            ("requests", "serve", "requests"),
+            ("rate", "serve", "rate"),
+            ("deadline", "serve", "deadline_s"),
+            ("seed", "serve", "seed"),
+            ("servers", "serve", "servers"),
+            ("queue-cap", "serve", "queue_capacity"),
+            ("overload", "serve", "overload"),
+            ("hysteresis", "serve", "hysteresis_k"),
+            ("breaker-threshold", "serve", "breaker_threshold"),
+            ("breaker-cooldown", "serve", "breaker_cooldown_s"),
+            ("drain-grace", "serve", "drain_grace_s"),
+            ("decision-log", "artifacts", "decision_log"),
+            ("health-out", "artifacts", "health"),
+            ("trace-out", "artifacts", "trace_json"),
+            ("trace-svg", "artifacts", "trace_svg"),
+            ("trace-sample", "trace", "sample_every"),
+            ("trace-ring", "trace", "ring_capacity"),
+        ],
+        extra: &[],
+    }
+    .build(args)?;
+    if args.get("profiles").is_some() {
+        set_flag(&mut spec, "profiles", "serve", "predictor", "trained")?;
+    }
+    let any_trace_flag = ["trace-out", "trace-svg", "trace-sample", "trace-ring"]
+        .iter()
+        .any(|f| args.get(f).is_some());
+    if any_trace_flag {
+        set_flag(&mut spec, "trace-out", "trace", "enabled", "true")?;
+    }
+    let trace_out =
+        (!spec.artifacts.trace_json.is_empty()).then(|| PathBuf::from(&spec.artifacts.trace_json));
+    let trace_svg =
+        (!spec.artifacts.trace_svg.is_empty()).then(|| PathBuf::from(&spec.artifacts.trace_svg));
+    let profiles_path = matches!(spec.serve.predictor, stca_scenario::PredictorKind::Trained)
+        .then(|| PathBuf::from(&spec.profile.out));
+    let n = spec.serve.requests;
+    let report = pipeline::run_serve(&spec, profiles_path.as_deref(), trace_out.as_deref())?;
     let a = &report.accounting;
     println!(
         "served {} requests in {:.1} virtual seconds",
@@ -601,18 +458,80 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
             "accounting invariant violated: {a:?}"
         )));
     }
-    if let Some(path) = decision_log {
+    if !spec.artifacts.decision_log.is_empty() {
+        let path = PathBuf::from(&spec.artifacts.decision_log);
         let mut text = report.decision_log.join("\n");
         text.push('\n');
         std::fs::write(&path, text).map_err(|e| StcaError::io(path.display().to_string(), e))?;
         println!("wrote decision log to {}", path.display());
     }
-    if let Some(path) = args.get("health-out") {
-        let path = PathBuf::from(path);
+    if !spec.artifacts.health.is_empty() {
+        let path = PathBuf::from(&spec.artifacts.health);
         stca_serve::write_health(&path, &report)?;
         println!("wrote health snapshot to {}", path.display());
     }
     Ok(())
+}
+
+/// `stca scenario check|run`: one positional scenario file, then flags.
+fn cmd_scenario(argv: &[String]) -> Result<(), StcaError> {
+    let Some(sub) = argv.first() else {
+        return Err(StcaError::usage("scenario needs a subcommand: check | run"));
+    };
+    let rest = &argv[1..];
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with('-'))
+        .unwrap_or(rest.len());
+    let (files, flag_args) = rest.split_at(split);
+    let args = Args::parse(flag_args)?;
+    let [file] = files else {
+        return Err(StcaError::usage(format!(
+            "scenario {sub} takes exactly one scenario file"
+        )));
+    };
+    let spec = stca_scenario::load_file(Path::new(file))?;
+    match sub.as_str() {
+        "check" => {
+            pipeline::check_runnable(&spec, args.path("artifacts").as_deref())?;
+            print_stdout(&spec.canonical())?;
+            Ok(())
+        }
+        "run" => {
+            let until = match args.get("until") {
+                Some(s) => Some(Stage::parse(s).ok_or_else(|| {
+                    StcaError::usage(format!(
+                        "unknown stage {s:?} (expected one of: {})",
+                        Stage::NAMES.join(", ")
+                    ))
+                })?),
+                None => None,
+            };
+            let artifacts = args.path("artifacts");
+            pipeline::check_runnable(&spec, artifacts.as_deref())?;
+            println!(
+                "scenario {} (spec fingerprint {:016x})",
+                spec.scenario.name,
+                spec.fingerprint()
+            );
+            let summary = pipeline::run_scenario(&spec, artifacts.as_deref(), until)?;
+            for s in &summary.stages {
+                println!(
+                    "  stage {:<8} {} {:016x}  {}",
+                    s.stage.name(),
+                    if s.resumed { "resumed" } else { "done   " },
+                    s.hash,
+                    s.detail
+                );
+            }
+            println!("scenario hash {:016x}", summary.scenario_hash);
+            println!("artifacts in {}", summary.dir.display());
+            Ok(())
+        }
+        other => Err(StcaError::usage(format!(
+            "unknown scenario subcommand {other:?} (expected check | run)"
+        ))),
+    }
 }
 
 /// Write to stdout, exiting 0 quietly if the reader went away — piping
@@ -628,7 +547,7 @@ fn print_stdout(text: &str) -> Result<(), StcaError> {
 }
 
 /// `stca trace report|check`: positional trace files, then `--flag value`
-/// pairs (the only subcommand family with positional operands).
+/// pairs.
 fn cmd_trace(argv: &[String]) -> Result<(), StcaError> {
     let Some(sub) = argv.first() else {
         return Err(StcaError::usage("trace needs a subcommand: report | check"));
@@ -649,8 +568,7 @@ fn cmd_trace(argv: &[String]) -> Result<(), StcaError> {
             };
             let dump = stca_trace::read_chrome_json(Path::new(file))?;
             print_stdout(&stca_trace::report::render(&dump))?;
-            if let Some(log_path) = args.get("decision-log") {
-                let log_path = PathBuf::from(log_path);
+            if let Some(log_path) = args.path("decision-log") {
                 let text = std::fs::read_to_string(&log_path)
                     .map_err(|e| StcaError::io(log_path.display().to_string(), e))?;
                 let cc = stca_trace::report::cross_check(&dump, text.lines());
@@ -707,6 +625,9 @@ fn real_main(argv: &[String]) -> Result<(), StcaError> {
     };
     if cmd == "trace" {
         return cmd_trace(&argv[1..]);
+    }
+    if cmd == "scenario" {
+        return cmd_scenario(&argv[1..]);
     }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {

@@ -21,6 +21,7 @@
 
 pub mod explorer;
 pub mod insight;
+pub mod pipeline;
 pub mod predictor;
 pub mod serving;
 

@@ -1,0 +1,690 @@
+//! The scenario pipeline: profile → dataset → train → explore → serve,
+//! driven by a [`stca_scenario::ScenarioSpec`].
+//!
+//! Each stage writes its artifact into the scenario's artifact directory
+//! and records an FNV-1a hash in `scenario.ckpt.json`; a re-run (same
+//! spec, any `--threads`) skips finished stages whose artifacts are still
+//! on disk and reproduces the remaining ones bit-identically. The
+//! checkpoint meta is the spec fingerprint, so editing the spec
+//! invalidates stale stage state instead of resuming into it.
+//!
+//! The module also hosts the spec-driven building blocks the `stca`
+//! subcommands share with the runner ([`profile_conditions`],
+//! [`train_predictor`], [`run_serve`], [`render_explore`]) so flag-built
+//! specs and scenario files execute the exact same code path.
+
+use crate::{ExplorationResult, ModelConfig, PolicyExplorer, Predictor};
+use stca_cachesim::{CacheGeometry, HierarchyConfig};
+use stca_cat::layout::ExperimentLayout;
+use stca_fault::{Checkpoint, RetryPolicy, StcaError};
+use stca_profiler::executor::{run_experiment_checked, ExperimentSpec};
+use stca_profiler::profile::{ProfileRow, ProfileSet};
+use stca_profiler::sampler::CounterOrdering;
+use stca_profiler::storage;
+use stca_scenario::{fnv1a, ModelKind, PredictorKind, ScenarioSpec, Stage};
+use stca_serve::ServeReport;
+use stca_util::Rng64;
+use stca_workloads::{RuntimeCondition, WorkloadSpec};
+use std::path::{Path, PathBuf};
+
+/// The hierarchy configuration of a spec's `[cat]` section: the
+/// experiment default, with the LLC re-sized to `ways` (preserving the
+/// per-way size) when `ways` is nonzero.
+pub fn hierarchy_config(spec: &ScenarioSpec) -> HierarchyConfig {
+    let base = HierarchyConfig::experiment_default();
+    if spec.cat.ways == 0 {
+        return base;
+    }
+    let ways = spec.cat.ways as usize;
+    let per_way = base.llc.size_bytes / base.llc.ways;
+    HierarchyConfig {
+        llc: CacheGeometry::new(per_way * ways, ways, base.llc.line_size),
+        ..base
+    }
+}
+
+/// The way layout of a spec's `[cat]` section.
+pub fn experiment_layout(spec: &ScenarioSpec) -> ExperimentLayout {
+    ExperimentLayout::pair_symmetric(
+        spec.cat.default_span as usize,
+        spec.cat.boosted_span as usize,
+    )
+}
+
+fn profile_meta(spec: &ScenarioSpec) -> String {
+    let pair = spec.workloads.pair;
+    let n = spec.profile.conditions;
+    let seed = spec.profile.seed;
+    let mut meta = format!(
+        "profile/{}-{}/n{n}/seed{seed}/plan{:016x}",
+        pair.0, pair.1, spec.fault.plan.seed
+    );
+    // the historical meta covers the historical defaults; non-default
+    // experiment shape must invalidate checkpoints taken under another
+    let p = &spec.profile;
+    if (p.measured_queries, p.warmup_queries, p.accesses_per_query) != (200, 30, 1500) {
+        meta.push_str(&format!(
+            "/m{}w{}a{}",
+            p.measured_queries, p.warmup_queries, p.accesses_per_query
+        ));
+    }
+    if (spec.cat.ways, spec.cat.default_span, spec.cat.boosted_span) != (0, 2, 2) {
+        meta.push_str(&format!(
+            "/cat{}-{}-{}",
+            spec.cat.ways, spec.cat.default_span, spec.cat.boosted_span
+        ));
+    }
+    meta
+}
+
+/// Profile `[profile].conditions` random conditions of the spec's pair
+/// under its fault plan, skipping conditions that exhaust their retries
+/// and checkpointing finished ones when asked.
+pub fn profile_conditions(
+    spec: &ScenarioSpec,
+    checkpoint: Option<&Path>,
+) -> Result<ProfileSet, StcaError> {
+    let pair = spec.workloads.pair;
+    let n = spec.profile.conditions as usize;
+    let seed = spec.profile.seed;
+    let plan = &spec.fault.plan;
+    let retry = RetryPolicy::with_max_retries(spec.fault.max_retries);
+    let config = hierarchy_config(spec);
+    let layout = experiment_layout(spec);
+    let mut rng = Rng64::new(seed);
+    // conditions are drawn serially; the experiments (the expensive part)
+    // run in parallel, each with its original per-condition seed
+    let conditions: Vec<RuntimeCondition> = (0..n)
+        .map(|_| RuntimeCondition::random_pair(pair.0, pair.1, &mut rng))
+        .collect();
+    let meta = profile_meta(spec);
+    let mut ckpt = match checkpoint {
+        Some(path) => Some(Checkpoint::load_or_new(path, &meta)?),
+        None => None,
+    };
+    let cached: Vec<Option<Vec<ProfileRow>>> = (0..n)
+        .map(|i| {
+            let ck = ckpt.as_ref()?;
+            match ck.get(&format!("cond.{i}")) {
+                Some(stca_obs::json::Value::Array(rows)) => rows
+                    .iter()
+                    .map(|v| storage::row_from_json(v).ok())
+                    .collect(),
+                Some(stca_obs::json::Value::String(s)) if s.starts_with("failed") => {
+                    // a condition that failed in the previous run stays
+                    // failed on resume (same plan seed ⇒ same faults)
+                    Some(Vec::new())
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    let accesses = match spec.profile.accesses_per_query {
+        0 => None,
+        v => Some(v),
+    };
+    let results = stca_exec::par_map_indexed_caught(&conditions, |i, condition| {
+        if let Some(rows) = &cached[i] {
+            return Ok(rows.clone());
+        }
+        stca_obs::info!(
+            "[{}/{}] util=({:.2},{:.2}) T=({:.2},{:.2})",
+            i + 1,
+            n,
+            condition.workloads[0].utilization,
+            condition.workloads[1].utilization,
+            condition.workloads[0].timeout_ratio,
+            condition.workloads[1].timeout_ratio
+        );
+        let exp = ExperimentSpec {
+            config,
+            layout: layout.clone(),
+            measured_queries: spec.profile.measured_queries as usize,
+            warmup_queries: spec.profile.warmup_queries as usize,
+            accesses_per_query: accesses,
+            ..ExperimentSpec::standard(condition.clone(), seed ^ ((i as u64) << 16))
+        };
+        run_experiment_checked(exp, plan, &retry).map(|out| {
+            out.workloads
+                .iter()
+                .enumerate()
+                .map(|(j, w)| ProfileRow::from_outcome(condition, j, w, CounterOrdering::Grouped))
+                .collect::<Vec<ProfileRow>>()
+        })
+    });
+    let mut set = ProfileSet::new();
+    let mut failed = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        let flattened = match result {
+            Ok(inner) => inner.map_err(|e| e.to_string()),
+            Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
+        };
+        match flattened {
+            Ok(rows) => {
+                if rows.is_empty() {
+                    failed += 1; // resumed failure marker
+                } else if let Some(ck) = ckpt.as_mut() {
+                    if cached[i].is_none() {
+                        ck.put(
+                            format!("cond.{i}"),
+                            stca_obs::json::Value::Array(
+                                rows.iter().map(storage::row_to_json).collect(),
+                            ),
+                        );
+                    }
+                }
+                for row in rows {
+                    set.push(row);
+                }
+            }
+            Err(reason) => {
+                failed += 1;
+                stca_obs::counter("fault.conditions_failed_total").inc();
+                stca_obs::warn!("condition {i} failed, skipping: {reason}");
+                if let Some(ck) = ckpt.as_mut() {
+                    ck.put(
+                        format!("cond.{i}"),
+                        stca_obs::json::Value::String(format!("failed: {reason}")),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(ck) = ckpt.as_mut() {
+        ck.save()?;
+    }
+    if failed > 0 {
+        stca_obs::warn!("{failed}/{n} conditions failed under the fault plan");
+    }
+    if set.is_empty() {
+        return Err(StcaError::invalid_input(format!(
+            "all {n} profiling conditions failed under the fault plan"
+        )));
+    }
+    Ok(set)
+}
+
+/// Load a profile store, rejecting empty ones.
+pub fn load_profiles(path: &Path) -> Result<ProfileSet, StcaError> {
+    let set = storage::load(path)?;
+    if set.is_empty() {
+        return Err(StcaError::invalid_input("profile file holds no rows"));
+    }
+    stca_obs::info!("loaded {} profile rows from {}", set.len(), path.display());
+    Ok(set)
+}
+
+/// The model configuration a `[train]` section selects for a dataset of
+/// `rows` rows. `auto` keeps the historical rule: `standard` at >= 30
+/// rows, `quick` below.
+pub fn model_config(kind: ModelKind, rows: usize, seed: u64) -> ModelConfig {
+    match kind {
+        ModelKind::Auto => {
+            if rows >= 30 {
+                ModelConfig::standard(seed)
+            } else {
+                ModelConfig::quick(seed)
+            }
+        }
+        ModelKind::Quick => ModelConfig::quick(seed),
+        ModelKind::Standard => ModelConfig::standard(seed),
+        ModelKind::SimpleMl => ModelConfig::simple_ml(seed),
+    }
+}
+
+/// Train the spec's model on a dataset with an explicit seed (the CLI
+/// passes `train.seed` for predict/explore and `serve.seed` for the
+/// historical trained-serve path).
+pub fn train_predictor_seeded(spec: &ScenarioSpec, set: &ProfileSet, seed: u64) -> Predictor {
+    Predictor::train(set, &model_config(spec.train.model, set.len(), seed))
+}
+
+/// Train the spec's model on a dataset with the spec's own train seed.
+pub fn train_predictor(spec: &ScenarioSpec, set: &ProfileSet) -> Predictor {
+    train_predictor_seeded(spec, set, spec.train.seed)
+}
+
+/// Render the explore grid exactly as `stca explore` prints it.
+pub fn render_explore(spec: &ScenarioSpec, result: &ExplorationResult) -> String {
+    use std::fmt::Write as _;
+    let pair = spec.workloads.pair;
+    let grid = &spec.explore.grid;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "predicted normalized p95 grid (rows: T_{}, cols: T_{}):",
+        pair.0, pair.1
+    );
+    let _ = write!(out, "{:>8}", "");
+    for t in grid {
+        let _ = write!(out, "{t:>12.2}");
+    }
+    let _ = writeln!(out);
+    for (i, row) in result.grid.iter().enumerate() {
+        let _ = write!(out, "{:>8.2}", grid[i]);
+        for (a, b) in row {
+            let _ = write!(out, "{:>12}", format!("{a:.1}/{b:.1}"));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(
+        out,
+        "\nchosen: T_{} = {:.2}, T_{} = {:.2} (SLO intersection: {})",
+        pair.0, result.timeout_a, pair.1, result.timeout_b, result.intersected
+    );
+    out
+}
+
+/// Run the serving loop as the spec describes it. `profiles` supplies the
+/// trained-predictor dataset (required when `serve.predictor = trained`);
+/// `trace_error_path` is where in-flight traces dump if a fault unwinds
+/// mid-run (defaults to `stca-trace-error.json`).
+pub fn run_serve(
+    spec: &ScenarioSpec,
+    profiles: Option<&Path>,
+    trace_error_path: Option<&Path>,
+) -> Result<ServeReport, StcaError> {
+    let cfg = stca_scenario::convert::serve_config(spec);
+    let stream = stca_scenario::convert::synthetic_stream(spec);
+    let n = spec.serve.requests;
+    // if anything downstream exhausts its retries mid-run, persist the
+    // flight recorder before the error unwinds (the "dump on error" half
+    // of the recorder contract; the trace artifact doubles as the target)
+    let _dump_hook = cfg.trace.map(|_| {
+        let path = trace_error_path
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("stca-trace-error.json"));
+        stca_fault::register_error_dump_hook(move |err| {
+            if let Some(dump) = stca_trace::active_dump() {
+                if stca_trace::write_chrome_json(&path, &dump).is_ok() {
+                    eprintln!(
+                        "fault: {err}; dumped {} in-flight traces to {}",
+                        dump.traces.len(),
+                        path.display()
+                    );
+                }
+            }
+        })
+    });
+    let plan = &spec.fault.plan;
+    stca_obs::info!(
+        "serving {n} requests at {}/s (deadline {}s)",
+        spec.serve.rate,
+        spec.serve.deadline_s
+    );
+    match spec.serve.predictor {
+        PredictorKind::Trained => {
+            let path = profiles.ok_or_else(|| {
+                StcaError::usage("serve.predictor = \"trained\" needs a profile store (--profiles)")
+            })?;
+            let set = load_profiles(path)?;
+            let template = set.rows[0].clone();
+            // the historical trained-serve path trains with the serve seed
+            let model = crate::ServingPredictor::new(
+                train_predictor_seeded(spec, &set, spec.serve.seed),
+                template,
+            );
+            stca_serve::serve(&cfg, &model, plan, &stream, n)
+        }
+        PredictorKind::Analytic => {
+            stca_serve::serve(&cfg, &stca_serve::AnalyticEa::default(), plan, &stream, n)
+        }
+    }
+}
+
+/// Resolved artifact paths of a scenario run: every stage output lives
+/// under one directory; unset `[artifacts]` names get stage defaults.
+#[derive(Debug, Clone)]
+pub struct RunPaths {
+    /// The artifact directory (created by the runner).
+    pub dir: PathBuf,
+    /// The pipeline checkpoint (`scenario.ckpt.json`).
+    pub scenario_ckpt: PathBuf,
+    /// Per-condition profile checkpoint.
+    pub profile_ckpt: PathBuf,
+    /// The profile store (`[profile].out`, resolved).
+    pub profiles: PathBuf,
+    /// Dataset summary JSON.
+    pub dataset: PathBuf,
+    /// Train summary JSON.
+    pub train: PathBuf,
+    /// Explore grid checkpoint.
+    pub explore_ckpt: PathBuf,
+    /// Explore report text (the `stca explore` table).
+    pub explore: PathBuf,
+    /// Per-request decision log.
+    pub decision_log: PathBuf,
+    /// JSON health snapshot.
+    pub health: PathBuf,
+    /// Chrome trace JSON (when tracing is enabled).
+    pub trace_json: Option<PathBuf>,
+    /// SVG trace waterfall (when requested).
+    pub trace_svg: Option<PathBuf>,
+}
+
+impl RunPaths {
+    /// Resolve artifact paths for `spec`. `dir_override` (the
+    /// `--artifacts` flag) beats `[artifacts].dir` beats
+    /// `runs/<scenario name>`.
+    pub fn resolve(spec: &ScenarioSpec, dir_override: Option<&Path>) -> RunPaths {
+        let art = &spec.artifacts;
+        let dir = match dir_override {
+            Some(d) => d.to_path_buf(),
+            None if !art.dir.is_empty() => PathBuf::from(&art.dir),
+            None => PathBuf::from("runs").join(&spec.scenario.name),
+        };
+        let in_dir = |name: &str, fallback: &str| {
+            if name.is_empty() {
+                dir.join(fallback)
+            } else {
+                dir.join(name)
+            }
+        };
+        RunPaths {
+            scenario_ckpt: dir.join("scenario.ckpt.json"),
+            profile_ckpt: dir.join("profile.ckpt.json"),
+            profiles: in_dir(&spec.profile.out, "profiles.stca"),
+            dataset: dir.join("dataset.json"),
+            train: dir.join("train.json"),
+            explore_ckpt: dir.join("explore.ckpt.json"),
+            explore: dir.join("explore.txt"),
+            decision_log: in_dir(&art.decision_log, "decisions.log"),
+            health: in_dir(&art.health, "health.json"),
+            trace_json: spec
+                .trace
+                .enabled
+                .then(|| in_dir(&art.trace_json, "trace.json")),
+            trace_svg: if art.trace_svg.is_empty() {
+                None
+            } else {
+                Some(dir.join(&art.trace_svg))
+            },
+            dir,
+        }
+    }
+}
+
+/// What happened to one stage of a scenario run.
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// Which stage.
+    pub stage: Stage,
+    /// FNV-1a hash of the stage artifact (the decision hash for serve).
+    pub hash: u64,
+    /// Whether the stage was skipped because the checkpoint already held
+    /// its hash and the artifact was still on disk.
+    pub resumed: bool,
+    /// One human line about the stage result.
+    pub detail: String,
+}
+
+/// The result of a scenario run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Per-stage outcomes, in pipeline order.
+    pub stages: Vec<StageOutcome>,
+    /// Combined hash over (spec fingerprint, stage hashes) — the one
+    /// number two runs of the same scenario must agree on.
+    pub scenario_hash: u64,
+    /// Where the artifacts live.
+    pub dir: PathBuf,
+}
+
+fn file_hash(path: &Path) -> Result<u64, StcaError> {
+    let bytes = std::fs::read(path).map_err(|e| StcaError::io(path.display().to_string(), e))?;
+    Ok(fnv1a(&bytes))
+}
+
+fn write_text(path: &Path, text: &str) -> Result<(), StcaError> {
+    std::fs::write(path, text).map_err(|e| StcaError::io(path.display().to_string(), e))
+}
+
+fn hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Run a scenario's pipeline. Stages execute in order; each records its
+/// artifact hash in the scenario checkpoint so an interrupted or
+/// truncated (`until`) run resumes without recomputing finished stages.
+/// Bit-identical at any thread count.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    dir_override: Option<&Path>,
+    until: Option<Stage>,
+) -> Result<RunSummary, StcaError> {
+    let paths = RunPaths::resolve(spec, dir_override);
+    std::fs::create_dir_all(&paths.dir)
+        .map_err(|e| StcaError::io(paths.dir.display().to_string(), e))?;
+    let meta = format!(
+        "scenario/{}/{:016x}",
+        spec.scenario.name,
+        spec.fingerprint()
+    );
+    let mut ckpt = Checkpoint::load_or_new(&paths.scenario_ckpt, &meta)?;
+    let mut stages = Vec::new();
+    for &stage in &spec.scenario.pipeline {
+        if let Some(limit) = until {
+            if stage > limit {
+                break;
+            }
+        }
+        let key = format!("stage.{}", stage.name());
+        let artifact = match stage {
+            Stage::Profile => Some(paths.profiles.clone()),
+            Stage::Dataset => Some(paths.dataset.clone()),
+            Stage::Train => Some(paths.train.clone()),
+            Stage::Explore => Some(paths.explore.clone()),
+            Stage::Serve => Some(paths.decision_log.clone()),
+        };
+        let cached = match (ckpt.get(&key), &artifact) {
+            (Some(stca_obs::json::Value::String(s)), Some(path)) if path.exists() => {
+                u64::from_str_radix(s, 16).ok()
+            }
+            _ => None,
+        };
+        if let Some(hash) = cached {
+            stca_obs::info!("stage {} already done (hash {})", stage.name(), hex(hash));
+            stages.push(StageOutcome {
+                stage,
+                hash,
+                resumed: true,
+                detail: "resumed from checkpoint".to_string(),
+            });
+            continue;
+        }
+        let outcome = run_stage(spec, &paths, stage)?;
+        ckpt.put(key, stca_obs::json::Value::String(hex(outcome.hash)));
+        ckpt.save()?;
+        stages.push(outcome);
+    }
+    let mut words = vec![spec.fingerprint()];
+    words.extend(stages.iter().map(|s| s.hash));
+    let scenario_hash = stca_fault::checkpoint::fingerprint(words);
+    Ok(RunSummary {
+        stages,
+        scenario_hash,
+        dir: paths.dir,
+    })
+}
+
+fn run_stage(
+    spec: &ScenarioSpec,
+    paths: &RunPaths,
+    stage: Stage,
+) -> Result<StageOutcome, StcaError> {
+    let outcome = match stage {
+        Stage::Profile => {
+            let set = profile_conditions(spec, Some(&paths.profile_ckpt))?;
+            storage::save(&set, &paths.profiles)?;
+            StageOutcome {
+                stage,
+                hash: file_hash(&paths.profiles)?,
+                resumed: false,
+                detail: format!("{} profile rows -> {}", set.len(), paths.profiles.display()),
+            }
+        }
+        Stage::Dataset => {
+            let set = load_profiles(&paths.profiles)?;
+            let mut ea_min = f64::INFINITY;
+            let mut ea_max = f64::NEG_INFINITY;
+            let mut ea_sum = 0.0;
+            for row in &set.rows {
+                ea_min = ea_min.min(row.ea);
+                ea_max = ea_max.max(row.ea);
+                ea_sum += row.ea;
+            }
+            let rows = set.len();
+            let json = format!(
+                "{{\"rows\":{rows},\"static_features\":{},\"trace_shape\":[{},{}],\
+                 \"ea_min\":\"{:016x}\",\"ea_max\":\"{:016x}\",\"ea_mean\":\"{:016x}\",\
+                 \"profiles_hash\":\"{}\"}}\n",
+                set.rows[0].static_features.len(),
+                set.rows[0].trace.rows(),
+                set.rows[0].trace.cols(),
+                ea_min.to_bits(),
+                ea_max.to_bits(),
+                (ea_sum / rows as f64).to_bits(),
+                hex(file_hash(&paths.profiles)?),
+            );
+            write_text(&paths.dataset, &json)?;
+            StageOutcome {
+                stage,
+                hash: file_hash(&paths.dataset)?,
+                resumed: false,
+                detail: format!(
+                    "{rows} rows, EA in [{ea_min:.3}, {ea_max:.3}] -> {}",
+                    paths.dataset.display()
+                ),
+            }
+        }
+        Stage::Train => {
+            let set = load_profiles(&paths.profiles)?;
+            let predictor = train_predictor(spec, &set);
+            // fingerprint the trained model through a fixed probe: the
+            // explorer's prediction at the center of the timeout grid
+            let explorer = PolicyExplorer::new(
+                &predictor,
+                &set,
+                spec.workloads.pair.0,
+                spec.workloads.pair.1,
+                spec.explore.utilization,
+            );
+            let mid = spec.explore.grid[spec.explore.grid.len() / 2];
+            let (pa, pb) = explorer.predict_point(mid, mid);
+            let resolved = match spec.train.model {
+                ModelKind::Auto if set.len() >= 30 => "standard",
+                ModelKind::Auto => "quick",
+                kind => kind.name(),
+            };
+            let json = format!(
+                "{{\"model\":\"{resolved}\",\"rows\":{},\"seed\":{},\
+                 \"probe_timeout\":\"{:016x}\",\
+                 \"probe_p95\":[\"{:016x}\",\"{:016x}\"]}}\n",
+                set.len(),
+                spec.train.seed,
+                mid.to_bits(),
+                pa.to_bits(),
+                pb.to_bits(),
+            );
+            write_text(&paths.train, &json)?;
+            StageOutcome {
+                stage,
+                hash: file_hash(&paths.train)?,
+                resumed: false,
+                detail: format!(
+                    "{resolved} model on {} rows, probe p95 ({pa:.2}, {pb:.2})",
+                    set.len()
+                ),
+            }
+        }
+        Stage::Explore => {
+            let set = load_profiles(&paths.profiles)?;
+            let predictor = train_predictor(spec, &set);
+            let explorer = PolicyExplorer::new(
+                &predictor,
+                &set,
+                spec.workloads.pair.0,
+                spec.workloads.pair.1,
+                spec.explore.utilization,
+            );
+            let result =
+                explorer.explore_with_grid_checkpointed(&spec.explore.grid, &paths.explore_ckpt)?;
+            let mut text = render_explore(spec, &result);
+            text.push('\n');
+            write_text(&paths.explore, &text)?;
+            StageOutcome {
+                stage,
+                hash: file_hash(&paths.explore)?,
+                resumed: false,
+                detail: format!(
+                    "chosen T=({:.2}, {:.2}), SLO intersection {}",
+                    result.timeout_a, result.timeout_b, result.intersected
+                ),
+            }
+        }
+        Stage::Serve => {
+            let profiles = matches!(spec.serve.predictor, PredictorKind::Trained)
+                .then(|| paths.profiles.as_path());
+            let report = run_serve(spec, profiles, paths.trace_json.as_deref())?;
+            if !report.accounting.balanced() {
+                return Err(StcaError::invalid_input(format!(
+                    "accounting invariant violated: {:?}",
+                    report.accounting
+                )));
+            }
+            let mut log = report.decision_log.join("\n");
+            log.push('\n');
+            write_text(&paths.decision_log, &log)?;
+            stca_serve::write_health(&paths.health, &report)?;
+            if let Some(dump) = &report.trace_dump {
+                if let Some(path) = &paths.trace_json {
+                    stca_trace::write_chrome_json(path, dump)?;
+                }
+                if let Some(path) = &paths.trace_svg {
+                    stca_trace::write_svg(path, dump)?;
+                }
+            }
+            StageOutcome {
+                stage,
+                // the decision hash is the serving determinism contract;
+                // artifact bytes hash through it via the decision log
+                hash: report.decision_hash,
+                resumed: false,
+                detail: format!(
+                    "{} completed / {} shed, decision hash {:016x}",
+                    report.accounting.completed,
+                    report.accounting.shed(),
+                    report.decision_hash
+                ),
+            }
+        }
+    };
+    Ok(outcome)
+}
+
+/// Sanity-check a spec before running: stages that read the profile
+/// store need it produced by this pipeline or already on disk.
+pub fn check_runnable(spec: &ScenarioSpec, dir_override: Option<&Path>) -> Result<(), StcaError> {
+    let pipeline = &spec.scenario.pipeline;
+    if pipeline.is_empty() {
+        return Err(StcaError::usage("scenario pipeline is empty"));
+    }
+    let needs_profiles = pipeline.iter().any(|s| {
+        matches!(s, Stage::Dataset | Stage::Train | Stage::Explore)
+            || (matches!(s, Stage::Serve) && matches!(spec.serve.predictor, PredictorKind::Trained))
+    });
+    let produces_profiles = pipeline.contains(&Stage::Profile);
+    if needs_profiles && !produces_profiles {
+        let paths = RunPaths::resolve(spec, dir_override);
+        if !paths.profiles.exists() {
+            return Err(StcaError::usage(format!(
+                "pipeline needs profiles but has no profile stage and {} does not exist",
+                paths.profiles.display()
+            )));
+        }
+    }
+    // a pair must exist in the workload catalog for profiling; the spec
+    // setter already guaranteed that, so only cross-field rules live here
+    let _ = WorkloadSpec::for_benchmark(spec.workloads.pair.0);
+    Ok(())
+}

@@ -153,6 +153,22 @@ impl std::error::Error for StcaError {
     }
 }
 
+/// Flag-parse failures are usage errors (exit 2).
+impl From<stca_util::ArgError> for StcaError {
+    fn from(e: stca_util::ArgError) -> Self {
+        StcaError::Usage(e.to_string())
+    }
+}
+
+/// Spec-parse failures (fault plans, scenario files) are usage errors
+/// (exit 2); the rendered message names the offending key/value and the
+/// valid key set.
+impl From<stca_util::SpecError> for StcaError {
+    fn from(e: stca_util::SpecError) -> Self {
+        StcaError::Usage(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

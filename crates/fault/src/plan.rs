@@ -10,7 +10,7 @@
 
 use crate::error::StcaError;
 use crate::sanitize::COUNTER_PLAUSIBLE_MAX;
-use stca_util::{Rng64, SeedStream};
+use stca_util::{Rng64, SeedStream, SpecError, SpecErrorKind, SpecLocation};
 use std::sync::{Arc, OnceLock};
 
 // Tag space for the per-attempt stream; unique within one injector.
@@ -151,10 +151,30 @@ impl FaultPlan {
             || self.stall_prob > 0.0
     }
 
+    /// The preset names `parse` accepts.
+    pub const PRESETS: [&'static str; 3] = ["none", "ci-default", "heavy"];
+
+    /// The `key=value` keys `parse` accepts, in documentation order.
+    pub const KEYS: [&'static str; 10] = [
+        "seed",
+        "crash",
+        "timeout",
+        "dropout",
+        "corrupt",
+        "stuck",
+        "noise",
+        "latency",
+        "predict_fail",
+        "stall",
+    ];
+
     /// Parse a plan spec: a preset name (`none`, `ci-default`, `heavy`),
     /// `key=value` pairs, or a preset followed by overrides — all
     /// comma-separated. Keys: `seed`, `crash`, `timeout`, `dropout`,
     /// `corrupt`, `stuck`, `noise`, `latency`, `predict_fail`, `stall`.
+    ///
+    /// Failures name the offending key/value and list the valid keys; they
+    /// surface as usage errors (exit 2).
     ///
     /// ```
     /// use stca_fault::FaultPlan;
@@ -163,6 +183,14 @@ impl FaultPlan {
     /// assert_eq!(plan.seed, 7);
     /// ```
     pub fn parse(spec: &str) -> Result<Self, StcaError> {
+        Self::parse_spec(spec, "fault plan").map_err(StcaError::from)
+    }
+
+    /// [`FaultPlan::parse`] with a caller-supplied error context and the
+    /// typed [`SpecError`] surface — the scenario parser embeds fault-plan
+    /// fragments and reuses this to report them under its own file/line
+    /// context.
+    pub fn parse_spec(spec: &str, context: &str) -> Result<Self, SpecError> {
         let mut plan = FaultPlan::none();
         for (i, token) in spec.split(',').map(str::trim).enumerate() {
             if token.is_empty() {
@@ -173,49 +201,77 @@ impl FaultPlan {
                 "ci-default" => plan = FaultPlan::ci_default(),
                 "heavy" => plan = FaultPlan::heavy(),
                 _ => {
+                    let at = SpecLocation::Token(i);
                     let (key, value) = token.split_once('=').ok_or_else(|| {
-                        StcaError::usage(format!(
-                            "fault plan token {token:?} (position {i}): expected a preset \
-                             (none, ci-default, heavy) or key=value"
-                        ))
+                        SpecError::new(
+                            context,
+                            SpecErrorKind::Malformed {
+                                token: token.to_string(),
+                                expected: format!(
+                                    "a preset ({}) or key=value (keys: {})",
+                                    Self::PRESETS.join(", "),
+                                    Self::KEYS.join(", ")
+                                ),
+                            },
+                        )
+                        .at(at)
                     })?;
-                    if key == "seed" {
-                        plan.seed = value.parse().map_err(|_| {
-                            StcaError::usage(format!("fault plan seed {value:?}: want a u64"))
-                        })?;
-                        continue;
-                    }
-                    let num: f64 = value.parse().map_err(|_| {
-                        StcaError::usage(format!("fault plan {key}={value:?}: want a number"))
-                    })?;
-                    let field = match key {
-                        "crash" => &mut plan.crash_prob,
-                        "timeout" => &mut plan.timeout_prob,
-                        "dropout" => &mut plan.dropout_prob,
-                        "corrupt" => &mut plan.corrupt_prob,
-                        "stuck" => &mut plan.stuck_prob,
-                        "noise" => &mut plan.noise_rel,
-                        "latency" => &mut plan.latency_mean_s,
-                        "predict_fail" => &mut plan.predict_fail_prob,
-                        "stall" => &mut plan.stall_prob,
-                        _ => {
-                            return Err(StcaError::usage(format!(
-                                "unknown fault plan key {key:?} (known: seed, crash, timeout, \
-                                 dropout, corrupt, stuck, noise, latency, predict_fail, stall)"
-                            )))
-                        }
-                    };
-                    let is_prob = !matches!(key, "noise" | "latency");
-                    if !num.is_finite() || num < 0.0 || (is_prob && num > 1.0) {
-                        return Err(StcaError::usage(format!(
-                            "fault plan {key}={value}: out of range"
-                        )));
-                    }
-                    *field = num;
+                    plan.set(key, value)
+                        .map_err(|e| SpecError::new(context, e).at(at))?;
                 }
             }
         }
         Ok(plan)
+    }
+
+    /// Set one `key=value` override on the plan, validating range. The
+    /// error carries no context — callers wrap it in a [`SpecError`] with
+    /// their own location.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), SpecErrorKind> {
+        if key == "seed" {
+            self.seed = value.parse().map_err(|_| SpecErrorKind::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+                want: "a u64".to_string(),
+            })?;
+            return Ok(());
+        }
+        let num: f64 = value.parse().map_err(|_| SpecErrorKind::BadValue {
+            key: key.to_string(),
+            value: value.to_string(),
+            want: "a number".to_string(),
+        })?;
+        let field = match key {
+            "crash" => &mut self.crash_prob,
+            "timeout" => &mut self.timeout_prob,
+            "dropout" => &mut self.dropout_prob,
+            "corrupt" => &mut self.corrupt_prob,
+            "stuck" => &mut self.stuck_prob,
+            "noise" => &mut self.noise_rel,
+            "latency" => &mut self.latency_mean_s,
+            "predict_fail" => &mut self.predict_fail_prob,
+            "stall" => &mut self.stall_prob,
+            _ => {
+                return Err(SpecErrorKind::UnknownKey {
+                    key: key.to_string(),
+                    valid: &Self::KEYS,
+                })
+            }
+        };
+        let is_prob = !matches!(key, "noise" | "latency");
+        if !num.is_finite() || num < 0.0 || (is_prob && num > 1.0) {
+            return Err(SpecErrorKind::OutOfRange {
+                key: key.to_string(),
+                value: value.to_string(),
+                range: if is_prob {
+                    "a probability in [0, 1]".to_string()
+                } else {
+                    "a finite value >= 0".to_string()
+                },
+            });
+        }
+        *field = num;
+        Ok(())
     }
 
     /// Plan from the `STCA_FAULT_PLAN` environment variable; unset or empty
@@ -412,6 +468,32 @@ mod tests {
             FaultPlan::parse("bogus"),
             Err(StcaError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_errors_name_key_value_and_valid_keys() {
+        // an unknown key is named and the valid key set is listed
+        let msg = FaultPlan::parse("heavy,wat=0.1").unwrap_err().to_string();
+        assert!(msg.contains("\"wat\""), "{msg}");
+        for key in FaultPlan::KEYS {
+            assert!(msg.contains(key), "{msg} should list {key}");
+        }
+        // a bad value is quoted alongside its key and expected type
+        let msg = FaultPlan::parse("crash=two").unwrap_err().to_string();
+        assert!(msg.contains("crash") && msg.contains("\"two\""), "{msg}");
+        // a malformed token lists both presets and keys, plus its position
+        let msg = FaultPlan::parse("heavy,bogus").unwrap_err().to_string();
+        assert!(
+            msg.contains("\"bogus\"") && msg.contains("token 1"),
+            "{msg}"
+        );
+        assert!(
+            msg.contains("ci-default") && msg.contains("predict_fail"),
+            "{msg}"
+        );
+        // out-of-range names the legal range
+        let msg = FaultPlan::parse("crash=1.5").unwrap_err().to_string();
+        assert!(msg.contains("crash=1.5") && msg.contains("[0, 1]"), "{msg}");
     }
 
     #[test]

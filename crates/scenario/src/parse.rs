@@ -1,0 +1,313 @@
+//! The hand-rolled TOML-subset parser for scenario files.
+//!
+//! Grammar (line-oriented, no external dependencies):
+//!
+//! ```text
+//! file     := line*
+//! line     := blank | comment | section | keyvalue
+//! comment  := '#' .*
+//! section  := '[' ident ']'
+//! keyvalue := ident '=' value comment?
+//! value    := string | list | bare
+//! string   := '"' (escape | char)* '"'        escape: \" \\ \n \t \r
+//! list     := '[' value (',' value)* ']'      elements are strings or bares
+//! bare     := one token, no spaces: numbers, booleans, idents
+//! ```
+//!
+//! Strictness rules: every key must live under a known `[section]`;
+//! unknown sections/keys are errors listing the valid set; a key may
+//! appear at most once per file; values must parse for the key's type.
+//! All errors carry the 1-based line number via
+//! [`stca_util::SpecLocation::Line`].
+
+use crate::spec::{at_line, keys_of, ScenarioSpec, SpecValue, SECTIONS};
+use stca_util::{SpecError, SpecErrorKind};
+
+/// Parse scenario text into a spec, starting from defaults. `context`
+/// names the source (typically the file path) for error messages.
+pub fn parse_str(text: &str, context: &str) -> Result<ScenarioSpec, SpecError> {
+    let mut spec = ScenarioSpec::default();
+    apply_str(&mut spec, text, context)?;
+    Ok(spec)
+}
+
+/// Apply scenario text on top of an existing spec (later writes win).
+/// This is the layer that makes precedence composable: defaults, then
+/// file, then flag overrides, all through [`ScenarioSpec::set`].
+pub fn apply_str(spec: &mut ScenarioSpec, text: &str, context: &str) -> Result<(), SpecError> {
+    let mut section: Option<String> = None;
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |kind: SpecErrorKind| SpecError::new(context, kind).at(at_line(lineno));
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest.strip_suffix(']').ok_or_else(|| {
+                err(SpecErrorKind::Malformed {
+                    token: line.to_string(),
+                    expected: "a section header like [serve]".to_string(),
+                })
+            })?;
+            let name = name.trim();
+            if keys_of(name).is_none() {
+                return Err(err(SpecErrorKind::UnknownKey {
+                    key: name.to_string(),
+                    valid: &SECTIONS,
+                }));
+            }
+            section = Some(name.to_string());
+            continue;
+        }
+        let (key, value_text) = line.split_once('=').ok_or_else(|| {
+            err(SpecErrorKind::Malformed {
+                token: line.to_string(),
+                expected: "a `key = value` line or a [section] header".to_string(),
+            })
+        })?;
+        let key = key.trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return Err(err(SpecErrorKind::Malformed {
+                token: key.to_string(),
+                expected: "a lowercase key name (letters, digits, underscores)".to_string(),
+            }));
+        }
+        let section = section.clone().ok_or_else(|| {
+            err(SpecErrorKind::Malformed {
+                token: line.to_string(),
+                expected: "a [section] header before the first key".to_string(),
+            })
+        })?;
+        if seen.iter().any(|(s, k)| s == &section && k == key) {
+            return Err(err(SpecErrorKind::Malformed {
+                token: format!("{section}.{key}"),
+                expected: "each key at most once per file".to_string(),
+            }));
+        }
+        seen.push((section.clone(), key.to_string()));
+        let value = parse_value(value_text.trim(), key).map_err(&err)?;
+        spec.set(&section, key, &value).map_err(err)?;
+    }
+    Ok(())
+}
+
+/// Parse one value: quoted string, bracketed list, or bare scalar. Any
+/// trailing `#` comment (outside quotes) is stripped.
+fn parse_value(text: &str, key: &str) -> Result<SpecValue, SpecErrorKind> {
+    let malformed = |expected: &str| SpecErrorKind::Malformed {
+        token: text.to_string(),
+        expected: expected.to_string(),
+    };
+    if text.starts_with('"') {
+        let (s, rest) = parse_string(text)
+            .ok_or_else(|| malformed("a closed quoted string (escapes: \\\" \\\\ \\n \\t \\r)"))?;
+        ensure_only_comment(rest).map_err(|_| malformed("nothing after the closing quote"))?;
+        return Ok(SpecValue::Scalar(s));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        // find the matching close bracket outside quotes
+        let close = find_close(body).ok_or_else(|| malformed("a closed [ ... ] list"))?;
+        ensure_only_comment(&body[close + 1..])
+            .map_err(|_| malformed("nothing after the closing bracket"))?;
+        let inner = &body[..close];
+        let mut items = Vec::new();
+        for part in split_commas(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part.starts_with('"') {
+                let (s, rest) = parse_string(part)
+                    .ok_or_else(|| malformed("a closed quoted string inside the list"))?;
+                if !rest.trim().is_empty() {
+                    return Err(malformed("one value per list element"));
+                }
+                items.push(s);
+            } else {
+                if part.contains(|c: char| c.is_whitespace()) {
+                    return Err(malformed("one bare token per list element"));
+                }
+                items.push(part.to_string());
+            }
+        }
+        return Ok(SpecValue::List(items));
+    }
+    // bare scalar: strip a trailing comment, then require one token
+    let bare = match text.find('#') {
+        Some(i) => text[..i].trim(),
+        None => text,
+    };
+    if bare.is_empty() {
+        return Err(SpecErrorKind::Malformed {
+            token: format!("{key} ="),
+            expected: "a value after `=`".to_string(),
+        });
+    }
+    if bare.contains(|c: char| c.is_whitespace()) {
+        return Err(malformed("one value (quote strings containing spaces)"));
+    }
+    Ok(SpecValue::Scalar(bare.to_string()))
+}
+
+/// Parse a leading quoted string; returns (content, rest-after-quote).
+fn parse_string(text: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = text.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &text[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// After a value, only whitespace and an optional `#` comment may follow.
+fn ensure_only_comment(rest: &str) -> Result<(), ()> {
+    let rest = rest.trim();
+    if rest.is_empty() || rest.starts_with('#') {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// Index of the first `]` outside quotes in `body`, if any.
+fn find_close(body: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in body.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ']' {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Split on commas outside quotes.
+fn split_commas(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in inner.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ',' {
+            parts.push(&inner[start..i]);
+            start = i + 1;
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Stage;
+
+    #[test]
+    fn parses_sections_comments_and_values() {
+        let text = r#"
+# a scenario
+[scenario]
+name = "smoke"           # trailing comment
+pipeline = ["profile", "serve"]
+
+[serve]
+requests = 5000
+rate = 120.5
+overload = shed-oldest
+"#;
+        let s = parse_str(text, "test").unwrap();
+        assert_eq!(s.scenario.name, "smoke");
+        assert_eq!(s.scenario.pipeline, vec![Stage::Profile, Stage::Serve]);
+        assert_eq!(s.serve.requests, 5000);
+        assert_eq!(s.serve.rate, 120.5);
+        assert_eq!(s.serve.overload.name(), "shed-oldest");
+        // untouched keys keep defaults
+        assert_eq!(s.serve.deadline_s, 0.5);
+    }
+
+    #[test]
+    fn rejects_unknown_section_key_and_value_with_line_numbers() {
+        let e = parse_str("[nope]\n", "t").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("\"nope\""), "{msg}");
+        assert!(msg.contains("scenario"), "{msg}");
+
+        let e = parse_str("[serve]\nspeed = 3\n", "t").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("\"speed\""), "{msg}");
+        assert!(msg.contains("requests"), "{msg}");
+
+        let e = parse_str("[serve]\nrate = fast\n", "t").unwrap_err();
+        assert!(e.to_string().contains("\"fast\""), "{e}");
+    }
+
+    #[test]
+    fn rejects_orphan_keys_duplicates_and_malformed_lines() {
+        assert!(parse_str("requests = 1\n", "t").is_err());
+        assert!(parse_str("[serve]\nrequests = 1\nrequests = 2\n", "t").is_err());
+        assert!(parse_str("[serve\n", "t").is_err());
+        assert!(parse_str("[serve]\nrequests\n", "t").is_err());
+        assert!(parse_str("[serve]\nrequests = \n", "t").is_err());
+        assert!(parse_str("[serve]\nrequests = 1 2\n", "t").is_err());
+        assert!(parse_str("[scenario]\nname = \"open\n", "t").is_err());
+    }
+
+    #[test]
+    fn canonical_round_trips_byte_stably() {
+        let text = r#"
+[scenario]
+name = "round \"trip\""
+pipeline = ["profile", "dataset", "train", "explore", "serve"]
+[fault]
+plan = "ci-default,crash=0.037"
+[explore]
+grid = [0.5, 1.5]
+[serve]
+rate = 333.25
+"#;
+        let s = parse_str(text, "t").unwrap();
+        let c1 = s.canonical();
+        let s2 = parse_str(&c1, "t").unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(c1, s2.canonical());
+    }
+}

@@ -1,0 +1,297 @@
+//! Round-trip and strictness properties of the scenario format.
+//!
+//! The contract under test: `parse(canonical(s)) == s` for any valid spec
+//! `s`, canonicalization is idempotent byte-for-byte, fingerprints follow
+//! canonical bytes, and anything outside the schema — unknown sections,
+//! unknown keys, malformed values, duplicates — is a hard usage error
+//! (exit 2) that names the offender.
+
+use stca_scenario::{fnv1a, parse_str, ScenarioSpec, SpecValue};
+
+fn roundtrip(spec: &ScenarioSpec, what: &str) {
+    let canon = spec.canonical();
+    let reparsed = parse_str(&canon, what).unwrap_or_else(|e| {
+        panic!("{what}: canonical form must re-parse, got {e}\n--- canonical ---\n{canon}")
+    });
+    assert_eq!(&reparsed, spec, "{what}: parse(canonical(s)) != s");
+    assert_eq!(
+        reparsed.canonical(),
+        canon,
+        "{what}: canonicalization is not idempotent"
+    );
+    assert_eq!(
+        reparsed.fingerprint(),
+        spec.fingerprint(),
+        "{what}: fingerprint must follow canonical bytes"
+    );
+    assert_eq!(spec.fingerprint(), fnv1a(canon.as_bytes()), "{what}");
+}
+
+#[test]
+fn default_spec_roundtrips() {
+    roundtrip(&ScenarioSpec::default(), "default spec");
+}
+
+#[test]
+fn committed_examples_roundtrip() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/scenarios must exist") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("stca") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("read example");
+        let name = path.display().to_string();
+        let spec = parse_str(&text, &name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        roundtrip(&spec, &name);
+    }
+    assert!(
+        seen >= 3,
+        "expected the committed scenario catalog, saw {seen}"
+    );
+}
+
+/// A tiny deterministic generator (splitmix64) — no clock, no rand crate.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next() % xs.len() as u64) as usize]
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        // 2^-53 grid keeps the value exactly representable; Display
+        // round-trips any finite f64, so this just keeps ranges sane.
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drive `set` with randomized valid values across every section, then
+/// demand a byte-stable round trip. This covers the same path the file
+/// parser and the CLI flag layer share.
+#[test]
+fn randomized_specs_roundtrip() {
+    let names = [
+        "a",
+        "table-1",
+        "spaces and tabs\tok",
+        "quotes \"inside\" and a \\ backslash",
+        "newline\nin name",
+    ];
+    let pairs = ["kmeans,bfs", "redis,social", "spkmeans,spstream", "knn,jac"];
+    let models = ["auto", "quick", "standard", "simple-ml"];
+    let predictors = ["analytic", "trained"];
+    let overloads = ["shed-newest", "shed-oldest", "block"];
+    let plans = ["none", "ci-default", "heavy"];
+    let bools = ["true", "false"];
+    let pipelines: [&[&str]; 5] = [
+        &["profile"],
+        &["profile", "dataset", "train"],
+        &["profile", "dataset", "train", "explore", "serve"],
+        &["serve"],
+        &["explore", "serve"],
+    ];
+    let grids: [&[&str]; 3] = [
+        &["0.25", "0.75", "1.5", "3", "6"],
+        &["0.5", "1", "2"],
+        &["1.25"],
+    ];
+
+    let mut g = Gen(0x5ca1ab1e);
+    for round in 0..200 {
+        let mut spec = ScenarioSpec::default();
+        let set = |spec: &mut ScenarioSpec, sec: &str, key: &str, v: String| {
+            spec.set(sec, key, &SpecValue::scalar(v))
+                .unwrap_or_else(|e| panic!("round {round}: set {sec}.{key}: {e:?}"));
+        };
+        set(&mut spec, "scenario", "name", g.pick(&names).to_string());
+        let stages: Vec<String> = g.pick(&pipelines).iter().map(|s| s.to_string()).collect();
+        spec.set("scenario", "pipeline", &SpecValue::List(stages))
+            .expect("pipeline");
+        set(&mut spec, "workloads", "pair", g.pick(&pairs).to_string());
+        set(
+            &mut spec,
+            "workloads",
+            "accesses",
+            (1 + g.next() % 1_000_000).to_string(),
+        );
+        set(&mut spec, "cat", "ways", (g.next() % 12).to_string());
+        set(
+            &mut spec,
+            "cat",
+            "default_span",
+            (1 + g.next() % 4).to_string(),
+        );
+        set(
+            &mut spec,
+            "cat",
+            "boosted_span",
+            (1 + g.next() % 4).to_string(),
+        );
+        set(&mut spec, "fault", "plan", g.pick(&plans).to_string());
+        set(
+            &mut spec,
+            "fault",
+            "max_retries",
+            (g.next() % 10).to_string(),
+        );
+        set(
+            &mut spec,
+            "fault",
+            "crash",
+            format!("{}", g.f64_in(0.0, 0.2)),
+        );
+        set(
+            &mut spec,
+            "fault",
+            "noise",
+            format!("{}", g.f64_in(0.0, 0.5)),
+        );
+        set(
+            &mut spec,
+            "profile",
+            "conditions",
+            (1 + g.next() % 64).to_string(),
+        );
+        set(&mut spec, "profile", "seed", g.next().to_string());
+        set(
+            &mut spec,
+            "profile",
+            "out",
+            format!("p{}.stca", g.next() % 100),
+        );
+        set(&mut spec, "train", "model", g.pick(&models).to_string());
+        set(&mut spec, "train", "seed", g.next().to_string());
+        set(
+            &mut spec,
+            "explore",
+            "utilization",
+            format!("{}", g.f64_in(0.1, 0.99)),
+        );
+        let grid: Vec<String> = g.pick(&grids).iter().map(|s| s.to_string()).collect();
+        spec.set("explore", "grid", &SpecValue::List(grid))
+            .expect("grid");
+        set(
+            &mut spec,
+            "predict",
+            "timeout_a",
+            format!("{}", g.f64_in(0.25, 8.0)),
+        );
+        set(
+            &mut spec,
+            "serve",
+            "requests",
+            (1 + g.next() % 1_000_000).to_string(),
+        );
+        set(
+            &mut spec,
+            "serve",
+            "rate",
+            format!("{}", g.f64_in(1.0, 2000.0)),
+        );
+        set(
+            &mut spec,
+            "serve",
+            "deadline_s",
+            format!("{}", g.f64_in(0.01, 5.0)),
+        );
+        set(
+            &mut spec,
+            "serve",
+            "servers",
+            (1 + g.next() % 8).to_string(),
+        );
+        set(
+            &mut spec,
+            "serve",
+            "overload",
+            g.pick(&overloads).to_string(),
+        );
+        set(
+            &mut spec,
+            "serve",
+            "predictor",
+            g.pick(&predictors).to_string(),
+        );
+        set(&mut spec, "serve", "seed", g.next().to_string());
+        set(&mut spec, "trace", "enabled", g.pick(&bools).to_string());
+        set(
+            &mut spec,
+            "trace",
+            "sample_every",
+            (1 + g.next() % 512).to_string(),
+        );
+        set(
+            &mut spec,
+            "artifacts",
+            "dir",
+            format!("runs/r{}", g.next() % 100),
+        );
+        roundtrip(&spec, &format!("random spec #{round}"));
+    }
+}
+
+fn expect_usage(text: &str, needles: &[&str]) {
+    let err = parse_str(text, "test.stca").expect_err("must be rejected");
+    let err = stca_fault::StcaError::from(err);
+    assert_eq!(err.exit_code(), 2, "strictness errors are usage errors");
+    let msg = err.to_string();
+    for needle in needles {
+        assert!(
+            msg.contains(needle),
+            "error {msg:?} must mention {needle:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_section_is_rejected() {
+    expect_usage(
+        "[serving]\nrequests = 5\n",
+        &["serving", "scenario", "workloads"],
+    );
+}
+
+#[test]
+fn unknown_key_names_offender_and_valid_set() {
+    expect_usage(
+        "[serve]\nwarp_factor = 9\n",
+        &["\"warp_factor\"", "requests", "line 2"],
+    );
+    expect_usage(
+        "[train]\nmodel = \"auto\"\nepochs = 3\n",
+        &["\"epochs\"", "model", "seed"],
+    );
+}
+
+#[test]
+fn malformed_values_are_rejected() {
+    expect_usage("[serve]\nrequests = cheese\n", &["requests", "cheese"]);
+    expect_usage("[serve]\nrate = -4\n", &["rate"]);
+    expect_usage("[explore]\ngrid = []\n", &["grid"]);
+    expect_usage(
+        "[scenario]\npipeline = [\"serve\", \"profile\"]\n",
+        &["pipeline"],
+    );
+    expect_usage("[fault]\ncrash = 1.5\n", &["crash"]);
+    expect_usage("[fault]\nplan = \"mayhem\"\n", &["mayhem", "heavy"]);
+}
+
+#[test]
+fn duplicate_and_orphan_keys_are_rejected() {
+    expect_usage(
+        "[serve]\nrequests = 5\nrequests = 6\n",
+        &["requests", "line 3"],
+    );
+    expect_usage("requests = 5\n", &["line 1"]);
+}

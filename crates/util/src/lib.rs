@@ -10,6 +10,7 @@
 //! paper reproduction must be replayable bit-for-bit so that figure harnesses
 //! and tests agree across runs.
 
+pub mod args;
 pub mod dist;
 pub mod kmeans;
 pub mod matrix;
@@ -17,6 +18,7 @@ pub mod rng;
 pub mod sort;
 pub mod stats;
 
+pub use args::{ArgError, Args, SpecError, SpecErrorKind, SpecLocation};
 pub use dist::Distribution;
 pub use matrix::Matrix;
 pub use rng::{Rng64, SeedStream};

@@ -33,4 +33,4 @@ pub mod spec;
 pub use arrival::ArrivalProcess;
 pub use conditions::RuntimeCondition;
 pub use pattern::{AccessGenerator, AccessPattern};
-pub use spec::{BenchmarkId, WorkloadSpec};
+pub use spec::{BenchmarkId, BenchmarkParseError, WorkloadSpec};

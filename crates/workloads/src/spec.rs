@@ -68,6 +68,69 @@ impl std::fmt::Display for BenchmarkId {
     }
 }
 
+/// Error from parsing a benchmark name or pair; names the bad token and
+/// lists the valid benchmark names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchmarkParseError {
+    /// The token matched no benchmark short name.
+    UnknownBenchmark {
+        /// The token that matched nothing.
+        token: String,
+    },
+    /// A pair spec had no comma.
+    NotAPair {
+        /// The whole spec.
+        token: String,
+    },
+}
+
+impl std::fmt::Display for BenchmarkParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchmarkParseError::UnknownBenchmark { token } => {
+                let names: Vec<&str> = BenchmarkId::ALL.iter().map(|b| b.short_name()).collect();
+                write!(
+                    f,
+                    "unknown benchmark {:?} (valid: {})",
+                    token,
+                    names.join(", ")
+                )
+            }
+            BenchmarkParseError::NotAPair { token } => {
+                write!(f, "expected A,B pair, got {token:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchmarkParseError {}
+
+impl std::str::FromStr for BenchmarkId {
+    type Err = BenchmarkParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BenchmarkId::ALL
+            .iter()
+            .copied()
+            .find(|b| b.short_name() == s)
+            .ok_or_else(|| BenchmarkParseError::UnknownBenchmark {
+                token: s.to_string(),
+            })
+    }
+}
+
+impl BenchmarkId {
+    /// Parse an `A,B` collocation pair (e.g. `"redis,social"`).
+    pub fn parse_pair(s: &str) -> Result<(BenchmarkId, BenchmarkId), BenchmarkParseError> {
+        let (a, b) = s
+            .split_once(',')
+            .ok_or_else(|| BenchmarkParseError::NotAPair {
+                token: s.to_string(),
+            })?;
+        Ok((a.trim().parse()?, b.trim().parse()?))
+    }
+}
+
 /// Full description of one benchmark's behaviour.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
