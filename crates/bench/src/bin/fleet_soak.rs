@@ -1,0 +1,310 @@
+//! Soak test for the sharded serving fleet: replay a large request stream
+//! through N shards behind the deterministic router while the fault plan
+//! crashes, stalls, and flaps individual shards, and assert the fleet
+//! robustness contract holds.
+//!
+//! Five runs, same seed:
+//!
+//! 1. **baseline** — no faults, 1 thread: the healthy fleet p99 and an
+//!    all-shards load spread;
+//! 2. **faulted @ 1 thread** — the shard fault plan on;
+//! 3. **faulted @ 8 threads** — must be *bit-identical* to run 2 (fleet
+//!    decision hash, per-shard accounting, reroute/shed tallies,
+//!    response percentiles);
+//! 4. **traced @ 1 and 8 threads** — the flight recorder on: the merged
+//!    per-shard dump must be bit-identical across thread counts and the
+//!    fleet decision hash unchanged (tracing observes, never perturbs);
+//! 5. **logged audit** — a capped logged replay proving every offered
+//!    request reaches exactly one final disposition (a shard-suffixed
+//!    decision line or a router shed), however many reroute hops it took.
+//!
+//! Asserted invariants:
+//!
+//! * the fleet accounting identity on every run: every shard balances
+//!   once `rerouted_out` is counted, and fleet-wide
+//!   `offered = Σ per-shard (completed + shed + drained) + router_shed`;
+//! * determinism: runs 2 and 3 agree bit-for-bit, and so do the two
+//!   traced runs' merged dumps;
+//! * fault domains are real: under a shard-crash plan at least two
+//!   distinct shards crash *and* recover, and flushed work is rerouted;
+//! * bounded degradation: the faulted fleet p99 stays under the
+//!   structural ceiling `deadline + 4 x watchdog budget`.
+//!
+//! Usage:
+//!   cargo run --release -p stca-bench --bin fleet_soak --
+//!       [--requests N] [--shards N] [--router KIND] [--rate R]
+//!       [--deadline S] [--fault-plan SPEC] [--seed N] [--audit N]
+//!       [--metrics-out FILE]
+//!
+//! Defaults replay 10M requests through 8 shards under the `heavy`
+//! preset (which carries 10% per-(shard, epoch) crash/stall/flap rates).
+//! CI runs a short smoke (`--requests 120000 --fault-plan ci-default`).
+
+#![warn(clippy::unwrap_used)]
+
+use stca_fault::{FaultPlan, StcaError};
+use stca_serve::SyntheticStream;
+use stca_serve::{serve_fleet, AnalyticEa, FleetConfig, FleetReport, RouterKind, ServeConfig};
+use stca_util::Args;
+use std::process::ExitCode;
+
+fn check(ok: bool, what: &str) -> Result<(), StcaError> {
+    if ok {
+        println!("  ok: {what}");
+        Ok(())
+    } else {
+        Err(StcaError::invalid_input(format!(
+            "fleet soak FAILED: {what}"
+        )))
+    }
+}
+
+fn run_once(
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+    stream: &SyntheticStream,
+    n: u64,
+    threads: usize,
+    label: &str,
+) -> Result<(FleetReport, f64), StcaError> {
+    stca_exec::set_threads(threads);
+    let t0 = std::time::Instant::now();
+    let r = serve_fleet(cfg, &AnalyticEa::default(), plan, stream, n)?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    println!(
+        "{label}: {n} reqs x {} shards in {:.2}s wall / {:.0}s virtual | completed {} rerouted {} router-shed {} | p99 {:.4}s | hash {:016x}",
+        r.shards.len(),
+        wall_s,
+        r.virtual_end_s,
+        r.completed(),
+        r.rerouted,
+        r.router_shed,
+        r.p99_response_s,
+        r.decision_hash
+    );
+    check(r.balanced(), &format!("{label}: fleet accounting balances"))?;
+    check(
+        r.offered == n,
+        &format!("{label}: all {n} offered requests were accounted"),
+    )?;
+    Ok((r, wall_s))
+}
+
+/// Per-shard state plus fleet tallies, compared bit-for-bit between two
+/// runs of the same plan at different thread counts.
+fn check_bit_identical(a: &FleetReport, b: &FleetReport, what: &str) -> Result<(), StcaError> {
+    check(
+        a.decision_hash == b.decision_hash,
+        &format!("{what}: fleet decision hash"),
+    )?;
+    check(
+        a.rerouted == b.rerouted && a.router_shed == b.router_shed,
+        &format!("{what}: reroute and router-shed tallies"),
+    )?;
+    let shards_agree = a.shards.len() == b.shards.len()
+        && a.shards.iter().zip(&b.shards).all(|(x, y)| {
+            x.accounting == y.accounting
+                && x.rerouted_out == y.rerouted_out
+                && x.crashes == y.crashes
+                && x.recoveries == y.recoveries
+                && x.p99_response_s.to_bits() == y.p99_response_s.to_bits()
+        });
+    check(shards_agree, &format!("{what}: per-shard state"))?;
+    check(
+        a.p99_response_s.to_bits() == b.p99_response_s.to_bits()
+            && a.mean_response_s.to_bits() == b.mean_response_s.to_bits(),
+        &format!("{what}: fleet response percentiles"),
+    )
+}
+
+fn real_main() -> Result<(), StcaError> {
+    let flags = Args::from_env()?;
+    let n: u64 = flags.get_parsed("requests", 10_000_000u64)?;
+    let shards: u32 = flags.get_parsed("shards", 8u32)?;
+    let rate: f64 = flags.get_parsed("rate", 2_000.0f64)?;
+    let deadline: f64 = flags.get_parsed("deadline", 0.5f64)?;
+    let seed: u64 = flags.get_parsed("seed", 2022u64)?;
+    let audit: u64 = flags.get_parsed("audit", 200_000u64)?.min(n);
+    let router = match flags.get("router") {
+        Some(name) => RouterKind::parse(name)?,
+        None => RouterKind::Rendezvous,
+    };
+    let plan = match flags.get("fault-plan") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::heavy(),
+    };
+    let cfg = FleetConfig {
+        base: ServeConfig::default(),
+        shards,
+        router,
+        ..FleetConfig::default()
+    };
+    let stream = SyntheticStream {
+        seed,
+        rate,
+        deadline_s: deadline,
+        n_features: 6,
+    };
+
+    // 1: healthy baseline — every shard takes a share of the load
+    let (baseline, _) = run_once(&cfg, &FaultPlan::none(), &stream, n, 1, "baseline")?;
+    check(
+        baseline.shards.iter().all(|s| s.accounting.admitted > 0),
+        "baseline: the router spreads load across every shard",
+    )?;
+
+    // 2 + 3: faulted, 1 vs 8 threads
+    let (faulted_1, _) = run_once(&cfg, &plan, &stream, n, 1, "faulted@1t")?;
+    let (faulted_8, _) = run_once(&cfg, &plan, &stream, n, 8, "faulted@8t")?;
+    check_bit_identical(&faulted_1, &faulted_8, "1 vs 8 threads")?;
+
+    // fault domains: crashes hit >= 2 distinct shards, all of them came
+    // back, and flushed work was rerouted rather than silently dropped
+    if plan.shard_crash_prob > 0.0 {
+        let crashed = faulted_1.crashed_shards();
+        check(
+            crashed.len() >= 2,
+            &format!("crashes hit >= 2 distinct shards ({crashed:?})"),
+        )?;
+        check(
+            faulted_1
+                .shards
+                .iter()
+                .filter(|s| s.crashes > 0 && s.recoveries > 0)
+                .count()
+                >= 2,
+            "at least 2 crashed shards also recovered",
+        )?;
+        check(
+            faulted_1.rerouted > 0,
+            &format!(
+                "crashes rerouted flushed work ({} reroutes)",
+                faulted_1.rerouted
+            ),
+        )?;
+    }
+
+    // per-shard and fleet-wide percentiles are reported and bounded: a
+    // completed request starts within its deadline and pays at most two
+    // watchdog budgets per stage
+    let ceiling = deadline + 4.0 * cfg.base.watchdog_budget_s;
+    for s in &faulted_1.shards {
+        check(
+            s.p99_response_s.is_finite() && s.p99_response_s <= ceiling,
+            &format!(
+                "shard {} p99 {:.4}s within the structural ceiling {ceiling:.4}s",
+                s.id, s.p99_response_s
+            ),
+        )?;
+    }
+    check(
+        faulted_1.p99_response_s.is_finite() && faulted_1.p99_response_s <= ceiling,
+        &format!(
+            "faulted fleet p99 {:.4}s within the structural ceiling {ceiling:.4}s (baseline {:.4}s)",
+            faulted_1.p99_response_s, baseline.p99_response_s
+        ),
+    )?;
+
+    // 4: traced runs — the merged per-shard dump is bit-identical across
+    // thread counts and tracing never shifts the decision hash
+    let traced_cfg = FleetConfig {
+        base: ServeConfig {
+            trace: Some(stca_trace::TraceConfig {
+                seed: seed ^ 0x7ACE,
+                ..stca_trace::TraceConfig::default()
+            }),
+            ..cfg.base.clone()
+        },
+        ..cfg.clone()
+    };
+    let (traced_1, _) = run_once(&traced_cfg, &plan, &stream, n, 1, "traced@1t")?;
+    let (traced_8, _) = run_once(&traced_cfg, &plan, &stream, n, 8, "traced@8t")?;
+    check(
+        traced_1.trace_dump == traced_8.trace_dump,
+        "merged trace dump is bit-identical at 1 vs 8 threads",
+    )?;
+    check(
+        traced_1.decision_hash == faulted_1.decision_hash,
+        "fleet decision hash is unchanged by tracing",
+    )?;
+
+    // 5: logged audit — every offered request gets exactly one final
+    // disposition: a shard-suffixed decision line or a router shed.
+    // Reroute hops are intermediate lines; seq-less event= lines narrate
+    // shard faults and carry no disposition.
+    let audit_cfg = FleetConfig {
+        base: ServeConfig {
+            keep_decision_log: true,
+            ..cfg.base.clone()
+        },
+        ..cfg.clone()
+    };
+    let (audited, _) = run_once(&audit_cfg, &plan, &stream, audit, 8, "audit")?;
+    let mut finals = vec![0u32; audit as usize];
+    let mut hops = 0u64;
+    for line in &audited.decision_log {
+        let Some(rest) = line.strip_prefix("seq=") else {
+            if !line.starts_with("event=shard_") {
+                return Err(StcaError::invalid_input(format!(
+                    "non-seq log line is not a shard fault event: {line:?}"
+                )));
+            }
+            continue;
+        };
+        let seq: u64 = rest
+            .split_whitespace()
+            .next()
+            .and_then(|tok| tok.parse().ok())
+            .ok_or_else(|| StcaError::invalid_input(format!("unparseable log line {line:?}")))?;
+        let slot = finals
+            .get_mut(seq as usize)
+            .ok_or_else(|| StcaError::invalid_input(format!("log names unknown seq {seq}")))?;
+        if line.contains("disp=reroute ") {
+            hops += 1;
+        } else {
+            // final: a shard decision line or a router shed
+            if !(line.contains(" shard=") || line.contains("disp=router_shed")) {
+                return Err(StcaError::invalid_input(format!(
+                    "final log line names neither its shard nor the router: {line:?}"
+                )));
+            }
+            *slot += 1;
+        }
+    }
+    check(
+        finals.iter().all(|&c| c == 1),
+        &format!(
+            "every one of {audit} audited requests reached exactly one final \
+             disposition ({} lines, {} reroute hops)",
+            audited.decision_log.len(),
+            hops
+        ),
+    )?;
+    check(
+        hops == audited.rerouted,
+        &format!(
+            "reroute hop lines ({hops}) match the {} successful reroutes",
+            audited.rerouted
+        ),
+    )?;
+
+    if let Some(path) = flags.get("metrics-out") {
+        let path = std::path::PathBuf::from(path);
+        stca_obs::write_metrics(stca_obs::registry(), &path)
+            .map_err(|e| StcaError::io(path.display().to_string(), e))?;
+        println!("wrote metrics to {}", path.display());
+    }
+    println!("fleet soak passed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    stca_obs::init_from_env();
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}

@@ -81,6 +81,12 @@ control loop (admission queue -> predict -> STAP decide -> drain):
                         the circuit breaker (5)
   --breaker-cooldown S  open-state cooldown before half-open probes (1.0)
   --drain-grace S       drain window after the last arrival (5.0)
+  --shards N            serve through a fleet of N shards (default 1: the
+                        single loop); each shard owns its own queue,
+                        breaker, hysteresis, and seeded predictor state
+  --router KIND         shard router: rendezvous | least-loaded
+  --reroute-max N       failover hops before the router sheds a request
+                        flushed by a shard crash (2)
   --profiles FILE       serve with a predictor trained on FILE (default:
                         the analytic EA tier, no training required)
   --pair A,B            required with --profiles (training pair)
@@ -374,6 +380,9 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
             ("breaker-threshold", "serve", "breaker_threshold"),
             ("breaker-cooldown", "serve", "breaker_cooldown_s"),
             ("drain-grace", "serve", "drain_grace_s"),
+            ("shards", "serve.fleet", "shards"),
+            ("router", "serve.fleet", "router"),
+            ("reroute-max", "serve.fleet", "reroute_max"),
             ("decision-log", "artifacts", "decision_log"),
             ("health-out", "artifacts", "health"),
             ("trace-out", "artifacts", "trace_json"),
@@ -400,6 +409,14 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
     let profiles_path = matches!(spec.serve.predictor, stca_scenario::PredictorKind::Trained)
         .then(|| PathBuf::from(&spec.profile.out));
     let n = spec.serve.requests;
+    if stca_scenario::convert::fleet_config(&spec).is_some() {
+        return cmd_serve_fleet(
+            &spec,
+            profiles_path.as_deref(),
+            trace_out.as_deref(),
+            trace_svg.as_deref(),
+        );
+    }
     let report = pipeline::run_serve(&spec, profiles_path.as_deref(), trace_out.as_deref())?;
     let a = &report.accounting;
     println!(
@@ -435,23 +452,7 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
     );
     println!("  decision hash {:016x}", report.decision_hash);
     if let Some(dump) = &report.trace_dump {
-        let s = &dump.stats;
-        println!(
-            "  trace: retained {} error-class + {} sampled traces \
-             (1/{} sampling, {} evicted, {} started)",
-            s.retained_error, s.retained_normal, dump.sample_every, s.evicted_normal, s.started
-        );
-        if let Some(path) = &trace_out {
-            stca_trace::write_chrome_json(path, dump)?;
-            println!(
-                "wrote Chrome trace to {} (load in Perfetto or about:tracing)",
-                path.display()
-            );
-        }
-        if let Some(path) = &trace_svg {
-            stca_trace::write_svg(path, dump)?;
-            println!("wrote trace waterfall to {}", path.display());
-        }
+        emit_trace_artifacts(dump, trace_out.as_deref(), trace_svg.as_deref())?;
     }
     if !a.balanced() {
         return Err(StcaError::invalid_input(format!(
@@ -468,6 +469,99 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
     if !spec.artifacts.health.is_empty() {
         let path = PathBuf::from(&spec.artifacts.health);
         stca_serve::write_health(&path, &report)?;
+        println!("wrote health snapshot to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Print trace summary + write the Chrome/SVG artifacts (shared by the
+/// single-loop and fleet serve paths).
+fn emit_trace_artifacts(
+    dump: &stca_trace::TraceDump,
+    trace_out: Option<&Path>,
+    trace_svg: Option<&Path>,
+) -> Result<(), StcaError> {
+    let s = &dump.stats;
+    println!(
+        "  trace: retained {} error-class + {} sampled traces \
+         (1/{} sampling, {} evicted, {} started)",
+        s.retained_error, s.retained_normal, dump.sample_every, s.evicted_normal, s.started
+    );
+    if let Some(path) = trace_out {
+        stca_trace::write_chrome_json(path, dump)?;
+        println!(
+            "wrote Chrome trace to {} (load in Perfetto or about:tracing)",
+            path.display()
+        );
+    }
+    if let Some(path) = trace_svg {
+        stca_trace::write_svg(path, dump)?;
+        println!("wrote trace waterfall to {}", path.display());
+    }
+    Ok(())
+}
+
+/// The `--shards N` (N > 1) serve path: route the arrival stream through
+/// a sharded fleet, report per-shard and fleet-wide accounting, and
+/// enforce the fleet invariant before writing artifacts.
+fn cmd_serve_fleet(
+    spec: &ScenarioSpec,
+    profiles_path: Option<&Path>,
+    trace_out: Option<&Path>,
+    trace_svg: Option<&Path>,
+) -> Result<(), StcaError> {
+    let report = pipeline::run_fleet(spec, profiles_path, trace_out)?;
+    println!(
+        "served {} requests across {} shards in {:.1} virtual seconds",
+        report.offered,
+        report.shards.len(),
+        report.virtual_end_s
+    );
+    println!(
+        "  fleet: completed {}  rerouted {}  router-shed {}  crashed shards {:?}",
+        report.completed(),
+        report.rerouted,
+        report.router_shed,
+        report.crashed_shards()
+    );
+    for s in &report.shards {
+        let a = &s.accounting;
+        println!(
+            "  shard {}: admitted {}  completed {}  shed {}  drained {}  \
+             rerouted-out {}  crashes {}  p99 {:.4}s",
+            s.id,
+            a.admitted,
+            a.completed,
+            a.shed(),
+            a.drained,
+            s.rerouted_out,
+            s.crashes,
+            s.p99_response_s
+        );
+    }
+    println!(
+        "  response: mean {:.4}s p50 {:.4}s p99 {:.4}s",
+        report.mean_response_s, report.p50_response_s, report.p99_response_s
+    );
+    println!("  decision hash {:016x}", report.decision_hash);
+    if let Some(dump) = &report.trace_dump {
+        emit_trace_artifacts(dump, trace_out, trace_svg)?;
+    }
+    if !report.balanced() {
+        return Err(StcaError::invalid_input(format!(
+            "fleet accounting invariant violated: {report:?}"
+        )));
+    }
+    if !spec.artifacts.decision_log.is_empty() {
+        let path = PathBuf::from(&spec.artifacts.decision_log);
+        let mut text = report.decision_log.join("\n");
+        text.push('\n');
+        std::fs::write(&path, text).map_err(|e| StcaError::io(path.display().to_string(), e))?;
+        println!("wrote decision log to {}", path.display());
+    }
+    if !spec.artifacts.health.is_empty() {
+        let path = PathBuf::from(&spec.artifacts.health);
+        stca_serve::write_fleet_health(&path, &report)?;
         println!("wrote health snapshot to {}", path.display());
     }
     Ok(())

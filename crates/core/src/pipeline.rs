@@ -22,7 +22,7 @@ use stca_profiler::profile::{ProfileRow, ProfileSet};
 use stca_profiler::sampler::CounterOrdering;
 use stca_profiler::storage;
 use stca_scenario::{fnv1a, ModelKind, PredictorKind, ScenarioSpec, Stage};
-use stca_serve::ServeReport;
+use stca_serve::{FleetReport, ServeReport};
 use stca_util::Rng64;
 use stca_workloads::{RuntimeCondition, WorkloadSpec};
 use std::path::{Path, PathBuf};
@@ -275,43 +275,42 @@ pub fn render_explore(spec: &ScenarioSpec, result: &ExplorationResult) -> String
     out
 }
 
-/// Run the serving loop as the spec describes it. `profiles` supplies the
-/// trained-predictor dataset (required when `serve.predictor = trained`);
-/// `trace_error_path` is where in-flight traces dump if a fault unwinds
-/// mid-run (defaults to `stca-trace-error.json`).
-pub fn run_serve(
+/// If anything downstream exhausts its retries mid-run, persist the
+/// flight recorder before the error unwinds (the "dump on error" half
+/// of the recorder contract; the trace artifact doubles as the target).
+fn trace_dump_guard(
+    tracing: bool,
+    trace_error_path: Option<&Path>,
+) -> Option<stca_fault::HookGuard> {
+    if !tracing {
+        return None;
+    }
+    let path = trace_error_path
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("stca-trace-error.json"));
+    Some(stca_fault::register_error_dump_hook(move |err| {
+        if let Some(dump) = stca_trace::active_dump() {
+            if stca_trace::write_chrome_json(&path, &dump).is_ok() {
+                eprintln!(
+                    "fault: {err}; dumped {} in-flight traces to {}",
+                    dump.traces.len(),
+                    path.display()
+                );
+            }
+        }
+    }))
+}
+
+/// Resolve the spec's predictor and hand the serving loop a borrowed
+/// model: `trained` loads + trains on the profile store with the
+/// historical serve-seed derivation, `analytic` uses the closed-form EA
+/// tier. Shared by the single-loop and fleet paths so both serve the
+/// exact same model bytes.
+fn with_serve_model<T>(
     spec: &ScenarioSpec,
     profiles: Option<&Path>,
-    trace_error_path: Option<&Path>,
-) -> Result<ServeReport, StcaError> {
-    let cfg = stca_scenario::convert::serve_config(spec);
-    let stream = stca_scenario::convert::synthetic_stream(spec);
-    let n = spec.serve.requests;
-    // if anything downstream exhausts its retries mid-run, persist the
-    // flight recorder before the error unwinds (the "dump on error" half
-    // of the recorder contract; the trace artifact doubles as the target)
-    let _dump_hook = cfg.trace.map(|_| {
-        let path = trace_error_path
-            .map(Path::to_path_buf)
-            .unwrap_or_else(|| PathBuf::from("stca-trace-error.json"));
-        stca_fault::register_error_dump_hook(move |err| {
-            if let Some(dump) = stca_trace::active_dump() {
-                if stca_trace::write_chrome_json(&path, &dump).is_ok() {
-                    eprintln!(
-                        "fault: {err}; dumped {} in-flight traces to {}",
-                        dump.traces.len(),
-                        path.display()
-                    );
-                }
-            }
-        })
-    });
-    let plan = &spec.fault.plan;
-    stca_obs::info!(
-        "serving {n} requests at {}/s (deadline {}s)",
-        spec.serve.rate,
-        spec.serve.deadline_s
-    );
+    run: impl FnOnce(&dyn stca_serve::EaModel) -> Result<T, StcaError>,
+) -> Result<T, StcaError> {
     match spec.serve.predictor {
         PredictorKind::Trained => {
             let path = profiles.ok_or_else(|| {
@@ -324,12 +323,61 @@ pub fn run_serve(
                 train_predictor_seeded(spec, &set, spec.serve.seed),
                 template,
             );
-            stca_serve::serve(&cfg, &model, plan, &stream, n)
+            run(&model)
         }
-        PredictorKind::Analytic => {
-            stca_serve::serve(&cfg, &stca_serve::AnalyticEa::default(), plan, &stream, n)
-        }
+        PredictorKind::Analytic => run(&stca_serve::AnalyticEa::default()),
     }
+}
+
+/// Run the serving loop as the spec describes it. `profiles` supplies the
+/// trained-predictor dataset (required when `serve.predictor = trained`);
+/// `trace_error_path` is where in-flight traces dump if a fault unwinds
+/// mid-run (defaults to `stca-trace-error.json`).
+pub fn run_serve(
+    spec: &ScenarioSpec,
+    profiles: Option<&Path>,
+    trace_error_path: Option<&Path>,
+) -> Result<ServeReport, StcaError> {
+    let cfg = stca_scenario::convert::serve_config(spec);
+    let stream = stca_scenario::convert::synthetic_stream(spec);
+    let n = spec.serve.requests;
+    let _dump_hook = trace_dump_guard(cfg.trace.is_some(), trace_error_path);
+    let plan = &spec.fault.plan;
+    stca_obs::info!(
+        "serving {n} requests at {}/s (deadline {}s)",
+        spec.serve.rate,
+        spec.serve.deadline_s
+    );
+    with_serve_model(spec, profiles, |model| {
+        stca_serve::serve(&cfg, model, plan, &stream, n)
+    })
+}
+
+/// Run the sharded serving fleet as the spec describes it
+/// (`[serve.fleet] shards > 1`). Same contract as [`run_serve`], but the
+/// report carries per-shard accounting and the router's reroute/shed
+/// tallies; callers must check [`FleetReport::balanced`].
+pub fn run_fleet(
+    spec: &ScenarioSpec,
+    profiles: Option<&Path>,
+    trace_error_path: Option<&Path>,
+) -> Result<FleetReport, StcaError> {
+    let cfg = stca_scenario::convert::fleet_config(spec).ok_or_else(|| {
+        StcaError::usage("run_fleet needs [serve.fleet] shards > 1 (use run_serve otherwise)")
+    })?;
+    let stream = stca_scenario::convert::synthetic_stream(spec);
+    let n = spec.serve.requests;
+    let _dump_hook = trace_dump_guard(cfg.base.trace.is_some(), trace_error_path);
+    let plan = &spec.fault.plan;
+    stca_obs::info!(
+        "serving {n} requests at {}/s across {} shards ({} router)",
+        spec.serve.rate,
+        cfg.shards,
+        cfg.router.name()
+    );
+    with_serve_model(spec, profiles, |model| {
+        stca_serve::serve_fleet(&cfg, model, plan, &stream, n)
+    })
 }
 
 /// Resolved artifact paths of a scenario run: every stage output lives
@@ -625,6 +673,42 @@ fn run_stage(
         Stage::Serve => {
             let profiles = matches!(spec.serve.predictor, PredictorKind::Trained)
                 .then(|| paths.profiles.as_path());
+            if stca_scenario::convert::fleet_config(spec).is_some() {
+                let report = run_fleet(spec, profiles, paths.trace_json.as_deref())?;
+                if !report.balanced() {
+                    return Err(StcaError::invalid_input(format!(
+                        "fleet accounting invariant violated: {report:?}"
+                    )));
+                }
+                let mut log = report.decision_log.join("\n");
+                log.push('\n');
+                write_text(&paths.decision_log, &log)?;
+                stca_serve::write_fleet_health(&paths.health, &report)?;
+                if let Some(dump) = &report.trace_dump {
+                    if let Some(path) = &paths.trace_json {
+                        stca_trace::write_chrome_json(path, dump)?;
+                    }
+                    if let Some(path) = &paths.trace_svg {
+                        stca_trace::write_svg(path, dump)?;
+                    }
+                }
+                return Ok(StageOutcome {
+                    stage,
+                    // like the single loop: the fleet decision hash is the
+                    // determinism contract (it covers every shard's log
+                    // plus the router's reroute/shed lines)
+                    hash: report.decision_hash,
+                    resumed: false,
+                    detail: format!(
+                        "{} shards: {} completed / {} rerouted / {} router-shed, decision hash {:016x}",
+                        report.shards.len(),
+                        report.completed(),
+                        report.rerouted,
+                        report.router_shed,
+                        report.decision_hash
+                    ),
+                });
+            }
             let report = run_serve(spec, profiles, paths.trace_json.as_deref())?;
             if !report.accounting.balanced() {
                 return Err(StcaError::invalid_input(format!(

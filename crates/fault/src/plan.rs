@@ -23,6 +23,14 @@ const TAG_CORRUPT: u64 = 0x66;
 const TAG_PREDICT: u64 = 0x77;
 const TAG_STALL: u64 = 0x88;
 
+// Tag space for shard-scoped fleet faults. These are rolled on the *plan*
+// (not a per-attempt injector) keyed `(plan seed, shard id, epoch)`, so a
+// faulted fleet is bit-identical at any `--threads` and independent of
+// request interleaving.
+const TAG_SHARD_CRASH: u64 = 0x99;
+const TAG_SHARD_STALL: u64 = 0xAA;
+const TAG_SHARD_FLAP: u64 = 0xBB;
+
 /// Injection-side metric handles, resolved once.
 struct InjectMetrics {
     crashes: Arc<stca_obs::Counter>,
@@ -33,6 +41,9 @@ struct InjectMetrics {
     predict_failures: Arc<stca_obs::Counter>,
     stalls: Arc<stca_obs::Counter>,
     latency_s: Arc<stca_obs::Histogram>,
+    shard_crashes: Arc<stca_obs::Counter>,
+    shard_stalls: Arc<stca_obs::Counter>,
+    shard_flaps: Arc<stca_obs::Counter>,
 }
 
 fn inject_metrics() -> &'static InjectMetrics {
@@ -46,6 +57,9 @@ fn inject_metrics() -> &'static InjectMetrics {
         predict_failures: stca_obs::counter("fault.injected_predict_failures_total"),
         stalls: stca_obs::counter("fault.injected_stalls_total"),
         latency_s: stca_obs::histogram("fault.injected_latency_seconds"),
+        shard_crashes: stca_obs::counter("fault.injected_shard_crashes_total"),
+        shard_stalls: stca_obs::counter("fault.injected_shard_stalls_total"),
+        shard_flaps: stca_obs::counter("fault.injected_shard_flaps_total"),
     })
 }
 
@@ -86,6 +100,18 @@ pub struct FaultPlan {
     /// Per-stage probability a pipeline stage stalls past its watchdog
     /// budget (the serving loop fails it into the retry path).
     pub stall_prob: f64,
+    /// Per-(shard, epoch) probability a fleet shard crashes for the whole
+    /// epoch: its queue is flushed to the router and it is unroutable
+    /// until the next healthy epoch.
+    pub shard_crash_prob: f64,
+    /// Per-(shard, epoch) probability a fleet shard stalls: its servers
+    /// are pushed forward in virtual time, so queues grow and deadlines
+    /// shed, but it keeps accepting and draining work.
+    pub shard_stall_prob: f64,
+    /// Per-(shard, epoch) probability a fleet shard flaps: the router
+    /// treats it as unhealthy for the epoch, but in-flight and queued
+    /// work keeps draining on the shard.
+    pub shard_flap_prob: f64,
 }
 
 impl FaultPlan {
@@ -103,6 +129,9 @@ impl FaultPlan {
             latency_mean_s: 0.0,
             predict_fail_prob: 0.0,
             stall_prob: 0.0,
+            shard_crash_prob: 0.0,
+            shard_stall_prob: 0.0,
+            shard_flap_prob: 0.0,
         }
     }
 
@@ -119,6 +148,9 @@ impl FaultPlan {
             latency_mean_s: 0.05,
             predict_fail_prob: 0.02,
             stall_prob: 0.01,
+            shard_crash_prob: 0.05,
+            shard_stall_prob: 0.05,
+            shard_flap_prob: 0.05,
         }
     }
 
@@ -135,6 +167,9 @@ impl FaultPlan {
             latency_mean_s: 0.2,
             predict_fail_prob: 0.2,
             stall_prob: 0.05,
+            shard_crash_prob: 0.10,
+            shard_stall_prob: 0.10,
+            shard_flap_prob: 0.10,
         }
     }
 
@@ -149,13 +184,16 @@ impl FaultPlan {
             || self.latency_mean_s > 0.0
             || self.predict_fail_prob > 0.0
             || self.stall_prob > 0.0
+            || self.shard_crash_prob > 0.0
+            || self.shard_stall_prob > 0.0
+            || self.shard_flap_prob > 0.0
     }
 
     /// The preset names `parse` accepts.
     pub const PRESETS: [&'static str; 3] = ["none", "ci-default", "heavy"];
 
     /// The `key=value` keys `parse` accepts, in documentation order.
-    pub const KEYS: [&'static str; 10] = [
+    pub const KEYS: [&'static str; 13] = [
         "seed",
         "crash",
         "timeout",
@@ -166,12 +204,16 @@ impl FaultPlan {
         "latency",
         "predict_fail",
         "stall",
+        "shard_crash",
+        "shard_stall",
+        "shard_flap",
     ];
 
     /// Parse a plan spec: a preset name (`none`, `ci-default`, `heavy`),
     /// `key=value` pairs, or a preset followed by overrides — all
     /// comma-separated. Keys: `seed`, `crash`, `timeout`, `dropout`,
-    /// `corrupt`, `stuck`, `noise`, `latency`, `predict_fail`, `stall`.
+    /// `corrupt`, `stuck`, `noise`, `latency`, `predict_fail`, `stall`,
+    /// `shard_crash`, `shard_stall`, `shard_flap`.
     ///
     /// Failures name the offending key/value and list the valid keys; they
     /// surface as usage errors (exit 2).
@@ -251,6 +293,9 @@ impl FaultPlan {
             "latency" => &mut self.latency_mean_s,
             "predict_fail" => &mut self.predict_fail_prob,
             "stall" => &mut self.stall_prob,
+            "shard_crash" => &mut self.shard_crash_prob,
+            "shard_stall" => &mut self.shard_stall_prob,
+            "shard_flap" => &mut self.shard_flap_prob,
             _ => {
                 return Err(SpecErrorKind::UnknownKey {
                     key: key.to_string(),
@@ -295,6 +340,64 @@ impl FaultPlan {
                 .derive(run_key)
                 .derive(attempt as u64),
         }
+    }
+
+    /// Whether fleet shard `shard_id` crashes for virtual-time epoch
+    /// `epoch`. Pure in `(plan seed, shard id, epoch)` — independent of the
+    /// run key, retry attempt, and request interleaving — so sharded fleets
+    /// fault bit-identically at any `--threads`. A `true` roll is counted
+    /// in `fault.injected_shard_crashes_total`.
+    pub fn shard_crash(&self, shard_id: u32, epoch: u64) -> bool {
+        if self.shard_crash_prob <= 0.0 {
+            return false;
+        }
+        let hit = self
+            .shard_rng(TAG_SHARD_CRASH, shard_id, epoch)
+            .next_bool(self.shard_crash_prob);
+        if hit {
+            inject_metrics().shard_crashes.inc();
+        }
+        hit
+    }
+
+    /// Whether fleet shard `shard_id` flaps for epoch `epoch`: the router
+    /// must treat it as unhealthy, but queued work keeps draining. Same
+    /// keying discipline as [`FaultPlan::shard_crash`].
+    pub fn shard_flap(&self, shard_id: u32, epoch: u64) -> bool {
+        if self.shard_flap_prob <= 0.0 {
+            return false;
+        }
+        let hit = self
+            .shard_rng(TAG_SHARD_FLAP, shard_id, epoch)
+            .next_bool(self.shard_flap_prob);
+        if hit {
+            inject_metrics().shard_flaps.inc();
+        }
+        hit
+    }
+
+    /// Virtual seconds of injected stall for shard `shard_id` in epoch
+    /// `epoch`, or `0.0` when the shard proceeds normally. A stalled shard
+    /// loses 25–75% of the epoch (`epoch_s`) of server time, so its queue
+    /// grows and deadline sheds follow. Same keying discipline as
+    /// [`FaultPlan::shard_crash`].
+    pub fn shard_stall_s(&self, shard_id: u32, epoch: u64, epoch_s: f64) -> f64 {
+        if self.shard_stall_prob <= 0.0 {
+            return 0.0;
+        }
+        let mut rng = self.shard_rng(TAG_SHARD_STALL, shard_id, epoch);
+        if !rng.next_bool(self.shard_stall_prob) {
+            return 0.0;
+        }
+        inject_metrics().shard_stalls.inc();
+        epoch_s.max(0.0) * (0.25 + 0.5 * rng.next_f64())
+    }
+
+    fn shard_rng(&self, tag: u64, shard_id: u32, epoch: u64) -> Rng64 {
+        SeedStream::new(self.seed)
+            .derive(tag)
+            .derive(shard_id as u64)
+            .rng(epoch)
     }
 }
 
@@ -572,6 +675,77 @@ mod tests {
         let frac = |c: usize| c as f64 / n as f64;
         assert!((frac(fails) - 0.25).abs() < 0.02, "predict_fail {fails}");
         assert!((frac(stalls) - 0.1).abs() < 0.02, "stall {stalls}");
+    }
+
+    #[test]
+    fn shard_fault_keys_parse_and_reject_like_the_rest() {
+        let p = FaultPlan::parse("shard_crash=0.2,shard_stall=0.1,shard_flap=0.05").unwrap();
+        assert_eq!(p.shard_crash_prob, 0.2);
+        assert_eq!(p.shard_stall_prob, 0.1);
+        assert_eq!(p.shard_flap_prob, 0.05);
+        assert!(p.is_active());
+
+        // Unknown shard-ish keys are rejected and the message names the
+        // full valid key set, shard keys included.
+        for bad in ["shard_crash_prob=0.1", "shardcrash=0.1", "shard_wedge=0.1"] {
+            let msg = FaultPlan::parse(bad).unwrap_err().to_string();
+            let key = bad.split('=').next().unwrap_or_default();
+            assert!(msg.contains(&format!("\"{key}\"")), "{msg}");
+            for valid in ["shard_crash", "shard_stall", "shard_flap"] {
+                assert!(msg.contains(valid), "{msg} should list {valid}");
+            }
+        }
+        // Shard fault rates are probabilities: range-checked like the rest.
+        let msg = FaultPlan::parse("shard_crash=1.5").unwrap_err().to_string();
+        assert!(msg.contains("[0, 1]"), "{msg}");
+        assert!(FaultPlan::parse("shard_flap=-0.1").is_err());
+        assert!(FaultPlan::parse("shard_stall=nan").is_err());
+    }
+
+    #[test]
+    fn shard_faults_are_pure_in_seed_shard_and_epoch() {
+        let plan = FaultPlan::heavy();
+        let again = FaultPlan::heavy();
+        let mut crashes = 0usize;
+        for shard in 0..8u32 {
+            for epoch in 0..256u64 {
+                assert_eq!(
+                    plan.shard_crash(shard, epoch),
+                    again.shard_crash(shard, epoch)
+                );
+                assert_eq!(
+                    plan.shard_flap(shard, epoch),
+                    again.shard_flap(shard, epoch)
+                );
+                assert_eq!(
+                    plan.shard_stall_s(shard, epoch, 5.0).to_bits(),
+                    again.shard_stall_s(shard, epoch, 5.0).to_bits()
+                );
+                if plan.shard_crash(shard, epoch) {
+                    crashes += 1;
+                }
+            }
+        }
+        // ~10% crash rate over 2048 rolls: comfortably non-degenerate.
+        assert!(crashes > 100 && crashes < 350, "crashes {crashes}");
+
+        // Distinct shards and epochs roll independently: with eight shards
+        // and 256 epochs the columns cannot all agree.
+        let col = |s: u32| -> Vec<bool> { (0..256).map(|e| plan.shard_crash(s, e)).collect() };
+        assert_ne!(col(0), col(1));
+
+        // Stall durations land in the documented 25–75% band of the epoch.
+        for shard in 0..8u32 {
+            for epoch in 0..256u64 {
+                let s = plan.shard_stall_s(shard, epoch, 5.0);
+                assert!(s == 0.0 || (1.25..=3.75).contains(&s), "stall {s}");
+            }
+        }
+        // The no-fault plan never rolls shard faults.
+        let none = FaultPlan::none();
+        assert!(!none.shard_crash(0, 0));
+        assert!(!none.shard_flap(0, 0));
+        assert_eq!(none.shard_stall_s(0, 0, 5.0), 0.0);
     }
 
     #[test]

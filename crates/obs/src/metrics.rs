@@ -449,6 +449,17 @@ impl Registry {
 
     /// Sorted snapshot of the metrics whose names start with `prefix`
     /// (e.g. `"serve."` for a health snapshot of the serving loop alone).
+    ///
+    /// Ordering contract: results are **byte-lexicographic** on the full
+    /// name, matching [`Registry::snapshot`] and the JSON/Prometheus
+    /// exports, so repeated snapshots are byte-stable. Nested prefixes
+    /// (`serve.shard3.breaker.*`) sort inside their parent, and numbered
+    /// groups sort by bytes, not numerically: `serve.shard10.*` comes
+    /// before `serve.shard2.*`. Matching names form one contiguous range
+    /// in that order (`'.'` sorts below every identifier character), which
+    /// is what makes the early-terminating range scan below exact — a
+    /// prefix like `"serve.shard1."` selects shard 1 only, never
+    /// `serve.shard10.*`.
     pub fn snapshot_prefixed(&self, prefix: &str) -> Vec<(String, Metric)> {
         self.metrics
             .read()
@@ -661,6 +672,82 @@ mod tests {
             ]
         );
         assert!(r.snapshot_prefixed("nope.").is_empty());
+    }
+
+    /// Regression: nested fleet prefixes (`serve.shardN.breaker.*`) must
+    /// come back byte-stably sorted under the key-sorted export contract,
+    /// and a per-shard prefix must select exactly that shard.
+    #[test]
+    fn prefixed_snapshot_is_byte_stable_for_nested_shard_prefixes() {
+        let r = Registry::new();
+        // registration order deliberately scrambled
+        for name in [
+            "serve.shard2.admitted_total",
+            "serve.shard10.breaker.opens_total",
+            "serve.shard1.breaker.rejects_total",
+            "serve.shard1.admitted_total",
+            "serve.shard10.admitted_total",
+            "serve.shard1.breaker.opens_total",
+            "serve.fleet.rerouted_total",
+            "serve.shard3.breaker.closes_total",
+        ] {
+            r.counter(name).add(1);
+        }
+        let names: Vec<String> = r
+            .snapshot_prefixed("serve.")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        // byte order: "fleet" < "shard1" < "shard10" < "shard2" < "shard3",
+        // and within a shard, "admitted" < "breaker.*"
+        assert_eq!(
+            names,
+            vec![
+                "serve.fleet.rerouted_total",
+                "serve.shard1.admitted_total",
+                "serve.shard1.breaker.opens_total",
+                "serve.shard1.breaker.rejects_total",
+                "serve.shard10.admitted_total",
+                "serve.shard10.breaker.opens_total",
+                "serve.shard2.admitted_total",
+                "serve.shard3.breaker.closes_total",
+            ]
+        );
+        // repeated snapshots are byte-identical
+        let again: Vec<String> = r
+            .snapshot_prefixed("serve.")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, again);
+        // a shard-scoped prefix selects exactly that shard: shard1, not
+        // shard10
+        let shard1: Vec<String> = r
+            .snapshot_prefixed("serve.shard1.")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            shard1,
+            vec![
+                "serve.shard1.admitted_total",
+                "serve.shard1.breaker.opens_total",
+                "serve.shard1.breaker.rejects_total",
+            ]
+        );
+        // nested prefix digs one level deeper
+        let breaker: Vec<String> = r
+            .snapshot_prefixed("serve.shard1.breaker.")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            breaker,
+            vec![
+                "serve.shard1.breaker.opens_total",
+                "serve.shard1.breaker.rejects_total",
+            ]
+        );
     }
 
     /// Property: for any sample set and any quantile, the estimate's

@@ -7,7 +7,7 @@
 //! flags produces the same `ServeConfig` bytes the old flag parser did.
 
 use crate::spec::ScenarioSpec;
-use stca_serve::{BreakerConfig, ServeConfig, SyntheticStream};
+use stca_serve::{BreakerConfig, FleetConfig, ServeConfig, SyntheticStream};
 use stca_trace::TraceConfig;
 
 /// The flight-recorder config of the spec's `[trace]` section, or `None`
@@ -43,6 +43,22 @@ pub fn serve_config(spec: &ScenarioSpec) -> ServeConfig {
         trace: trace_config(spec),
         ..ServeConfig::default()
     }
+}
+
+/// The fleet config of the spec's `[serve.fleet]` section, or `None`
+/// when `shards <= 1` (the single serving loop). Per-shard seeds derive
+/// inside the engine from the base seeds as `seed ^ (shard_id << 24)`.
+pub fn fleet_config(spec: &ScenarioSpec) -> Option<FleetConfig> {
+    if spec.fleet.shards <= 1 {
+        return None;
+    }
+    Some(FleetConfig {
+        base: serve_config(spec),
+        shards: spec.fleet.shards as u32,
+        router: spec.fleet.router,
+        reroute_max: spec.fleet.reroute_max as u32,
+        ..FleetConfig::default()
+    })
 }
 
 /// The seeded arrival stream of the spec's `[serve]` section.

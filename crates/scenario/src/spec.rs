@@ -22,7 +22,7 @@
 //! applies flag overrides — later writes win.
 
 use stca_fault::FaultPlan;
-use stca_serve::OverloadPolicy;
+use stca_serve::{OverloadPolicy, RouterKind};
 use stca_util::{SpecErrorKind, SpecLocation};
 use stca_workloads::BenchmarkId;
 
@@ -234,6 +234,21 @@ pub struct ServeSection {
     pub predictor: PredictorKind,
 }
 
+/// `[serve.fleet]` — the sharded serving fleet. `shards = 1` (the
+/// default) keeps the single serving loop; `shards >= 2` runs the fleet
+/// with per-shard fault domains and failover routing. Per-shard seeds
+/// derive from `serve.seed` as `seed ^ (shard_id << 24)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSection {
+    /// Number of shards (independent fault domains); 1 = single loop.
+    pub shards: u64,
+    /// Routing discipline: `rendezvous` or `least-loaded`.
+    pub router: RouterKind,
+    /// Maximum reroute hops before the router sheds a crash-flushed
+    /// request.
+    pub reroute_max: u64,
+}
+
 /// `[trace]` — the per-request flight recorder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSection {
@@ -284,6 +299,8 @@ pub struct ScenarioSpec {
     pub predict: PredictSection,
     /// `[serve]`
     pub serve: ServeSection,
+    /// `[serve.fleet]`
+    pub fleet: FleetSection,
     /// `[trace]`
     pub trace: TraceSection,
     /// `[artifacts]`
@@ -348,6 +365,11 @@ impl Default for ScenarioSpec {
                 seed: 2022,
                 predictor: PredictorKind::Analytic,
             },
+            fleet: FleetSection {
+                shards: 1,
+                router: RouterKind::Rendezvous,
+                reroute_max: 2,
+            },
             trace: TraceSection {
                 enabled: false,
                 sample_every: 64,
@@ -366,7 +388,7 @@ impl Default for ScenarioSpec {
 }
 
 /// The section names, in canonical order.
-pub const SECTIONS: [&str; 11] = [
+pub const SECTIONS: [&str; 12] = [
     "scenario",
     "workloads",
     "cat",
@@ -376,6 +398,7 @@ pub const SECTIONS: [&str; 11] = [
     "explore",
     "predict",
     "serve",
+    "serve.fleet",
     "trace",
     "artifacts",
 ];
@@ -383,7 +406,7 @@ pub const SECTIONS: [&str; 11] = [
 const SCENARIO_KEYS: [&str; 2] = ["name", "pipeline"];
 const WORKLOADS_KEYS: [&str; 2] = ["pair", "accesses"];
 const CAT_KEYS: [&str; 3] = ["ways", "default_span", "boosted_span"];
-const FAULT_KEYS: [&str; 12] = [
+const FAULT_KEYS: [&str; 15] = [
     "plan",
     "max_retries",
     "seed",
@@ -396,6 +419,9 @@ const FAULT_KEYS: [&str; 12] = [
     "latency",
     "predict_fail",
     "stall",
+    "shard_crash",
+    "shard_stall",
+    "shard_flap",
 ];
 const PROFILE_KEYS: [&str; 6] = [
     "conditions",
@@ -422,6 +448,7 @@ const SERVE_KEYS: [&str; 12] = [
     "seed",
     "predictor",
 ];
+const FLEET_KEYS: [&str; 3] = ["shards", "router", "reroute_max"];
 const TRACE_KEYS: [&str; 3] = ["enabled", "sample_every", "ring_capacity"];
 const ARTIFACTS_KEYS: [&str; 6] = [
     "dir",
@@ -444,6 +471,7 @@ pub fn keys_of(section: &str) -> Option<&'static [&'static str]> {
         "explore" => &EXPLORE_KEYS,
         "predict" => &PREDICT_KEYS,
         "serve" => &SERVE_KEYS,
+        "serve.fleet" => &FLEET_KEYS,
         "trace" => &TRACE_KEYS,
         "artifacts" => &ARTIFACTS_KEYS,
         _ => return None,
@@ -754,6 +782,28 @@ impl ScenarioSpec {
                     }
                 };
             }
+            ("serve.fleet", "shards") => {
+                let n = parse_u64(key, value.expect_scalar(key)?)?;
+                if n == 0 || n > 1024 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: n.to_string(),
+                        range: "1..=1024 shards".to_string(),
+                    });
+                }
+                self.fleet.shards = n;
+            }
+            ("serve.fleet", "router") => {
+                let v = value.expect_scalar(key)?;
+                self.fleet.router =
+                    RouterKind::parse(v).map_err(|_| SpecErrorKind::UnknownKey {
+                        key: v.to_string(),
+                        valid: &["rendezvous", "least-loaded"],
+                    })?;
+            }
+            ("serve.fleet", "reroute_max") => {
+                self.fleet.reroute_max = parse_u64(key, value.expect_scalar(key)?)?;
+            }
             ("trace", "enabled") => {
                 self.trace.enabled = parse_bool(key, value.expect_scalar(key)?)?;
             }
@@ -830,6 +880,9 @@ impl ScenarioSpec {
             &fmt_f64(self.fault.plan.predict_fail_prob),
         );
         kv_raw(p, "stall", &fmt_f64(self.fault.plan.stall_prob));
+        kv_raw(p, "shard_crash", &fmt_f64(self.fault.plan.shard_crash_prob));
+        kv_raw(p, "shard_stall", &fmt_f64(self.fault.plan.shard_stall_prob));
+        kv_raw(p, "shard_flap", &fmt_f64(self.fault.plan.shard_flap_prob));
         sec(p, "profile");
         kv_raw(p, "conditions", &self.profile.conditions.to_string());
         kv_raw(p, "seed", &self.profile.seed.to_string());
@@ -889,6 +942,10 @@ impl ScenarioSpec {
         kv_raw(p, "drain_grace_s", &fmt_f64(self.serve.drain_grace_s));
         kv_raw(p, "seed", &self.serve.seed.to_string());
         kv_str(p, "predictor", self.serve.predictor.name());
+        sec(p, "serve.fleet");
+        kv_raw(p, "shards", &self.fleet.shards.to_string());
+        kv_str(p, "router", self.fleet.router.name());
+        kv_raw(p, "reroute_max", &self.fleet.reroute_max.to_string());
         sec(p, "trace");
         kv_raw(
             p,

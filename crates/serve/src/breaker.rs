@@ -141,7 +141,19 @@ impl CircuitBreaker {
     /// [`allow`](Self::allow) plus probe/reject accounting. The serving
     /// loop calls this once per request, in request order.
     pub fn decide(&mut self, now: f64, tag: u64) -> Verdict {
-        let v = self.allow(now, tag);
+        self.decide_gated(now, tag, true)
+    }
+
+    /// [`decide`](Self::decide) with an explicit probe gate. With
+    /// `allow_probes = false` a half-open breaker never emits
+    /// [`Verdict::Probe`]: the call is rejected (and counted as a reject)
+    /// instead. The serving loop closes the gate once graceful drain
+    /// begins, so drain traffic can never be spent on probe recovery.
+    pub fn decide_gated(&mut self, now: f64, tag: u64, allow_probes: bool) -> Verdict {
+        let mut v = self.allow(now, tag);
+        if v == Verdict::Probe && !allow_probes {
+            v = Verdict::Reject;
+        }
         match v {
             Verdict::Probe => self.probes += 1,
             Verdict::Reject => self.rejects += 1,
@@ -266,6 +278,24 @@ mod tests {
         assert_eq!(b.allow(5.5, 0), Verdict::Reject, "cooldown restarted");
         let after: Vec<Verdict> = (0..64).map(|t| b.allow(6.5, t)).collect();
         assert_ne!(before, after, "new epoch draws a different probe set");
+    }
+
+    #[test]
+    fn gated_decide_downgrades_probes_to_rejects() {
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        // Past the cooldown: find a tag that would probe, then gate it.
+        let tag = (0..256)
+            .find(|&t| b.allow(2.0, t) == Verdict::Probe)
+            .expect("some tag probes at 50%");
+        assert_eq!(b.decide_gated(2.0, tag, false), Verdict::Reject);
+        assert_eq!(b.probes, 0, "gated probe must not count as a probe");
+        assert_eq!(b.rejects, 1, "gated probe counts as a reject");
+        // The gate leaves admit verdicts alone.
+        let mut closed = CircuitBreaker::new(cfg());
+        assert_eq!(closed.decide_gated(0.0, 0, false), Verdict::Admit);
     }
 
     #[test]

@@ -1,0 +1,869 @@
+//! Sharded serving fleet: N independent fault domains behind a
+//! deterministic router.
+//!
+//! Each shard owns a full [`ShardCore`] — bounded admission queue,
+//! circuit breaker, hysteresis controller, watchdog, seeded predictor
+//! state — so one shard's failure never corrupts another's state. A
+//! deterministic router (rendezvous hashing or least-loaded over
+//! virtual-clock queue-depth snapshots) places every arrival; shard-scoped
+//! faults (`shard_crash`, `shard_stall`, `shard_flap`) are rolled per
+//! `(plan seed, shard id, epoch)` so a faulted fleet is bit-identical at
+//! any `--threads`.
+//!
+//! ## Failover semantics
+//!
+//! Virtual time is cut into epochs of `epoch_s`. At each epoch boundary,
+//! in shard-id order:
+//!
+//! * **crash** — the shard's queue is flushed and every waiting request is
+//!   rerouted (or shed, once `reroute_max` hops are spent); its servers are
+//!   frozen to the epoch end and the router stops offering it traffic. The
+//!   first non-crash epoch afterwards logs a recovery.
+//! * **flap** — the router treats the shard as unhealthy for the epoch but
+//!   the shard keeps draining its queue.
+//! * **stall** — the shard's servers are pushed forward by a seeded
+//!   duration inside the epoch.
+//!
+//! The router health-gates in tiers: healthy shards (not crashed, not
+//! flapped, breaker not open) first, then breaker-open shards, then
+//! flapped shards; only when every shard is crashed does a request get the
+//! typed `router_shed` disposition.
+//!
+//! ## Fleet accounting invariant
+//!
+//! Per shard, reroutes extend the single-loop identity:
+//!
+//! ```text
+//! admitted = completed + shed + drained + rerouted_out
+//! ```
+//!
+//! and summing over shards (every rerouted request is re-admitted
+//! elsewhere or shed by the router) gives the fleet-wide invariant
+//! enforced by [`FleetReport::balanced`] through coordinated graceful
+//! drain:
+//!
+//! ```text
+//! offered = Σ_shards (completed + shed + drained) + router_shed
+//! ```
+
+use crate::model::EaModel;
+use crate::request::SyntheticStream;
+use crate::router::{route, Candidate, RouterKind};
+use crate::server::{Accounting, ServeConfig};
+use crate::shard::{compute_request, DecisionSink, Pending, ShardCore};
+use stca_fault::{FaultInjector, FaultPlan, StcaError};
+use stca_obs::json::Value;
+use stca_trace::{AttrValue, Disposition, FlightRecorder, Stage, TraceDump};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Fleet configuration: the per-shard loop template plus topology.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-shard serving-loop template. Each shard derives its own breaker
+    /// seed (`base.breaker.seed ^ (shard_id << 24)`) so probe lotteries are
+    /// independent across fault domains.
+    pub base: ServeConfig,
+    /// Number of shards (independent fault domains).
+    pub shards: u32,
+    /// Routing discipline.
+    pub router: RouterKind,
+    /// Maximum reroute hops before a flushed request is shed by the
+    /// router.
+    pub reroute_max: u32,
+    /// Epoch length, virtual seconds: shard faults are rolled once per
+    /// `(shard, epoch)`.
+    pub epoch_s: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            base: ServeConfig::default(),
+            shards: 4,
+            router: RouterKind::Rendezvous,
+            reroute_max: 2,
+            epoch_s: 5.0,
+        }
+    }
+}
+
+impl FleetConfig {
+    fn validate(&self) -> Result<(), StcaError> {
+        self.base.validate()?;
+        if self.shards == 0 {
+            return Err(StcaError::invalid_input("fleet: shards must be >= 1"));
+        }
+        if self.shards > 1024 {
+            return Err(StcaError::invalid_input("fleet: shards must be <= 1024"));
+        }
+        if !self.epoch_s.is_finite() || self.epoch_s <= 0.0 {
+            return Err(StcaError::invalid_input(format!(
+                "fleet: epoch_s = {} must be finite and positive",
+                self.epoch_s
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard outcome summary.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard id.
+    pub id: u32,
+    /// Exact request accounting for this shard. Reroutes make
+    /// [`Accounting::balanced`] intentionally fail here; the shard
+    /// identity including `rerouted_out` is checked by
+    /// [`FleetReport::balanced`].
+    pub accounting: Accounting,
+    /// Requests flushed out of this shard's queue by a crash.
+    pub rerouted_out: u64,
+    /// Crash events (distinct down transitions).
+    pub crashes: u64,
+    /// Recovery events (down → up transitions).
+    pub recoveries: u64,
+    /// Injected shard stalls.
+    pub stalls: u64,
+    /// Epochs the router treated this shard as flapping.
+    pub flaps: u64,
+    /// Breaker trips on this shard.
+    pub breaker_opens: u64,
+    /// Breaker recoveries on this shard.
+    pub breaker_closes: u64,
+    /// Probe calls admitted while half-open.
+    pub breaker_probes: u64,
+    /// Calls short-circuited to the degraded chain.
+    pub breaker_rejects: u64,
+    /// Requests answered by the degraded predictor chain.
+    pub degraded: u64,
+    /// Watchdog interventions.
+    pub watchdog_trips: u64,
+    /// Stage retries after a watchdog trip.
+    pub retries: u64,
+    /// Policy changes applied by this shard's hysteresis controller.
+    pub policy_applies: u64,
+    /// Timeout-grid index applied when the run ended.
+    pub final_timeout_idx: usize,
+    /// Mean response of this shard's completed requests, seconds.
+    pub mean_response_s: f64,
+    /// Median response, seconds.
+    pub p50_response_s: f64,
+    /// 99th-percentile response, seconds.
+    pub p99_response_s: f64,
+}
+
+/// Everything one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard summaries, in shard-id order.
+    pub shards: Vec<ShardStats>,
+    /// Requests offered to the fleet (every generated arrival).
+    pub offered: u64,
+    /// Successful reroutes (flushed request re-admitted elsewhere).
+    pub rerouted: u64,
+    /// Requests shed by the router: no routable shard at admission, or
+    /// reroute hops exhausted.
+    pub router_shed: u64,
+    /// Fleet-wide mean response, seconds.
+    pub mean_response_s: f64,
+    /// Fleet-wide median response, seconds.
+    pub p50_response_s: f64,
+    /// Fleet-wide 99th-percentile response, seconds.
+    pub p99_response_s: f64,
+    /// Rolling FNV-1a hash over the shared fleet decision log (shard
+    /// entries, router entries, and fault events in one serial order).
+    pub decision_hash: u64,
+    /// Full decision log (empty unless `base.keep_decision_log`).
+    pub decision_log: Vec<String>,
+    /// Virtual time when the last shard finished draining.
+    pub virtual_end_s: f64,
+    /// Per-shard flight recorders merged deterministically (shard-id
+    /// order, router sheds last), `Some` when tracing was enabled.
+    pub trace_dump: Option<TraceDump>,
+}
+
+impl FleetReport {
+    /// Sum of completed requests across shards.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.accounting.completed).sum()
+    }
+
+    /// Shards that crashed at least once.
+    pub fn crashed_shards(&self) -> Vec<u32> {
+        self.shards
+            .iter()
+            .filter(|s| s.crashes > 0)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The fleet-wide invariant: every shard balances once `rerouted_out`
+    /// is a disposition, and every offered request ends in exactly one
+    /// fleet-level disposition.
+    pub fn balanced(&self) -> bool {
+        let shards_ok = self.shards.iter().all(|s| {
+            let a = &s.accounting;
+            a.admitted == a.completed + a.shed() + a.drained + s.rerouted_out
+        });
+        let settled: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.accounting.completed + s.accounting.shed() + s.accounting.drained)
+            .sum();
+        shards_ok && self.offered == settled + self.router_shed
+    }
+
+    /// The report as a JSON tree (health snapshots, CLI output).
+    pub fn to_json_value(&self) -> Value {
+        let num = Value::Number;
+        let int = |v: u64| Value::Number(v as f64);
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let a = &s.accounting;
+            let mut m = BTreeMap::new();
+            m.insert("id".into(), int(u64::from(s.id)));
+            m.insert("admitted".into(), int(a.admitted));
+            m.insert("completed".into(), int(a.completed));
+            m.insert("shed".into(), int(a.shed()));
+            m.insert("drained".into(), int(a.drained));
+            m.insert("rerouted_out".into(), int(s.rerouted_out));
+            m.insert("crashes".into(), int(s.crashes));
+            m.insert("recoveries".into(), int(s.recoveries));
+            m.insert("stalls".into(), int(s.stalls));
+            m.insert("flaps".into(), int(s.flaps));
+            m.insert("breaker_opens".into(), int(s.breaker_opens));
+            m.insert("degraded".into(), int(s.degraded));
+            m.insert("watchdog_trips".into(), int(s.watchdog_trips));
+            m.insert("mean_response_s".into(), num(s.mean_response_s));
+            m.insert("p50_response_s".into(), num(s.p50_response_s));
+            m.insert("p99_response_s".into(), num(s.p99_response_s));
+            shards.push(Value::Object(m));
+        }
+        let mut resp = BTreeMap::new();
+        resp.insert("mean_s".into(), num(self.mean_response_s));
+        resp.insert("p50_s".into(), num(self.p50_response_s));
+        resp.insert("p99_s".into(), num(self.p99_response_s));
+        let mut root = BTreeMap::new();
+        root.insert("shards".into(), Value::Array(shards));
+        root.insert("offered".into(), int(self.offered));
+        root.insert("completed".into(), int(self.completed()));
+        root.insert("rerouted".into(), int(self.rerouted));
+        root.insert("router_shed".into(), int(self.router_shed));
+        root.insert("balanced".into(), Value::Bool(self.balanced()));
+        root.insert("response".into(), Value::Object(resp));
+        root.insert(
+            "decision_hash".into(),
+            Value::String(format!("{:016x}", self.decision_hash)),
+        );
+        root.insert("virtual_end_s".into(), num(self.virtual_end_s));
+        Value::Object(root)
+    }
+}
+
+/// Write a JSON health snapshot: the fleet report plus every `serve.*`
+/// metric (per-shard `serve.shardN.*` prefixes and the `serve.fleet.*`
+/// rollup included) currently in the global registry.
+pub fn write_fleet_health(path: &Path, report: &FleetReport) -> Result<(), StcaError> {
+    let mut root = match report.to_json_value() {
+        Value::Object(m) => m,
+        _ => unreachable!("report serialises to an object"),
+    };
+    let mut metrics = BTreeMap::new();
+    for (name, metric) in stca_obs::registry().snapshot_prefixed("serve.") {
+        match metric {
+            stca_obs::metrics::Metric::Counter(c) => {
+                metrics.insert(name, Value::Number(c.get() as f64));
+            }
+            stca_obs::metrics::Metric::Gauge(g) => {
+                metrics.insert(name, Value::Number(g.get()));
+            }
+            stca_obs::metrics::Metric::Histogram(h) => {
+                metrics.insert(name, Value::Number(h.mean()));
+            }
+        }
+    }
+    root.insert("metrics".into(), Value::Object(metrics));
+    let json = Value::Object(root).to_string();
+    std::fs::write(path, json).map_err(|e| StcaError::io(path.display().to_string(), e))
+}
+
+/// `(mean, p50, p99)` of a response set; all zero for an empty set (a
+/// shard that crashed before completing anything still gets a summary).
+fn response_summary(responses: &mut [f64]) -> (f64, f64, f64) {
+    if responses.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mean = responses.iter().sum::<f64>() / responses.len() as f64;
+    let p50 = stca_util::stats::quantile_in_place(responses, 0.50);
+    let p99 = stca_util::stats::quantile_in_place(responses, 0.99);
+    (mean, p50, p99)
+}
+
+/// One shard plus its fleet-level fault/routing state.
+struct Slot<'a> {
+    core: ShardCore<'a>,
+    crashed: bool,
+    flapped: bool,
+    rerouted_out: u64,
+    crashes: u64,
+    recoveries: u64,
+    stalls: u64,
+    flaps: u64,
+}
+
+/// Routing salt: keeps rendezvous scores decoupled from the stream's own
+/// per-request randomness.
+const ROUTE_SALT: u64 = 0x000F_1EE7;
+
+/// Health-gated shard selection for request `seq` at virtual `now`.
+/// Tiered fallback: fully healthy shards first, then breaker-open, then
+/// flapped; crashed shards are never candidates. `None` means every shard
+/// is crashed (router shed).
+fn pick_target(
+    slots: &[Slot<'_>],
+    kind: RouterKind,
+    seed: u64,
+    seq: u64,
+    now: f64,
+    exclude: Option<u32>,
+) -> Option<u32> {
+    let gather = |pred: &dyn Fn(&Slot<'_>) -> bool| -> Vec<Candidate> {
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(id, s)| exclude != Some(*id as u32) && pred(s))
+            .map(|(id, s)| Candidate {
+                id: id as u32,
+                queue_depth: s.core.queue_depth(),
+            })
+            .collect()
+    };
+    for pred in [
+        &(|s: &Slot<'_>| !s.crashed && !s.flapped && !s.core.breaker.is_open_at(now))
+            as &dyn Fn(&Slot<'_>) -> bool,
+        &|s: &Slot<'_>| !s.crashed && !s.flapped,
+        &|s: &Slot<'_>| !s.crashed,
+    ] {
+        let candidates = gather(pred);
+        if !candidates.is_empty() {
+            return route(kind, seed, seq, &candidates);
+        }
+    }
+    None
+}
+
+/// Apply one epoch's shard faults, in shard-id order. Returns the
+/// requests flushed out of crashing shards (to be rerouted by the
+/// caller), tagged with their source shard.
+fn apply_epoch(
+    slots: &mut [Slot<'_>],
+    plan: &FaultPlan,
+    epoch: u64,
+    epoch_s: f64,
+    sink: &mut DecisionSink,
+) -> Vec<(u32, Pending)> {
+    let boundary = epoch as f64 * epoch_s;
+    let outage_end = (epoch + 1) as f64 * epoch_s;
+    let mut flushed = Vec::new();
+    for (id, slot) in slots.iter_mut().enumerate() {
+        let id = id as u32;
+        let was_crashed = slot.crashed;
+        let crashed = plan.shard_crash(id, epoch);
+        slot.flapped = !crashed && plan.shard_flap(id, epoch);
+        slot.crashed = crashed;
+        if crashed {
+            if !was_crashed {
+                slot.crashes += 1;
+                sink.push(format!("event=shard_crash shard={id} epoch={epoch}"));
+                for p in slot.core.flush_waiting() {
+                    slot.rerouted_out += 1;
+                    flushed.push((id, p));
+                }
+            }
+            // outage: the shard does no work until the epoch ends
+            slot.core.freeze_until(outage_end);
+            continue;
+        }
+        if was_crashed {
+            slot.recoveries += 1;
+            sink.push(format!("event=shard_recover shard={id} epoch={epoch}"));
+        }
+        if slot.flapped {
+            slot.flaps += 1;
+            sink.push(format!("event=shard_flap shard={id} epoch={epoch}"));
+        }
+        let stall = plan.shard_stall_s(id, epoch, epoch_s);
+        if stall > 0.0 {
+            slot.stalls += 1;
+            sink.push(format!(
+                "event=shard_stall shard={id} epoch={epoch} dur={:016x}",
+                stall.to_bits()
+            ));
+            slot.core.freeze_until(boundary + stall);
+        }
+    }
+    // let work that became startable by the boundary proceed, shard order
+    for slot in slots.iter_mut() {
+        slot.core.dispatch_ready(boundary, sink);
+    }
+    flushed
+}
+
+/// Run the sharded serving fleet over `n_requests` replayed arrivals.
+///
+/// Deterministic: with the same config, stream, plan, and model, the
+/// fleet decision hash, report, and merged trace dump are bit-identical
+/// at any thread count.
+pub fn serve_fleet(
+    cfg: &FleetConfig,
+    model: &dyn EaModel,
+    plan: &FaultPlan,
+    stream: &SyntheticStream,
+    n_requests: u64,
+) -> Result<FleetReport, StcaError> {
+    cfg.validate()?;
+    if !(stream.rate.is_finite() && stream.rate > 0.0) {
+        return Err(StcaError::invalid_input(format!(
+            "fleet: arrival rate {} must be finite and positive",
+            stream.rate
+        )));
+    }
+    if !(stream.deadline_s.is_finite() && stream.deadline_s > 0.0) {
+        return Err(StcaError::invalid_input(format!(
+            "fleet: deadline {} must be finite and positive",
+            stream.deadline_s
+        )));
+    }
+    let run_key = stream.seed ^ 0x5E4E;
+    let injectors: [FaultInjector; 2] = [plan.injector(run_key, 0), plan.injector(run_key, 1)];
+    // per-shard configs first (the cores borrow them), seeds derived as
+    // seed ^ (shard_id << 24)
+    let shard_cfgs: Vec<ServeConfig> = (0..cfg.shards)
+        .map(|id| {
+            let mut c = cfg.base.clone();
+            c.breaker.seed ^= u64::from(id) << 24;
+            c
+        })
+        .collect();
+    let mut slots: Vec<Slot<'_>> = shard_cfgs
+        .iter()
+        .enumerate()
+        .map(|(id, c)| Slot {
+            core: ShardCore::new(c, stream.seed ^ ((id as u64) << 24), Some(id as u32)),
+            crashed: false,
+            flapped: false,
+            rerouted_out: 0,
+            crashes: 0,
+            recoveries: 0,
+            stalls: 0,
+            flaps: 0,
+        })
+        .collect();
+    // router sheds get their own recorder so admission-time sheds are
+    // traced even though they never touch a shard
+    let router_rec = cfg
+        .base
+        .trace
+        .map(|tc| Arc::new(Mutex::new(FlightRecorder::new(tc))));
+    let route_seed = stream.seed ^ ROUTE_SALT;
+    let mut sink = DecisionSink::new(cfg.base.keep_decision_log);
+    let timer =
+        stca_obs::StageTimer::with_histogram(stca_obs::histogram("serve.fleet.run_seconds"));
+    let mut rerouted = 0u64;
+    let mut router_shed = 0u64;
+    let mut cur_epoch: i64 = -1;
+    let mut seq = 0u64;
+    let mut t_cursor = 0.0f64;
+    let mut last_arrival = 0.0f64;
+    while seq < n_requests {
+        let count = ((n_requests - seq).min(cfg.base.chunk as u64)) as usize;
+        let (reqs, new_t) = stream.chunk(seq, count, t_cursor);
+        t_cursor = new_t;
+        last_arrival = new_t;
+        // phase 1: pure per-request compute, identical to the single loop
+        let trace_cfg = cfg.base.trace;
+        let computed = stca_exec::par_map_indexed(&reqs, |_, r| {
+            if let Some(tc) = &trace_cfg {
+                stca_obs::set_current_trace_id(tc.trace_id(r.seq));
+            }
+            let comp = compute_request(model, &injectors, r);
+            if trace_cfg.is_some() {
+                stca_obs::set_current_trace_id(0);
+            }
+            comp
+        });
+        // phase 2: serial replay — epochs advance lazily, one at a time,
+        // with crash-flushed requests rerouted at each boundary before the
+        // arrival that crossed it is admitted
+        for (r, comp) in reqs.into_iter().zip(computed) {
+            let arrival_epoch = (r.arrival_s / cfg.epoch_s).floor() as i64;
+            while cur_epoch < arrival_epoch {
+                cur_epoch += 1;
+                let boundary = cur_epoch as f64 * cfg.epoch_s;
+                let flushed =
+                    apply_epoch(&mut slots, plan, cur_epoch as u64, cfg.epoch_s, &mut sink);
+                for (from, mut p) in flushed {
+                    p.hops += 1;
+                    let target = if p.hops > cfg.reroute_max {
+                        None
+                    } else {
+                        pick_target(&slots, cfg.router, route_seed, p.seq, boundary, Some(from))
+                    };
+                    match target {
+                        Some(to) => {
+                            rerouted += 1;
+                            sink.push(format!(
+                                "seq={} disp=reroute from={} to={} hops={}",
+                                p.seq, from, to, p.hops
+                            ));
+                            if let Some(ctx) = p.ctx.as_mut() {
+                                let span = ctx.push_span(Stage::Route, boundary, boundary);
+                                span.args
+                                    .push(("from_shard", AttrValue::Num(f64::from(from))));
+                                span.args.push(("to_shard", AttrValue::Num(f64::from(to))));
+                                span.args.push(("hops", AttrValue::Num(f64::from(p.hops))));
+                            }
+                            p.ready_s = boundary;
+                            slots[to as usize].core.arrive(p, &mut sink);
+                        }
+                        None => {
+                            router_shed += 1;
+                            sink.push(format!("seq={} disp=router_shed hops={}", p.seq, p.hops));
+                            if let Some(ctx) = p.ctx.as_mut() {
+                                let span = ctx.push_span(Stage::Route, boundary, boundary);
+                                span.args
+                                    .push(("from_shard", AttrValue::Num(f64::from(from))));
+                                span.args.push(("hops", AttrValue::Num(f64::from(p.hops))));
+                            }
+                            if let (Some(rec), Some(ctx)) = (router_rec.as_ref(), p.ctx.take()) {
+                                if let Ok(mut rec) = rec.lock() {
+                                    rec.record(ctx.finish(Disposition::RouterShed, boundary));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            match pick_target(&slots, cfg.router, route_seed, r.seq, r.arrival_s, None) {
+                Some(id) => {
+                    let slot = &mut slots[id as usize];
+                    let mut ctx = slot
+                        .core
+                        .recorder
+                        .as_ref()
+                        .and_then(|rec| rec.lock().ok())
+                        .map(|mut rec| rec.begin(r.seq, r.arrival_s));
+                    if let Some(c) = ctx.as_mut() {
+                        c.annotate_admission("shard", AttrValue::Num(f64::from(id)));
+                    }
+                    slot.core.arrive(
+                        Pending {
+                            seq: r.seq,
+                            arrival_s: r.arrival_s,
+                            ready_s: r.arrival_s,
+                            deadline_s: r.deadline_s,
+                            hops: 0,
+                            comp,
+                            ctx,
+                        },
+                        &mut sink,
+                    );
+                }
+                None => {
+                    router_shed += 1;
+                    sink.push(format!("seq={} disp=router_shed hops=0", r.seq));
+                    if let Some(rec) = router_rec.as_ref() {
+                        if let Ok(mut rec) = rec.lock() {
+                            let mut ctx = rec.begin(r.seq, r.arrival_s);
+                            ctx.push_span(Stage::Route, r.arrival_s, r.arrival_s)
+                                .args
+                                .push(("hops", AttrValue::Num(0.0)));
+                            rec.record(ctx.finish(Disposition::RouterShed, r.arrival_s));
+                        }
+                    }
+                }
+            }
+        }
+        seq += count as u64;
+        let depth: usize = slots.iter().map(|s| s.core.queue_depth()).sum();
+        stca_obs::gauge("serve.fleet.queue_depth").set(depth as f64);
+    }
+    // coordinated graceful drain: close every probe gate fleet-wide
+    // first, then drain shard by shard in id order
+    for slot in slots.iter_mut() {
+        slot.core.begin_drain();
+    }
+    let mut virtual_end = last_arrival;
+    for slot in slots.iter_mut() {
+        let end = slot.core.drain(last_arrival, &mut sink);
+        if end > virtual_end {
+            virtual_end = end;
+        }
+    }
+    stca_obs::clear_virtual_now();
+    timer.stop();
+
+    // per-shard and fleet-wide percentiles
+    let mut all_responses: Vec<f64> = Vec::new();
+    let mut shard_stats = Vec::with_capacity(slots.len());
+    for (id, slot) in slots.iter_mut().enumerate() {
+        let mut responses = std::mem::take(&mut slot.core.responses);
+        all_responses.extend_from_slice(&responses);
+        let (mean, p50, p99) = response_summary(&mut responses);
+        shard_stats.push(ShardStats {
+            id: id as u32,
+            accounting: slot.core.acct,
+            rerouted_out: slot.rerouted_out,
+            crashes: slot.crashes,
+            recoveries: slot.recoveries,
+            stalls: slot.stalls,
+            flaps: slot.flaps,
+            breaker_opens: slot.core.breaker.opens,
+            breaker_closes: slot.core.breaker.closes,
+            breaker_probes: slot.core.breaker.probes,
+            breaker_rejects: slot.core.breaker.rejects,
+            degraded: slot.core.degraded,
+            watchdog_trips: slot.core.watchdog_trips,
+            retries: slot.core.retries,
+            policy_applies: slot.core.hyst.applies,
+            final_timeout_idx: slot.core.hyst.applied(),
+            mean_response_s: mean,
+            p50_response_s: p50,
+            p99_response_s: p99,
+        });
+    }
+    let (fleet_mean, fleet_p50, fleet_p99) = response_summary(&mut all_responses);
+
+    // merge flight recorders deterministically: shard-id order, router last
+    let trace_dump = {
+        let mut dumps: Vec<TraceDump> = Vec::new();
+        for slot in &slots {
+            if let Some(rec) = slot.core.recorder.as_ref() {
+                if let Ok(rec) = rec.lock() {
+                    dumps.push(rec.dump());
+                }
+            }
+        }
+        if let Some(rec) = router_rec.as_ref() {
+            if let Ok(rec) = rec.lock() {
+                dumps.push(rec.dump());
+            }
+        }
+        TraceDump::merge(dumps)
+    };
+
+    let report = FleetReport {
+        shards: shard_stats,
+        offered: n_requests,
+        rerouted,
+        router_shed,
+        mean_response_s: fleet_mean,
+        p50_response_s: fleet_p50,
+        p99_response_s: fleet_p99,
+        decision_hash: sink.hash(),
+        decision_log: sink.into_log(),
+        virtual_end_s: virtual_end,
+        trace_dump,
+    };
+    flush_fleet_metrics(&report);
+    Ok(report)
+}
+
+/// Flush run totals into the global metrics: `serve.shardN.*` per shard
+/// (nested `serve.shardN.breaker.*` for breaker counters) and the
+/// `serve.fleet.*` rollup.
+fn flush_fleet_metrics(r: &FleetReport) {
+    for s in &r.shards {
+        let a = &s.accounting;
+        let pre = format!("serve.shard{}", s.id);
+        for (name, v) in [
+            ("admitted_total", a.admitted),
+            ("completed_total", a.completed),
+            ("shed_total", a.shed()),
+            ("drained_total", a.drained),
+            ("rerouted_out_total", s.rerouted_out),
+            ("crashes_total", s.crashes),
+            ("recoveries_total", s.recoveries),
+            ("stalls_total", s.stalls),
+            ("flaps_total", s.flaps),
+            ("degraded_total", s.degraded),
+            ("watchdog_trips_total", s.watchdog_trips),
+            ("breaker.opens_total", s.breaker_opens),
+            ("breaker.closes_total", s.breaker_closes),
+            ("breaker.probes_total", s.breaker_probes),
+            ("breaker.rejects_total", s.breaker_rejects),
+        ] {
+            if v > 0 {
+                stca_obs::counter(&format!("{pre}.{name}")).add(v);
+            }
+        }
+    }
+    let settled: u64 = r
+        .shards
+        .iter()
+        .map(|s| s.accounting.completed + s.accounting.shed() + s.accounting.drained)
+        .sum();
+    for (name, v) in [
+        ("serve.fleet.offered_total", r.offered),
+        ("serve.fleet.completed_total", r.completed()),
+        ("serve.fleet.settled_total", settled),
+        ("serve.fleet.rerouted_total", r.rerouted),
+        ("serve.fleet.router_shed_total", r.router_shed),
+        (
+            "serve.fleet.shard_crashes_total",
+            r.shards.iter().map(|s| s.crashes).sum(),
+        ),
+        (
+            "serve.fleet.shard_recoveries_total",
+            r.shards.iter().map(|s| s.recoveries).sum(),
+        ),
+    ] {
+        if v > 0 {
+            stca_obs::counter(name).add(v);
+        }
+    }
+    stca_obs::gauge("serve.fleet.p99_response_s").set(r.p99_response_s);
+    stca_obs::gauge("serve.fleet.mean_response_s").set(r.mean_response_s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AnalyticEa;
+
+    fn small_fleet(shards: u32) -> FleetConfig {
+        FleetConfig {
+            base: ServeConfig {
+                queue_capacity: 16,
+                sim_budget_events: 0,
+                keep_decision_log: true,
+                ..ServeConfig::default()
+            },
+            shards,
+            epoch_s: 1.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn stream() -> SyntheticStream {
+        SyntheticStream {
+            seed: 7,
+            rate: 200.0,
+            deadline_s: 1.0,
+            n_features: 4,
+        }
+    }
+
+    fn run(cfg: &FleetConfig, plan: &FaultPlan, n: u64) -> FleetReport {
+        serve_fleet(cfg, &AnalyticEa::default(), plan, &stream(), n).expect("fleet runs")
+    }
+
+    #[test]
+    fn healthy_fleet_balances_and_spreads_load() {
+        let r = run(&small_fleet(4), &FaultPlan::none(), 4_000);
+        assert!(r.balanced(), "{r:?}");
+        assert_eq!(r.offered, 4_000);
+        assert_eq!(r.router_shed, 0);
+        assert_eq!(r.rerouted, 0);
+        for s in &r.shards {
+            assert!(
+                s.accounting.admitted > 400,
+                "shard {} starved: {:?}",
+                s.id,
+                s.accounting
+            );
+            assert_eq!(s.crashes, 0);
+        }
+    }
+
+    #[test]
+    fn shard_crashes_reroute_and_preserve_the_fleet_invariant() {
+        let plan = FaultPlan::parse("shard_crash=0.35,seed=9").expect("plan");
+        let r = run(&small_fleet(4), &plan, 6_000);
+        assert!(r.balanced(), "{r:?}");
+        let crashes: u64 = r.shards.iter().map(|s| s.crashes).sum();
+        let recoveries: u64 = r.shards.iter().map(|s| s.recoveries).sum();
+        assert!(crashes > 0, "35% per shard-epoch must crash something");
+        assert!(recoveries > 0, "crashed shards must come back");
+        assert!(
+            r.decision_log
+                .iter()
+                .any(|l| l.starts_with("event=shard_crash")),
+            "crash events are logged"
+        );
+        // bit-identical across runs, including the fault schedule
+        let r2 = run(&small_fleet(4), &plan, 6_000);
+        assert_eq!(r.decision_hash, r2.decision_hash);
+        assert_eq!(r.rerouted, r2.rerouted);
+    }
+
+    #[test]
+    fn total_outage_sheds_at_the_router_with_typed_disposition() {
+        let plan = FaultPlan::parse("shard_crash=1.0,seed=1").expect("plan");
+        let r = run(&small_fleet(3), &plan, 500);
+        assert!(r.balanced(), "{r:?}");
+        assert_eq!(
+            r.router_shed, r.offered,
+            "all-crashed fleet sheds everything"
+        );
+        assert_eq!(r.completed(), 0);
+        assert!(r
+            .decision_log
+            .iter()
+            .any(|l| l.contains("disp=router_shed")));
+    }
+
+    #[test]
+    fn least_loaded_router_also_balances_under_faults() {
+        let cfg = FleetConfig {
+            router: RouterKind::LeastLoaded,
+            ..small_fleet(4)
+        };
+        let r = run(&cfg, &FaultPlan::heavy(), 4_000);
+        assert!(r.balanced(), "{r:?}");
+        assert!(r.completed() > 0);
+    }
+
+    #[test]
+    fn fleet_trace_dump_merges_shards_in_seq_order() {
+        let mut cfg = small_fleet(3);
+        cfg.base.trace = Some(stca_trace::TraceConfig {
+            sample_every: 1,
+            ring_capacity: 1 << 20, // retain everything: eviction is not under test
+            ..stca_trace::TraceConfig::default()
+        });
+        let plan = FaultPlan::parse("shard_crash=0.3,seed=4").expect("plan");
+        let r = run(&cfg, &plan, 1_500);
+        let dump = r.trace_dump.expect("tracing on");
+        assert!(
+            dump.traces.windows(2).all(|w| w[0].seq <= w[1].seq),
+            "merged dump is seq-sorted"
+        );
+        assert!(dump.stats.retained_normal + dump.stats.retained_error > 0);
+        // rerouted requests carry Route spans
+        if r.rerouted > 0 {
+            assert!(dump
+                .traces
+                .iter()
+                .any(|t| t.spans.iter().any(|s| s.stage == Stage::Route)));
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let model = AnalyticEa::default();
+        let plan = FaultPlan::none();
+        let bad = FleetConfig {
+            shards: 0,
+            ..FleetConfig::default()
+        };
+        assert!(serve_fleet(&bad, &model, &plan, &stream(), 10).is_err());
+        let bad = FleetConfig {
+            epoch_s: 0.0,
+            ..FleetConfig::default()
+        };
+        assert!(serve_fleet(&bad, &model, &plan, &stream(), 10).is_err());
+    }
+}

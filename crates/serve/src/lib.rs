@@ -35,15 +35,20 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod breaker;
+pub mod fleet;
 pub mod hysteresis;
 pub mod model;
 pub mod request;
+pub mod router;
 pub mod server;
+mod shard;
 pub mod watchdog;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Verdict};
+pub use fleet::{serve_fleet, write_fleet_health, FleetConfig, FleetReport, ShardStats};
 pub use hysteresis::Hysteresis;
 pub use model::{decide, AnalyticEa, EaModel, StationModel, TIMEOUT_GRID};
 pub use request::{Request, SyntheticStream};
+pub use router::{rendezvous_score, route, Candidate, RouterKind};
 pub use server::{serve, write_health, Accounting, OverloadPolicy, ServeConfig, ServeReport};
 pub use watchdog::{StageRun, Watchdog};

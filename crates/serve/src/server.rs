@@ -33,17 +33,14 @@
 //! [`Accounting::balanced`] checks it; the soak bench and the property
 //! tests assert it after every run, faulted or not.
 
-use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Verdict};
-use crate::hysteresis::Hysteresis;
-use crate::model::{decide, EaModel, StationModel, TIMEOUT_GRID};
-use crate::request::{Request, SyntheticStream};
-use crate::watchdog::{StageRun, Watchdog};
+use crate::breaker::{BreakerConfig, BreakerState};
+use crate::model::{EaModel, StationModel, TIMEOUT_GRID};
+use crate::request::SyntheticStream;
+use crate::shard::{compute_request, DecisionSink, Pending, ShardCore};
 use stca_fault::{FaultInjector, FaultPlan, StcaError};
 use stca_obs::json::Value;
-use stca_queuesim::{QueueSim, RunBudget, StationConfig};
-use stca_trace::{AttrValue, Disposition, FlightRecorder, Stage, TraceConfig, TraceCtx, TraceDump};
-use stca_util::Distribution;
-use std::collections::{BTreeMap, VecDeque};
+use stca_trace::{TraceConfig, TraceDump};
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// What the loop does when a request arrives to a full queue.
@@ -141,7 +138,7 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    fn validate(&self) -> Result<(), StcaError> {
+    pub(crate) fn validate(&self) -> Result<(), StcaError> {
         if self.servers == 0 {
             return Err(StcaError::invalid_input("serve: servers must be >= 1"));
         }
@@ -345,432 +342,6 @@ pub fn write_health(path: &Path, report: &ServeReport) -> Result<(), StcaError> 
     std::fs::write(path, json).map_err(|e| StcaError::io(path.display().to_string(), e))
 }
 
-/// Pure per-request compute: everything the parallel phase produces.
-#[derive(Debug, Clone)]
-struct Computed {
-    /// Injected primary-predictor fault for this request.
-    fault: bool,
-    /// Primary EA, if the model returned one.
-    primary: Option<f64>,
-    /// Degraded EA and its tier.
-    degraded_ea: f64,
-    degraded_tier: u8,
-    /// Injected stall per stage (0 = predict, 1 = decide) and attempt.
-    stall: [[f64; 2]; 2],
-}
-
-/// A request waiting in (or entering) the admission queue.
-#[derive(Debug, Clone)]
-struct Pending {
-    seq: u64,
-    arrival_s: f64,
-    deadline_s: f64,
-    comp: Computed,
-    /// In-flight trace (`Some` when tracing is enabled).
-    ctx: Option<TraceCtx>,
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Serial replay state (phase 2 of each chunk).
-struct LoopState<'a> {
-    cfg: &'a ServeConfig,
-    breaker: CircuitBreaker,
-    hyst: Hysteresis,
-    watchdog: Watchdog,
-    acct: Accounting,
-    /// Per-server virtual free-at times.
-    servers: Vec<f64>,
-    waiting: VecDeque<Pending>,
-    responses: Vec<f64>,
-    degraded: u64,
-    watchdog_trips: u64,
-    retries: u64,
-    policy_validations: u64,
-    sim_budget_exhausted: u64,
-    last_ea: f64,
-    seed: u64,
-    hash: u64,
-    log: Vec<String>,
-    resp_hist: std::sync::Arc<stca_obs::Histogram>,
-    /// Flight recorder (`Some` when tracing is enabled). Written only by
-    /// the serial replay phase, so retention is thread-count-proof; the
-    /// mutex exists so the recorder can be published as the process-wide
-    /// active recorder for out-of-band dumps (error hooks), and is
-    /// uncontended otherwise.
-    recorder: Option<std::sync::Arc<std::sync::Mutex<FlightRecorder>>>,
-}
-
-impl<'a> LoopState<'a> {
-    fn new(cfg: &'a ServeConfig, seed: u64) -> Self {
-        let initial = decide(&cfg.station, 1.0);
-        LoopState {
-            cfg,
-            breaker: CircuitBreaker::new(cfg.breaker),
-            hyst: Hysteresis::new(cfg.hysteresis_k, initial),
-            watchdog: Watchdog {
-                budget_s: cfg.watchdog_budget_s,
-            },
-            acct: Accounting::default(),
-            servers: vec![0.0; cfg.servers],
-            waiting: VecDeque::new(),
-            responses: Vec::new(),
-            degraded: 0,
-            watchdog_trips: 0,
-            retries: 0,
-            policy_validations: 0,
-            sim_budget_exhausted: 0,
-            last_ea: 1.0,
-            seed,
-            hash: FNV_OFFSET,
-            log: Vec::new(),
-            resp_hist: stca_obs::histogram("serve.response_seconds"),
-            recorder: cfg
-                .trace
-                .map(|tc| std::sync::Arc::new(std::sync::Mutex::new(FlightRecorder::new(tc)))),
-        }
-    }
-
-    /// File a finished trace (no-op when tracing is off).
-    fn record_trace(&mut self, ctx: Option<TraceCtx>, disposition: Disposition, end_s: f64) {
-        if let (Some(rec), Some(ctx)) = (self.recorder.as_ref(), ctx) {
-            if let Ok(mut rec) = rec.lock() {
-                rec.record(ctx.finish(disposition, end_s));
-            }
-        }
-    }
-
-    fn log_entry(&mut self, entry: String) {
-        for b in entry.as_bytes() {
-            self.hash ^= u64::from(*b);
-            self.hash = self.hash.wrapping_mul(FNV_PRIME);
-        }
-        self.hash ^= u64::from(b'\n');
-        self.hash = self.hash.wrapping_mul(FNV_PRIME);
-        if self.cfg.keep_decision_log {
-            self.log.push(entry);
-        }
-    }
-
-    /// Earliest-free server (lowest index breaks ties).
-    fn next_server(&self) -> (usize, f64) {
-        let mut best = 0;
-        let mut best_free = self.servers[0];
-        for (i, &f) in self.servers.iter().enumerate().skip(1) {
-            if f < best_free {
-                best = i;
-                best_free = f;
-            }
-        }
-        (best, best_free)
-    }
-
-    /// Try to move the queue head into service, if it can start by
-    /// `now_limit`. Returns false when the head must keep waiting (or the
-    /// queue is empty).
-    fn dispatch_one(&mut self, now_limit: f64) -> bool {
-        let Some(head) = self.waiting.front() else {
-            return false;
-        };
-        let (si, free) = self.next_server();
-        let start = free.max(head.arrival_s);
-        if start > now_limit {
-            return false;
-        }
-        let mut p = self.waiting.pop_front().expect("front checked above");
-        if let Some(ctx) = p.ctx.as_mut() {
-            let depth = self.waiting.len() as f64;
-            ctx.push_span(Stage::QueueWait, p.arrival_s, start)
-                .args
-                .push(("queue_depth", AttrValue::Num(depth)));
-        }
-        // deadline check at dispatch: queueing alone may have eaten the
-        // whole budget
-        if start - p.arrival_s >= p.deadline_s {
-            self.acct.shed_deadline += 1;
-            self.log_entry(format!("seq={} disp=shed_deadline stage=queue", p.seq));
-            self.record_trace(p.ctx.take(), Disposition::ShedDeadline, start);
-            return true;
-        }
-        self.service(p, start, si);
-        true
-    }
-
-    fn dispatch_ready(&mut self, now: f64) {
-        while self.dispatch_one(now) {}
-    }
-
-    /// Run one stage under the watchdog with its retry path. Returns the
-    /// virtual cost charged, whether the stage ultimately succeeded, and
-    /// whether the watchdog had to retry it.
-    fn run_stage(&mut self, base_cost_s: f64, stalls: [f64; 2]) -> (f64, bool, bool) {
-        match self.watchdog.supervise(base_cost_s, stalls[0]) {
-            StageRun::Ok { cost_s } => (cost_s, true, false),
-            StageRun::Stuck { wasted_s } => {
-                self.watchdog_trips += 1;
-                self.retries += 1;
-                match self.watchdog.supervise(base_cost_s, stalls[1]) {
-                    StageRun::Ok { cost_s } => (wasted_s + cost_s, true, true),
-                    StageRun::Stuck { wasted_s: w2 } => {
-                        self.watchdog_trips += 1;
-                        (wasted_s + w2, false, true)
-                    }
-                }
-            }
-        }
-    }
-
-    /// Execute predict → decide for one dispatched request.
-    fn service(&mut self, mut p: Pending, start: f64, si: usize) {
-        if let Some(ctx) = p.ctx.as_mut() {
-            ctx.set_server(si);
-        }
-        stca_obs::set_virtual_now(start);
-        // ---- predict stage (primary behind the breaker) ----
-        let (predict_cost, predict_ok, predict_retried) =
-            self.run_stage(self.cfg.predict_cost_s, p.comp.stall[0]);
-        if predict_retried {
-            if let Some(ctx) = p.ctx.as_mut() {
-                ctx.flag_watchdog_retry();
-            }
-        }
-        if !predict_ok {
-            self.servers[si] = start + predict_cost;
-            self.acct.shed_failed += 1;
-            self.log_entry(format!("seq={} disp=failed stage=predict", p.seq));
-            if let Some(ctx) = p.ctx.as_mut() {
-                ctx.push_span(Stage::Predict, start, start + predict_cost)
-                    .args
-                    .push(("retries", AttrValue::Num(2.0)));
-            }
-            self.record_trace(p.ctx.take(), Disposition::ShedFailed, start + predict_cost);
-            return;
-        }
-        let breaker_counters = (self.breaker.opens, self.breaker.closes);
-        let verdict = self.breaker.decide(start, p.seq);
-        let (ea, tier) = match verdict {
-            Verdict::Admit | Verdict::Probe => match (p.comp.fault, p.comp.primary) {
-                (false, Some(ea)) => {
-                    self.breaker.record_success(start);
-                    (ea, 0u8)
-                }
-                _ => {
-                    self.breaker.record_failure(start);
-                    self.degraded += 1;
-                    (p.comp.degraded_ea, p.comp.degraded_tier)
-                }
-            },
-            Verdict::Reject => {
-                self.degraded += 1;
-                (p.comp.degraded_ea, p.comp.degraded_tier)
-            }
-        };
-        self.last_ea = ea;
-        if let Some(ctx) = p.ctx.as_mut() {
-            if (self.breaker.opens, self.breaker.closes) != breaker_counters {
-                ctx.flag_breaker_transition();
-            }
-            let span = ctx.push_span(Stage::Predict, start, start + predict_cost);
-            span.args.push((
-                "mode",
-                AttrValue::Text(if tier == 0 { "strict" } else { "degraded" }.to_string()),
-            ));
-            span.args.push(("tier", AttrValue::Num(f64::from(tier))));
-            span.args.push((
-                "verdict",
-                AttrValue::Text(
-                    match verdict {
-                        Verdict::Admit => "admit",
-                        Verdict::Probe => "probe",
-                        Verdict::Reject => "reject",
-                    }
-                    .to_string(),
-                ),
-            ));
-            span.args.push(("ea", AttrValue::Num(ea)));
-        }
-        // deadline propagation: no point deciding for a request whose
-        // budget died in the predict stage
-        if (start + predict_cost) - p.arrival_s >= p.deadline_s {
-            self.servers[si] = start + predict_cost;
-            self.acct.shed_deadline += 1;
-            self.log_entry(format!("seq={} disp=shed_deadline stage=predict", p.seq));
-            self.record_trace(
-                p.ctx.take(),
-                Disposition::ShedDeadline,
-                start + predict_cost,
-            );
-            return;
-        }
-        // ---- decide stage ----
-        let (decide_cost, decide_ok, decide_retried) =
-            self.run_stage(self.cfg.decide_cost_s, p.comp.stall[1]);
-        if decide_retried {
-            if let Some(ctx) = p.ctx.as_mut() {
-                ctx.flag_watchdog_retry();
-            }
-        }
-        let total = predict_cost + decide_cost;
-        if !decide_ok {
-            self.servers[si] = start + total;
-            self.acct.shed_failed += 1;
-            self.log_entry(format!("seq={} disp=failed stage=decide", p.seq));
-            if let Some(ctx) = p.ctx.as_mut() {
-                ctx.push_span(Stage::Decide, start + predict_cost, start + total)
-                    .args
-                    .push(("retries", AttrValue::Num(2.0)));
-            }
-            self.record_trace(p.ctx.take(), Disposition::ShedFailed, start + total);
-            return;
-        }
-        let idx = decide(&self.cfg.station, ea);
-        let completion = start + total;
-        if let Some(ctx) = p.ctx.as_mut() {
-            let span = ctx.push_span(Stage::Decide, start + predict_cost, completion);
-            span.args.push(("timeout_idx", AttrValue::Num(idx as f64)));
-            span.args
-                .push(("timeout_s", AttrValue::Num(TIMEOUT_GRID[idx])));
-        }
-        if let Some(new_idx) = self.hyst.observe(idx) {
-            self.validate_policy(new_idx);
-            if let Some(ctx) = p.ctx.as_mut() {
-                ctx.push_span(Stage::ValidatePolicy, completion, completion)
-                    .args
-                    .push(("applied", AttrValue::Num(new_idx as f64)));
-            }
-        }
-        self.servers[si] = completion;
-        stca_obs::set_virtual_now(completion);
-        let resp = completion - p.arrival_s;
-        self.acct.completed += 1;
-        let exceeded = resp > p.deadline_s;
-        if exceeded {
-            self.acct.deadline_exceeded += 1;
-        }
-        self.responses.push(resp);
-        if let Some(ctx) = p.ctx.as_ref() {
-            // stamp the response sample with this request's trace id so
-            // the `serve.response_seconds` bucket gains an exemplar
-            stca_obs::set_current_trace_id(ctx.trace_id());
-        }
-        self.resp_hist.record(resp);
-        if p.ctx.is_some() {
-            stca_obs::set_current_trace_id(0);
-        }
-        self.log_entry(format!(
-            "seq={} disp=ok tier={} ea={:016x} t={} applied={} resp={:016x}",
-            p.seq,
-            tier,
-            ea.to_bits(),
-            idx,
-            self.hyst.applied(),
-            resp.to_bits(),
-        ));
-        let disposition = if exceeded {
-            Disposition::DeadlineExceeded
-        } else {
-            Disposition::Completed
-        };
-        self.record_trace(p.ctx.take(), disposition, completion);
-    }
-
-    /// Budgeted validation sim for a freshly applied timeout: replays the
-    /// station under the new policy with a hard event budget, so a policy
-    /// flip can never stall the control loop.
-    fn validate_policy(&mut self, new_idx: usize) {
-        if self.cfg.sim_budget_events == 0 {
-            return;
-        }
-        let st = &self.cfg.station;
-        let gain = (self.last_ea * (st.alloc_boost - 1.0)).max(0.0);
-        let sim_cfg = StationConfig {
-            inter_arrival: Distribution::Exponential {
-                mean: 1.0 / st.lambda(),
-            },
-            service: Distribution::Exponential { mean: st.service_s },
-            expected_service: st.service_s,
-            timeout_ratio: TIMEOUT_GRID[new_idx],
-            boost_rate: (1.0 + gain).max(1.0),
-            servers: st.servers,
-            shared_boost: true,
-            measured_queries: 2000,
-            warmup_queries: 200,
-        };
-        let seed = self.seed ^ self.hyst.applies.wrapping_mul(0x9E37_79B9);
-        if let Ok(mut sim) = QueueSim::try_new(sim_cfg, seed) {
-            let run = sim.run_budgeted(RunBudget::events(self.cfg.sim_budget_events));
-            self.policy_validations += 1;
-            if run.exhausted {
-                self.sim_budget_exhausted += 1;
-            }
-            if run.result.completed() > 0 {
-                stca_obs::gauge("serve.policy_validation_mean_response_s")
-                    .set(run.result.mean_response());
-            }
-        }
-    }
-
-    /// Admit one arrival (phase-2 entry point, in arrival order).
-    fn arrive(&mut self, mut p: Pending) {
-        self.acct.admitted += 1;
-        let now = p.arrival_s;
-        stca_obs::set_virtual_now(now);
-        self.dispatch_ready(now);
-        if self.waiting.len() >= self.cfg.queue_capacity {
-            match self.cfg.overload {
-                OverloadPolicy::ShedNewest => {
-                    self.acct.shed_overload += 1;
-                    self.log_entry(format!("seq={} disp=shed_overload", p.seq));
-                    self.record_trace(p.ctx.take(), Disposition::ShedOverload, now);
-                    return;
-                }
-                OverloadPolicy::ShedOldest => {
-                    if let Some(mut old) = self.waiting.pop_front() {
-                        self.acct.shed_overload += 1;
-                        self.log_entry(format!("seq={} disp=shed_overload", old.seq));
-                        if let Some(ctx) = old.ctx.as_mut() {
-                            ctx.push_span(Stage::QueueWait, old.arrival_s, now);
-                        }
-                        self.record_trace(old.ctx.take(), Disposition::ShedOverload, now);
-                    }
-                }
-                OverloadPolicy::Block => {
-                    self.acct.blocked += 1;
-                }
-            }
-        }
-        self.waiting.push_back(p);
-    }
-
-    /// Graceful drain: finish work that can start within the grace
-    /// window, count the rest as drained.
-    fn drain(&mut self, last_arrival_s: f64) -> f64 {
-        let deadline = last_arrival_s + self.cfg.drain_grace_s;
-        stca_obs::set_virtual_now(deadline);
-        loop {
-            if self.dispatch_one(deadline) {
-                continue;
-            }
-            match self.waiting.pop_front() {
-                Some(mut p) => {
-                    self.acct.drained += 1;
-                    self.log_entry(format!("seq={} disp=drained", p.seq));
-                    if let Some(ctx) = p.ctx.as_mut() {
-                        ctx.push_span(Stage::QueueWait, p.arrival_s, deadline);
-                        ctx.push_span(Stage::Drain, deadline, deadline);
-                    }
-                    self.record_trace(p.ctx.take(), Disposition::Drained, deadline);
-                }
-                None => break,
-            }
-        }
-        self.servers
-            .iter()
-            .fold(last_arrival_s, |m, &f| if f > m { f } else { m })
-    }
-}
-
 /// Run the serving loop over `n_requests` replayed arrivals.
 ///
 /// Deterministic: with the same config, stream, plan, and model, the
@@ -797,7 +368,8 @@ pub fn serve(
     }
     let run_key = stream.seed ^ 0x5E4E;
     let injectors: [FaultInjector; 2] = [plan.injector(run_key, 0), plan.injector(run_key, 1)];
-    let mut state = LoopState::new(cfg, stream.seed);
+    let mut state = ShardCore::new(cfg, stream.seed, None);
+    let mut sink = DecisionSink::new(cfg.keep_decision_log);
     // publish the recorder so error-dump hooks can snapshot it mid-run
     let _active = state.recorder.clone().map(stca_trace::set_active);
     let timer = stca_obs::StageTimer::with_histogram(stca_obs::histogram("serve.run_seconds"));
@@ -814,7 +386,7 @@ pub fn serve(
         // id so histograms recorded inside the model call (e.g.
         // `deepforest.predict.seconds`) pick up exemplars.
         let trace_cfg = cfg.trace;
-        let computed: Vec<Computed> = stca_exec::par_map_indexed(&reqs, |_, r| {
+        let computed = stca_exec::par_map_indexed(&reqs, |_, r| {
             if let Some(tc) = &trace_cfg {
                 stca_obs::set_current_trace_id(tc.trace_id(r.seq));
             }
@@ -831,18 +403,23 @@ pub fn serve(
                 .as_ref()
                 .and_then(|rec| rec.lock().ok())
                 .map(|mut rec| rec.begin(r.seq, r.arrival_s));
-            state.arrive(Pending {
-                seq: r.seq,
-                arrival_s: r.arrival_s,
-                deadline_s: r.deadline_s,
-                comp,
-                ctx,
-            });
+            state.arrive(
+                Pending {
+                    seq: r.seq,
+                    arrival_s: r.arrival_s,
+                    ready_s: r.arrival_s,
+                    deadline_s: r.deadline_s,
+                    hops: 0,
+                    comp,
+                    ctx,
+                },
+                &mut sink,
+            );
         }
         seq += count as u64;
-        stca_obs::gauge("serve.queue_depth").set(state.waiting.len() as f64);
+        stca_obs::gauge("serve.queue_depth").set(state.queue_depth() as f64);
     }
-    let virtual_end = state.drain(last_arrival);
+    let virtual_end = state.drain(last_arrival, &mut sink);
     stca_obs::clear_virtual_now();
     timer.stop();
 
@@ -873,8 +450,8 @@ pub fn serve(
         mean_response_s: mean,
         p50_response_s: p50,
         p99_response_s: p99,
-        decision_hash: state.hash,
-        decision_log: state.log,
+        decision_hash: sink.hash(),
+        decision_log: sink.into_log(),
         virtual_end_s: virtual_end,
         trace_dump: state
             .recorder
@@ -888,39 +465,6 @@ pub fn serve(
     ));
     flush_metrics(&report);
     Ok(report)
-}
-
-fn compute_request(model: &dyn EaModel, inj: &[FaultInjector; 2], r: &Request) -> Computed {
-    let fault = inj[0].predict_fault(r.seq);
-    // run the primary under panic isolation: a wedged model must become a
-    // breaker failure, not tear down the loop
-    let primary = match stca_exec::run_caught(|| model.predict_primary(&r.features)) {
-        Ok(Ok(ea)) if ea.is_finite() => Some(ea),
-        _ => None,
-    };
-    let (degraded_ea, degraded_tier) = model.predict_degraded(&r.features);
-    let degraded_ea = if degraded_ea.is_finite() {
-        degraded_ea
-    } else {
-        1.0
-    };
-    let stall = [
-        [
-            inj[0].stage_stall_s(r.seq * 2),
-            inj[1].stage_stall_s(r.seq * 2),
-        ],
-        [
-            inj[0].stage_stall_s(r.seq * 2 + 1),
-            inj[1].stage_stall_s(r.seq * 2 + 1),
-        ],
-    ];
-    Computed {
-        fault,
-        primary,
-        degraded_ea,
-        degraded_tier,
-        stall,
-    }
 }
 
 /// Flush run totals into the global `serve.*` metrics.

@@ -1,0 +1,704 @@
+//! One serving shard: the serial-replay core shared by the single-loop
+//! server and the fleet.
+//!
+//! [`ShardCore`] is the phase-2 state machine of the serving loop —
+//! bounded admission queue, virtual servers, circuit breaker, hysteresis
+//! controller, watchdog retry path, deadline budgets, and graceful drain —
+//! factored out of `server.rs` so `fleet.rs` can run N independent fault
+//! domains over the same stages. The single-loop server drives exactly one
+//! core with an empty log suffix, which keeps its decision log
+//! byte-identical to the pre-fleet implementation.
+//!
+//! Decision-log entries flow through a caller-owned [`DecisionSink`]: one
+//! sink per run, shared by every shard in a fleet, so the fleet decision
+//! hash covers shard entries and router entries in one deterministic
+//! serial order.
+
+use crate::breaker::CircuitBreaker;
+use crate::hysteresis::Hysteresis;
+use crate::model::{decide, EaModel, TIMEOUT_GRID};
+use crate::request::Request;
+use crate::server::{Accounting, OverloadPolicy, ServeConfig};
+use crate::watchdog::{StageRun, Watchdog};
+use crate::Verdict;
+use stca_fault::FaultInjector;
+use stca_queuesim::{QueueSim, RunBudget, StationConfig};
+use stca_trace::{AttrValue, Disposition, FlightRecorder, Stage, TraceCtx};
+use stca_util::Distribution;
+use std::collections::VecDeque;
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Rolling FNV-1a decision-log hash plus the (optional) retained log.
+/// Entries are hashed as `entry + "\n"` so the hash equals the FNV-1a of
+/// the decision-log file bytes.
+#[derive(Debug)]
+pub(crate) struct DecisionSink {
+    hash: u64,
+    log: Vec<String>,
+    keep: bool,
+}
+
+impl DecisionSink {
+    pub(crate) fn new(keep: bool) -> Self {
+        DecisionSink {
+            hash: FNV_OFFSET,
+            log: Vec::new(),
+            keep,
+        }
+    }
+
+    pub(crate) fn push(&mut self, entry: String) {
+        for b in entry.as_bytes() {
+            self.hash ^= u64::from(*b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.hash ^= u64::from(b'\n');
+        self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        if self.keep {
+            self.log.push(entry);
+        }
+    }
+
+    pub(crate) fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    pub(crate) fn into_log(self) -> Vec<String> {
+        self.log
+    }
+}
+
+/// Pure per-request compute: everything the parallel phase produces.
+#[derive(Debug, Clone)]
+pub(crate) struct Computed {
+    /// Injected primary-predictor fault for this request.
+    pub(crate) fault: bool,
+    /// Primary EA, if the model returned one.
+    pub(crate) primary: Option<f64>,
+    /// Degraded EA and its tier.
+    pub(crate) degraded_ea: f64,
+    pub(crate) degraded_tier: u8,
+    /// Injected stall per stage (0 = predict, 1 = decide) and attempt.
+    pub(crate) stall: [[f64; 2]; 2],
+}
+
+/// A request waiting in (or entering) the admission queue.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub(crate) seq: u64,
+    pub(crate) arrival_s: f64,
+    /// Earliest virtual time service may start. Equals `arrival_s` for a
+    /// directly-routed request; a rerouted request cannot start before the
+    /// crash that moved it. Deadline budgets always count from
+    /// `arrival_s`.
+    pub(crate) ready_s: f64,
+    pub(crate) deadline_s: f64,
+    /// Reroute hops this request has taken (fleet only).
+    pub(crate) hops: u32,
+    pub(crate) comp: Computed,
+    /// In-flight trace (`Some` when tracing is enabled).
+    pub(crate) ctx: Option<TraceCtx>,
+}
+
+/// Serial replay state for one shard (phase 2 of each chunk).
+pub(crate) struct ShardCore<'a> {
+    pub(crate) cfg: &'a ServeConfig,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) hyst: Hysteresis,
+    watchdog: Watchdog,
+    pub(crate) acct: Accounting,
+    /// Per-server virtual free-at times.
+    servers: Vec<f64>,
+    pub(crate) waiting: VecDeque<Pending>,
+    pub(crate) responses: Vec<f64>,
+    pub(crate) degraded: u64,
+    pub(crate) watchdog_trips: u64,
+    pub(crate) retries: u64,
+    pub(crate) policy_validations: u64,
+    pub(crate) sim_budget_exhausted: u64,
+    last_ea: f64,
+    seed: u64,
+    /// Once graceful drain begins, a half-open breaker must not spend
+    /// drain traffic on probe recovery: probe verdicts are gated to
+    /// rejects.
+    draining: bool,
+    /// Appended to every decision-log entry (`" shard=N"` in a fleet,
+    /// empty for the single loop so its log stays byte-identical).
+    suffix: String,
+    resp_hist: std::sync::Arc<stca_obs::Histogram>,
+    /// Flight recorder (`Some` when tracing is enabled). Written only by
+    /// the serial replay phase, so retention is thread-count-proof; the
+    /// mutex exists so the recorder can be published as the process-wide
+    /// active recorder for out-of-band dumps (error hooks), and is
+    /// uncontended otherwise.
+    pub(crate) recorder: Option<std::sync::Arc<std::sync::Mutex<FlightRecorder>>>,
+}
+
+impl<'a> ShardCore<'a> {
+    /// A fresh core. `shard` selects fleet mode: per-shard metric names
+    /// (`serve.shardN.*`) and a `" shard=N"` decision-log suffix; `None`
+    /// keeps the single-loop names and byte format.
+    pub(crate) fn new(cfg: &'a ServeConfig, seed: u64, shard: Option<u32>) -> Self {
+        let initial = decide(&cfg.station, 1.0);
+        let resp_hist = match shard {
+            Some(id) => stca_obs::histogram(&format!("serve.shard{id}.response_seconds")),
+            None => stca_obs::histogram("serve.response_seconds"),
+        };
+        ShardCore {
+            cfg,
+            breaker: CircuitBreaker::new(cfg.breaker),
+            hyst: Hysteresis::new(cfg.hysteresis_k, initial),
+            watchdog: Watchdog {
+                budget_s: cfg.watchdog_budget_s,
+            },
+            acct: Accounting::default(),
+            servers: vec![0.0; cfg.servers],
+            waiting: VecDeque::new(),
+            responses: Vec::new(),
+            degraded: 0,
+            watchdog_trips: 0,
+            retries: 0,
+            policy_validations: 0,
+            sim_budget_exhausted: 0,
+            last_ea: 1.0,
+            seed,
+            draining: false,
+            suffix: shard.map(|id| format!(" shard={id}")).unwrap_or_default(),
+            resp_hist,
+            recorder: cfg
+                .trace
+                .map(|tc| std::sync::Arc::new(std::sync::Mutex::new(FlightRecorder::new(tc)))),
+        }
+    }
+
+    /// File a finished trace (no-op when tracing is off).
+    pub(crate) fn record_trace(
+        &mut self,
+        ctx: Option<TraceCtx>,
+        disposition: Disposition,
+        end_s: f64,
+    ) {
+        if let (Some(rec), Some(ctx)) = (self.recorder.as_ref(), ctx) {
+            if let Ok(mut rec) = rec.lock() {
+                rec.record(ctx.finish(disposition, end_s));
+            }
+        }
+    }
+
+    /// Push one decision-log entry, stamped with this shard's suffix.
+    fn log_entry(&self, sink: &mut DecisionSink, entry: String) {
+        if self.suffix.is_empty() {
+            sink.push(entry);
+        } else {
+            sink.push(entry + &self.suffix);
+        }
+    }
+
+    /// Earliest-free server (lowest index breaks ties).
+    fn next_server(&self) -> (usize, f64) {
+        let mut best = 0;
+        let mut best_free = self.servers[0];
+        for (i, &f) in self.servers.iter().enumerate().skip(1) {
+            if f < best_free {
+                best = i;
+                best_free = f;
+            }
+        }
+        (best, best_free)
+    }
+
+    /// Current queue depth (the router's load snapshot).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Flip the drain gate: from here on, half-open breaker probes are
+    /// rejected instead of admitted.
+    pub(crate) fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether the drain gate is closed (drain has begun).
+    #[cfg(test)]
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Take the whole admission queue (shard crash: the fleet reroutes or
+    /// sheds every waiting request).
+    pub(crate) fn flush_waiting(&mut self) -> Vec<Pending> {
+        self.waiting.drain(..).collect()
+    }
+
+    /// Push every server's free-at time to at least `t` (crash outage or
+    /// injected shard stall: the shard does no useful work until `t`).
+    pub(crate) fn freeze_until(&mut self, t: f64) {
+        for f in &mut self.servers {
+            if *f < t {
+                *f = t;
+            }
+        }
+    }
+
+    /// Try to move the queue head into service, if it can start by
+    /// `now_limit`. Returns false when the head must keep waiting (or the
+    /// queue is empty).
+    pub(crate) fn dispatch_one(&mut self, now_limit: f64, sink: &mut DecisionSink) -> bool {
+        let Some(head) = self.waiting.front() else {
+            return false;
+        };
+        let (si, free) = self.next_server();
+        let start = free.max(head.ready_s);
+        if start > now_limit {
+            return false;
+        }
+        let mut p = self.waiting.pop_front().expect("front checked above");
+        if let Some(ctx) = p.ctx.as_mut() {
+            let depth = self.waiting.len() as f64;
+            ctx.push_span(Stage::QueueWait, p.arrival_s, start)
+                .args
+                .push(("queue_depth", AttrValue::Num(depth)));
+        }
+        // deadline check at dispatch: queueing alone may have eaten the
+        // whole budget
+        if start - p.arrival_s >= p.deadline_s {
+            self.acct.shed_deadline += 1;
+            self.log_entry(
+                sink,
+                format!("seq={} disp=shed_deadline stage=queue", p.seq),
+            );
+            self.record_trace(p.ctx.take(), Disposition::ShedDeadline, start);
+            return true;
+        }
+        self.service(p, start, si, sink);
+        true
+    }
+
+    pub(crate) fn dispatch_ready(&mut self, now: f64, sink: &mut DecisionSink) {
+        while self.dispatch_one(now, sink) {}
+    }
+
+    /// Run one stage under the watchdog with its retry path. Returns the
+    /// virtual cost charged, whether the stage ultimately succeeded, and
+    /// whether the watchdog had to retry it.
+    fn run_stage(&mut self, base_cost_s: f64, stalls: [f64; 2]) -> (f64, bool, bool) {
+        match self.watchdog.supervise(base_cost_s, stalls[0]) {
+            StageRun::Ok { cost_s } => (cost_s, true, false),
+            StageRun::Stuck { wasted_s } => {
+                self.watchdog_trips += 1;
+                self.retries += 1;
+                match self.watchdog.supervise(base_cost_s, stalls[1]) {
+                    StageRun::Ok { cost_s } => (wasted_s + cost_s, true, true),
+                    StageRun::Stuck { wasted_s: w2 } => {
+                        self.watchdog_trips += 1;
+                        (wasted_s + w2, false, true)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute predict → decide for one dispatched request.
+    fn service(&mut self, mut p: Pending, start: f64, si: usize, sink: &mut DecisionSink) {
+        if let Some(ctx) = p.ctx.as_mut() {
+            ctx.set_server(si);
+        }
+        stca_obs::set_virtual_now(start);
+        // ---- predict stage (primary behind the breaker) ----
+        let (predict_cost, predict_ok, predict_retried) =
+            self.run_stage(self.cfg.predict_cost_s, p.comp.stall[0]);
+        if predict_retried {
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.flag_watchdog_retry();
+            }
+        }
+        if !predict_ok {
+            self.servers[si] = start + predict_cost;
+            self.acct.shed_failed += 1;
+            self.log_entry(sink, format!("seq={} disp=failed stage=predict", p.seq));
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.push_span(Stage::Predict, start, start + predict_cost)
+                    .args
+                    .push(("retries", AttrValue::Num(2.0)));
+            }
+            self.record_trace(p.ctx.take(), Disposition::ShedFailed, start + predict_cost);
+            return;
+        }
+        let breaker_counters = (self.breaker.opens, self.breaker.closes);
+        let verdict = self.breaker.decide_gated(start, p.seq, !self.draining);
+        let (ea, tier) = match verdict {
+            Verdict::Admit | Verdict::Probe => match (p.comp.fault, p.comp.primary) {
+                (false, Some(ea)) => {
+                    self.breaker.record_success(start);
+                    (ea, 0u8)
+                }
+                _ => {
+                    self.breaker.record_failure(start);
+                    self.degraded += 1;
+                    (p.comp.degraded_ea, p.comp.degraded_tier)
+                }
+            },
+            Verdict::Reject => {
+                self.degraded += 1;
+                (p.comp.degraded_ea, p.comp.degraded_tier)
+            }
+        };
+        self.last_ea = ea;
+        if let Some(ctx) = p.ctx.as_mut() {
+            if (self.breaker.opens, self.breaker.closes) != breaker_counters {
+                ctx.flag_breaker_transition();
+            }
+            let span = ctx.push_span(Stage::Predict, start, start + predict_cost);
+            span.args.push((
+                "mode",
+                AttrValue::Text(if tier == 0 { "strict" } else { "degraded" }.to_string()),
+            ));
+            span.args.push(("tier", AttrValue::Num(f64::from(tier))));
+            span.args.push((
+                "verdict",
+                AttrValue::Text(
+                    match verdict {
+                        Verdict::Admit => "admit",
+                        Verdict::Probe => "probe",
+                        Verdict::Reject => "reject",
+                    }
+                    .to_string(),
+                ),
+            ));
+            span.args.push(("ea", AttrValue::Num(ea)));
+        }
+        // deadline propagation: no point deciding for a request whose
+        // budget died in the predict stage
+        if (start + predict_cost) - p.arrival_s >= p.deadline_s {
+            self.servers[si] = start + predict_cost;
+            self.acct.shed_deadline += 1;
+            self.log_entry(
+                sink,
+                format!("seq={} disp=shed_deadline stage=predict", p.seq),
+            );
+            self.record_trace(
+                p.ctx.take(),
+                Disposition::ShedDeadline,
+                start + predict_cost,
+            );
+            return;
+        }
+        // ---- decide stage ----
+        let (decide_cost, decide_ok, decide_retried) =
+            self.run_stage(self.cfg.decide_cost_s, p.comp.stall[1]);
+        if decide_retried {
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.flag_watchdog_retry();
+            }
+        }
+        let total = predict_cost + decide_cost;
+        if !decide_ok {
+            self.servers[si] = start + total;
+            self.acct.shed_failed += 1;
+            self.log_entry(sink, format!("seq={} disp=failed stage=decide", p.seq));
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.push_span(Stage::Decide, start + predict_cost, start + total)
+                    .args
+                    .push(("retries", AttrValue::Num(2.0)));
+            }
+            self.record_trace(p.ctx.take(), Disposition::ShedFailed, start + total);
+            return;
+        }
+        let idx = decide(&self.cfg.station, ea);
+        let completion = start + total;
+        if let Some(ctx) = p.ctx.as_mut() {
+            let span = ctx.push_span(Stage::Decide, start + predict_cost, completion);
+            span.args.push(("timeout_idx", AttrValue::Num(idx as f64)));
+            span.args
+                .push(("timeout_s", AttrValue::Num(TIMEOUT_GRID[idx])));
+        }
+        if let Some(new_idx) = self.hyst.observe(idx) {
+            self.validate_policy(new_idx);
+            if let Some(ctx) = p.ctx.as_mut() {
+                ctx.push_span(Stage::ValidatePolicy, completion, completion)
+                    .args
+                    .push(("applied", AttrValue::Num(new_idx as f64)));
+            }
+        }
+        self.servers[si] = completion;
+        stca_obs::set_virtual_now(completion);
+        let resp = completion - p.arrival_s;
+        self.acct.completed += 1;
+        let exceeded = resp > p.deadline_s;
+        if exceeded {
+            self.acct.deadline_exceeded += 1;
+        }
+        self.responses.push(resp);
+        if let Some(ctx) = p.ctx.as_ref() {
+            // stamp the response sample with this request's trace id so
+            // the `serve.response_seconds` bucket gains an exemplar
+            stca_obs::set_current_trace_id(ctx.trace_id());
+        }
+        self.resp_hist.record(resp);
+        if p.ctx.is_some() {
+            stca_obs::set_current_trace_id(0);
+        }
+        self.log_entry(
+            sink,
+            format!(
+                "seq={} disp=ok tier={} ea={:016x} t={} applied={} resp={:016x}",
+                p.seq,
+                tier,
+                ea.to_bits(),
+                idx,
+                self.hyst.applied(),
+                resp.to_bits(),
+            ),
+        );
+        let disposition = if exceeded {
+            Disposition::DeadlineExceeded
+        } else {
+            Disposition::Completed
+        };
+        self.record_trace(p.ctx.take(), disposition, completion);
+    }
+
+    /// Budgeted validation sim for a freshly applied timeout: replays the
+    /// station under the new policy with a hard event budget, so a policy
+    /// flip can never stall the control loop.
+    fn validate_policy(&mut self, new_idx: usize) {
+        if self.cfg.sim_budget_events == 0 {
+            return;
+        }
+        let st = &self.cfg.station;
+        let gain = (self.last_ea * (st.alloc_boost - 1.0)).max(0.0);
+        let sim_cfg = StationConfig {
+            inter_arrival: Distribution::Exponential {
+                mean: 1.0 / st.lambda(),
+            },
+            service: Distribution::Exponential { mean: st.service_s },
+            expected_service: st.service_s,
+            timeout_ratio: TIMEOUT_GRID[new_idx],
+            boost_rate: (1.0 + gain).max(1.0),
+            servers: st.servers,
+            shared_boost: true,
+            measured_queries: 2000,
+            warmup_queries: 200,
+        };
+        let seed = self.seed ^ self.hyst.applies.wrapping_mul(0x9E37_79B9);
+        if let Ok(mut sim) = QueueSim::try_new(sim_cfg, seed) {
+            let run = sim.run_budgeted(RunBudget::events(self.cfg.sim_budget_events));
+            self.policy_validations += 1;
+            if run.exhausted {
+                self.sim_budget_exhausted += 1;
+            }
+            if run.result.completed() > 0 {
+                stca_obs::gauge("serve.policy_validation_mean_response_s")
+                    .set(run.result.mean_response());
+            }
+        }
+    }
+
+    /// Admit one arrival (phase-2 entry point, in arrival order).
+    pub(crate) fn arrive(&mut self, mut p: Pending, sink: &mut DecisionSink) {
+        self.acct.admitted += 1;
+        let now = p.ready_s;
+        stca_obs::set_virtual_now(now);
+        self.dispatch_ready(now, sink);
+        if self.waiting.len() >= self.cfg.queue_capacity {
+            match self.cfg.overload {
+                OverloadPolicy::ShedNewest => {
+                    self.acct.shed_overload += 1;
+                    self.log_entry(sink, format!("seq={} disp=shed_overload", p.seq));
+                    self.record_trace(p.ctx.take(), Disposition::ShedOverload, now);
+                    return;
+                }
+                OverloadPolicy::ShedOldest => {
+                    if let Some(mut old) = self.waiting.pop_front() {
+                        self.acct.shed_overload += 1;
+                        self.log_entry(sink, format!("seq={} disp=shed_overload", old.seq));
+                        if let Some(ctx) = old.ctx.as_mut() {
+                            ctx.push_span(Stage::QueueWait, old.arrival_s, now);
+                        }
+                        self.record_trace(old.ctx.take(), Disposition::ShedOverload, now);
+                    }
+                }
+                OverloadPolicy::Block => {
+                    self.acct.blocked += 1;
+                }
+            }
+        }
+        self.waiting.push_back(p);
+    }
+
+    /// Graceful drain: finish work that can start within the grace
+    /// window, count the rest as drained. Closes the probe gate first —
+    /// drain traffic never feeds breaker recovery.
+    pub(crate) fn drain(&mut self, last_arrival_s: f64, sink: &mut DecisionSink) -> f64 {
+        self.begin_drain();
+        let deadline = last_arrival_s + self.cfg.drain_grace_s;
+        stca_obs::set_virtual_now(deadline);
+        loop {
+            if self.dispatch_one(deadline, sink) {
+                continue;
+            }
+            match self.waiting.pop_front() {
+                Some(mut p) => {
+                    self.acct.drained += 1;
+                    self.log_entry(sink, format!("seq={} disp=drained", p.seq));
+                    if let Some(ctx) = p.ctx.as_mut() {
+                        ctx.push_span(Stage::QueueWait, p.arrival_s, deadline);
+                        ctx.push_span(Stage::Drain, deadline, deadline);
+                    }
+                    self.record_trace(p.ctx.take(), Disposition::Drained, deadline);
+                }
+                None => break,
+            }
+        }
+        self.servers
+            .iter()
+            .fold(last_arrival_s, |m, &f| if f > m { f } else { m })
+    }
+}
+
+/// Pure per-request compute (phase 1): the primary model call under panic
+/// isolation, the degraded fallback, and the injected faults — all a pure
+/// function of the request, bit-identical at any thread count.
+pub(crate) fn compute_request(
+    model: &dyn EaModel,
+    inj: &[FaultInjector; 2],
+    r: &Request,
+) -> Computed {
+    let fault = inj[0].predict_fault(r.seq);
+    // run the primary under panic isolation: a wedged model must become a
+    // breaker failure, not tear down the loop
+    let primary = match stca_exec::run_caught(|| model.predict_primary(&r.features)) {
+        Ok(Ok(ea)) if ea.is_finite() => Some(ea),
+        _ => None,
+    };
+    let (degraded_ea, degraded_tier) = model.predict_degraded(&r.features);
+    let degraded_ea = if degraded_ea.is_finite() {
+        degraded_ea
+    } else {
+        1.0
+    };
+    let stall = [
+        [
+            inj[0].stage_stall_s(r.seq * 2),
+            inj[1].stage_stall_s(r.seq * 2),
+        ],
+        [
+            inj[0].stage_stall_s(r.seq * 2 + 1),
+            inj[1].stage_stall_s(r.seq * 2 + 1),
+        ],
+    ];
+    Computed {
+        fault,
+        primary,
+        degraded_ea,
+        degraded_tier,
+        stall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use stca_util::Rng64;
+
+    fn pending(seq: u64, arrival_s: f64, comp: Computed) -> Pending {
+        Pending {
+            seq,
+            arrival_s,
+            ready_s: arrival_s,
+            deadline_s: 10.0,
+            hops: 0,
+            comp,
+            ctx: None,
+        }
+    }
+
+    fn failing_comp() -> Computed {
+        Computed {
+            fault: true,
+            primary: None,
+            degraded_ea: 1.0,
+            degraded_tier: 2,
+            stall: [[0.0; 2]; 2],
+        }
+    }
+
+    /// Satellite: a half-open breaker during graceful drain must not admit
+    /// probe traffic after drain begins — property-tested over arbitrary
+    /// breaker configs.
+    #[test]
+    fn drain_never_admits_breaker_probes_for_arbitrary_configs() {
+        let mut rng = Rng64::new(0x0DAB_5EED);
+        for case in 0..200u64 {
+            let bcfg = BreakerConfig {
+                failure_threshold: 1 + (rng.next_u64() % 8) as u32,
+                cooldown_s: 0.01 + rng.next_f64() * 2.0,
+                probe_fraction: rng.next_f64(),
+                success_to_close: 1 + (rng.next_u64() % 5) as u32,
+                seed: rng.next_u64(),
+            };
+            let cfg = ServeConfig {
+                breaker: bcfg,
+                drain_grace_s: 5.0,
+                ..ServeConfig::default()
+            };
+            let mut core = ShardCore::new(&cfg, case, None);
+            let mut sink = DecisionSink::new(false);
+            // Fail enough requests to trip the breaker open, then stop
+            // arrivals just past the cooldown so the drain window overlaps
+            // the half-open period.
+            let n = bcfg.failure_threshold as u64 + 4;
+            for seq in 0..n {
+                core.arrive(pending(seq, 0.001 * seq as f64, failing_comp()), &mut sink);
+            }
+            let last = 0.001 * n as f64 + bcfg.cooldown_s;
+            // Queue a burst that can only dispatch during drain.
+            for seq in n..n + 64 {
+                core.arrive(pending(seq, last, failing_comp()), &mut sink);
+            }
+            let probes_before = core.breaker.probes;
+            core.drain(last, &mut sink);
+            assert!(core.is_draining());
+            assert_eq!(
+                core.breaker.probes, probes_before,
+                "case {case}: drain admitted probe traffic ({bcfg:?})"
+            );
+            assert!(core.acct.balanced(), "case {case}: {:?}", core.acct);
+        }
+    }
+
+    #[test]
+    fn rerouted_ready_time_floors_dispatch_start() {
+        let cfg = ServeConfig::default();
+        let mut core = ShardCore::new(&cfg, 0, Some(3));
+        let mut sink = DecisionSink::new(true);
+        let mut p = pending(
+            9,
+            1.0,
+            Computed {
+                fault: false,
+                primary: Some(1.0),
+                degraded_ea: 1.0,
+                degraded_tier: 1,
+                stall: [[0.0; 2]; 2],
+            },
+        );
+        p.ready_s = 4.0; // rerouted at t=4: cannot start earlier
+        core.arrive(p, &mut sink);
+        core.dispatch_ready(10.0, &mut sink);
+        assert_eq!(core.acct.completed, 1);
+        let resp = core.responses[0];
+        assert!(
+            resp >= 3.0,
+            "service started before the reroute time: resp {resp}"
+        );
+        let log = sink.into_log();
+        assert!(
+            log.iter().all(|l| l.ends_with(" shard=3")),
+            "fleet entries carry the shard suffix: {log:?}"
+        );
+    }
+}

@@ -35,7 +35,7 @@ const US_PER_S: f64 = 1e6;
 /// Span argument keys the exporter/importer understand. Import interns
 /// arg keys against this table (span args use `&'static str` keys);
 /// unknown keys are dropped with a validation note rather than leaked.
-pub const KNOWN_ARG_KEYS: [&str; 12] = [
+pub const KNOWN_ARG_KEYS: [&str; 16] = [
     "mode",
     "tier",
     "verdict",
@@ -48,6 +48,10 @@ pub const KNOWN_ARG_KEYS: [&str; 12] = [
     "resp_s",
     "stage",
     "retries",
+    "shard",
+    "from_shard",
+    "to_shard",
+    "hops",
 ];
 
 fn intern_arg_key(key: &str) -> Option<&'static str> {

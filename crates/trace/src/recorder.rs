@@ -249,6 +249,31 @@ impl TraceDump {
             .ok()
             .map(|i| &self.traces[i])
     }
+
+    /// Merge per-shard dumps into one fleet dump: traces are concatenated
+    /// and re-sorted by sequence number, retention counters are summed.
+    /// Deterministic for any input order of equal content — the fleet
+    /// always passes shards in id order, and each request terminates in
+    /// exactly one recorder, so seqs stay unique and `by_seq` keeps
+    /// working. `seed`/`sample_every` come from the first dump (all shards
+    /// share one `TraceConfig`). Returns `None` for an empty input.
+    pub fn merge(dumps: impl IntoIterator<Item = TraceDump>) -> Option<TraceDump> {
+        let mut iter = dumps.into_iter();
+        let mut out = iter.next()?;
+        for d in iter {
+            debug_assert_eq!(d.seed, out.seed, "shards must share one trace seed");
+            debug_assert_eq!(d.sample_every, out.sample_every);
+            out.stats.started += d.stats.started;
+            out.stats.retained_error += d.stats.retained_error;
+            out.stats.retained_normal += d.stats.retained_normal;
+            out.stats.evicted_normal += d.stats.evicted_normal;
+            out.stats.dropped_error += d.stats.dropped_error;
+            out.stats.unsampled += d.stats.unsampled;
+            out.traces.extend(d.traces);
+        }
+        out.traces.sort_by_key(|t| t.seq);
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +393,27 @@ mod tests {
         assert_eq!(dump.stats.retained_error, 1);
         drop(guard);
         assert!(active_dump().is_none(), "guard must clear the slot");
+    }
+
+    #[test]
+    fn merged_dump_sums_stats_and_stays_seq_sorted() {
+        let mk = |seqs: &[u64]| {
+            let mut rec = FlightRecorder::new(TraceConfig {
+                sample_every: 1,
+                ..cfg()
+            });
+            for &s in seqs {
+                finish(&mut rec, s, Disposition::ShedDeadline);
+            }
+            rec.dump()
+        };
+        let merged = TraceDump::merge([mk(&[9, 2]), mk(&[5]), mk(&[0, 7])]).expect("non-empty");
+        let seqs: Vec<u64> = merged.traces.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 2, 5, 7, 9]);
+        assert_eq!(merged.stats.started, 5);
+        assert_eq!(merged.stats.retained_error, 5);
+        assert_eq!(merged.by_seq(7).map(|t| t.seq), Some(7));
+        assert!(TraceDump::merge(std::iter::empty()).is_none());
     }
 
     #[test]

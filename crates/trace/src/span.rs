@@ -26,17 +26,21 @@ pub enum Stage {
     ValidatePolicy,
     /// Zero-length marker at drain: the request never started.
     Drain,
+    /// Zero-length marker: the fleet router moved (or shed) the request —
+    /// `from_shard` / `to_shard` args carry the hop.
+    Route,
 }
 
 impl Stage {
     /// All stages in pipeline order (table/report ordering).
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Admission,
         Stage::QueueWait,
         Stage::Predict,
         Stage::Decide,
         Stage::ValidatePolicy,
         Stage::Drain,
+        Stage::Route,
     ];
 
     /// Stable wire name (Chrome `name` field, report tables).
@@ -48,6 +52,7 @@ impl Stage {
             Stage::Decide => "decide",
             Stage::ValidatePolicy => "validate_policy",
             Stage::Drain => "drain",
+            Stage::Route => "route",
         }
     }
 
@@ -74,17 +79,21 @@ pub enum Disposition {
     ShedFailed,
     /// Dropped at drain: could not start within the grace window.
     Drained,
+    /// Shed by the fleet router: no routable shard at admission, or the
+    /// reroute hop budget ran out while resolving an in-flight request.
+    RouterShed,
 }
 
 impl Disposition {
     /// Every disposition, for schema validation.
-    pub const ALL: [Disposition; 6] = [
+    pub const ALL: [Disposition; 7] = [
         Disposition::Completed,
         Disposition::DeadlineExceeded,
         Disposition::ShedOverload,
         Disposition::ShedDeadline,
         Disposition::ShedFailed,
         Disposition::Drained,
+        Disposition::RouterShed,
     ];
 
     /// Stable wire name.
@@ -96,6 +105,7 @@ impl Disposition {
             Disposition::ShedDeadline => "shed_deadline",
             Disposition::ShedFailed => "shed_failed",
             Disposition::Drained => "drained",
+            Disposition::RouterShed => "router_shed",
         }
     }
 
@@ -230,6 +240,14 @@ impl TraceCtx {
     /// Record which virtual server served the request.
     pub fn set_server(&mut self, server: usize) {
         self.trace.server = Some(server);
+    }
+
+    /// Attach an argument to the admission marker span — the fleet layer
+    /// stamps the owning shard here so shard identity survives reroutes.
+    pub fn annotate_admission(&mut self, key: &'static str, value: AttrValue) {
+        if let Some(first) = self.trace.spans.first_mut() {
+            first.args.push((key, value));
+        }
     }
 
     /// Mark that the watchdog retried a stage of this request.

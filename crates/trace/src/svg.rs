@@ -29,6 +29,7 @@ fn stage_color(stage: Stage) -> &'static str {
         Stage::Decide => "#5cb85c",
         Stage::ValidatePolicy => "#9b59b6",
         Stage::Drain => "#d9534f",
+        Stage::Route => "#17a2b8",
     }
 }
 
