@@ -93,6 +93,23 @@ control loop (admission queue -> predict -> STAP decide -> drain):
   --decision-log FILE   write the per-request decision log
   --health-out FILE     write a JSON health snapshot (report + serve.*)
 
+Adaptation (stca serve): the drift-aware model lifecycle — per-shard
+drift detection over EA residuals, warm-start candidate retrain, shadow
+scoring, guarded promotion, automatic rollback. Off by default; any
+other --adapt-* flag switches it on (bit-identical at any --threads):
+  --adapt BOOL          enable/disable the lifecycle explicitly
+  --adapt-epoch S       virtual seconds per lifecycle epoch (5.0)
+  --adapt-window N      residual window size = retraining rows (256)
+  --adapt-min-samples N observations before drift can fire (64)
+  --adapt-threshold X   drift score that triggers a retrain (4.0)
+  --adapt-shadow N      requests a candidate is shadow-scored on (64)
+  --adapt-agree-tol X   EA tolerance for a shadow agreement (0.25)
+  --adapt-agreement F   min shadow agreement fraction to promote (0.6)
+  --adapt-guard N       post-promotion guard-window requests (128)
+  --adapt-guard-band X  allowed residual regression factor (1.5)
+  --adapt-history N     bounded model-version history depth (4)
+  --adapt-budget S      virtual retrain budget; slower retrains abort (1.0)
+
 Tracing (stca serve): any --trace-* flag enables the per-request flight
 recorder (error-class traces always retained, completions head-sampled;
 bit-identical at any --threads; the decision hash is unchanged):
@@ -383,6 +400,18 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
             ("shards", "serve.fleet", "shards"),
             ("router", "serve.fleet", "router"),
             ("reroute-max", "serve.fleet", "reroute_max"),
+            ("adapt-epoch", "serve.adapt", "epoch_s"),
+            ("adapt-window", "serve.adapt", "window"),
+            ("adapt-min-samples", "serve.adapt", "min_samples"),
+            ("adapt-threshold", "serve.adapt", "drift_threshold"),
+            ("adapt-shadow", "serve.adapt", "shadow_requests"),
+            ("adapt-agree-tol", "serve.adapt", "agree_tol"),
+            ("adapt-agreement", "serve.adapt", "promote_agreement"),
+            ("adapt-guard", "serve.adapt", "guard_requests"),
+            ("adapt-guard-band", "serve.adapt", "guard_band"),
+            ("adapt-history", "serve.adapt", "history"),
+            ("adapt-budget", "serve.adapt", "retrain_budget_s"),
+            ("adapt", "serve.adapt", "enabled"),
             ("decision-log", "artifacts", "decision_log"),
             ("health-out", "artifacts", "health"),
             ("trace-out", "artifacts", "trace_json"),
@@ -401,6 +430,27 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
         .any(|f| args.get(f).is_some());
     if any_trace_flag {
         set_flag(&mut spec, "trace-out", "trace", "enabled", "true")?;
+    }
+    // any tuning flag switches the lifecycle on, mirroring --trace-*;
+    // an explicit --adapt true/false still wins (applied above, and
+    // re-applied here so it beats the implicit enable)
+    let any_adapt_flag = [
+        "adapt-epoch",
+        "adapt-window",
+        "adapt-min-samples",
+        "adapt-threshold",
+        "adapt-shadow",
+        "adapt-agree-tol",
+        "adapt-agreement",
+        "adapt-guard",
+        "adapt-guard-band",
+        "adapt-history",
+        "adapt-budget",
+    ]
+    .iter()
+    .any(|f| args.get(f).is_some());
+    if any_adapt_flag && args.get("adapt").is_none() {
+        set_flag(&mut spec, "adapt", "serve.adapt", "enabled", "true")?;
     }
     let trace_out =
         (!spec.artifacts.trace_json.is_empty()).then(|| PathBuf::from(&spec.artifacts.trace_json));
@@ -440,6 +490,19 @@ fn cmd_serve(args: &Args) -> Result<(), StcaError> {
         "  breaker: opens {} closes {} probes {} rejects {}",
         report.breaker_opens, report.breaker_closes, report.breaker_probes, report.breaker_rejects
     );
+    if let Some(ad) = &report.adapt {
+        println!(
+            "  adapt: drifts {}  retrains {} (failed {} / slow {})  promotions {}  \
+             rollbacks {}  active v{}",
+            ad.drifts,
+            ad.retrains,
+            ad.retrain_failures,
+            ad.retrain_slows,
+            ad.promotions,
+            ad.rollbacks,
+            ad.active_version
+        );
+    }
     println!(
         "  policy: applies {} suppressed {} (final timeout ratio {:.2})",
         report.policy_applies,
@@ -538,6 +601,14 @@ fn cmd_serve_fleet(
             s.crashes,
             s.p99_response_s
         );
+    }
+    let (promos, rollbacks): (u64, u64) = report
+        .shards
+        .iter()
+        .filter_map(|s| s.adapt.as_ref())
+        .fold((0, 0), |(p, r), a| (p + a.promotions, r + a.rollbacks));
+    if report.shards.iter().any(|s| s.adapt.is_some()) {
+        println!("  adapt: promotions {promos}  rollbacks {rollbacks}");
     }
     println!(
         "  response: mean {:.4}s p50 {:.4}s p99 {:.4}s",

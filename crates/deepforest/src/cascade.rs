@@ -84,6 +84,46 @@ impl CascadeConfig {
 #[derive(Debug, Clone)]
 pub struct Cascade {
     levels: Vec<Vec<Forest>>,
+    /// FNV-1a over the training window, hyperparameters, and a seed probe
+    /// — see [`fit_fingerprint`]. Lets a warm start recognise a retrain on
+    /// an unchanged window and reuse the previous model wholesale.
+    fingerprint: u64,
+}
+
+/// FNV-1a fingerprint of one fit problem: every `x` and `y` bit, the
+/// config knobs that shape the trees, and a probe draw from the seed
+/// stream. Two calls share a fingerprint iff a cold [`Cascade::fit`] on
+/// them would be bit-identical.
+pub fn fit_fingerprint(x: &Matrix, y: &[f64], config: &CascadeConfig, stream: &SeedStream) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for shift in [0, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (v >> shift) & 0xFF;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(x.rows() as u64);
+    mix(x.cols() as u64);
+    for r in 0..x.rows() {
+        for v in x.row(r) {
+            mix(v.to_bits());
+        }
+    }
+    for v in y {
+        mix(v.to_bits());
+    }
+    mix(config.levels as u64);
+    mix(config.forests_per_level as u64);
+    mix(config.trees_per_forest as u64);
+    mix(config.folds as u64);
+    mix(config.bins.map_or(u64::MAX, |b| b as u64));
+    mix(config.reference as u64);
+    // probe the stream on a tag fit() never uses, so two streams that
+    // would drive identical fits hash identically and others do not
+    mix(stream.rng(0xF17E_F1FE).next_u64());
+    h
 }
 
 fn forest_config(slot: usize, config: &CascadeConfig) -> ForestConfig {
@@ -200,7 +240,37 @@ impl Cascade {
             "cascade fit: {} levels on {n} samples in {elapsed:.3}s",
             levels.len()
         );
-        Cascade { levels }
+        Cascade {
+            levels,
+            fingerprint: fit_fingerprint(x, y, &config, stream),
+        }
+    }
+
+    /// Warm-start retrain: fit on `(x, y)` reusing `prev` when the training
+    /// problem is unchanged. If the window, hyperparameters, and seed
+    /// stream fingerprint-match the fit that produced `prev`, the previous
+    /// model is cloned wholesale (a cold fit would reproduce it bit for
+    /// bit, so skipping the work cannot change any downstream decision);
+    /// otherwise this falls back to a cold [`Cascade::fit`] on the new
+    /// window. Either way the result is bit-identical to a cold fit with
+    /// the same inputs, at any thread count.
+    pub fn fit_warm_start(
+        x: &Matrix,
+        y: &[f64],
+        config: CascadeConfig,
+        stream: &SeedStream,
+        prev: &Cascade,
+    ) -> Self {
+        if fit_fingerprint(x, y, &config, stream) == prev.fingerprint {
+            cascade_metrics().fits.inc();
+            return prev.clone();
+        }
+        Cascade::fit(x, y, config, stream)
+    }
+
+    /// The fingerprint of the fit problem that produced this cascade.
+    pub fn fit_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Predict one feature vector. Convenience wrapper over
@@ -366,6 +436,54 @@ mod tests {
                 c.predict_with(x.row(r), &mut scratch).to_bits()
             );
         }
+    }
+
+    /// Bit-level equality probe: same fingerprint and bit-identical
+    /// predictions across a spread of rows.
+    fn assert_same_model(a: &Cascade, b: &Cascade, x: &Matrix, what: &str) {
+        assert_eq!(a.fit_fingerprint(), b.fit_fingerprint(), "{what}");
+        for r in 0..x.rows() {
+            assert_eq!(
+                a.predict(x.row(r)).to_bits(),
+                b.predict(x.row(r)).to_bits(),
+                "{what}: row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_on_identical_window_is_bit_identical_to_cold_fit() {
+        let (x, y) = xor_data(90, 21);
+        let cold = Cascade::fit(&x, &y, small(), &SeedStream::new(22));
+        // same window, same seed: warm start must equal the cold fit bit
+        // for bit, whether the retrain runs on 1 worker or 8
+        for threads in [1usize, 8] {
+            stca_exec::set_threads(threads);
+            let warm = Cascade::fit_warm_start(&x, &y, small(), &SeedStream::new(22), &cold);
+            assert_same_model(&cold, &warm, &x, &format!("warm start @ {threads} threads"));
+        }
+        stca_exec::set_threads(0);
+    }
+
+    #[test]
+    fn warm_start_on_changed_window_equals_cold_fit_on_that_window() {
+        let (x0, y0) = xor_data(80, 23);
+        let prev = Cascade::fit(&x0, &y0, small(), &SeedStream::new(24));
+        // a different window must NOT reuse prev: the result is exactly a
+        // cold fit on the new window
+        let (x1, y1) = xor_data(100, 25);
+        let warm = Cascade::fit_warm_start(&x1, &y1, small(), &SeedStream::new(24), &prev);
+        let cold = Cascade::fit(&x1, &y1, small(), &SeedStream::new(24));
+        assert_same_model(&cold, &warm, &x1, "changed-window warm start");
+        assert_ne!(
+            prev.fit_fingerprint(),
+            warm.fit_fingerprint(),
+            "changed window must change the fingerprint"
+        );
+        // same window under a different seed also falls back to a cold fit
+        let reseeded = Cascade::fit_warm_start(&x0, &y0, small(), &SeedStream::new(26), &prev);
+        let cold_reseeded = Cascade::fit(&x0, &y0, small(), &SeedStream::new(26));
+        assert_same_model(&cold_reseeded, &reseeded, &x0, "reseeded warm start");
     }
 
     #[test]

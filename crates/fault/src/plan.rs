@@ -31,6 +31,15 @@ const TAG_SHARD_CRASH: u64 = 0x99;
 const TAG_SHARD_STALL: u64 = 0xAA;
 const TAG_SHARD_FLAP: u64 = 0xBB;
 
+// Tag space for model-lifecycle faults (crates/serve adapt loop). Rolled
+// per `(plan seed, shard id, epoch)` exactly like the shard faults above,
+// so every lifecycle failure mode replays bit-identically at any
+// `--threads`.
+const TAG_DRIFT_BURST: u64 = 0xCC;
+const TAG_RETRAIN_FAIL: u64 = 0xDD;
+const TAG_RETRAIN_SLOW: u64 = 0xEE;
+const TAG_PROMOTE_CORRUPT: u64 = 0xFF;
+
 /// Injection-side metric handles, resolved once.
 struct InjectMetrics {
     crashes: Arc<stca_obs::Counter>,
@@ -44,6 +53,10 @@ struct InjectMetrics {
     shard_crashes: Arc<stca_obs::Counter>,
     shard_stalls: Arc<stca_obs::Counter>,
     shard_flaps: Arc<stca_obs::Counter>,
+    drift_bursts: Arc<stca_obs::Counter>,
+    retrain_failures: Arc<stca_obs::Counter>,
+    retrain_slows: Arc<stca_obs::Counter>,
+    promote_corruptions: Arc<stca_obs::Counter>,
 }
 
 fn inject_metrics() -> &'static InjectMetrics {
@@ -60,6 +73,10 @@ fn inject_metrics() -> &'static InjectMetrics {
         shard_crashes: stca_obs::counter("fault.injected_shard_crashes_total"),
         shard_stalls: stca_obs::counter("fault.injected_shard_stalls_total"),
         shard_flaps: stca_obs::counter("fault.injected_shard_flaps_total"),
+        drift_bursts: stca_obs::counter("fault.injected_drift_bursts_total"),
+        retrain_failures: stca_obs::counter("fault.injected_retrain_failures_total"),
+        retrain_slows: stca_obs::counter("fault.injected_retrain_slows_total"),
+        promote_corruptions: stca_obs::counter("fault.injected_promote_corruptions_total"),
     })
 }
 
@@ -112,6 +129,21 @@ pub struct FaultPlan {
     /// treats it as unhealthy for the epoch, but in-flight and queued
     /// work keeps draining on the shard.
     pub shard_flap_prob: f64,
+    /// Per-(shard, epoch) probability the serving traffic's observed EA
+    /// drifts for the epoch: the adapt loop sees residuals offset by a
+    /// seeded burst magnitude, which is what trips the drift detector.
+    pub drift_burst_prob: f64,
+    /// Per-(shard, epoch) probability a triggered warm-start retrain
+    /// errors out: the lifecycle abandons the candidate and re-arms.
+    pub retrain_fail_prob: f64,
+    /// Per-(shard, epoch) probability a triggered retrain overruns its
+    /// virtual-time budget: the lifecycle treats it like a failure, so a
+    /// slow trainer can never wedge a shard.
+    pub retrain_slow_prob: f64,
+    /// Per-(shard, epoch) probability a promoted candidate is corrupt
+    /// (its predictions are offset after promotion): the guard band must
+    /// catch it and roll back to the previous version.
+    pub promote_corrupt_prob: f64,
 }
 
 impl FaultPlan {
@@ -132,6 +164,10 @@ impl FaultPlan {
             shard_crash_prob: 0.0,
             shard_stall_prob: 0.0,
             shard_flap_prob: 0.0,
+            drift_burst_prob: 0.0,
+            retrain_fail_prob: 0.0,
+            retrain_slow_prob: 0.0,
+            promote_corrupt_prob: 0.0,
         }
     }
 
@@ -151,6 +187,10 @@ impl FaultPlan {
             shard_crash_prob: 0.05,
             shard_stall_prob: 0.05,
             shard_flap_prob: 0.05,
+            drift_burst_prob: 0.05,
+            retrain_fail_prob: 0.05,
+            retrain_slow_prob: 0.05,
+            promote_corrupt_prob: 0.05,
         }
     }
 
@@ -170,6 +210,10 @@ impl FaultPlan {
             shard_crash_prob: 0.10,
             shard_stall_prob: 0.10,
             shard_flap_prob: 0.10,
+            drift_burst_prob: 0.20,
+            retrain_fail_prob: 0.10,
+            retrain_slow_prob: 0.10,
+            promote_corrupt_prob: 0.15,
         }
     }
 
@@ -187,13 +231,17 @@ impl FaultPlan {
             || self.shard_crash_prob > 0.0
             || self.shard_stall_prob > 0.0
             || self.shard_flap_prob > 0.0
+            || self.drift_burst_prob > 0.0
+            || self.retrain_fail_prob > 0.0
+            || self.retrain_slow_prob > 0.0
+            || self.promote_corrupt_prob > 0.0
     }
 
     /// The preset names `parse` accepts.
     pub const PRESETS: [&'static str; 3] = ["none", "ci-default", "heavy"];
 
     /// The `key=value` keys `parse` accepts, in documentation order.
-    pub const KEYS: [&'static str; 13] = [
+    pub const KEYS: [&'static str; 17] = [
         "seed",
         "crash",
         "timeout",
@@ -207,13 +255,18 @@ impl FaultPlan {
         "shard_crash",
         "shard_stall",
         "shard_flap",
+        "drift_burst",
+        "retrain_fail",
+        "retrain_slow",
+        "promote_corrupt",
     ];
 
     /// Parse a plan spec: a preset name (`none`, `ci-default`, `heavy`),
     /// `key=value` pairs, or a preset followed by overrides — all
     /// comma-separated. Keys: `seed`, `crash`, `timeout`, `dropout`,
     /// `corrupt`, `stuck`, `noise`, `latency`, `predict_fail`, `stall`,
-    /// `shard_crash`, `shard_stall`, `shard_flap`.
+    /// `shard_crash`, `shard_stall`, `shard_flap`, `drift_burst`,
+    /// `retrain_fail`, `retrain_slow`, `promote_corrupt`.
     ///
     /// Failures name the offending key/value and list the valid keys; they
     /// surface as usage errors (exit 2).
@@ -296,6 +349,10 @@ impl FaultPlan {
             "shard_crash" => &mut self.shard_crash_prob,
             "shard_stall" => &mut self.shard_stall_prob,
             "shard_flap" => &mut self.shard_flap_prob,
+            "drift_burst" => &mut self.drift_burst_prob,
+            "retrain_fail" => &mut self.retrain_fail_prob,
+            "retrain_slow" => &mut self.retrain_slow_prob,
+            "promote_corrupt" => &mut self.promote_corrupt_prob,
             _ => {
                 return Err(SpecErrorKind::UnknownKey {
                     key: key.to_string(),
@@ -391,6 +448,73 @@ impl FaultPlan {
         }
         inject_metrics().shard_stalls.inc();
         epoch_s.max(0.0) * (0.25 + 0.5 * rng.next_f64())
+    }
+
+    /// Observed-EA drift offset for shard `shard_id` in epoch `epoch`, or
+    /// `0.0` when the traffic is clean. A burst shifts every observed EA
+    /// in the epoch by 0.6–1.5, which is what pushes residuals over the
+    /// adapt loop's drift threshold. Same `(plan seed, shard id, epoch)`
+    /// keying discipline as [`FaultPlan::shard_crash`]; the adapt loop
+    /// rolls it once per epoch, never per request.
+    pub fn drift_burst_offset(&self, shard_id: u32, epoch: u64) -> f64 {
+        if self.drift_burst_prob <= 0.0 {
+            return 0.0;
+        }
+        let mut rng = self.shard_rng(TAG_DRIFT_BURST, shard_id, epoch);
+        if !rng.next_bool(self.drift_burst_prob) {
+            return 0.0;
+        }
+        inject_metrics().drift_bursts.inc();
+        0.6 + 0.9 * rng.next_f64()
+    }
+
+    /// Whether a retrain triggered on shard `shard_id` in epoch `epoch`
+    /// errors out. Counted in `fault.injected_retrain_failures_total`.
+    pub fn retrain_fail(&self, shard_id: u32, epoch: u64) -> bool {
+        if self.retrain_fail_prob <= 0.0 {
+            return false;
+        }
+        let hit = self
+            .shard_rng(TAG_RETRAIN_FAIL, shard_id, epoch)
+            .next_bool(self.retrain_fail_prob);
+        if hit {
+            inject_metrics().retrain_failures.inc();
+        }
+        hit
+    }
+
+    /// Virtual seconds a retrain triggered on shard `shard_id` in epoch
+    /// `epoch` overruns its budget `budget_s`, or `0.0` when it finishes
+    /// in time. A slow retrain overshoots by 1.5–4x the budget, so the
+    /// lifecycle reliably classifies it as over budget and abandons the
+    /// candidate.
+    pub fn retrain_slow_s(&self, shard_id: u32, epoch: u64, budget_s: f64) -> f64 {
+        if self.retrain_slow_prob <= 0.0 {
+            return 0.0;
+        }
+        let mut rng = self.shard_rng(TAG_RETRAIN_SLOW, shard_id, epoch);
+        if !rng.next_bool(self.retrain_slow_prob) {
+            return 0.0;
+        }
+        inject_metrics().retrain_slows.inc();
+        budget_s.max(0.1) * (1.5 + 2.5 * rng.next_f64())
+    }
+
+    /// Whether a candidate promoted on shard `shard_id` in epoch `epoch`
+    /// is corrupt: its post-promotion predictions are offset, so the guard
+    /// band must regress and roll back. Counted in
+    /// `fault.injected_promote_corruptions_total`.
+    pub fn promote_corrupt(&self, shard_id: u32, epoch: u64) -> bool {
+        if self.promote_corrupt_prob <= 0.0 {
+            return false;
+        }
+        let hit = self
+            .shard_rng(TAG_PROMOTE_CORRUPT, shard_id, epoch)
+            .next_bool(self.promote_corrupt_prob);
+        if hit {
+            inject_metrics().promote_corruptions.inc();
+        }
+        hit
     }
 
     fn shard_rng(&self, tag: u64, shard_id: u32, epoch: u64) -> Rng64 {
@@ -746,6 +870,93 @@ mod tests {
         assert!(!none.shard_crash(0, 0));
         assert!(!none.shard_flap(0, 0));
         assert_eq!(none.shard_stall_s(0, 0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn lifecycle_fault_keys_parse_and_reject_like_the_rest() {
+        let p = FaultPlan::parse(
+            "drift_burst=0.3,retrain_fail=0.2,retrain_slow=0.1,promote_corrupt=0.25",
+        )
+        .unwrap();
+        assert_eq!(p.drift_burst_prob, 0.3);
+        assert_eq!(p.retrain_fail_prob, 0.2);
+        assert_eq!(p.retrain_slow_prob, 0.1);
+        assert_eq!(p.promote_corrupt_prob, 0.25);
+        assert!(p.is_active());
+
+        // Unknown lifecycle-ish keys are rejected and the message names
+        // the full valid key set, all four lifecycle keys included.
+        for bad in ["drift=0.1", "retrain=0.1", "promote_corrupt_prob=0.1"] {
+            let msg = FaultPlan::parse(bad).unwrap_err().to_string();
+            let key = bad.split('=').next().unwrap_or_default();
+            assert!(msg.contains(&format!("\"{key}\"")), "{msg}");
+            for valid in FaultPlan::KEYS {
+                assert!(msg.contains(valid), "{msg} should list {valid}");
+            }
+        }
+        // Lifecycle fault rates are probabilities: range-checked too.
+        for bad in [
+            "drift_burst=1.5",
+            "retrain_fail=-0.1",
+            "retrain_slow=nan",
+            "promote_corrupt=2",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} must be rejected");
+        }
+        // The presets carry non-zero lifecycle rates.
+        assert!(FaultPlan::ci_default().drift_burst_prob > 0.0);
+        assert!(FaultPlan::heavy().promote_corrupt_prob > 0.0);
+    }
+
+    #[test]
+    fn lifecycle_faults_are_pure_in_seed_shard_and_epoch() {
+        let plan = FaultPlan::heavy();
+        let again = FaultPlan::heavy();
+        let mut bursts = 0usize;
+        for shard in 0..8u32 {
+            for epoch in 0..256u64 {
+                assert_eq!(
+                    plan.drift_burst_offset(shard, epoch).to_bits(),
+                    again.drift_burst_offset(shard, epoch).to_bits()
+                );
+                assert_eq!(
+                    plan.retrain_fail(shard, epoch),
+                    again.retrain_fail(shard, epoch)
+                );
+                assert_eq!(
+                    plan.retrain_slow_s(shard, epoch, 1.0).to_bits(),
+                    again.retrain_slow_s(shard, epoch, 1.0).to_bits()
+                );
+                assert_eq!(
+                    plan.promote_corrupt(shard, epoch),
+                    again.promote_corrupt(shard, epoch)
+                );
+                let off = plan.drift_burst_offset(shard, epoch);
+                assert!(off == 0.0 || (0.6..=1.5).contains(&off), "offset {off}");
+                if off > 0.0 {
+                    bursts += 1;
+                }
+                let slow = plan.retrain_slow_s(shard, epoch, 1.0);
+                assert!(slow == 0.0 || (1.5..=4.0).contains(&slow), "slow {slow}");
+            }
+        }
+        // ~20% burst rate over 2048 rolls: comfortably non-degenerate.
+        assert!(bursts > 250 && bursts < 600, "bursts {bursts}");
+
+        // Distinct shards roll independently.
+        let col = |s: u32| -> Vec<u64> {
+            (0..256)
+                .map(|e| plan.drift_burst_offset(s, e).to_bits())
+                .collect()
+        };
+        assert_ne!(col(0), col(1));
+
+        // The no-fault plan never rolls lifecycle faults.
+        let none = FaultPlan::none();
+        assert_eq!(none.drift_burst_offset(0, 0), 0.0);
+        assert!(!none.retrain_fail(0, 0));
+        assert_eq!(none.retrain_slow_s(0, 0, 1.0), 0.0);
+        assert!(!none.promote_corrupt(0, 0));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! flags produces the same `ServeConfig` bytes the old flag parser did.
 
 use crate::spec::ScenarioSpec;
-use stca_serve::{BreakerConfig, FleetConfig, ServeConfig, SyntheticStream};
+use stca_serve::{AdaptConfig, BreakerConfig, FleetConfig, ServeConfig, SyntheticStream};
 use stca_trace::TraceConfig;
 
 /// The flight-recorder config of the spec's `[trace]` section, or `None`
@@ -24,8 +24,28 @@ pub fn trace_config(spec: &ScenarioSpec) -> Option<TraceConfig> {
     })
 }
 
-/// The serving-loop config of the spec's `[serve]` (+ `[trace]`,
-/// `[artifacts]`) sections.
+/// The model-lifecycle config of the spec's `[serve.adapt]` section.
+/// With `enabled = false` (the default) the lifecycle never installs and
+/// serving output is byte-identical to pre-adapt builds.
+pub fn adapt_config(spec: &ScenarioSpec) -> AdaptConfig {
+    AdaptConfig {
+        enabled: spec.adapt.enabled,
+        epoch_s: spec.adapt.epoch_s,
+        window: spec.adapt.window as usize,
+        min_samples: spec.adapt.min_samples as usize,
+        drift_threshold: spec.adapt.drift_threshold,
+        shadow_requests: spec.adapt.shadow_requests,
+        agree_tol: spec.adapt.agree_tol,
+        promote_agreement: spec.adapt.promote_agreement,
+        guard_requests: spec.adapt.guard_requests,
+        guard_band: spec.adapt.guard_band,
+        history: spec.adapt.history as usize,
+        retrain_budget_s: spec.adapt.retrain_budget_s,
+    }
+}
+
+/// The serving-loop config of the spec's `[serve]` (+ `[serve.adapt]`,
+/// `[trace]`, `[artifacts]`) sections.
 pub fn serve_config(spec: &ScenarioSpec) -> ServeConfig {
     ServeConfig {
         servers: spec.serve.servers as usize,
@@ -40,6 +60,7 @@ pub fn serve_config(spec: &ScenarioSpec) -> ServeConfig {
         },
         drain_grace_s: spec.serve.drain_grace_s,
         keep_decision_log: !spec.artifacts.decision_log.is_empty(),
+        adapt: adapt_config(spec),
         trace: trace_config(spec),
         ..ServeConfig::default()
     }
@@ -90,6 +111,32 @@ mod tests {
         assert_eq!(cfg.breaker.seed, 2022 ^ 0xB4EA);
         assert!(cfg.trace.is_none());
         assert!(!cfg.keep_decision_log);
+    }
+
+    #[test]
+    fn adapt_config_defaults_to_disabled_engine_defaults() {
+        let spec = ScenarioSpec::default();
+        let a = adapt_config(&spec);
+        assert_eq!(a, AdaptConfig::default());
+        assert!(!a.enabled);
+        assert_eq!(serve_config(&spec).adapt, AdaptConfig::default());
+    }
+
+    #[test]
+    fn adapt_config_carries_spec_values() {
+        let mut spec = ScenarioSpec::default();
+        spec.adapt.enabled = true;
+        spec.adapt.epoch_s = 2.5;
+        spec.adapt.window = 128;
+        spec.adapt.drift_threshold = 3.0;
+        spec.adapt.history = 2;
+        let a = adapt_config(&spec);
+        assert!(a.enabled);
+        assert_eq!(a.epoch_s, 2.5);
+        assert_eq!(a.window, 128);
+        assert_eq!(a.drift_threshold, 3.0);
+        assert_eq!(a.history, 2);
+        assert!(a.validate().is_ok());
     }
 
     #[test]

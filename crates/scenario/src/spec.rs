@@ -249,6 +249,40 @@ pub struct FleetSection {
     pub reroute_max: u64,
 }
 
+/// `[serve.adapt]` — the drift-aware model lifecycle. Disabled by
+/// default; when enabled, each shard watches EA residuals and the
+/// feature distribution, retrains a warm-start candidate on drift,
+/// shadow-scores it, and promotes it behind a guard band with automatic
+/// rollback. Keys mirror `stca_serve::AdaptConfig`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptSection {
+    /// Whether the lifecycle runs at all.
+    pub enabled: bool,
+    /// Virtual seconds per lifecycle epoch (fault rolls are per-epoch).
+    pub epoch_s: f64,
+    /// Sliding residual/feature window size (retraining rows).
+    pub window: u64,
+    /// Observations before the drift detector may fire.
+    pub min_samples: u64,
+    /// Combined Page-Hinkley / distribution-shift score that triggers a
+    /// retrain.
+    pub drift_threshold: f64,
+    /// Completed requests a candidate is shadow-scored on.
+    pub shadow_requests: u64,
+    /// Absolute EA tolerance for a shadow prediction to "agree".
+    pub agree_tol: f64,
+    /// Minimum shadow agreement fraction required to promote.
+    pub promote_agreement: f64,
+    /// Completed requests the post-promotion guard window watches.
+    pub guard_requests: u64,
+    /// Allowed residual/deadline regression factor before rollback.
+    pub guard_band: f64,
+    /// Bounded model-version history depth (rollback targets).
+    pub history: u64,
+    /// Virtual-seconds retrain budget; slower injected retrains abort.
+    pub retrain_budget_s: f64,
+}
+
 /// `[trace]` — the per-request flight recorder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSection {
@@ -301,6 +335,8 @@ pub struct ScenarioSpec {
     pub serve: ServeSection,
     /// `[serve.fleet]`
     pub fleet: FleetSection,
+    /// `[serve.adapt]`
+    pub adapt: AdaptSection,
     /// `[trace]`
     pub trace: TraceSection,
     /// `[artifacts]`
@@ -370,6 +406,20 @@ impl Default for ScenarioSpec {
                 router: RouterKind::Rendezvous,
                 reroute_max: 2,
             },
+            adapt: AdaptSection {
+                enabled: false,
+                epoch_s: 5.0,
+                window: 256,
+                min_samples: 64,
+                drift_threshold: 4.0,
+                shadow_requests: 64,
+                agree_tol: 0.25,
+                promote_agreement: 0.6,
+                guard_requests: 128,
+                guard_band: 1.5,
+                history: 4,
+                retrain_budget_s: 1.0,
+            },
             trace: TraceSection {
                 enabled: false,
                 sample_every: 64,
@@ -388,7 +438,7 @@ impl Default for ScenarioSpec {
 }
 
 /// The section names, in canonical order.
-pub const SECTIONS: [&str; 12] = [
+pub const SECTIONS: [&str; 13] = [
     "scenario",
     "workloads",
     "cat",
@@ -399,6 +449,7 @@ pub const SECTIONS: [&str; 12] = [
     "predict",
     "serve",
     "serve.fleet",
+    "serve.adapt",
     "trace",
     "artifacts",
 ];
@@ -406,7 +457,7 @@ pub const SECTIONS: [&str; 12] = [
 const SCENARIO_KEYS: [&str; 2] = ["name", "pipeline"];
 const WORKLOADS_KEYS: [&str; 2] = ["pair", "accesses"];
 const CAT_KEYS: [&str; 3] = ["ways", "default_span", "boosted_span"];
-const FAULT_KEYS: [&str; 15] = [
+const FAULT_KEYS: [&str; 19] = [
     "plan",
     "max_retries",
     "seed",
@@ -422,6 +473,10 @@ const FAULT_KEYS: [&str; 15] = [
     "shard_crash",
     "shard_stall",
     "shard_flap",
+    "drift_burst",
+    "retrain_fail",
+    "retrain_slow",
+    "promote_corrupt",
 ];
 const PROFILE_KEYS: [&str; 6] = [
     "conditions",
@@ -449,6 +504,20 @@ const SERVE_KEYS: [&str; 12] = [
     "predictor",
 ];
 const FLEET_KEYS: [&str; 3] = ["shards", "router", "reroute_max"];
+const ADAPT_KEYS: [&str; 12] = [
+    "enabled",
+    "epoch_s",
+    "window",
+    "min_samples",
+    "drift_threshold",
+    "shadow_requests",
+    "agree_tol",
+    "promote_agreement",
+    "guard_requests",
+    "guard_band",
+    "history",
+    "retrain_budget_s",
+];
 const TRACE_KEYS: [&str; 3] = ["enabled", "sample_every", "ring_capacity"];
 const ARTIFACTS_KEYS: [&str; 6] = [
     "dir",
@@ -472,6 +541,7 @@ pub fn keys_of(section: &str) -> Option<&'static [&'static str]> {
         "predict" => &PREDICT_KEYS,
         "serve" => &SERVE_KEYS,
         "serve.fleet" => &FLEET_KEYS,
+        "serve.adapt" => &ADAPT_KEYS,
         "trace" => &TRACE_KEYS,
         "artifacts" => &ARTIFACTS_KEYS,
         _ => return None,
@@ -804,6 +874,100 @@ impl ScenarioSpec {
             ("serve.fleet", "reroute_max") => {
                 self.fleet.reroute_max = parse_u64(key, value.expect_scalar(key)?)?;
             }
+            ("serve.adapt", "enabled") => {
+                self.adapt.enabled = parse_bool(key, value.expect_scalar(key)?)?;
+            }
+            ("serve.adapt", "epoch_s") => {
+                self.adapt.epoch_s = parse_pos_f64(key, value.expect_scalar(key)?)?;
+            }
+            ("serve.adapt", "window") => {
+                let n = parse_u64(key, value.expect_scalar(key)?)?;
+                if n < 2 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: n.to_string(),
+                        range: ">= 2 rows".to_string(),
+                    });
+                }
+                self.adapt.window = n;
+            }
+            ("serve.adapt", "min_samples") => {
+                let n = parse_u64(key, value.expect_scalar(key)?)?;
+                if n < 2 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: n.to_string(),
+                        range: ">= 2 observations".to_string(),
+                    });
+                }
+                self.adapt.min_samples = n;
+            }
+            ("serve.adapt", "drift_threshold") => {
+                self.adapt.drift_threshold = parse_pos_f64(key, value.expect_scalar(key)?)?;
+            }
+            ("serve.adapt", "shadow_requests") => {
+                let n = parse_u64(key, value.expect_scalar(key)?)?;
+                if n == 0 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: "0".to_string(),
+                        range: ">= 1 request".to_string(),
+                    });
+                }
+                self.adapt.shadow_requests = n;
+            }
+            ("serve.adapt", "agree_tol") => {
+                self.adapt.agree_tol = parse_nonneg_f64(key, value.expect_scalar(key)?)?;
+            }
+            ("serve.adapt", "promote_agreement") => {
+                let v = value.expect_scalar(key)?;
+                let x = parse_nonneg_f64(key, v)?;
+                if x > 1.0 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: v.to_string(),
+                        range: "a fraction in 0..=1".to_string(),
+                    });
+                }
+                self.adapt.promote_agreement = x;
+            }
+            ("serve.adapt", "guard_requests") => {
+                let n = parse_u64(key, value.expect_scalar(key)?)?;
+                if n == 0 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: "0".to_string(),
+                        range: ">= 1 request".to_string(),
+                    });
+                }
+                self.adapt.guard_requests = n;
+            }
+            ("serve.adapt", "guard_band") => {
+                let v = value.expect_scalar(key)?;
+                let x = parse_f64(key, v)?;
+                if x < 1.0 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: v.to_string(),
+                        range: "a regression factor >= 1".to_string(),
+                    });
+                }
+                self.adapt.guard_band = x;
+            }
+            ("serve.adapt", "history") => {
+                let n = parse_u64(key, value.expect_scalar(key)?)?;
+                if n == 0 {
+                    return Err(SpecErrorKind::OutOfRange {
+                        key: key.to_string(),
+                        value: "0".to_string(),
+                        range: ">= 1 version".to_string(),
+                    });
+                }
+                self.adapt.history = n;
+            }
+            ("serve.adapt", "retrain_budget_s") => {
+                self.adapt.retrain_budget_s = parse_pos_f64(key, value.expect_scalar(key)?)?;
+            }
             ("trace", "enabled") => {
                 self.trace.enabled = parse_bool(key, value.expect_scalar(key)?)?;
             }
@@ -883,6 +1047,22 @@ impl ScenarioSpec {
         kv_raw(p, "shard_crash", &fmt_f64(self.fault.plan.shard_crash_prob));
         kv_raw(p, "shard_stall", &fmt_f64(self.fault.plan.shard_stall_prob));
         kv_raw(p, "shard_flap", &fmt_f64(self.fault.plan.shard_flap_prob));
+        kv_raw(p, "drift_burst", &fmt_f64(self.fault.plan.drift_burst_prob));
+        kv_raw(
+            p,
+            "retrain_fail",
+            &fmt_f64(self.fault.plan.retrain_fail_prob),
+        );
+        kv_raw(
+            p,
+            "retrain_slow",
+            &fmt_f64(self.fault.plan.retrain_slow_prob),
+        );
+        kv_raw(
+            p,
+            "promote_corrupt",
+            &fmt_f64(self.fault.plan.promote_corrupt_prob),
+        );
         sec(p, "profile");
         kv_raw(p, "conditions", &self.profile.conditions.to_string());
         kv_raw(p, "seed", &self.profile.seed.to_string());
@@ -946,6 +1126,31 @@ impl ScenarioSpec {
         kv_raw(p, "shards", &self.fleet.shards.to_string());
         kv_str(p, "router", self.fleet.router.name());
         kv_raw(p, "reroute_max", &self.fleet.reroute_max.to_string());
+        sec(p, "serve.adapt");
+        kv_raw(
+            p,
+            "enabled",
+            if self.adapt.enabled { "true" } else { "false" },
+        );
+        kv_raw(p, "epoch_s", &fmt_f64(self.adapt.epoch_s));
+        kv_raw(p, "window", &self.adapt.window.to_string());
+        kv_raw(p, "min_samples", &self.adapt.min_samples.to_string());
+        kv_raw(p, "drift_threshold", &fmt_f64(self.adapt.drift_threshold));
+        kv_raw(
+            p,
+            "shadow_requests",
+            &self.adapt.shadow_requests.to_string(),
+        );
+        kv_raw(p, "agree_tol", &fmt_f64(self.adapt.agree_tol));
+        kv_raw(
+            p,
+            "promote_agreement",
+            &fmt_f64(self.adapt.promote_agreement),
+        );
+        kv_raw(p, "guard_requests", &self.adapt.guard_requests.to_string());
+        kv_raw(p, "guard_band", &fmt_f64(self.adapt.guard_band));
+        kv_raw(p, "history", &self.adapt.history.to_string());
+        kv_raw(p, "retrain_budget_s", &fmt_f64(self.adapt.retrain_budget_s));
         sec(p, "trace");
         kv_raw(
             p,

@@ -159,6 +159,18 @@ fn randomized_specs_roundtrip() {
         );
         set(
             &mut spec,
+            "fault",
+            "drift_burst",
+            format!("{}", g.f64_in(0.0, 1.0)),
+        );
+        set(
+            &mut spec,
+            "fault",
+            "promote_corrupt",
+            format!("{}", g.f64_in(0.0, 1.0)),
+        );
+        set(
+            &mut spec,
             "profile",
             "conditions",
             (1 + g.next() % 64).to_string(),
@@ -224,6 +236,48 @@ fn randomized_specs_roundtrip() {
             g.pick(&predictors).to_string(),
         );
         set(&mut spec, "serve", "seed", g.next().to_string());
+        set(
+            &mut spec,
+            "serve.adapt",
+            "enabled",
+            g.pick(&bools).to_string(),
+        );
+        set(
+            &mut spec,
+            "serve.adapt",
+            "epoch_s",
+            format!("{}", g.f64_in(0.5, 20.0)),
+        );
+        set(
+            &mut spec,
+            "serve.adapt",
+            "window",
+            (2 + g.next() % 512).to_string(),
+        );
+        set(
+            &mut spec,
+            "serve.adapt",
+            "drift_threshold",
+            format!("{}", g.f64_in(0.5, 8.0)),
+        );
+        set(
+            &mut spec,
+            "serve.adapt",
+            "promote_agreement",
+            format!("{}", g.f64_in(0.0, 1.0)),
+        );
+        set(
+            &mut spec,
+            "serve.adapt",
+            "guard_band",
+            format!("{}", g.f64_in(1.0, 3.0)),
+        );
+        set(
+            &mut spec,
+            "serve.adapt",
+            "history",
+            (1 + g.next() % 8).to_string(),
+        );
         set(&mut spec, "trace", "enabled", g.pick(&bools).to_string());
         set(
             &mut spec,
@@ -285,6 +339,14 @@ fn malformed_values_are_rejected() {
     );
     expect_usage("[fault]\ncrash = 1.5\n", &["crash"]);
     expect_usage("[fault]\nplan = \"mayhem\"\n", &["mayhem", "heavy"]);
+    expect_usage("[fault]\ndrift_burst = 2\n", &["drift_burst"]);
+    expect_usage("[serve.adapt]\nwindow = 1\n", &["window"]);
+    expect_usage("[serve.adapt]\nguard_band = 0.5\n", &["guard_band"]);
+    expect_usage(
+        "[serve.adapt]\npromote_agreement = 1.5\n",
+        &["promote_agreement"],
+    );
+    expect_usage("[serve.adapt]\nepoch_s = 0\n", &["epoch_s"]);
 }
 
 #[test]

@@ -46,6 +46,7 @@
 //! offered = Σ_shards (completed + shed + drained) + router_shed
 //! ```
 
+use crate::adapt::AdaptStats;
 use crate::model::EaModel;
 use crate::request::SyntheticStream;
 use crate::router::{route, Candidate, RouterKind};
@@ -152,6 +153,9 @@ pub struct ShardStats {
     pub p50_response_s: f64,
     /// 99th-percentile response, seconds.
     pub p99_response_s: f64,
+    /// Model-lifecycle counters for this shard (`Some` when adaptation
+    /// was enabled).
+    pub adapt: Option<AdaptStats>,
 }
 
 /// Everything one fleet run produced.
@@ -239,6 +243,20 @@ impl FleetReport {
             m.insert("mean_response_s".into(), num(s.mean_response_s));
             m.insert("p50_response_s".into(), num(s.p50_response_s));
             m.insert("p99_response_s".into(), num(s.p99_response_s));
+            if let Some(a) = &s.adapt {
+                let mut adapt = BTreeMap::new();
+                adapt.insert("drifts".into(), int(a.drifts));
+                adapt.insert("retrains".into(), int(a.retrains));
+                adapt.insert("retrain_failures".into(), int(a.retrain_failures));
+                adapt.insert("retrain_slows".into(), int(a.retrain_slows));
+                adapt.insert("shadow_scored".into(), int(a.shadow_scored));
+                adapt.insert("promotions".into(), int(a.promotions));
+                adapt.insert("promote_refused".into(), int(a.promote_refused));
+                adapt.insert("rollbacks".into(), int(a.rollbacks));
+                adapt.insert("guard_passes".into(), int(a.guard_passes));
+                adapt.insert("active_version".into(), int(a.active_version));
+                m.insert("adapt".into(), Value::Object(adapt));
+            }
             shards.push(Value::Object(m));
         }
         let mut resp = BTreeMap::new();
@@ -450,15 +468,19 @@ pub fn serve_fleet(
     let mut slots: Vec<Slot<'_>> = shard_cfgs
         .iter()
         .enumerate()
-        .map(|(id, c)| Slot {
-            core: ShardCore::new(c, stream.seed ^ ((id as u64) << 24), Some(id as u32)),
-            crashed: false,
-            flapped: false,
-            rerouted_out: 0,
-            crashes: 0,
-            recoveries: 0,
-            stalls: 0,
-            flaps: 0,
+        .map(|(id, c)| {
+            let mut core = ShardCore::new(c, stream.seed ^ ((id as u64) << 24), Some(id as u32));
+            core.install_adapt(plan);
+            Slot {
+                core,
+                crashed: false,
+                flapped: false,
+                rerouted_out: 0,
+                crashes: 0,
+                recoveries: 0,
+                stalls: 0,
+                flaps: 0,
+            }
         })
         .collect();
     // router sheds get their own recorder so admission-time sheds are
@@ -565,6 +587,7 @@ pub fn serve_fleet(
                             ready_s: r.arrival_s,
                             deadline_s: r.deadline_s,
                             hops: 0,
+                            features: r.features,
                             comp,
                             ctx,
                         },
@@ -632,6 +655,7 @@ pub fn serve_fleet(
             mean_response_s: mean,
             p50_response_s: p50,
             p99_response_s: p99,
+            adapt: slot.core.lifecycle.as_ref().map(|lc| lc.stats),
         });
     }
     let (fleet_mean, fleet_p50, fleet_p99) = response_summary(&mut all_responses);
@@ -699,6 +723,23 @@ fn flush_fleet_metrics(r: &FleetReport) {
                 stca_obs::counter(&format!("{pre}.{name}")).add(v);
             }
         }
+        if let Some(a) = &s.adapt {
+            for (name, v) in [
+                ("adapt.drifts_total", a.drifts),
+                ("adapt.retrains_total", a.retrains),
+                ("adapt.retrain_failures_total", a.retrain_failures),
+                ("adapt.retrain_slows_total", a.retrain_slows),
+                ("adapt.shadow_scored_total", a.shadow_scored),
+                ("adapt.promotions_total", a.promotions),
+                ("adapt.promote_refused_total", a.promote_refused),
+                ("adapt.rollbacks_total", a.rollbacks),
+                ("adapt.guard_passes_total", a.guard_passes),
+            ] {
+                if v > 0 {
+                    stca_obs::counter(&format!("{pre}.{name}")).add(v);
+                }
+            }
+        }
     }
     let settled: u64 = r
         .shards
@@ -718,6 +759,20 @@ fn flush_fleet_metrics(r: &FleetReport) {
         (
             "serve.fleet.shard_recoveries_total",
             r.shards.iter().map(|s| s.recoveries).sum(),
+        ),
+        (
+            "serve.fleet.adapt.promotions_total",
+            r.shards
+                .iter()
+                .filter_map(|s| s.adapt.map(|a| a.promotions))
+                .sum(),
+        ),
+        (
+            "serve.fleet.adapt.rollbacks_total",
+            r.shards
+                .iter()
+                .filter_map(|s| s.adapt.map(|a| a.rollbacks))
+                .sum(),
         ),
     ] {
         if v > 0 {

@@ -23,6 +23,10 @@
 //!   the retry path.
 //! - [`model`] — the [`EaModel`] boundary (implemented by `stca-core`'s
 //!   `Predictor`) and the closed-form decide stage.
+//! - [`adapt`] — the drift-aware model lifecycle: Page-Hinkley drift
+//!   detection over EA residuals, warm-start candidate retrains, shadow
+//!   scoring, guarded promotion behind the breaker, and automatic
+//!   rollback through a bounded version history.
 //! - [`request`] — the seeded, chunkable arrival stream.
 //!
 //! Everything is deterministic at any thread count: parallel work is pure
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod adapt;
 pub mod breaker;
 pub mod fleet;
 pub mod hysteresis;
@@ -44,6 +49,7 @@ pub mod server;
 mod shard;
 pub mod watchdog;
 
+pub use adapt::{AdaptConfig, AdaptStats};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Verdict};
 pub use fleet::{serve_fleet, write_fleet_health, FleetConfig, FleetReport, ShardStats};
 pub use hysteresis::Hysteresis;

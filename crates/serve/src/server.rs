@@ -33,6 +33,7 @@
 //! [`Accounting::balanced`] checks it; the soak bench and the property
 //! tests assert it after every run, faulted or not.
 
+use crate::adapt::{AdaptConfig, AdaptStats};
 use crate::breaker::{BreakerConfig, BreakerState};
 use crate::model::{EaModel, StationModel, TIMEOUT_GRID};
 use crate::request::SyntheticStream;
@@ -114,6 +115,9 @@ pub struct ServeConfig {
     /// Tracing never perturbs decisions or virtual time — the decision
     /// hash is identical with tracing on or off.
     pub trace: Option<TraceConfig>,
+    /// Drift-aware model lifecycle (disabled by default: the loop is
+    /// byte-identical to the pre-adapt implementation when off).
+    pub adapt: AdaptConfig,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +137,7 @@ impl Default for ServeConfig {
             chunk: 4096,
             keep_decision_log: false,
             trace: None,
+            adapt: AdaptConfig::default(),
         }
     }
 }
@@ -167,6 +172,7 @@ impl ServeConfig {
                 "serve: station utilization must be in [0, 1)",
             ));
         }
+        self.adapt.validate()?;
         Ok(())
     }
 }
@@ -250,6 +256,8 @@ pub struct ServeReport {
     pub virtual_end_s: f64,
     /// Flight-recorder dump (`Some` when tracing was enabled).
     pub trace_dump: Option<TraceDump>,
+    /// Model-lifecycle counters (`Some` when adaptation was enabled).
+    pub adapt: Option<AdaptStats>,
 }
 
 impl ServeReport {
@@ -302,6 +310,23 @@ impl ServeReport {
             Value::String(format!("{:016x}", self.decision_hash)),
         );
         root.insert("virtual_end_s".into(), num(self.virtual_end_s));
+        if let Some(a) = &self.adapt {
+            let mut adapt = BTreeMap::new();
+            adapt.insert("drifts".into(), int(a.drifts));
+            adapt.insert("retrains".into(), int(a.retrains));
+            adapt.insert("retrain_failures".into(), int(a.retrain_failures));
+            adapt.insert("retrain_slows".into(), int(a.retrain_slows));
+            adapt.insert("shadow_scored".into(), int(a.shadow_scored));
+            adapt.insert("shadow_agree".into(), int(a.shadow_agree));
+            adapt.insert("promotions".into(), int(a.promotions));
+            adapt.insert("promote_refused".into(), int(a.promote_refused));
+            adapt.insert("rollbacks".into(), int(a.rollbacks));
+            adapt.insert("guard_passes".into(), int(a.guard_passes));
+            adapt.insert("active_version".into(), int(a.active_version));
+            adapt.insert("last_drift_score".into(), num(a.last_drift_score));
+            adapt.insert("last_shadow_agreement".into(), num(a.last_shadow_agreement));
+            root.insert("adapt".into(), Value::Object(adapt));
+        }
         if let Some(dump) = &self.trace_dump {
             let st = &dump.stats;
             let mut trace = BTreeMap::new();
@@ -369,6 +394,7 @@ pub fn serve(
     let run_key = stream.seed ^ 0x5E4E;
     let injectors: [FaultInjector; 2] = [plan.injector(run_key, 0), plan.injector(run_key, 1)];
     let mut state = ShardCore::new(cfg, stream.seed, None);
+    state.install_adapt(plan);
     let mut sink = DecisionSink::new(cfg.keep_decision_log);
     // publish the recorder so error-dump hooks can snapshot it mid-run
     let _active = state.recorder.clone().map(stca_trace::set_active);
@@ -410,6 +436,7 @@ pub fn serve(
                     ready_s: r.arrival_s,
                     deadline_s: r.deadline_s,
                     hops: 0,
+                    features: r.features,
                     comp,
                     ctx,
                 },
@@ -458,6 +485,7 @@ pub fn serve(
             .as_ref()
             .and_then(|rec| rec.lock().ok())
             .map(|rec| rec.dump()),
+        adapt: state.lifecycle.as_ref().map(|lc| lc.stats),
     };
     debug_assert!(matches!(
         state.breaker.state(),
@@ -495,6 +523,26 @@ fn flush_metrics(r: &ServeReport) {
         if v > 0 {
             stca_obs::counter(name).add(v);
         }
+    }
+    if let Some(a) = r.adapt {
+        for (name, v) in [
+            ("serve.adapt.drifts_total", a.drifts),
+            ("serve.adapt.retrains_total", a.retrains),
+            ("serve.adapt.retrain_failures_total", a.retrain_failures),
+            ("serve.adapt.retrain_slows_total", a.retrain_slows),
+            ("serve.adapt.shadow_scored_total", a.shadow_scored),
+            ("serve.adapt.promotions_total", a.promotions),
+            ("serve.adapt.promote_refused_total", a.promote_refused),
+            ("serve.adapt.rollbacks_total", a.rollbacks),
+            ("serve.adapt.guard_passes_total", a.guard_passes),
+        ] {
+            if v > 0 {
+                stca_obs::counter(name).add(v);
+            }
+        }
+        stca_obs::gauge("serve.adapt.drift_score").set(a.last_drift_score);
+        stca_obs::gauge("serve.adapt.shadow_agreement").set(a.last_shadow_agreement);
+        stca_obs::gauge("serve.adapt.active_version").set(a.active_version as f64);
     }
 }
 

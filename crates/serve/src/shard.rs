@@ -14,6 +14,7 @@
 //! hash covers shard entries and router entries in one deterministic
 //! serial order.
 
+use crate::adapt::{AdaptEvent, Completion, Lifecycle};
 use crate::breaker::CircuitBreaker;
 use crate::hysteresis::Hysteresis;
 use crate::model::{decide, EaModel, TIMEOUT_GRID};
@@ -21,7 +22,7 @@ use crate::request::Request;
 use crate::server::{Accounting, OverloadPolicy, ServeConfig};
 use crate::watchdog::{StageRun, Watchdog};
 use crate::Verdict;
-use stca_fault::FaultInjector;
+use stca_fault::{FaultInjector, FaultPlan};
 use stca_queuesim::{QueueSim, RunBudget, StationConfig};
 use stca_trace::{AttrValue, Disposition, FlightRecorder, Stage, TraceCtx};
 use stca_util::Distribution;
@@ -97,6 +98,9 @@ pub(crate) struct Pending {
     pub(crate) deadline_s: f64,
     /// Reroute hops this request has taken (fleet only).
     pub(crate) hops: u32,
+    /// Feature row (kept past phase 1 so the adapt lifecycle can window,
+    /// shadow-score, and serve retrained models on it).
+    pub(crate) features: Vec<f64>,
     pub(crate) comp: Computed,
     /// In-flight trace (`Some` when tracing is enabled).
     pub(crate) ctx: Option<TraceCtx>,
@@ -127,6 +131,11 @@ pub(crate) struct ShardCore<'a> {
     /// Appended to every decision-log entry (`" shard=N"` in a fleet,
     /// empty for the single loop so its log stays byte-identical).
     suffix: String,
+    /// Shard id this core was created as (`None` for the single loop).
+    shard: Option<u32>,
+    /// Drift-aware model lifecycle (`Some` once [`ShardCore::install_adapt`]
+    /// ran with adaptation enabled).
+    pub(crate) lifecycle: Option<Lifecycle>,
     resp_hist: std::sync::Arc<stca_obs::Histogram>,
     /// Flight recorder (`Some` when tracing is enabled). Written only by
     /// the serial replay phase, so retention is thread-count-proof; the
@@ -166,10 +175,26 @@ impl<'a> ShardCore<'a> {
             seed,
             draining: false,
             suffix: shard.map(|id| format!(" shard={id}")).unwrap_or_default(),
+            shard,
+            lifecycle: None,
             resp_hist,
             recorder: cfg
                 .trace
                 .map(|tc| std::sync::Arc::new(std::sync::Mutex::new(FlightRecorder::new(tc)))),
+        }
+    }
+
+    /// Install the drift-aware model lifecycle, if the config enables it.
+    /// Called once per core, right after construction, by the single-loop
+    /// server and by every fleet slot.
+    pub(crate) fn install_adapt(&mut self, plan: &FaultPlan) {
+        if self.cfg.adapt.enabled {
+            self.lifecycle = Some(Lifecycle::new(
+                self.cfg.adapt,
+                plan.clone(),
+                self.seed,
+                self.shard,
+            ));
         }
     }
 
@@ -265,6 +290,9 @@ impl<'a> ShardCore<'a> {
         // whole budget
         if start - p.arrival_s >= p.deadline_s {
             self.acct.shed_deadline += 1;
+            if let Some(lc) = self.lifecycle.as_mut() {
+                lc.note_deadline_event();
+            }
             self.log_entry(
                 sink,
                 format!("seq={} disp=shed_deadline stage=queue", p.seq),
@@ -328,7 +356,7 @@ impl<'a> ShardCore<'a> {
         }
         let breaker_counters = (self.breaker.opens, self.breaker.closes);
         let verdict = self.breaker.decide_gated(start, p.seq, !self.draining);
-        let (ea, tier) = match verdict {
+        let (mut ea, tier) = match verdict {
             Verdict::Admit | Verdict::Probe => match (p.comp.fault, p.comp.primary) {
                 (false, Some(ea)) => {
                     self.breaker.record_success(start);
@@ -345,6 +373,19 @@ impl<'a> ShardCore<'a> {
                 (p.comp.degraded_ea, p.comp.degraded_tier)
             }
         };
+        // a promoted model version serves the primary path; candidates in
+        // shadow are unreachable from serve_ea by construction
+        let mut served_version = 0u64;
+        if tier == 0 {
+            if let Some((v, pred)) = self
+                .lifecycle
+                .as_ref()
+                .and_then(|lc| lc.serve_ea(&p.features))
+            {
+                ea = pred;
+                served_version = v;
+            }
+        }
         self.last_ea = ea;
         if let Some(ctx) = p.ctx.as_mut() {
             if (self.breaker.opens, self.breaker.closes) != breaker_counters {
@@ -374,6 +415,9 @@ impl<'a> ShardCore<'a> {
         if (start + predict_cost) - p.arrival_s >= p.deadline_s {
             self.servers[si] = start + predict_cost;
             self.acct.shed_deadline += 1;
+            if let Some(lc) = self.lifecycle.as_mut() {
+                lc.note_deadline_event();
+            }
             self.log_entry(
                 sink,
                 format!("seq={} disp=shed_deadline stage=predict", p.seq),
@@ -440,24 +484,144 @@ impl<'a> ShardCore<'a> {
         if p.ctx.is_some() {
             stca_obs::set_current_trace_id(0);
         }
-        self.log_entry(
-            sink,
-            format!(
-                "seq={} disp=ok tier={} ea={:016x} t={} applied={} resp={:016x}",
-                p.seq,
-                tier,
-                ea.to_bits(),
-                idx,
-                self.hyst.applied(),
-                resp.to_bits(),
-            ),
+        let mut entry = format!(
+            "seq={} disp=ok tier={} ea={:016x} t={} applied={} resp={:016x}",
+            p.seq,
+            tier,
+            ea.to_bits(),
+            idx,
+            self.hyst.applied(),
+            resp.to_bits(),
         );
+        if served_version > 0 {
+            entry.push_str(&format!(" v={served_version}"));
+        }
+        self.log_entry(sink, entry);
+        // advance the model lifecycle with this completion; any drift,
+        // retrain, shadow, promotion, or rollback it produces is logged
+        // (and traced) at this request's completion time
+        let breaker_open = self.breaker.is_open_at(completion);
+        let draining = self.draining;
+        let events = match self.lifecycle.as_mut() {
+            Some(lc) => lc.on_complete(Completion {
+                features: &p.features,
+                degraded_ea: p.comp.degraded_ea,
+                served_ea: ea,
+                now: completion,
+                deadline_missed: exceeded,
+                breaker_open,
+                draining,
+            }),
+            None => Vec::new(),
+        };
+        self.apply_adapt_events(&events, p.ctx.as_mut(), completion, sink);
         let disposition = if exceeded {
             Disposition::DeadlineExceeded
         } else {
             Disposition::Completed
         };
         self.record_trace(p.ctx.take(), disposition, completion);
+    }
+
+    /// Turn lifecycle events into decision-log entries and trace spans.
+    /// Entry order is fixed by the event order, so the decision hash
+    /// covers the whole lifecycle deterministically.
+    fn apply_adapt_events(
+        &self,
+        events: &[AdaptEvent],
+        mut ctx: Option<&mut TraceCtx>,
+        now: f64,
+        sink: &mut DecisionSink,
+    ) {
+        for ev in events {
+            match ev {
+                AdaptEvent::Drift { score } => {
+                    self.log_entry(sink, format!("event=drift score={:016x}", score.to_bits()));
+                }
+                AdaptEvent::Retrain { version, rows } => {
+                    self.log_entry(
+                        sink,
+                        format!("event=retrain version={version} rows={rows} outcome=ok"),
+                    );
+                    if let Some(ctx) = ctx.as_deref_mut() {
+                        let span = ctx.push_span(Stage::Retrain, now, now);
+                        span.args.push(("version", AttrValue::Num(*version as f64)));
+                        span.args
+                            .push(("outcome", AttrValue::Text("ok".to_string())));
+                    }
+                }
+                AdaptEvent::RetrainFail { version } => {
+                    self.log_entry(
+                        sink,
+                        format!("event=retrain version={version} outcome=fail"),
+                    );
+                    if let Some(ctx) = ctx.as_deref_mut() {
+                        let span = ctx.push_span(Stage::Retrain, now, now);
+                        span.args.push(("version", AttrValue::Num(*version as f64)));
+                        span.args
+                            .push(("outcome", AttrValue::Text("fail".to_string())));
+                    }
+                }
+                AdaptEvent::RetrainSlow { version } => {
+                    self.log_entry(
+                        sink,
+                        format!("event=retrain version={version} outcome=slow"),
+                    );
+                    if let Some(ctx) = ctx.as_deref_mut() {
+                        let span = ctx.push_span(Stage::Retrain, now, now);
+                        span.args.push(("version", AttrValue::Num(*version as f64)));
+                        span.args
+                            .push(("outcome", AttrValue::Text("slow".to_string())));
+                    }
+                }
+                AdaptEvent::Shadow { version, agree } => {
+                    // per-request shadow scores are traced, not logged:
+                    // the window verdict lands in `shadow_done`
+                    if let Some(ctx) = ctx.as_deref_mut() {
+                        let span = ctx.push_span(Stage::Shadow, now, now);
+                        span.args.push(("version", AttrValue::Num(*version as f64)));
+                        span.args
+                            .push(("agree", AttrValue::Num(f64::from(u8::from(*agree)))));
+                    }
+                }
+                AdaptEvent::ShadowDone {
+                    version,
+                    agree,
+                    scored,
+                } => {
+                    self.log_entry(
+                        sink,
+                        format!(
+                            "event=shadow_done version={version} agree={agree} scored={scored}"
+                        ),
+                    );
+                }
+                AdaptEvent::Promote { version } => {
+                    self.log_entry(sink, format!("event=promote version={version}"));
+                    if let Some(ctx) = ctx.as_deref_mut() {
+                        let span = ctx.push_span(Stage::Promote, now, now);
+                        span.args.push(("version", AttrValue::Num(*version as f64)));
+                    }
+                }
+                AdaptEvent::PromoteRefused { version, reason } => {
+                    self.log_entry(
+                        sink,
+                        format!("event=promote_refused version={version} reason={reason}"),
+                    );
+                }
+                AdaptEvent::GuardPass { version } => {
+                    self.log_entry(sink, format!("event=guard_pass version={version}"));
+                }
+                AdaptEvent::Rollback { from, to } => {
+                    self.log_entry(sink, format!("event=rollback from={from} to={to}"));
+                    if let Some(ctx) = ctx.as_deref_mut() {
+                        let span = ctx.push_span(Stage::Rollback, now, now);
+                        span.args.push(("from", AttrValue::Num(*from as f64)));
+                        span.args.push(("to", AttrValue::Num(*to as f64)));
+                    }
+                }
+            }
+        }
     }
 
     /// Budgeted validation sim for a freshly applied timeout: replays the
@@ -611,6 +775,7 @@ mod tests {
             ready_s: arrival_s,
             deadline_s: 10.0,
             hops: 0,
+            features: vec![1.0],
             comp,
             ctx: None,
         }

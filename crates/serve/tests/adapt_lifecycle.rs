@@ -1,0 +1,206 @@
+//! Lifecycle safety properties of the drift-aware serving fleet, proved
+//! against the decision log itself:
+//!
+//! * shadow candidates never serve — every adapt-served `v=N` line
+//!   appears only after that shard logged `event=promote version=N`,
+//!   and every base-served tier-0 line carries exactly the base model's
+//!   EA bits;
+//! * rollbacks compose with drains and crash reroutes — per-shard
+//!   accounting stays exact (`admitted = completed + shed + drained +
+//!   rerouted_out`) under a plan that forces both;
+//! * the whole lifecycle is bit-identical at 1 vs 8 worker threads.
+
+use std::collections::HashSet;
+
+use stca_fault::FaultPlan;
+use stca_serve::{
+    serve_fleet, AdaptConfig, AnalyticEa, EaModel, FleetConfig, FleetReport, ServeConfig,
+    SyntheticStream,
+};
+
+const REQUESTS: u64 = 30_000;
+
+fn adapt_cfg() -> AdaptConfig {
+    AdaptConfig {
+        enabled: true,
+        epoch_s: 2.0,
+        window: 128,
+        min_samples: 32,
+        drift_threshold: 1.5,
+        shadow_requests: 32,
+        agree_tol: 0.25,
+        promote_agreement: 0.5,
+        guard_requests: 64,
+        guard_band: 1.5,
+        history: 4,
+        ..AdaptConfig::default()
+    }
+}
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        base: ServeConfig {
+            queue_capacity: 32,
+            keep_decision_log: true,
+            adapt: adapt_cfg(),
+            ..ServeConfig::default()
+        },
+        shards: 4,
+        ..FleetConfig::default()
+    }
+}
+
+fn stream() -> SyntheticStream {
+    SyntheticStream {
+        seed: 2022,
+        rate: 1_200.0,
+        deadline_s: 0.25,
+        n_features: 6,
+    }
+}
+
+fn run_at(cfg: &FleetConfig, plan: &FaultPlan, threads: usize) -> FleetReport {
+    stca_exec::set_threads(threads);
+    let r =
+        serve_fleet(cfg, &AnalyticEa::default(), plan, &stream(), REQUESTS).expect("fleet runs");
+    stca_exec::set_threads(1);
+    r
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key))
+}
+
+/// Every `v=N` serving line is preceded (in its own shard's log) by
+/// `event=promote version=N`, and every line served without a version
+/// suffix carries the base model's exact EA bits — so a shadow-scored
+/// candidate observably never served a request.
+#[test]
+fn candidates_never_serve_before_their_promotion() {
+    let plan = FaultPlan::parse(
+        "drift_burst=0.8,retrain_fail=0.15,retrain_slow=0.15,promote_corrupt=0.5,seed=2022",
+    )
+    .expect("plan");
+    let r = run_at(&fleet_cfg(), &plan, 2);
+    let (promotions, rollbacks) = totals(&r);
+    assert!(promotions >= 1, "plan must promote: {r:?}");
+    assert!(rollbacks >= 1, "plan must roll back: {r:?}");
+
+    // regenerate the arrival stream: features by seq, then the base EA
+    let (requests, _) = stream().chunk(0, REQUESTS as usize, 0.0);
+    let base = AnalyticEa::default();
+
+    let n_shards = r.shards.len();
+    let mut promoted: Vec<HashSet<u64>> = vec![HashSet::new(); n_shards];
+    let mut base_served = 0u64;
+    let mut adapt_served = 0u64;
+    for line in &r.decision_log {
+        let Some(shard) = field(line, "shard=").and_then(|s| s.parse::<usize>().ok()) else {
+            continue; // router lines carry no shard suffix
+        };
+        if line.starts_with("event=promote ") {
+            let v: u64 = field(line, "version=")
+                .and_then(|s| s.parse().ok())
+                .expect("promote line names its version");
+            promoted[shard].insert(v);
+            continue;
+        }
+        if !line.contains(" disp=ok ") {
+            continue;
+        }
+        let seq: usize = field(line, "seq=")
+            .and_then(|s| s.parse().ok())
+            .expect("ok line names its seq");
+        let tier: u32 = field(line, "tier=")
+            .and_then(|s| s.parse().ok())
+            .expect("ok line names its tier");
+        let ea_bits = u64::from_str_radix(field(line, "ea=").expect("ea bits"), 16).expect("hex");
+        match field(line, "v=").map(|s| s.parse::<u64>().expect("version")) {
+            Some(v) => {
+                adapt_served += 1;
+                assert!(
+                    promoted[shard].contains(&v),
+                    "shard {shard} served candidate v{v} before its promotion: {line}"
+                );
+            }
+            None if tier == 0 => {
+                base_served += 1;
+                let want = base
+                    .predict_primary(&requests[seq].features)
+                    .expect("analytic EA");
+                assert_eq!(
+                    ea_bits,
+                    want.to_bits(),
+                    "shard {shard} seq {seq}: unversioned serve must be the base model: {line}"
+                );
+            }
+            None => {} // degraded tiers serve the fallback chain
+        }
+    }
+    assert!(base_served > 0, "no base-served requests audited");
+    assert!(adapt_served > 0, "no adapt-served requests audited");
+}
+
+/// Rollbacks keep composing with coordinated drains and crash-flush
+/// reroutes: per-shard accounting stays exact and the fleet balances.
+#[test]
+fn rollback_during_drain_preserves_accounting() {
+    let plan = FaultPlan::parse(
+        "drift_burst=0.8,promote_corrupt=0.8,shard_crash=0.25,shard_stall=0.2,seed=7",
+    )
+    .expect("plan");
+    let r = run_at(&fleet_cfg(), &plan, 2);
+    let (promotions, rollbacks) = totals(&r);
+    assert!(promotions >= 1, "plan must promote: {r:?}");
+    assert!(rollbacks >= 1, "plan must roll back: {r:?}");
+    assert!(
+        r.shards.iter().any(|s| s.crashes > 0),
+        "crash plan must crash a shard: {r:?}"
+    );
+    for s in &r.shards {
+        let a = &s.accounting;
+        assert_eq!(
+            a.admitted,
+            a.completed + a.shed() + a.drained + s.rerouted_out,
+            "shard {} accounting identity broke: {a:?} rerouted_out={}",
+            s.id,
+            s.rerouted_out
+        );
+    }
+    assert!(r.balanced(), "fleet invariant: {r:?}");
+}
+
+/// The full lifecycle — drift scores, retrain outcomes, shadow verdicts,
+/// promotions, rollbacks — replays bit-identically at 1 vs 8 threads.
+#[test]
+fn adapt_fleet_is_thread_count_invariant() {
+    let plan = FaultPlan::parse(
+        "drift_burst=0.8,retrain_fail=0.15,retrain_slow=0.15,promote_corrupt=0.5,seed=2022",
+    )
+    .expect("plan");
+    let cfg = fleet_cfg();
+    let one = run_at(&cfg, &plan, 1);
+    let eight = run_at(&cfg, &plan, 8);
+    assert_eq!(
+        one.decision_hash, eight.decision_hash,
+        "fleet decision hash differs across thread counts"
+    );
+    assert_eq!(
+        one.decision_log, eight.decision_log,
+        "lifecycle/decision log differs across thread counts"
+    );
+    for (a, b) in one.shards.iter().zip(&eight.shards) {
+        assert_eq!(a.accounting, b.accounting, "shard {} accounting", a.id);
+        assert_eq!(a.adapt, b.adapt, "shard {} lifecycle stats", a.id);
+    }
+    let (promotions, rollbacks) = totals(&one);
+    assert!(promotions >= 1 && rollbacks >= 1, "lifecycle must run");
+}
+
+fn totals(r: &FleetReport) -> (u64, u64) {
+    r.shards
+        .iter()
+        .filter_map(|s| s.adapt.as_ref())
+        .fold((0, 0), |(p, rb), a| (p + a.promotions, rb + a.rollbacks))
+}

@@ -29,11 +29,24 @@ pub enum Stage {
     /// Zero-length marker: the fleet router moved (or shed) the request —
     /// `from_shard` / `to_shard` args carry the hop.
     Route,
+    /// The adapt loop retrained a candidate model while this request was
+    /// being served — `version` / `outcome` args carry the result.
+    Retrain,
+    /// This request was shadow-scored: the candidate's prediction was
+    /// computed and compared, never served (`agree` arg carries the
+    /// verdict).
+    Shadow,
+    /// Zero-length marker: a candidate model was promoted to serving at
+    /// this request (`version` arg).
+    Promote,
+    /// Zero-length marker: the guard band regressed and the previous
+    /// model version was re-installed (`from` / `to` version args).
+    Rollback,
 }
 
 impl Stage {
     /// All stages in pipeline order (table/report ordering).
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Admission,
         Stage::QueueWait,
         Stage::Predict,
@@ -41,6 +54,10 @@ impl Stage {
         Stage::ValidatePolicy,
         Stage::Drain,
         Stage::Route,
+        Stage::Retrain,
+        Stage::Shadow,
+        Stage::Promote,
+        Stage::Rollback,
     ];
 
     /// Stable wire name (Chrome `name` field, report tables).
@@ -53,6 +70,10 @@ impl Stage {
             Stage::ValidatePolicy => "validate_policy",
             Stage::Drain => "drain",
             Stage::Route => "route",
+            Stage::Retrain => "retrain",
+            Stage::Shadow => "shadow",
+            Stage::Promote => "promote",
+            Stage::Rollback => "rollback",
         }
     }
 

@@ -30,6 +30,10 @@ fn stage_color(stage: Stage) -> &'static str {
         Stage::ValidatePolicy => "#9b59b6",
         Stage::Drain => "#d9534f",
         Stage::Route => "#17a2b8",
+        Stage::Retrain => "#8d6e63",
+        Stage::Shadow => "#34495e",
+        Stage::Promote => "#2ecc71",
+        Stage::Rollback => "#e67e22",
     }
 }
 
